@@ -1,0 +1,26 @@
+"""Shared plumbing for the experiment benches.
+
+Every bench computes its experiment table once (module- or
+session-cached), asserts the paper's shape claims, writes the table to
+``benchmarks/results/``, and hands pytest-benchmark a representative
+kernel so wall-clock numbers land in the benchmark report too.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> Path:
+    """Write a reproduced table and return its path."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+def pow2(lo: int, hi: int, step: int = 2) -> list[int]:
+    """``[2^lo, 2^(lo+step), ..., 2^hi]``."""
+    return [1 << e for e in range(lo, hi + 1, step)]

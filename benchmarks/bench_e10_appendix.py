@@ -1,0 +1,135 @@
+"""E10 — the appendix: evaluating the support functions inside budget.
+
+Sub-tables:
+
+1. ``G(n)`` by the sequential procedure: steps == G(n) - 1 (the
+   appendix's "this sequential procedure takes O(G(n)) time").
+2. ``log G(n)`` by parallel pointer jumping on the main list:
+   jump rounds vs ``log G(n)``, instruction-level and vectorized tiers
+   agreeing.
+3. Table construction: direct DP vs the guess-and-verify EREW scheme —
+   identical contents, wall-time ratio, and the fan-in depth
+   (``O(log i)`` verification).
+4. Preprocessing table costs: ``p`` copies of the unary→binary table
+   (O(p log n) space), bit-reversal table sizes.
+"""
+
+import time
+
+import numpy as np
+
+from _common import pow2, write_result
+from repro.analysis.report import format_table
+from repro.bits.iterated_log import (
+    G,
+    big_g_sequential,
+    log_G,
+    log_g_pointer_jumping,
+)
+from repro.bits.lookup import build_table_direct, build_table_guess_and_verify
+from repro.bits.tables import BitReversalTable, UnaryToBinaryTable
+from repro.core.functions import f_msb
+from repro.pram.primitives import run_main_list_log_g
+
+NS = pow2(8, 20, 2)
+
+
+def test_e10_g_evaluation(benchmark):
+    rows = []
+    for n in NS:
+        value, steps = big_g_sequential(n)
+        rows.append({"n": n, "G": G(n), "value": value, "steps": steps})
+        assert value == G(n)
+        assert steps == G(n) - 1
+    text = format_table(
+        rows,
+        ["n", ("G", "G(n)"), ("value", "procedure"), "steps"],
+        title="E10a: sequential evaluation of G(n) in O(G(n)) steps",
+    )
+    write_result("e10a_g_sequential.txt", text)
+
+    benchmark(lambda: big_g_sequential(1 << 20))
+
+
+def test_e10_log_g_parallel(benchmark):
+    rows = []
+    for n in (16, 256, 4096, 65536, 1 << 18):
+        vec_rounds, length = log_g_pointer_jumping(n)
+        pram_rounds, report = run_main_list_log_g(n, mode="CREW")
+        rows.append({
+            "n": n, "logG": log_G(n), "rounds": vec_rounds,
+            "main_list_len": length, "pram_rounds": pram_rounds,
+            "pram_steps": report.steps,
+        })
+        assert vec_rounds == pram_rounds
+        assert abs(length - G(n)) <= 2
+    text = format_table(
+        rows,
+        ["n", ("logG", "log G(n)"), ("rounds", "jump rounds"),
+         ("main_list_len", "main list"), "pram_rounds", "pram_steps"],
+        title="E10b: parallel log G(n) on the power-tower main list",
+    )
+    write_result("e10b_log_g_parallel.txt", text)
+
+    benchmark(lambda: log_g_pointer_jumping(1 << 18))
+
+
+def test_e10_table_construction(benchmark):
+    rows = []
+    for arity, bits in ((2, 3), (3, 2), (3, 3)):
+        t0 = time.perf_counter()
+        direct = build_table_direct(f_msb, arity=arity, bits_per_arg=bits)
+        t_direct = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        gv = build_table_guess_and_verify(
+            f_msb, arity=arity, bits_per_arg=bits
+        )
+        t_gv = time.perf_counter() - t0
+        assert np.array_equal(direct.table, gv.table)
+        fan_in_depth = max(
+            1, (arity * (arity + 1) // 2 - 1).bit_length()
+        )
+        rows.append({
+            "arity": arity, "bits": bits, "cells": direct.size,
+            "direct_ms": 1000 * t_direct, "gv_ms": 1000 * t_gv,
+            "fanin_depth": fan_in_depth,
+        })
+    text = format_table(
+        rows,
+        ["arity", "bits", "cells", ("direct_ms", "direct (ms)"),
+         ("gv_ms", "guess&verify (ms)"),
+         ("fanin_depth", "O(log i) fan-in")],
+        title="E10c: f^(i) table construction, direct vs guess-and-verify",
+    )
+    write_result("e10c_table_construction.txt", text)
+
+    benchmark(lambda: build_table_direct(f_msb, arity=4, bits_per_arg=3))
+
+
+def test_e10_preprocessing_table_costs(benchmark):
+    rows = []
+    for n in (1 << 10, 1 << 16, 1 << 20):
+        width = (n - 1).bit_length()
+        for copies in (1, 64, 4096):
+            cost = UnaryToBinaryTable(width, copies=copies).construction_cost
+            rows.append({
+                "n": n, "copies": copies,
+                "space": cost.space, "time": cost.time,
+                "plogn": copies * width,
+            })
+            assert cost.space == copies * width  # O(p log n) space
+    brt = BitReversalTable(12)
+    rows.append({
+        "n": 1 << 12, "copies": 1,
+        "space": brt.construction_cost.space,
+        "time": brt.construction_cost.time,
+        "plogn": -1,
+    })
+    text = format_table(
+        rows,
+        ["n", "copies", "space", "time", ("plogn", "p*log n")],
+        title="E10d: preprocessing table costs (appendix)",
+    )
+    write_result("e10d_preprocessing_tables.txt", text)
+
+    benchmark(lambda: BitReversalTable(14))

@@ -1,0 +1,113 @@
+"""E12 — substrate-level experiments: Brent scaling, schedule quality.
+
+Two measurements about the simulator itself (and the theorems it
+embodies), plus wall-clock entries for the newer features:
+
+1. **Brent's theorem, measured**: running a fixed 32-processor tree-sum
+   program through the virtualization layer at ``p = 32, 16, 8, 4``
+   must show machine steps doubling exactly as ``p`` halves.
+2. **Schedule utilization**: fraction of processor-steps doing memory
+   work in the instruction-level Match1/Match4 runs — quantifying the
+   padding the lockstep alignment costs (a quantity no asymptotic
+   analysis shows).
+3. Wall-clock for the generalized folds.
+"""
+
+import numpy as np
+
+from _common import write_result
+from repro.analysis.report import format_table
+from repro.apps.fold import list_suffix_fold
+from repro.lists import random_list
+from repro.pram import LocalBarrier, Read, Write
+from repro.pram.algorithms import run_match1, run_match4
+from repro.pram.trace import utilization
+from repro.pram.virtualize import run_virtualized
+
+
+def _tree_sum(m):
+    levels = m.bit_length() - 1
+
+    def program(pid, nprocs):
+        yield Write(pid, pid + 1)
+        for d in range(levels):
+            stride = 1 << (d + 1)
+            half = 1 << d
+            if pid % stride == 0:
+                a = yield Read(pid)
+                b = yield Read(pid + half)
+                yield Write(pid, a + b)
+            else:
+                for _ in range(3):
+                    yield LocalBarrier()
+
+    return [program] * m
+
+
+def test_e12_brent_scaling(benchmark):
+    m = 32
+    rows = []
+    base = None
+    for p in (32, 16, 8, 4, 2, 1):
+        report = run_virtualized(_tree_sum(m), p=p, memory_size=m)
+        assert report.memory[0] == m * (m + 1) // 2
+        if base is None:
+            base = report.steps
+        rows.append({
+            "p": p, "steps": report.steps,
+            "ratio_vs_full": report.steps / base,
+            "predicted": m / p,
+        })
+    # exact doubling per halving
+    for a, b in zip(rows, rows[1:]):
+        assert b["steps"] == 2 * a["steps"]
+    text = format_table(
+        rows,
+        ["p", "steps", ("ratio_vs_full", "steps/steps(p=m)"),
+         ("predicted", "m/p")],
+        title="E12a: Brent's theorem measured (32-logical-processor "
+              "tree sum, virtualized)",
+    )
+    write_result("e12a_brent_scaling.txt", text)
+
+    benchmark(lambda: run_virtualized(_tree_sum(m), p=8, memory_size=m))
+
+
+def test_e12_schedule_utilization(benchmark):
+    rows = []
+    for n in (64, 256, 1024):
+        lst = random_list(n, rng=n)
+        _, r1 = run_match1(lst, trace=True)
+        _, r4 = run_match4(lst, i=2, trace=True)
+        rows.append({
+            "n": n,
+            "m1_procs": r1.nprocs, "m1_steps": r1.steps,
+            "m1_util": utilization(r1),
+            "m4_procs": r4.nprocs, "m4_steps": r4.steps,
+            "m4_util": utilization(r4),
+        })
+    # Match1 runs one processor per node with mostly-busy f rounds but
+    # a mostly-idle walk; Match4's column processors stay denser.
+    for row in rows:
+        assert 0.005 < row["m1_util"] <= 1.0
+        assert 0.005 < row["m4_util"] <= 1.0
+    text = format_table(
+        rows,
+        ["n", ("m1_procs", "M1 procs"), ("m1_steps", "M1 steps"),
+         ("m1_util", "M1 util"),
+         ("m4_procs", "M4 procs"), ("m4_steps", "M4 steps"),
+         ("m4_util", "M4 util")],
+        title="E12b: lockstep schedule utilization (instruction level)",
+    )
+    write_result("e12b_schedule_utilization.txt", text)
+
+    lst = random_list(256, rng=0)
+    benchmark(lambda: run_match4(lst, i=2))
+
+
+def test_e12_fold_wallclock(benchmark):
+    n = 1 << 15
+    lst = random_list(n, rng=1)
+    values = np.arange(n, dtype=np.int64)
+    out = benchmark(lambda: list_suffix_fold(lst, values, op="max")[0])
+    assert int(out[lst.head]) == n - 1

@@ -1,0 +1,59 @@
+"""E1 — Lemma 1: ``f`` partitions ``n`` pointers into ≤ ``2 log n`` sets.
+
+Reproduces, for both function variants and for the benign and
+adversarial layouts, the measured number of matching sets after one
+application of ``f`` against the ``2 ceil(log2 n)`` bound.  Shape
+claims asserted: the bound always holds, and the sawtooth layout
+(engineered to cross the coarsest bisector on every pointer) stays
+within it too.
+"""
+
+import numpy as np
+
+from _common import pow2, write_result
+from repro.analysis.report import format_table
+from repro.core.functions import iterate_f
+from repro.lists import random_list, sawtooth_list, sequential_list
+
+NS = pow2(8, 20, 3)
+
+
+def _rows():
+    rows = []
+    for n in NS:
+        for layout, make in (
+            ("random", lambda m: random_list(m, rng=m)),
+            ("sawtooth", sawtooth_list),
+            ("sequential", sequential_list),
+        ):
+            lst = make(n)
+            for kind in ("msb", "lsb"):
+                labels = iterate_f(lst, 1, kind=kind)
+                sets = int(np.unique(labels).size)
+                bound = 2 * (n - 1).bit_length()
+                rows.append({
+                    "n": n, "layout": layout, "kind": kind,
+                    "sets": sets, "bound": bound,
+                    "ratio": sets / bound,
+                })
+    return rows
+
+
+def test_e1_lemma1_set_counts(benchmark):
+    rows = _rows()
+    for row in rows:
+        assert row["sets"] <= row["bound"], row
+    # Random layouts use a constant fraction of the budget at scale.
+    big_random = [r for r in rows
+                  if r["layout"] == "random" and r["n"] >= 1 << 14]
+    assert all(r["ratio"] > 0.5 for r in big_random)
+    text = format_table(
+        rows,
+        ["n", "layout", "kind", "sets", ("bound", "2logn"),
+         ("ratio", "sets/bound")],
+        title="E1 (Lemma 1): matching sets after one f application",
+    )
+    write_result("e1_lemma1.txt", text)
+
+    lst = random_list(1 << 16, rng=0)
+    benchmark(lambda: iterate_f(lst, 1))

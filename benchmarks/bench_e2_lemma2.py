@@ -1,0 +1,62 @@
+"""E2 — Lemma 2: ``f^(k)`` yields ``2 log^(k-1) n (1 + o(1))`` sets.
+
+Sweeps the iteration depth ``k`` from 1 to ``G(n) + 1`` and tabulates
+the measured set count against the explicit-constant bound sequence
+(``label_bound_sequence``) and the asymptotic form.  Shape claims: the
+bound holds at every depth, the count collapses to a constant (< 6) by
+depth ``G(n)``, and each extra round shrinks the count roughly
+logarithmically until the fixed point.
+"""
+
+import numpy as np
+
+from _common import pow2, write_result
+from repro.analysis.report import format_table
+from repro.bits.iterated_log import G, ilog2
+from repro.core.functions import iterate_f, label_bound_sequence
+from repro.lists import random_list
+
+NS = pow2(10, 20, 5)
+
+
+def _rows():
+    rows = []
+    for n in NS:
+        lst = random_list(n, rng=n)
+        depth = G(n) + 1
+        history = iterate_f(lst, depth, return_history=True)
+        bounds = label_bound_sequence(n, depth)
+        for k, labels in enumerate(history):
+            if k == 0:
+                continue
+            sets = int(np.unique(labels).size)
+            try:
+                asym = 2 * max(1.0, ilog2(n, k - 1)) if k > 1 else float(n)
+            except Exception:
+                asym = 6.0
+            rows.append({
+                "n": n, "k": k, "sets": sets,
+                "bound": bounds[k],
+                "asym": asym,
+            })
+    return rows
+
+
+def test_e2_lemma2_iterated_shrinkage(benchmark):
+    rows = _rows()
+    for row in rows:
+        assert row["sets"] <= row["bound"], row
+    # collapse to constant by G(n)
+    for n in NS:
+        final = [r for r in rows if r["n"] == n and r["k"] == G(n)]
+        assert final and final[0]["sets"] <= 6
+    text = format_table(
+        rows,
+        ["n", "k", "sets", ("bound", "2ceil(log)..."),
+         ("asym", "2log^(k-1)n")],
+        title="E2 (Lemma 2): matching sets after k applications of f",
+    )
+    write_result("e2_lemma2.txt", text)
+
+    lst = random_list(1 << 16, rng=1)
+    benchmark(lambda: iterate_f(lst, G(1 << 16)))

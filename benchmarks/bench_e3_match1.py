@@ -1,0 +1,52 @@
+"""E3 — Lemma 3 / Match1: time ``O(n G(n)/p + G(n))``; not optimal.
+
+Sweeps ``(n, p)`` and tabulates measured PRAM time against the bound
+with unit constants.  Shape claims: the measured/bound ratio stays in a
+constant band across the grid; the work is ``Theta(n G(n))`` — i.e.
+work/n grows with ``G(n)``, certifying the paper's statement that
+Match1 is *not* optimal.
+"""
+
+from _common import pow2, write_result
+from repro.analysis.complexity import match1_time_bound
+from repro.analysis.experiments import powers_up_to, sweep_grid
+from repro.analysis.report import format_table
+from repro.bits.iterated_log import G
+from repro.core.match1 import match1
+from repro.lists import random_list
+
+NS = pow2(10, 20, 5)
+
+
+def _rows():
+    rows = sweep_grid(
+        lambda n: random_list(n, rng=n),
+        ns=NS,
+        ps=lambda n: powers_up_to(n, base=16),
+        algorithm="match1",
+    )
+    for row in rows:
+        row["bound"] = match1_time_bound(row["n"], row["p"])
+        row["ratio"] = row["time"] / row["bound"]
+        row["work_per_n"] = row["work"] / row["n"]
+    return rows
+
+
+def test_e3_match1_curve(benchmark):
+    rows = _rows()
+    for row in rows:
+        assert 0.2 <= row["ratio"] <= 4.0, row
+    # non-optimality: work/n tracks G(n) (within 2x)
+    for n in NS:
+        wpn = [r["work_per_n"] for r in rows if r["n"] == n][0]
+        assert G(n) <= wpn <= 2.5 * G(n) + 3
+    text = format_table(
+        rows,
+        ["n", "p", "time", ("bound", "nG/p+G"), ("ratio", "t/bound"),
+         ("work_per_n", "work/n"), "matched"],
+        title="E3 (Lemma 3): Match1 time vs O(nG(n)/p + G(n))",
+    )
+    write_result("e3_match1.txt", text)
+
+    lst = random_list(1 << 16, rng=2)
+    benchmark(lambda: match1(lst, p=256))

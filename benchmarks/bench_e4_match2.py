@@ -1,0 +1,104 @@
+"""E4 — Lemma 4 / Match2: ``O(n/p + log n)``; the sort dominates.
+
+Three sub-tables:
+
+1. The ``(n, p)`` time curve for the EREW law against the bound.
+2. Phase breakdown at ``p = n`` showing the sort's additive term
+   dominating every other phase ("The time complexity of Step 2 in
+   Match2 dominates the whole algorithm").
+3. The three sort-cost laws side by side, reproducing the paper's
+   ordering EREW > Reif > Cole–Vishkin and the widening optimal
+   processor ranges ``n/log n < n·log^(3)n/log n < n·log^(2)n/log n``.
+"""
+
+from _common import pow2, write_result
+from repro.analysis.complexity import match2_time_bound
+from repro.analysis.experiments import powers_up_to, sweep_grid
+from repro.analysis.report import format_table
+from repro.core.match2 import match2
+from repro.lists import random_list
+
+NS = pow2(10, 20, 5)
+
+
+def test_e4_match2_curve(benchmark):
+    rows = sweep_grid(
+        lambda n: random_list(n, rng=n),
+        ns=NS,
+        ps=lambda n: powers_up_to(n, base=16),
+        algorithm="match2",
+    )
+    for row in rows:
+        row["bound"] = match2_time_bound(row["n"], row["p"])
+        row["ratio"] = row["time"] / row["bound"]
+        assert 0.2 <= row["ratio"] <= 6.0, row
+    text = format_table(
+        rows,
+        ["n", "p", "time", ("bound", "n/p+logn"), ("ratio", "t/bound"),
+         ("work", "work")],
+        title="E4a (Lemma 4): Match2 time vs O(n/p + log n), EREW sort",
+    )
+    write_result("e4a_match2_curve.txt", text)
+
+    lst = random_list(1 << 16, rng=3)
+    benchmark(lambda: match2(lst, p=256))
+
+
+def test_e4_sort_dominates(benchmark):
+    rows = []
+    for n in NS:
+        lst = random_list(n, rng=n)
+        _, report, stats = match2(lst, p=n)
+        phases = {ph.name: ph.time for ph in report.phases}
+        rows.append({
+            "n": n,
+            "partition": phases["partition"],
+            "sort": phases["sort"],
+            "sweep": phases["sweep"],
+            "total": report.time,
+            "sort_frac": phases["sort"] / report.time,
+        })
+    for row in rows:
+        assert row["sort"] >= row["partition"]
+        assert row["sort"] >= row["sweep"]
+    # domination grows with n (the sort's log n vs constants elsewhere)
+    assert rows[-1]["sort_frac"] >= rows[0]["sort_frac"] - 0.05
+    text = format_table(
+        rows,
+        ["n", "partition", "sort", "sweep", "total",
+         ("sort_frac", "sort/total")],
+        title="E4b: Match2 phase breakdown at p = n (sort dominates)",
+    )
+    write_result("e4b_match2_sort_dominates.txt", text)
+
+    lst = random_list(1 << 14, rng=4)
+    benchmark(lambda: match2(lst, p=1 << 14))
+
+
+def test_e4_sort_law_variants(benchmark):
+    rows = []
+    for n in NS:
+        lst = random_list(n, rng=n)
+        for law in ("erew", "reif", "cole_vishkin"):
+            _, report, stats = match2(lst, p=n, sort_law=law)
+            rows.append({
+                "n": n, "law": law, "time": report.time,
+                "additive": stats.sort_additive,
+            })
+    for n in NS:
+        by = {r["law"]: r for r in rows if r["n"] == n}
+        if n >= 1 << 15:
+            assert (by["cole_vishkin"]["additive"]
+                    < by["reif"]["additive"]
+                    < by["erew"]["additive"])
+            assert by["cole_vishkin"]["time"] < by["erew"]["time"]
+    text = format_table(
+        rows,
+        ["n", "law", "time", ("additive", "sort additive")],
+        title=("E4c: Match2 sort-law variants at p = n "
+               "(EREW log n / Reif log n/log(3)n / C-V log n/log(2)n)"),
+    )
+    write_result("e4c_match2_sort_laws.txt", text)
+
+    lst = random_list(1 << 14, rng=5)
+    benchmark(lambda: match2(lst, p=1 << 14, sort_law="cole_vishkin"))

@@ -1,0 +1,133 @@
+"""E7 — Lemma 7 + Corollaries 1–2: the WalkDown2 automaton.
+
+Tabulates automaton traces over the label-sorted columns of real
+Match4 layouts: per-column processed/idle step balance (every run is
+exactly ``2x - 1`` steps), the Lemma 7 identity (row ``r`` processed at
+step ``A[r] + r``), pipeline occupancy (how many processors are doing
+useful work per step), and the inter/intra pointer mix the sweeps see.
+"""
+
+import numpy as np
+
+from _common import pow2, write_result
+from repro.analysis.report import format_table
+from repro.core.functions import iterate_f, max_label_after
+from repro.core.layout import build_layout
+from repro.core.walkdown import walkdown2_automaton, walkdown2_step_of
+from repro.lists import blocked_list, random_list
+
+NS = pow2(12, 18, 3)
+
+
+def _layout(n, i=2, seed=0, maker=None):
+    lst = (maker or (lambda m: random_list(m, rng=seed)))(n)
+    labels = iterate_f(lst, i)
+    x = max(2, max_label_after(n, i))
+    return lst, labels, build_layout(lst, labels, x)
+
+
+def test_e7_lemma7_identity(benchmark):
+    rows = []
+    for n in NS:
+        lst, labels, layout = _layout(n)
+        mismatches = 0
+        idle_total = 0
+        cols_checked = min(layout.y, 64)
+        for c in range(cols_checked):
+            a = layout.sorted_label_column(c)
+            real = a[a < layout.x]
+            if real.size == 0:
+                continue
+            trace = walkdown2_automaton(a)
+            expected = a + np.arange(a.size)
+            mismatches += int((trace.processed_at != expected).sum())
+            idle_total += trace.idle_steps
+        rows.append({
+            "n": n, "x": layout.x, "cols": cols_checked,
+            "mismatches": mismatches,
+            "steps_per_col": 2 * layout.x - 1,
+            "mean_idle": idle_total / cols_checked,
+        })
+    assert all(r["mismatches"] == 0 for r in rows)
+    text = format_table(
+        rows,
+        ["n", ("x", "rows"), "cols", "mismatches",
+         ("steps_per_col", "2x-1"), ("mean_idle", "idle steps/col")],
+        title="E7a (Lemma 7): processed-at == A[r] + r, all cells marked",
+    )
+    write_result("e7a_walkdown2_lemma7.txt", text)
+
+    lst, labels, layout = _layout(1 << 16)
+    col = layout.sorted_label_column(0)
+    benchmark(lambda: walkdown2_automaton(col))
+
+
+def test_e7_pipeline_occupancy(benchmark):
+    # Corollary 2's consequence: at each global step, the processors
+    # that do process a cell all hold endpoint-disjoint pointers; the
+    # occupancy histogram shows the pipelined fill/drain ramp.
+    n = 1 << 16
+    lst, labels, layout = _layout(n, i=2, seed=3)
+    step_of = walkdown2_step_of(layout)
+    tails, _ = lst.pointers()
+    intra = tails[layout.row_of[tails] == layout.row_of[lst.next[tails]]]
+    steps = step_of[intra]
+    rows = []
+    if steps.size:
+        hist = np.bincount(steps, minlength=2 * layout.x - 1)
+        for k, count in enumerate(hist):
+            rows.append({
+                "step": k, "processed": int(count),
+                "occupancy": count / layout.y,
+            })
+        # Corollary 1: every intra pointer lands inside the 2x-1 window
+        assert int(hist.sum()) == int(intra.size)
+        assert int(steps.max()) <= 2 * layout.x - 2
+        # and per-step load never exceeds one pointer per column
+        assert int(hist.max()) <= layout.y
+    text = format_table(
+        rows,
+        ["step", "processed", ("occupancy", "frac of y")],
+        title="E7b: WalkDown2 pipeline occupancy by step (n=2^16, i=2)",
+    )
+    write_result("e7b_walkdown2_occupancy.txt", text)
+
+    benchmark(lambda: walkdown2_step_of(layout))
+
+
+def test_e7_inter_intra_mix(benchmark):
+    # The blocked layout tunes the intra-row fraction Match4's sweeps
+    # see.  Intra-row requires *different columns, same row*; a layout
+    # whose hops stay inside one address block (= one column) makes
+    # pointers same-column, which forces different rows — i.e. address
+    # locality *depresses* the intra fraction, and the random layout
+    # carries the most intra-row work.
+    rows = []
+    n = 1 << 14
+    for name, maker in (
+        ("random", lambda m: random_list(m, rng=1)),
+        ("blocked16", lambda m: blocked_list(m, 16, rng=1)),
+        ("blocked4", lambda m: blocked_list(m, 4, rng=1)),
+    ):
+        lst, labels, layout = _layout(n, maker=maker)
+        intra, inter = layout.classify_pointers(lst)
+        rows.append({
+            "layout": name,
+            "x": layout.x,
+            "intra": int(intra.size),
+            "inter": int(inter.size),
+            "intra_frac": intra.size / (n - 1),
+        })
+    by = {r["layout"]: r for r in rows}
+    assert by["blocked4"]["intra_frac"] <= by["random"]["intra_frac"]
+    assert by["blocked16"]["intra_frac"] <= by["random"]["intra_frac"]
+    text = format_table(
+        rows,
+        ["layout", ("x", "rows"), "intra", "inter",
+         ("intra_frac", "intra fraction")],
+        title="E7c: inter/intra-row pointer mix by layout (n=2^14)",
+    )
+    write_result("e7c_inter_intra_mix.txt", text)
+
+    lst, labels, layout = _layout(n)
+    benchmark(lambda: layout.classify_pointers(lst))

@@ -1,0 +1,107 @@
+"""E8 — the applications the paper names: 3-coloring, MIS, ranking.
+
+Three sub-tables:
+
+1. 3-coloring: rounds and time across ``n``; color histogram.
+2. MIS sizes from both routes (coloring / matching).
+3. List ranking: work/n for contraction (flat, Theta(n)) vs Wyllie
+   (``log n``), plus time at the optimal processor count.
+"""
+
+import numpy as np
+
+from _common import pow2, write_result
+from repro.analysis.report import format_table
+from repro.apps.coloring import three_coloring
+from repro.apps.mis import mis_from_coloring, mis_from_matching
+from repro.apps.ranking import contraction_ranks
+from repro.baselines.wyllie import wyllie_ranks
+from repro.bits.iterated_log import G
+from repro.core.match4 import match4
+from repro.lists import random_list
+
+NS = pow2(10, 18, 4)
+
+
+def test_e8_three_coloring(benchmark):
+    rows = []
+    for n in NS:
+        lst = random_list(n, rng=n)
+        colors, report = three_coloring(lst, p=n)
+        hist = np.bincount(colors, minlength=3)
+        rows.append({
+            "n": n, "time": report.time, "G": G(n),
+            "c0": int(hist[0]), "c1": int(hist[1]), "c2": int(hist[2]),
+        })
+        assert report.time <= 3 * G(n) + 10
+    text = format_table(
+        rows,
+        ["n", "time", ("G", "G(n)"), "c0", "c1", "c2"],
+        title="E8a: 3-coloring time at p=n and color histogram",
+    )
+    write_result("e8a_three_coloring.txt", text)
+
+    lst = random_list(1 << 16, rng=0)
+    benchmark(lambda: three_coloring(lst, p=256))
+
+
+def test_e8_mis_sizes(benchmark):
+    rows = []
+    for n in NS:
+        lst = random_list(n, rng=n + 1)
+        colors, _ = three_coloring(lst)
+        mis_c, _ = mis_from_coloring(lst, colors)
+        matching, _, _ = match4(lst)
+        mis_m, _ = mis_from_matching(lst, matching)
+        rows.append({
+            "n": n,
+            "mis_coloring": int(mis_c.sum()),
+            "mis_matching": int(mis_m.sum()),
+            "lower": (n + 2) // 3,
+            "upper": (n + 1) // 2,
+        })
+    for row in rows:
+        assert row["lower"] <= row["mis_coloring"] <= row["upper"]
+        assert row["lower"] <= row["mis_matching"] <= row["upper"]
+    text = format_table(
+        rows,
+        ["n", ("mis_coloring", "|MIS| via coloring"),
+         ("mis_matching", "|MIS| via matching"),
+         ("lower", "n/3"), ("upper", "n/2")],
+        title="E8b: maximal independent set sizes (both routes)",
+    )
+    write_result("e8b_mis_sizes.txt", text)
+
+    lst = random_list(1 << 14, rng=2)
+    colors, _ = three_coloring(lst)
+    benchmark(lambda: mis_from_coloring(lst, colors))
+
+
+def test_e8_ranking_work_shape(benchmark):
+    rows = []
+    for n in NS:
+        lst = random_list(n, rng=n + 2)
+        _, rep_c, stats = contraction_ranks(lst, matcher="match4")
+        _, rep_w = wyllie_ranks(lst)
+        rows.append({
+            "n": n,
+            "contr_work_per_n": rep_c.work / n,
+            "wyllie_work_per_n": rep_w.work / n,
+            "levels": stats.levels,
+        })
+    # contraction flat, Wyllie growing like log n
+    c = [r["contr_work_per_n"] for r in rows]
+    w = [r["wyllie_work_per_n"] for r in rows]
+    assert max(c) <= 1.5 * min(c)
+    assert w == [float(max(1, (n - 1).bit_length())) for n in NS]
+    text = format_table(
+        rows,
+        ["n", ("contr_work_per_n", "contraction work/n"),
+         ("wyllie_work_per_n", "Wyllie work/n"), "levels"],
+        title=("E8c: list-ranking work per node — contraction Theta(n) "
+               "vs Wyllie Theta(n log n)"),
+    )
+    write_result("e8c_ranking_work.txt", text)
+
+    lst = random_list(1 << 14, rng=3)
+    benchmark(lambda: contraction_ranks(lst, matcher="match4"))

@@ -1,0 +1,156 @@
+"""E9 — wall-clock benchmarks of the vectorized implementations.
+
+Unlike E1–E8 (which measure simulated PRAM steps), these time the
+actual Python/NumPy execution with pytest-benchmark: the four paper
+algorithms, the two baselines, and the flagship applications, at a
+common size.  The shape claim here is modest — all vectorized
+algorithms complete within a small constant of the sequential walk's
+wall time despite doing the full PRAM choreography — and the numbers
+feed EXPERIMENTS.md's E9 table.
+"""
+
+import pytest
+
+from repro.apps.ranking import contraction_ranks
+from repro.baselines.random_mate import random_mate_matching
+from repro.baselines.sequential import sequential_matching
+from repro.baselines.wyllie import wyllie_ranks
+from repro.core.match1 import match1
+from repro.core.match2 import match2
+from repro.core.match3 import match3, plan_match3
+from repro.core.match4 import match4
+from repro.lists import random_list
+
+N = 1 << 16
+
+
+@pytest.fixture(scope="module")
+def lst():
+    return random_list(N, rng=2024)
+
+
+def test_wallclock_match1(benchmark, lst):
+    m = benchmark(lambda: match1(lst, p=256)[0])
+    assert m.is_maximal
+
+
+def test_wallclock_match2(benchmark, lst):
+    m = benchmark(lambda: match2(lst, p=256)[0])
+    assert m.is_maximal
+
+
+def test_wallclock_match3(benchmark, lst):
+    from repro.bits.lookup import build_table_direct
+    from repro.core.functions import pair_function
+
+    plan = plan_match3(N)
+    table = build_table_direct(  # preprocessing, amortized across runs
+        pair_function("msb"),
+        arity=plan.arity, bits_per_arg=plan.bits_per_arg,
+    )
+    m = benchmark(lambda: match3(lst, p=256, plan=plan, table=table)[0])
+    assert m.is_maximal
+
+
+def test_wallclock_match4(benchmark, lst):
+    m = benchmark(lambda: match4(lst, p=256, check=False)[0])
+    assert m.is_maximal
+
+
+def test_wallclock_match4_table_strategy(benchmark, lst):
+    m = benchmark(
+        lambda: match4(lst, p=256, strategy="table", check=False)[0]
+    )
+    assert m.is_maximal
+
+
+def test_wallclock_sequential_baseline(benchmark, lst):
+    m = benchmark(lambda: sequential_matching(lst)[0])
+    assert m.is_maximal
+
+
+def test_wallclock_random_mate(benchmark, lst):
+    m = benchmark(lambda: random_mate_matching(lst, rng=0)[0])
+    assert m.is_maximal
+
+
+def test_wallclock_wyllie_ranking(benchmark, lst):
+    ranks, _ = benchmark(lambda: wyllie_ranks(lst))
+    assert ranks[lst.head] == N - 1
+
+
+def test_wallclock_contraction_ranking(benchmark, lst):
+    ranks = benchmark(lambda: contraction_ranks(lst)[0])
+    assert ranks[lst.head] == N - 1
+
+
+# ---------------------------------------------------------------------------
+# Substrate micro-benchmarks: where the vectorized milliseconds go.
+# ---------------------------------------------------------------------------
+
+def test_wallclock_micro_iterate_f_round(benchmark, lst):
+    from repro.core.functions import apply_f
+
+    import numpy as np
+
+    labels = np.arange(N, dtype=np.int64)
+    cnext = lst.circular_next()
+    benchmark(lambda: apply_f(labels, cnext))
+
+
+def test_wallclock_micro_build_layout(benchmark, lst):
+    from repro.core.functions import iterate_f, max_label_after
+    from repro.core.layout import build_layout
+
+    labels = iterate_f(lst, 2)
+    x = max(2, max_label_after(N, 2))
+    benchmark(lambda: build_layout(lst, labels, x))
+
+
+def test_wallclock_micro_walkdowns(benchmark, lst):
+    import numpy as np
+
+    from repro.core.functions import iterate_f, max_label_after
+    from repro.core.layout import build_layout
+    from repro.core.partition import NO_POINTER
+    from repro.core.walkdown import walkdown1, walkdown2
+
+    labels = iterate_f(lst, 2)
+    x = max(2, max_label_after(N, 2))
+    layout = build_layout(lst, labels, x)
+    intra, inter = layout.classify_pointers(lst)
+
+    def run():
+        labels6 = np.full(N, NO_POINTER, dtype=np.int64)
+        walkdown1(lst, layout, inter, labels6, check=False)
+        walkdown2(lst, layout, intra, labels6, check=False)
+        return labels6
+
+    benchmark(run)
+
+
+def test_wallclock_micro_cutwalk(benchmark, lst):
+    from repro.bits.iterated_log import G
+    from repro.core.cutwalk import cut_and_walk
+    from repro.core.functions import iterate_f
+
+    labels = iterate_f(lst, G(N))
+    benchmark(lambda: cut_and_walk(lst, labels))
+
+
+def test_wallclock_ring(benchmark):
+    from repro.core.rings import ring_maximal_matching
+    from repro.lists.ring import random_ring
+
+    ring = random_ring(N, rng=5)
+    tails = benchmark(lambda: ring_maximal_matching(ring)[0])
+    assert tails.size > N // 4
+
+
+def test_wallclock_forest(benchmark):
+    from repro.core.forests import forest_maximal_matching
+    from repro.lists.forest import random_forest
+
+    forest = random_forest(N, 64, rng=6)
+    tails = benchmark(lambda: forest_maximal_matching(forest)[0])
+    assert tails.size > N // 4

@@ -1,0 +1,12 @@
+"""Pytest configuration for the benchmark suite.
+
+Adds the benchmarks directory to ``sys.path`` so benches can import the
+shared ``_common`` helpers regardless of invocation directory.
+"""
+
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).parent
+if str(_HERE) not in sys.path:
+    sys.path.insert(0, str(_HERE))

@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been
+installed (the offline environment lacks ``wheel``, so
+``pip install -e .`` is unavailable; ``python setup.py develop`` is the
+supported path — see README).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

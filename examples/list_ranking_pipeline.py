@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Scenario: optimal parallel list ranking of a scattered linked list.
+
+The problem that motivates the paper: a linked list arrives scattered
+through memory (think: free-list order after heavy allocator churn) and
+we need every node's position — the primitive under parallel tree
+contraction, Euler tours, and parallel garbage collection.
+
+Wyllie's classic pointer jumping solves it in O(log n) time but burns
+Theta(n log n) work.  The paper's maximal matching machinery enables
+the work-optimal route (Anderson–Miller style): matchings pick an
+independent set of nodes to splice out, the list shrinks geometrically,
+and the total work stays Theta(n).
+
+Run:  python examples/list_ranking_pipeline.py
+"""
+
+import numpy as np
+
+import repro
+from repro.apps.ranking import contraction_ranks, sequential_ranks
+from repro.baselines.wyllie import wyllie_ranks
+
+
+def churned_heap_list(n: int, seed: int) -> repro.LinkedList:
+    """Simulate allocator churn: start sequential, swap random pairs.
+
+    The result is a list whose layout is neither fully random nor
+    sequential — the realistic middle ground.
+    """
+    rng = np.random.default_rng(seed)
+    order = np.arange(n)
+    swaps = rng.integers(0, n, size=(n // 2, 2))
+    for a, b in swaps:
+        order[a], order[b] = order[b], order[a]
+    return repro.LinkedList.from_order(order)
+
+
+def main() -> None:
+    n = 1 << 16
+    p = 1 << 10
+    lst = churned_heap_list(n, seed=7)
+    print(f"ranking a churned {n}-node list on p={p} processors\n")
+
+    # -- Wyllie: fast but wasteful -------------------------------------
+    w_ranks, w_report = wyllie_ranks(lst, p=p)
+    print("Wyllie pointer jumping:")
+    print(f"  time {w_report.time} steps, work {w_report.work} "
+          f"({w_report.work / n:.1f} per node)")
+
+    # -- Contraction via Match4: work-optimal --------------------------
+    c_ranks, c_report, stats = contraction_ranks(
+        lst, p=p, matcher="match4", i=2
+    )
+    print("matching-contraction ranking (Match4 inside):")
+    print(f"  time {c_report.time} steps, work {c_report.work} "
+          f"({c_report.work / n:.1f} per node)")
+    print(f"  {stats.levels} contraction levels, sizes "
+          f"{list(stats.level_sizes[:6])}...")
+
+    # -- Agreement with the sequential oracle --------------------------
+    oracle = sequential_ranks(lst)
+    assert np.array_equal(w_ranks, oracle)
+    assert np.array_equal(c_ranks, oracle)
+    print("\nboth parallel rankings agree with the sequential walk")
+
+    # -- The asymptotic story ------------------------------------------
+    print("\nwork per node as n doubles (flat = optimal):")
+    print(f"  {'n':>9}  {'wyllie':>8}  {'contraction':>12}")
+    for e in (12, 14, 16):
+        m = 1 << e
+        sub = repro.random_list(m, rng=e)
+        _, wr = wyllie_ranks(sub, p=p)
+        _, cr, _ = contraction_ranks(sub, p=p)
+        print(f"  2^{e:<6}  {wr.work / m:>8.1f}  {cr.work / m:>12.1f}")
+    print("\nWyllie's column grows like log n; contraction's is flat —")
+    print("the Theta(n log n) vs Theta(n) work separation the paper's")
+    print("matchings exist to enable.")
+
+    # -- Bonus: data-dependent prefix over the list ---------------------
+    values = np.ones(n, dtype=np.int64)
+    prefix, _ = repro.list_prefix_sums(lst, values, p=p)
+    assert prefix[lst.tail] == n
+    print(f"\nprefix sums over the list via ranking: total at tail = "
+          f"{prefix[lst.tail]}")
+
+
+if __name__ == "__main__":
+    main()

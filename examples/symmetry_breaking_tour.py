@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Scenario: deterministic symmetry breaking — coloring and MIS.
+
+"In a sense, to find a maximal matching set for a linked list in
+parallel is to break the parallel symmetrical situation of the linked
+list."  This tour walks the whole symmetry-breaking toolchain the
+paper's machinery powers:
+
+1. iterated matching partition -> constant-size labels,
+2. a proper 3-coloring of the list's nodes,
+3. a maximal independent set (both routes),
+4. and a comparison against the randomized alternative (random mate),
+   showing what determinism buys: identical answers every run, no
+   failure probability, comparable round counts.
+
+Run:  python examples/symmetry_breaking_tour.py
+"""
+
+import numpy as np
+
+import repro
+from repro.apps.mis import (
+    mis_from_coloring,
+    mis_from_matching,
+    verify_independent_set,
+)
+from repro.bits.iterated_log import G
+
+
+def main() -> None:
+    n = 1 << 15
+    p = 1 << 9
+    lst = repro.random_list(n, rng=2718)
+    print(f"symmetry breaking on a random {n}-node list, p={p}\n")
+
+    # -- 1. label shrinkage round by round ------------------------------
+    history = repro.iterate_f(lst, G(n), return_history=True)
+    print("label magnitude by round (Lemma 2's collapse):")
+    for k, labels in enumerate(history):
+        print(f"  round {k}: {np.unique(labels).size:>6} distinct, "
+              f"max {int(labels.max())}")
+
+    # -- 2. three-coloring ----------------------------------------------
+    colors, creport = repro.three_coloring(lst, p=p)
+    hist = np.bincount(colors, minlength=3)
+    print(f"\n3-coloring in {creport.time} PRAM steps; class sizes "
+          f"{hist.tolist()}")
+
+    # -- 3. maximal independent sets ------------------------------------
+    mis_c, _ = mis_from_coloring(lst, colors, p=p)
+    matching, _, _ = repro.match4(lst, p=p)
+    mis_m, _ = mis_from_matching(lst, matching, p=p)
+    for name, mask in (("via coloring", mis_c), ("via matching", mis_m)):
+        verify_independent_set(lst, mask, maximal=True)
+        print(f"MIS {name}: {int(mask.sum())} nodes "
+              f"(n/3 = {n // 3}, n/2 = {n // 2})")
+
+    # -- 4. deterministic vs randomized ----------------------------------
+    print("\ndeterminism check (three runs each):")
+    det_sizes = []
+    for _ in range(3):
+        m, rep, _ = repro.match4(lst, p=p)
+        det_sizes.append((m.size, rep.time))
+    print(f"  match4:      {det_sizes} — identical, always")
+    rnd_sizes = []
+    for seed in range(3):
+        m, rep, stats = repro.random_mate_matching(lst, p=p, rng=seed)
+        rnd_sizes.append((m.size, stats.rounds))
+    print(f"  random mate: {rnd_sizes} — varies with the coin flips")
+    print("\nthe paper's contribution is exactly this: the determinism")
+    print("of column (a) at the speed class of column (b).")
+
+
+if __name__ == "__main__":
+    main()

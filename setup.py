@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package PEP 517 builds
+need; this shim lets ``pip install -e . --no-use-pep517`` work.  All
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

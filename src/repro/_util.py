@@ -1,0 +1,75 @@
+"""Small shared helpers used across the :mod:`repro` package.
+
+These are deliberately tiny, dependency-free utilities; anything with
+algorithmic content lives in a real module.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from .errors import InvalidParameterError
+
+__all__ = [
+    "as_index_array",
+    "ceil_div",
+    "require",
+    "is_power_of_two",
+    "next_power_of_two",
+]
+
+#: Canonical integer dtype for node addresses, labels, and pointers.
+INDEX_DTYPE = np.int64
+
+
+def as_index_array(values: Any, *, name: str = "array") -> np.ndarray:
+    """Return ``values`` as a 1-D contiguous ``int64`` array.
+
+    Accepts any sequence or array-like of integers.  A defensive copy is
+    made only when the input is not already a contiguous ``int64`` array,
+    following the "views, not copies" guidance for numeric code.
+
+    Raises
+    ------
+    InvalidParameterError
+        If the input is not integral or not one-dimensional.
+    """
+    arr = np.asarray(values)
+    if arr.size == 0:
+        arr = arr.astype(INDEX_DTYPE)  # empty input carries no dtype intent
+    if arr.dtype.kind not in "iu":
+        raise InvalidParameterError(
+            f"{name} must be an integer array, got dtype {arr.dtype}"
+        )
+    if arr.ndim != 1:
+        raise InvalidParameterError(
+            f"{name} must be one-dimensional, got shape {arr.shape}"
+        )
+    return np.ascontiguousarray(arr, dtype=INDEX_DTYPE)
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division ``ceil(a / b)`` for non-negative ``a``, positive ``b``."""
+    if b <= 0:
+        raise InvalidParameterError(f"divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`InvalidParameterError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise InvalidParameterError(message)
+
+
+def is_power_of_two(x: int) -> bool:
+    """Return ``True`` iff ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def next_power_of_two(x: int) -> int:
+    """Smallest power of two ``>= x`` (``1`` for ``x <= 1``)."""
+    if x <= 1:
+        return 1
+    return 1 << (int(x) - 1).bit_length()

@@ -1,0 +1,37 @@
+"""Analysis layer: predicted complexity curves and experiment runners.
+
+- :mod:`repro.analysis.complexity` — the paper's bounds as concrete
+  functions of ``(n, p, i)``, plus optimality/efficiency helpers.
+- :mod:`repro.analysis.experiments` — measurement harness shared by the
+  benchmark suite: runs an algorithm over an ``(n, p)`` grid and
+  returns structured rows.
+- :mod:`repro.analysis.report` — plain-text table rendering used for
+  the reproduced "tables" written to ``benchmarks/results/``.
+"""
+
+from .complexity import (
+    efficiency,
+    match1_time_bound,
+    match2_time_bound,
+    match3_time_bound,
+    match4_time_bound,
+    optimal_processor_bound,
+    speedup,
+)
+from .experiments import measure_matching, sweep_grid
+from .report import format_table
+from .ascii_plot import ascii_plot
+
+__all__ = [
+    "efficiency",
+    "match1_time_bound",
+    "match2_time_bound",
+    "match3_time_bound",
+    "match4_time_bound",
+    "optimal_processor_bound",
+    "speedup",
+    "measure_matching",
+    "sweep_grid",
+    "format_table",
+    "ascii_plot",
+]

@@ -1,0 +1,111 @@
+"""Plain-text charts for the experiment "figures".
+
+The paper's results are curves (time vs ``p``, efficiency vs ``p``);
+since this repository keeps its artifacts greppable text, the benches
+render those curves as ASCII scatter plots alongside the numeric
+tables.  The renderer is deliberately small: log/linear axes, multiple
+series (one glyph each), axis labels derived from the data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from .._util import require
+
+__all__ = ["ascii_plot"]
+
+#: Glyphs assigned to series, in order.
+GLYPHS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        require(value > 0, f"log axis needs positive values, got {value}")
+        return math.log10(value)
+    return float(value)
+
+
+def ascii_plot(
+    rows: Sequence[Mapping[str, float]],
+    *,
+    x: str,
+    series: Sequence[str],
+    title: str = "",
+    width: int = 64,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """Render one or more ``y(x)`` series as an ASCII scatter plot.
+
+    Parameters
+    ----------
+    rows:
+        Dicts holding the ``x`` key and any subset of the series keys.
+    x, series:
+        Key names; each series gets a glyph from :data:`GLYPHS`.
+    width, height:
+        Plot area size in characters (axes add a margin).
+    logx, logy:
+        Logarithmic axes (base 10); values must then be positive.
+    """
+    require(len(series) >= 1, "need at least one series")
+    require(len(series) <= len(GLYPHS), f"at most {len(GLYPHS)} series")
+    pts: list[tuple[float, float, int]] = []
+    for row in rows:
+        if x not in row:
+            continue
+        for si, key in enumerate(series):
+            if key in row and row[key] is not None:
+                pts.append((
+                    _transform(row[x], logx),
+                    _transform(row[key], logy),
+                    si,
+                ))
+    if not pts:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for px, py, si in pts:
+        col = round((px - x_lo) / (x_hi - x_lo) * (width - 1))
+        row_i = round((py - y_lo) / (y_hi - y_lo) * (height - 1))
+        r = height - 1 - row_i
+        cell = grid[r][col]
+        # collisions: later series win; mark multi-series overlap
+        grid[r][col] = GLYPHS[si] if cell in (" ", GLYPHS[si]) else "?"
+
+    def fmt_axis(v: float, log: bool) -> str:
+        real = 10 ** v if log else v
+        if abs(real) >= 1000 or (0 < abs(real) < 0.01):
+            return f"{real:.2e}"
+        return f"{real:g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(f"{GLYPHS[i]}={key}" for i, key in enumerate(series))
+    lines.append(f"[{legend}]" + ("  (log y)" if logy else ""))
+    y_top = fmt_axis(y_hi, logy)
+    y_bot = fmt_axis(y_lo, logy)
+    margin = max(len(y_top), len(y_bot)) + 1
+    for r, grid_row in enumerate(grid):
+        label = y_top if r == 0 else (y_bot if r == height - 1 else "")
+        lines.append(f"{label:>{margin}}|" + "".join(grid_row).rstrip())
+    lines.append(" " * margin + "+" + "-" * width)
+    x_left = fmt_axis(x_lo, logx)
+    x_right = fmt_axis(x_hi, logx)
+    pad = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (margin + 1) + x_left + " " * max(1, pad) + x_right
+        + ("  (log x)" if logx else "")
+    )
+    return "\n".join(lines)

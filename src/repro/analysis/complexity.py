@@ -1,0 +1,95 @@
+"""The paper's complexity bounds as concrete curve functions.
+
+Each ``*_time_bound`` evaluates the paper's big-O expression with unit
+constants — benches compare *measured / bound* ratios across sweeps,
+asserting they stay within a constant band (the "shape" criterion of
+EXPERIMENTS.md), never exact equality.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._util import ceil_div, require
+from ..bits.iterated_log import G, ilog2, log_G
+
+__all__ = [
+    "match1_time_bound",
+    "match2_time_bound",
+    "match3_time_bound",
+    "match4_time_bound",
+    "optimal_processor_bound",
+    "speedup",
+    "efficiency",
+]
+
+
+def _log2c(n: int) -> int:
+    """``ceil(log2 n)``, at least 1."""
+    return max(1, (max(2, n) - 1).bit_length())
+
+
+def _ilog_floor(n: int, i: int) -> float:
+    """``log^(i) n`` clamped below at 1 (bounds never go sublinear in a
+    denominator)."""
+    try:
+        return max(1.0, ilog2(n, i))
+    except Exception:
+        return 1.0
+
+
+def match1_time_bound(n: int, p: int) -> float:
+    """Lemma 3: ``O(n G(n)/p + G(n))``."""
+    require(n >= 2 and p >= 1, "need n >= 2, p >= 1")
+    g = G(n)
+    return n * g / p + g
+
+
+def match2_time_bound(n: int, p: int, *, sort_law: str = "erew") -> float:
+    """Lemma 4 and its CRCW refinements: ``O(n/p + additive)`` where the
+    additive term is the sort's (``log n``, ``log n / log^(3) n``, or
+    ``log n / log^(2) n``)."""
+    require(n >= 2 and p >= 1, "need n >= 2, p >= 1")
+    log_n = _log2c(n)
+    if sort_law == "erew":
+        additive = float(log_n)
+    elif sort_law == "reif":
+        additive = log_n / _ilog_floor(n, 3)
+    elif sort_law == "cole_vishkin":
+        additive = log_n / _ilog_floor(n, 2)
+    else:
+        raise ValueError(f"unknown sort law {sort_law!r}")
+    return n / p + additive
+
+
+def match3_time_bound(n: int, p: int) -> float:
+    """Lemma 5: ``O(n log G(n)/p + log G(n))``."""
+    require(n >= 2 and p >= 1, "need n >= 2, p >= 1")
+    lg = log_G(n)
+    return n * lg / p + lg
+
+
+def match4_time_bound(n: int, p: int, i: int) -> float:
+    """Theorem 2: ``O(n log i/p + log^(i) n + log i)``."""
+    require(n >= 2 and p >= 1 and i >= 1, "need n >= 2, p >= 1, i >= 1")
+    log_i = max(1.0, math.log2(max(2, i)))
+    return n * log_i / p + _ilog_floor(n, i) + log_i
+
+
+def optimal_processor_bound(n: int, i: int) -> int:
+    """Theorem 1's optimal regime: ``p <= n / log^(i) n``."""
+    require(n >= 2 and i >= 1, "need n >= 2, i >= 1")
+    return max(1, int(n / _ilog_floor(n, i)))
+
+
+def speedup(t1: float, tp: float) -> float:
+    """``T_1 / T_p``."""
+    require(tp > 0 and t1 > 0, "times must be positive")
+    return t1 / tp
+
+
+def efficiency(t1: float, tp: float, p: int) -> float:
+    """``T_1 / (p * T_p)`` — equals Θ(1) iff the run is optimal in the
+    paper's sense (``p T = O(T_1)``)."""
+    require(p >= 1, "p must be >= 1")
+    return speedup(t1, tp) / p

@@ -1,0 +1,72 @@
+"""Plain-text table rendering for reproduced experiment tables.
+
+The paper has no numeric tables (its evaluation is analytic), so the
+"tables" EXPERIMENTS.md records are the measured step-count grids these
+helpers render.  Kept dependency-free: rows are dicts, columns pick and
+format keys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = ["format_table", "write_result"]
+
+Formatter = Callable[[Any], str]
+
+
+def _default_format(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str | tuple[str, str] | tuple[str, str, Formatter]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    ``columns`` entries are a key, a ``(key, header)`` pair, or a
+    ``(key, header, formatter)`` triple.  Missing keys render as ``-``.
+    """
+    specs: list[tuple[str, str, Formatter]] = []
+    for col in columns:
+        if isinstance(col, str):
+            specs.append((col, col, _default_format))
+        elif len(col) == 2:
+            specs.append((col[0], col[1], _default_format))
+        else:
+            specs.append(col)  # type: ignore[arg-type]
+    headers = [header for _, header, _ in specs]
+    body: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for key, _, fmt in specs:
+            cells.append(fmt(row[key]) if key in row else "-")
+        body.append(cells)
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in body)) if body else len(headers[j])
+        for j in range(len(specs))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in body:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def write_result(path, text: str) -> None:
+    """Write a reproduced table to ``benchmarks/results/`` (and echo it
+    so ``pytest -s`` shows it inline)."""
+    from pathlib import Path
+
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(text + "\n")
+    print(text)

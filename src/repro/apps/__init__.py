@@ -1,0 +1,51 @@
+"""Applications the paper names for its matching machinery.
+
+"This algorithm can be used to compute a maximal independent set or a
+3 coloring for a linked list" (abstract) — and the motivating problem
+throughout the paper is the linked-list prefix.  This package builds
+all three on the core library:
+
+- :mod:`repro.apps.coloring` — 3-coloring of the list's nodes: the
+  constant-size labels from iterated ``f`` are a 6-coloring, reduced to
+  3 by three parallel recoloring rounds.
+- :mod:`repro.apps.mis` — maximal independent set from the 3-coloring
+  (three greedy parallel rounds) and directly from a maximal matching.
+- :mod:`repro.apps.ranking` — optimal deterministic list ranking by
+  matching contraction (the Anderson–Miller [1] scheme the paper cites,
+  driven by any of this library's matching algorithms), against
+  Wyllie's ``Theta(n log n)``-work pointer jumping.
+- :mod:`repro.apps.prefix` — data-dependent prefix sums over the list
+  via ranking.
+"""
+
+from .coloring import (
+    six_coloring,
+    three_coloring,
+    three_coloring_via_matching,
+    verify_coloring,
+)
+from .mis import (
+    mis_from_coloring,
+    mis_from_matching,
+    verify_independent_set,
+)
+from .ranking import contraction_ranks, list_ranks, sequential_ranks
+from .prefix import list_prefix_sums
+from .fold import OPERATORS, list_prefix_fold, list_suffix_fold
+
+__all__ = [
+    "six_coloring",
+    "three_coloring",
+    "three_coloring_via_matching",
+    "verify_coloring",
+    "mis_from_coloring",
+    "mis_from_matching",
+    "verify_independent_set",
+    "contraction_ranks",
+    "list_ranks",
+    "sequential_ranks",
+    "list_prefix_sums",
+    "OPERATORS",
+    "list_prefix_fold",
+    "list_suffix_fold",
+]

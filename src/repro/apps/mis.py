@@ -1,0 +1,152 @@
+"""Maximal independent set of a linked list's nodes.
+
+Two routes, both named by the paper:
+
+- :func:`mis_from_coloring` — from a proper 3-coloring: admit color
+  class 0 wholesale, then (two parallel rounds) admit any node of color
+  1, then 2, whose neighbors are still all outside.  Each round touches
+  an independent color class, so the greedy admissions never conflict.
+- :func:`mis_from_matching` — from a maximal matching: admit every
+  matched pointer's tail, then sweep the (constant-length) runs of
+  uncovered nodes.  Matched tails are independent because two adjacent
+  admitted tails would force two matched pointers to share a node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import require
+from ..errors import VerificationError
+from ..lists.linked_list import NIL, LinkedList
+from ..core.matching import Matching
+from ..pram.cost import CostModel, CostReport
+
+__all__ = ["mis_from_coloring", "mis_from_matching", "verify_independent_set"]
+
+
+def mis_from_coloring(
+    lst: LinkedList, colors: np.ndarray, *, p: int = 1
+) -> tuple[np.ndarray, CostReport]:
+    """Maximal independent set from a proper coloring with few colors.
+
+    Returns ``(mask, report)`` where ``mask[v]`` says whether node ``v``
+    is in the set.  Works for any proper coloring; cost is one parallel
+    round per color class.
+    """
+    require(p >= 1, f"p must be >= 1, got {p}")
+    colors = np.asarray(colors, dtype=np.int64)
+    if colors.size != lst.n:
+        raise VerificationError(
+            f"colors has {colors.size} entries for {lst.n} nodes"
+        )
+    cost = CostModel(p)
+    nxt = lst.next
+    pred = lst.pred
+    in_set = np.zeros(lst.n, dtype=bool)
+    with cost.phase("admit"):
+        for c in range(int(colors.max()) + 1 if colors.size else 0):
+            sel = np.flatnonzero(colors == c)
+            if sel.size == 0:
+                cost.sequential(1)
+                continue
+            left = pred[sel]
+            right = nxt[sel]
+            left_in = np.where(
+                left != NIL, in_set[np.where(left != NIL, left, 0)], False
+            )
+            right_in = np.where(
+                right != NIL, in_set[np.where(right != NIL, right, 0)], False
+            )
+            in_set[sel[~(left_in | right_in)]] = True
+            cost.parallel(int(sel.size))
+    verify_independent_set(lst, in_set, maximal=True)
+    return in_set, cost.report()
+
+
+def mis_from_matching(
+    lst: LinkedList, matching: Matching, *, p: int = 1
+) -> tuple[np.ndarray, CostReport]:
+    """Maximal independent set from a maximal matching.
+
+    Admit each matched pointer's tail; nodes not covered by the
+    matching form runs of length at most 2 between covered nodes (a run
+    of 3 free nodes would leave an addable pointer), so one constant
+    parallel repair round admits every free node whose neighbors are
+    outside the set.
+    """
+    require(p >= 1, f"p must be >= 1, got {p}")
+    cost = CostModel(p)
+    nxt = lst.next
+    pred = lst.pred
+    in_set = np.zeros(lst.n, dtype=bool)
+    with cost.phase("tails"):
+        in_set[matching.tails] = True
+        cost.parallel(matching.size)
+    with cost.phase("repair"):
+        # Free nodes (uncovered by the matching) form runs of length at
+        # most 2 — a run of 3 would leave an addable pointer.  Structure
+        # facts (each provable from "tails precede heads"): a free
+        # node's left covered neighbor is always a matched *head*
+        # (never in the set), and the covered node after a free run is
+        # always a matched *tail* (in the set).  Hence one parallel
+        # pass admitting every free *run leader* (left neighbor not
+        # free) whose right neighbor is outside the set is enough: a
+        # 2-run's leader is always admitted, covering the run's second
+        # node; a 1-run's leader is admitted exactly when its right
+        # neighbor is not already an in-set tail.
+        covered = np.zeros(lst.n, dtype=bool)
+        covered[matching.tails] = True
+        covered[nxt[matching.tails]] = True
+        free = np.flatnonzero(~covered)
+        if free.size:
+            left = pred[free]
+            right = nxt[free]
+            left_free = np.where(
+                left != NIL, ~covered[np.where(left != NIL, left, 0)], False
+            )
+            right_in = np.where(
+                right != NIL, in_set[np.where(right != NIL, right, 0)], False
+            )
+            in_set[free[~left_free & ~right_in]] = True
+            cost.parallel(int(free.size))
+    verify_independent_set(lst, in_set, maximal=True)
+    return in_set, cost.report()
+
+
+def verify_independent_set(
+    lst: LinkedList, mask: np.ndarray, *, maximal: bool = False
+) -> None:
+    """Check independence (no two adjacent nodes in the set) and,
+    optionally, maximality (every outside node has an inside neighbor).
+
+    Raises :class:`VerificationError` naming the first offense.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.size != lst.n:
+        raise VerificationError(
+            f"mask has {mask.size} entries for {lst.n} nodes"
+        )
+    nxt = lst.next
+    v = np.flatnonzero(nxt != NIL)
+    both = mask[v] & mask[nxt[v]]
+    if np.any(both):
+        bad = int(v[np.flatnonzero(both)[0]])
+        raise VerificationError(
+            f"adjacent nodes {bad} and {int(nxt[bad])} are both in the set"
+        )
+    if not maximal:
+        return
+    pred = lst.pred
+    out = np.flatnonzero(~mask)
+    left = pred[out]
+    right = nxt[out]
+    left_in = np.where(left != NIL, mask[np.where(left != NIL, left, 0)], False)
+    right_in = np.where(right != NIL, mask[np.where(right != NIL, right, 0)], False)
+    lonely = ~(left_in | right_in)
+    if np.any(lonely):
+        bad = int(out[np.flatnonzero(lonely)[0]])
+        raise VerificationError(
+            f"node {bad} is outside the set with no inside neighbor: "
+            f"the set is not maximal"
+        )

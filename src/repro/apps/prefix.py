@@ -1,0 +1,70 @@
+"""Data-dependent prefix sums over a linked list.
+
+"Many previous linked list prefix algorithms [9,11,13,16] can be used
+to compute a maximal matching" — and conversely, a maximal matching
+machinery yields an optimal prefix algorithm: rank the list (any solver
+from :mod:`repro.apps.ranking`), scatter values into rank order, run an
+ordinary parallel prefix (``O(n/p + log n)``), and gather back.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .._util import as_index_array, require
+from ..errors import InvalidParameterError
+from ..lists.linked_list import LinkedList
+from ..pram.cost import CostModel, CostReport
+from .ranking import contraction_ranks, sequential_ranks
+from ..baselines.wyllie import wyllie_ranks
+
+__all__ = ["list_prefix_sums"]
+
+
+def list_prefix_sums(
+    lst: LinkedList,
+    values: np.ndarray,
+    *,
+    p: int = 1,
+    ranking: str = "contraction",
+    **kwargs: Any,
+) -> tuple[np.ndarray, CostReport]:
+    """Inclusive prefix sums in list order.
+
+    ``out[v]`` is the sum of ``values`` over all nodes from the head up
+    to and including ``v``.  ``ranking`` picks the rank solver
+    (``"contraction"``, ``"wyllie"``, or ``"sequential"``).
+
+    Returns ``(out, report)``.
+    """
+    require(p >= 1, f"p must be >= 1, got {p}")
+    values = as_index_array(values, name="values")
+    n = lst.n
+    if values.size != n:
+        raise InvalidParameterError(
+            f"values has {values.size} entries for {n} nodes"
+        )
+    cost = CostModel(p)
+    if ranking == "contraction":
+        ranks, rep, _ = contraction_ranks(lst, p=p, **kwargs)
+        cost.absorb(rep)
+    elif ranking == "wyllie":
+        ranks, rep = wyllie_ranks(lst, p=p)
+        cost.absorb(rep)
+    elif ranking == "sequential":
+        ranks = sequential_ranks(lst)
+        cost.sequential(n)
+    else:
+        raise InvalidParameterError(f"unknown ranking {ranking!r}")
+    with cost.phase("prefix"):
+        # Position in list order = n - 1 - rank; scatter, scan, gather.
+        position = n - 1 - ranks
+        in_order = np.empty(n, dtype=np.int64)
+        in_order[position] = values
+        scanned = np.cumsum(in_order)
+        out = scanned[position]
+        cost.parallel(n)
+        cost.sequential(max(1, (max(2, n) - 1).bit_length()))  # tree depth
+    return out, cost.report()

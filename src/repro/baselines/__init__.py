@@ -1,0 +1,28 @@
+"""Baselines the paper compares against (explicitly or implicitly).
+
+- :mod:`repro.baselines.sequential` — the greedy sequential walk: the
+  ``T_1 = Theta(n)`` reference in the paper's optimality definition
+  ``p*T = O(T_1)``.
+- :mod:`repro.baselines.random_mate` — randomized coin-flip symmetry
+  breaking (the paper's introduction dismisses the randomized prefix
+  algorithms [13,16]; this is their matching kernel), with expected
+  ``O(log n)`` rounds.
+- :mod:`repro.baselines.wyllie` — Wyllie's pointer-jumping list
+  ranking: the ``Theta(n log n)``-work baseline the matching-based
+  optimal ranking of :mod:`repro.apps.ranking` is measured against.
+
+Importing this package registers ``"sequential"`` and ``"random_mate"``
+in :data:`repro.core.maximal_matching.ALGORITHMS`.
+"""
+
+from ..core.maximal_matching import ALGORITHMS, register_algorithm
+from .sequential import sequential_matching
+from .random_mate import random_mate_matching
+from .wyllie import wyllie_ranks
+
+if "sequential" not in ALGORITHMS:
+    register_algorithm("sequential", sequential_matching)
+if "random_mate" not in ALGORITHMS:
+    register_algorithm("random_mate", random_mate_matching)
+
+__all__ = ["sequential_matching", "random_mate_matching", "wyllie_ranks"]

@@ -1,0 +1,96 @@
+"""Randomized coin-flip matching (random mate).
+
+Each free node flips a fair coin; a still-addable pointer ``<a, b>``
+joins the matching when ``a`` flipped heads and ``b`` tails — adjacent
+pointers can never both qualify (they would need node ``b`` to be both
+tails and heads).  Rounds repeat on the still-addable pointers until
+none remain; each round removes each addable pointer with probability
+1/4, so the expected round count is ``O(log n)`` — the randomized
+bound the paper's deterministic algorithms are built to beat without
+coins.
+
+Determinism note: this is the library's only randomized component; it
+takes an explicit seed/generator per DESIGN.md conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import require
+from ..errors import VerificationError
+from ..lists.linked_list import NIL, LinkedList
+from ..pram.cost import CostModel, CostReport
+from ..core.matching import Matching
+
+__all__ = ["RandomMateStats", "random_mate_matching"]
+
+
+@dataclass(frozen=True)
+class RandomMateStats:
+    """Diagnostics of one random-mate run."""
+
+    rounds: int
+    seed_used: bool
+
+
+def random_mate_matching(
+    lst: LinkedList,
+    *,
+    p: int = 1,
+    rng: np.random.Generator | int | None = 0,
+    max_rounds: int | None = None,
+) -> tuple[Matching, CostReport, RandomMateStats]:
+    """Maximal matching by repeated random mating.
+
+    Parameters
+    ----------
+    lst:
+        Input list.
+    p:
+        Processor count for the cost accounting.
+    rng:
+        Seed or generator (defaults to seed 0 for reproducible tests;
+        pass ``None`` for fresh entropy).
+    max_rounds:
+        Safety bound (default ``8 * log2 n + 16``); exhausting it
+        raises — a vanishingly unlikely event that would indicate a
+        broken generator.
+    """
+    require(p >= 1, f"p must be >= 1, got {p}")
+    seed_used = not isinstance(rng, np.random.Generator)
+    if seed_used:
+        rng = np.random.default_rng(rng)
+    n = lst.n
+    nxt = lst.next
+    cost = CostModel(p)
+    if max_rounds is None:
+        max_rounds = 8 * max(1, (max(2, n) - 1).bit_length()) + 16
+    covered = np.zeros(n, dtype=bool)
+    chosen = np.zeros(n, dtype=bool)
+    tails = np.flatnonzero(nxt != NIL)
+    rounds = 0
+    with cost.phase("rounds"):
+        while True:
+            heads = nxt[tails]
+            addable = ~covered[tails] & ~covered[heads]
+            tails = tails[addable]
+            if tails.size == 0:
+                break
+            if rounds >= max_rounds:
+                raise VerificationError(
+                    f"random mate did not converge in {max_rounds} rounds"
+                )
+            rounds += 1
+            coins = rng.integers(0, 2, size=n)
+            heads_now = nxt[tails]
+            take = (coins[tails] == 1) & (coins[heads_now] == 0)
+            add = tails[take]
+            covered[add] = True
+            covered[nxt[add]] = True
+            chosen[add] = True
+            cost.parallel(int(tails.size))
+    matching = Matching(lst, np.flatnonzero(chosen))
+    return matching, cost.report(), RandomMateStats(rounds, seed_used)

@@ -1,0 +1,42 @@
+"""The sequential greedy baseline: ``T_1`` in the optimality definition.
+
+One processor walks the list once, taking every pointer whose endpoints
+are both still free — which on a path degenerates to "take a pointer,
+skip the next, repeat, restarting after any skip".  ``Theta(n)`` time,
+trivially maximal.  Every optimality claim in the benches divides a
+parallel run's ``time * p`` by this baseline's time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import require
+from ..lists.linked_list import NIL, LinkedList
+from ..pram.cost import CostModel, CostReport
+from ..core.matching import Matching
+
+__all__ = ["sequential_matching"]
+
+
+def sequential_matching(
+    lst: LinkedList, *, p: int = 1
+) -> tuple[Matching, CostReport, None]:
+    """Greedy maximal matching by one sequential walk.
+
+    ``p`` is accepted for signature compatibility but the walk is
+    charged as purely sequential work regardless (extra processors
+    cannot help a single dependent chain).
+    """
+    require(p >= 1, f"p must be >= 1, got {p}")
+    cost = CostModel(p)
+    nxt = lst.next
+    chosen: list[int] = []
+    v = lst.head
+    with cost.phase("walk"):
+        while v != NIL and nxt[v] != NIL:
+            chosen.append(v)           # take <v, suc(v)>
+            v = int(nxt[int(nxt[v])])  # skip <suc(v), ...>
+        cost.sequential(lst.n)
+    matching = Matching(lst, np.asarray(chosen, dtype=np.int64))
+    return matching, cost.report(), None

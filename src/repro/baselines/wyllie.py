@@ -1,0 +1,45 @@
+"""Wyllie's pointer-jumping list ranking [16] — the non-optimal baseline.
+
+``rank[v]`` (links from ``v`` to the tail) via ``ceil(log2 n)`` rounds
+of ``rank[v] += rank[next[v]]; next[v] = next[next[v]]``.  Work
+``Theta(n log n)`` against the sequential ``Theta(n)`` — the
+inefficiency that motivates matching-based contraction ranking
+(:mod:`repro.apps.ranking`), and the baseline E8 plots against it.
+
+This is the vectorized, cost-accounted twin of the instruction-level
+program :func:`repro.pram.primitives.run_pointer_jumping_ranks`; tests
+assert the two agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import require
+from ..lists.linked_list import NIL, LinkedList
+from ..pram.cost import CostModel, CostReport
+
+__all__ = ["wyllie_ranks"]
+
+
+def wyllie_ranks(
+    lst: LinkedList, *, p: int = 1
+) -> tuple[np.ndarray, CostReport]:
+    """Distance-to-tail ranks by pointer jumping.
+
+    Returns ``(ranks, report)``; ``ranks[tail] == 0`` and
+    ``ranks[head] == n - 1``.
+    """
+    require(p >= 1, f"p must be >= 1, got {p}")
+    n = lst.n
+    cost = CostModel(p)
+    nxt = lst.next.copy()
+    ranks = np.where(nxt == NIL, 0, 1).astype(np.int64)
+    rounds = max(1, (max(2, n) - 1).bit_length())
+    with cost.phase("jump"):
+        for _ in range(rounds):
+            live = nxt != NIL
+            ranks[live] += ranks[nxt[live]]
+            nxt[live] = nxt[nxt[live]]
+            cost.parallel(n)
+    return ranks, cost.report()

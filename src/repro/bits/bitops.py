@@ -1,0 +1,177 @@
+"""Bit extraction primitives (paper appendix, first half).
+
+The matching partition function ``f(<a,b>) = 2k + a_k`` needs ``k``: the
+index of the most- (or least-) significant bit in which ``a`` and ``b``
+differ.  The paper's appendix gives an O(1)-step recipe built from three
+ingredients, all reproduced here:
+
+1. ``c := a XOR b`` — isolate the differing bits.
+2. ``c := c XOR (c - 1); c := (c + 1) / 2`` — isolate the *least*
+   significant 1-bit as a power of two (the classic ``x & -x`` trick,
+   written the way the paper writes it).
+3. A **unary-to-binary conversion**: turn the power of two ``2^k`` into
+   the exponent ``k``, either with a dedicated machine instruction or a
+   lookup table (see :mod:`repro.bits.tables`).
+
+For the *most* significant bit the appendix composes the same pipeline
+with a **bit-reversal permutation table** so the MSB becomes the LSB.
+
+This module provides both scalar reference implementations (pure
+Python, ``int.bit_length``-based, used as oracles in tests) and
+vectorized NumPy implementations used by the cost-model algorithm tier.
+The vectorized forms are exact for all values ``0 <= x < 2**53`` — far
+beyond any address or label this library manipulates — and guard that
+domain explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_index_array
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "msb_index_scalar",
+    "lsb_index_scalar",
+    "msb_index",
+    "lsb_index",
+    "bit_at",
+    "bit_reverse",
+    "unary_to_binary",
+]
+
+#: Largest value for which float64-based log2 extraction is exact.
+_EXACT_LIMIT = 1 << 53
+
+
+def msb_index_scalar(x: int) -> int:
+    """Index of the most significant set bit of ``x`` (bit 0 = LSB).
+
+    Pure-Python reference used as the test oracle.
+
+    >>> msb_index_scalar(1), msb_index_scalar(2), msb_index_scalar(12)
+    (0, 1, 3)
+    """
+    if x <= 0:
+        raise InvalidParameterError(f"msb_index requires a positive value, got {x}")
+    return int(x).bit_length() - 1
+
+
+def lsb_index_scalar(x: int) -> int:
+    """Index of the least significant set bit of ``x`` (bit 0 = LSB).
+
+    Implemented exactly as the appendix writes it::
+
+        c := x XOR (x - 1)   -- ones up to and including the lowest set bit
+        c := (c + 1) / 2     -- the isolated power of two, 2^k
+        k := unary_to_binary(c)
+
+    >>> lsb_index_scalar(1), lsb_index_scalar(8), lsb_index_scalar(12)
+    (0, 3, 2)
+    """
+    if x <= 0:
+        raise InvalidParameterError(f"lsb_index requires a positive value, got {x}")
+    c = x ^ (x - 1)
+    c = (c + 1) // 2
+    return int(c).bit_length() - 1
+
+
+def _check_domain(x: np.ndarray, *, name: str) -> None:
+    if x.size and (int(x.min()) <= 0 or int(x.max()) >= _EXACT_LIMIT):
+        bad_low = int(x.min()) <= 0
+        raise InvalidParameterError(
+            f"{name} requires values in [1, 2**53); got "
+            f"{'non-positive' if bad_low else 'too-large'} entries "
+            f"(min={int(x.min())}, max={int(x.max())})"
+        )
+
+
+def msb_index(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`msb_index_scalar` over an int64 array.
+
+    Uses ``floor(log2(x))`` on float64, exact for the guarded domain
+    ``1 <= x < 2**53`` because every such integer is representable and
+    ``log2`` of it can never round across a power-of-two boundary
+    upward (the nearest float64 to ``log2(2**k - eps)`` is below ``k``
+    for this range).
+    """
+    x = as_index_array(x, name="x")
+    _check_domain(x, name="msb_index")
+    # np.log2 on exact float64 integers; floor gives the bit index.
+    out = np.floor(np.log2(x.astype(np.float64))).astype(np.int64)
+    # Defensive correction against any platform log2 quirk: exact check.
+    too_high = (np.int64(1) << out) > x
+    out[too_high] -= 1
+    too_low = (np.int64(2) << out) <= x
+    out[too_low] += 1
+    return out
+
+
+def lsb_index(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`lsb_index_scalar` over an int64 array.
+
+    Isolates the lowest set bit with the appendix's XOR pipeline (which
+    is exactly ``x & -x``), then converts the resulting power of two to
+    its exponent.  Exact for ``1 <= x < 2**53``; the isolated bit of any
+    such value is itself ``< 2**53`` so the conversion is exact too.
+    """
+    x = as_index_array(x, name="x")
+    _check_domain(x, name="lsb_index")
+    c = x ^ (x - 1)
+    c = (c + 1) >> 1
+    return np.log2(c.astype(np.float64)).astype(np.int64)
+
+
+def bit_at(x: np.ndarray, k: np.ndarray) -> np.ndarray:
+    """Return bit ``k`` of each ``x`` (elementwise), as 0/1 int64.
+
+    ``k`` may be a scalar or an array broadcastable against ``x``.
+    """
+    x = np.asarray(x, dtype=np.int64)
+    k = np.asarray(k, dtype=np.int64)
+    if np.any(k < 0) or np.any(k >= 63):
+        raise InvalidParameterError("bit index must be in [0, 63)")
+    return (x >> k) & 1
+
+
+def unary_to_binary(x: np.ndarray) -> np.ndarray:
+    """Convert isolated powers of two to their exponents, vectorized.
+
+    This is the appendix's ``convert`` instruction: input values must
+    each be exactly ``2^k`` for some ``k``; the output is ``k``.  It is
+    the primitive the paper debates building into hardware versus
+    looking up in a table (:class:`repro.bits.tables.UnaryToBinaryTable`
+    implements the table form with its cost accounting).
+    """
+    x = as_index_array(x, name="x")
+    _check_domain(x, name="unary_to_binary")
+    if np.any(x & (x - 1)):
+        raise InvalidParameterError("unary_to_binary requires powers of two")
+    return np.log2(x.astype(np.float64)).astype(np.int64)
+
+
+def bit_reverse(x: np.ndarray, width: int) -> np.ndarray:
+    """Reverse the low ``width`` bits of each value, vectorized.
+
+    The appendix uses a bit-reversal permutation table to turn the MSB
+    problem into the LSB problem ("compute ``n' = a_1 a_2 ... a_k``, the
+    bit reversal permutation of ``n``").  This is the direct arithmetic
+    form; the table form lives in :class:`repro.bits.tables.BitReversalTable`.
+
+    Values must fit in ``width`` bits.
+    """
+    x = as_index_array(x, name="x")
+    if not 1 <= width <= 62:
+        raise InvalidParameterError(f"width must be in [1, 62], got {width}")
+    if x.size and (int(x.min()) < 0 or int(x.max()) >> width):
+        raise InvalidParameterError(
+            f"values must fit in {width} bits for bit_reverse"
+        )
+    out = np.zeros_like(x)
+    v = x.copy()
+    for _ in range(width):
+        out <<= 1
+        out |= v & 1
+        v >>= 1
+    return out

@@ -1,0 +1,188 @@
+"""Iterated logarithms and the functions ``G(n)`` and ``log G(n)``.
+
+The paper's complexity bounds are phrased in terms of
+
+- ``log^(i) n``: the ``i``-times-iterated base-2 logarithm
+  (``log^(1) n = log n``, ``log^(k) n = log(log^(k-1) n)``),
+- ``G(n) = min{ k : log^(k) n < 1 }`` — essentially ``log* n``, the
+  number of ``f`` rounds Match1 needs before labels reach constant
+  size, and
+- ``log G(n)`` — the number of pointer-doubling rounds Match3 needs.
+
+The appendix insists these are *computable inside the algorithms'
+budgets* and gives concrete procedures:
+
+- a **sequential** evaluation of ``log n`` by bit-reversal +
+  lowest-set-bit isolation + unary→binary conversion, iterated ``i``
+  times for ``log^(i) n`` and to a constant for ``G(n)``;
+- a **parallel** evaluation of ``log G(n)`` on an EREW PRAM: processors
+  build the "main list" linking the powers of two below ``n`` and count
+  its length by pointer jumping — the number of jumps is
+  ``Theta(log G(n))``.
+
+Both are reproduced here; the parallel procedure returns its jump count
+so benchmarks can confirm the ``O(log G(n))`` claim (E10).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._util import require
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "ilog2",
+    "ilog2_int",
+    "G",
+    "log_G",
+    "big_g_sequential",
+    "log_g_pointer_jumping",
+]
+
+
+def ilog2(n: float, i: int = 1) -> float:
+    """Real-valued iterated logarithm ``log^(i) n``.
+
+    ``i = 0`` returns ``n`` itself.  Raises if any intermediate value is
+    non-positive (i.e. if ``i >= G(n)`` would push below the domain of
+    ``log``); callers probing near the boundary should use :func:`G`.
+    """
+    require(i >= 0, f"iteration count must be >= 0, got {i}")
+    x = float(n)
+    for _ in range(i):
+        if x <= 0:
+            raise InvalidParameterError(
+                f"log^({i}) of {n} is undefined (intermediate value {x} <= 0)"
+            )
+        x = math.log2(x)
+    return x
+
+
+def ilog2_int(n: int, i: int = 1) -> int:
+    """Integer iterated logarithm: ``i`` applications of
+    ``x -> max(1, ceil(log2 x))``.
+
+    This is the form algorithm code uses for row counts and set-count
+    budgets: always at least 1, monotone in ``n``, and an upper bound on
+    the real-valued :func:`ilog2` whenever the latter is ``>= 1``.
+    """
+    require(n >= 1, f"n must be >= 1, got {n}")
+    require(i >= 0, f"iteration count must be >= 0, got {i}")
+    x = int(n)
+    for _ in range(i):
+        x = max(1, (x - 1).bit_length())
+    return x
+
+
+def G(n: int) -> int:
+    """``G(n) = min{ k : log^(k) n < 1 }`` (definition in section 1).
+
+    ``G(1) = 0`` (already below 1 after zero applications... the paper
+    defines ``log^(1)`` as the first application, so ``G(n) >= 1`` for
+    ``n >= 2``; for ``n = 1``, ``log n = 0 < 1`` after one application).
+
+    >>> [G(n) for n in (2, 4, 16, 65536)]
+    [2, 3, 4, 5]
+    """
+    require(n >= 1, f"n must be >= 1, got {n}")
+    x = float(n)
+    k = 0
+    while x >= 1.0:
+        x = math.log2(x)
+        k += 1
+    return k
+
+
+def log_G(n: int) -> int:
+    """``ceil(log2 G(n))``, clamped below at 1 (used as a round count).
+
+    Match3 runs its doubling loop ``log G(n)`` times; a round count of
+    zero would leave labels un-concatenated, so the floor is 1.
+    """
+    return max(1, (G(n) - 1).bit_length() if G(n) > 1 else 1)
+
+
+def big_g_sequential(n: int) -> tuple[int, int]:
+    """Evaluate ``G(n)`` by the appendix's sequential procedure.
+
+    Repeatedly applies the appendix's ``log`` evaluation — isolate the
+    most significant bit via bit reversal, convert unary to binary —
+    until the value drops to a constant, counting iterations.  Returns
+    ``(G_value, steps)`` where ``steps`` is the number of constant-time
+    iterations executed, confirming the quoted ``O(G(n))`` running time.
+
+    The integer procedure computes ``bit_length``-style logs so its
+    fixed point is 1; it stops one application short of the real-valued
+    definition (which needs one more ``log`` to drop below 1), so the
+    returned value is ``steps + 1``, which equals :func:`G` for all
+    ``n >= 2``.
+    """
+    require(n >= 2, f"n must be >= 2, got {n}")
+    x = int(n)
+    steps = 0
+    while x > 1:
+        # log n  per the appendix: n' = bit_reverse(n); isolate lowest
+        # set bit of n'; convert; logn = k - position.  Net effect: the
+        # index of the most significant set bit, i.e. floor(log2 x).
+        x = x.bit_length() - 1
+        steps += 1
+        if x == 0:
+            x = 1
+    return steps + 1, steps
+
+
+def log_g_pointer_jumping(n: int) -> tuple[int, int]:
+    """Evaluate ``log G(n)`` by the appendix's parallel procedure.
+
+    Builds the array ``N[1..n]`` in which processor ``i`` writes
+    ``log i`` when ``i`` is a power of two (``nil`` otherwise).  Each
+    power of two ``2^k`` thus points at cell ``k``, so the only chain
+    reaching cell 1 — the **main list** — threads the power tower
+    ``... -> 65536 -> 16 -> 4 -> 2 -> 1``: exactly the values
+    ``log^(j)``-reachable from ``n``, so its length is ``Theta(G(n))``
+    ("We can evaluate G(n) by computing the length of the main list").
+    Collapsing the main list by pointer jumping
+    (``N[i] := N[N[i]]``) then takes ``Theta(log G(n))`` rounds, which
+    is the appendix's evaluation of ``log G(n)``.
+
+    Returns ``(jump_rounds, main_list_length)``.  This runs vectorized
+    over the ``N`` array; the instruction-level PRAM version lives in
+    :mod:`repro.pram.primitives` and is cross-checked in tests.
+    """
+    require(n >= 2, f"n must be >= 2, got {n}")
+    size = int(n) + 1
+    next_ = np.full(size, -1, dtype=np.int64)  # -1 is the appendix's nil
+    idx = np.arange(size, dtype=np.int64)
+    powers = idx[(idx > 0) & ((idx & (idx - 1)) == 0)]
+    # Processor i (a power of two) sets N[i] := log i.
+    logs = np.zeros_like(powers)
+    logs[powers > 1] = np.log2(
+        powers[powers > 1].astype(np.float64)
+    ).astype(np.int64)
+    next_[powers] = logs
+    next_[1] = 1  # "Processor 1 sets N[1] := 1": self-loop terminator.
+    # The main list's head is the largest tower value <= n: repeatedly
+    # ask "which cell points at `head`?", i.e. i with log i == head.
+    head = 1
+    while head < 62 and (1 << head) <= n:
+        head = 1 << head
+    # Main list length: walk down from head (sequentially, for the
+    # reported figure; the PRAM algorithm never needs this walk).
+    length = 1
+    v = head
+    while v != 1:
+        v = int(next_[v])
+        length += 1
+    # Collapse by pointer jumping, counting synchronous rounds.  Cells
+    # holding nil do not jump (their processors idle).
+    rounds = 0
+    while int(next_[head]) != 1:
+        live = next_ >= 0
+        jumped = next_.copy()
+        jumped[live] = next_[next_[live]]
+        next_ = jumped
+        rounds += 1
+    return max(1, rounds), length

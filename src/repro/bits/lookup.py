@@ -1,0 +1,367 @@
+"""Lookup tables for iterated matching partition functions (``f^(i)``).
+
+Match3 finishes by replacing ``G(n)``-many applications of ``f`` with a
+single table lookup: after crunching labels to ``b`` bits and
+concatenating ``g = 2^r`` consecutive labels by pointer doubling, the
+packed ``g*b``-bit word indexes a precomputed table whose entries are
+the values of the iterated matching partition function
+``f^(g)(a_1, ..., a_g)`` (definition in section 2 of the paper)::
+
+    f^(2)(a_1, a_2)        = f(a_1, a_2)
+    f^(k)(a_1, ..., a_k)   = f(f^(k-1)(a_1..a_{k-1}), f^(k-1)(a_2..a_k))
+
+This module builds such tables three ways:
+
+- :func:`build_table_direct` — bottom-up dynamic programming over all
+  packed tuples, the practical scheme (the paper notes a copy of the
+  table "can be constructed in constant time using n processors on the
+  CRCW model when k is greater than 4"; our DP is its work-equivalent
+  sequential simulation).
+- :func:`build_table_guess_and_verify` — the appendix's EREW scheme: a
+  triangular tableau of ``i(i+1)/2`` cells holding guessed values of
+  every ``f^(q+1)`` sub-window, each verified locally against the two
+  cells below it and combined by a binary fan-in in ``O(log i)`` time.
+- :func:`shuffle_graph` — the graph-coloring view of [10]/[7]: vertices
+  are ``i``-tuples, edges join consecutive windows, and any valid
+  coloring *is* a matching partition function table.  Used by tests to
+  certify tables independently.
+
+Invalid tuples — those a real linked list can never produce, i.e.
+windows whose elements are all equal or contain an adjacent equal pair
+— map to the sentinel :data:`INVALID`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from .._util import ceil_div, require
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "INVALID",
+    "MatchingFunctionTable",
+    "build_table_direct",
+    "build_table_guess_and_verify",
+    "shuffle_graph",
+    "verify_tableau",
+]
+
+#: Sentinel stored for tuples no valid linked list can produce.
+INVALID = -1
+
+#: A vectorized pairwise matching partition function: maps equal-length
+#: int64 arrays (a, b) with a != b elementwise to int64 labels.
+PairFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class MatchingFunctionTable:
+    """A realized lookup table for ``f^(arity)`` over ``b``-bit labels.
+
+    Attributes
+    ----------
+    arity:
+        Number of concatenated labels ``g`` the table consumes.
+    bits_per_arg:
+        Width ``b`` of each label field in the packed key.
+    table:
+        Dense array of ``2**(arity*bits_per_arg)`` entries;
+        ``table[key]`` is ``f^(arity)`` of the unpacked tuple, or
+        :data:`INVALID` for impossible windows.
+    max_label:
+        Largest valid entry; the number of matching sets the table
+        partitions into is at most ``max_label + 1``.
+    """
+
+    arity: int
+    bits_per_arg: int
+    table: np.ndarray
+    max_label: int
+
+    def __post_init__(self) -> None:
+        require(self.arity >= 2, f"arity must be >= 2, got {self.arity}")
+        require(self.bits_per_arg >= 1,
+                f"bits_per_arg must be >= 1, got {self.bits_per_arg}")
+
+    @property
+    def size(self) -> int:
+        """Number of table cells, ``2^(arity * bits_per_arg)`` — the
+        quantity the paper bounds by ``n`` when sizing ``k``."""
+        return int(self.table.size)
+
+    def pack(self, args: np.ndarray) -> np.ndarray:
+        """Pack a ``(m, arity)`` matrix of labels into lookup keys.
+
+        Column 0 (the node's own label) lands in the most significant
+        field, matching Match3's ``label[v] := label[v]label[NEXT[v]]``
+        concatenation order.
+        """
+        args = np.asarray(args, dtype=np.int64)
+        if args.ndim != 2 or args.shape[1] != self.arity:
+            raise InvalidParameterError(
+                f"expected shape (m, {self.arity}), got {args.shape}"
+            )
+        if args.size and (int(args.min()) < 0
+                          or int(args.max()) >> self.bits_per_arg):
+            raise InvalidParameterError(
+                f"labels must fit in {self.bits_per_arg} bits"
+            )
+        b = self.bits_per_arg
+        keys = np.zeros(args.shape[0], dtype=np.int64)
+        for j in range(self.arity):
+            keys = (keys << b) | args[:, j]
+        return keys
+
+    def lookup(self, keys: np.ndarray) -> np.ndarray:
+        """Table lookup on packed keys; propagates :data:`INVALID`."""
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size and (int(keys.min()) < 0 or int(keys.max()) >= self.size):
+            raise InvalidParameterError("packed key out of table range")
+        return self.table[keys].astype(np.int64)
+
+    def lookup_tuple(self, args: Sequence[int]) -> int:
+        """Scalar convenience: look up one unpacked tuple."""
+        key = self.pack(np.asarray([list(args)], dtype=np.int64))[0]
+        return int(self.table[key])
+
+
+def _window_valid_mask(level: int, bits: int, size: int) -> np.ndarray:
+    """Validity of each packed ``level``-tuple: no adjacent equal pair.
+
+    Windows drawn from a linked list's label sequence always have
+    adjacent labels distinct (``f`` is a matching partition function),
+    so these are exactly the reachable windows.
+    """
+    keys = np.arange(size, dtype=np.int64)
+    mask = np.ones(size, dtype=bool)
+    field = (np.int64(1) << bits) - 1
+    for j in range(level - 1):
+        a = (keys >> (bits * j)) & field
+        b = (keys >> (bits * (j + 1))) & field
+        mask &= a != b
+    return mask
+
+
+def build_table_direct(
+    pair_function: PairFunction,
+    *,
+    arity: int,
+    bits_per_arg: int,
+    memory_limit: int = 1 << 26,
+) -> MatchingFunctionTable:
+    """Build the ``f^(arity)`` table by bottom-up dynamic programming.
+
+    Level ``j`` holds ``f^(j)`` of every packed ``j``-tuple; level
+    ``j+1`` combines each tuple's prefix and suffix sub-values with one
+    ``pair_function`` call, exactly following the recursive definition.
+    Tuples whose sub-values coincide (possible only for windows no list
+    can produce) and tuples with adjacent equal labels are
+    :data:`INVALID`.
+
+    Parameters
+    ----------
+    pair_function:
+        Vectorized ``f``; see :data:`PairFunction`.
+    arity:
+        Tuple length ``g`` (>= 2).
+    bits_per_arg:
+        Label field width ``b``; the table has ``2^(g*b)`` cells.
+    memory_limit:
+        Refuse to build tables with more cells than this — mirroring
+        the paper's requirement that the table be no larger than ``n``.
+    """
+    require(arity >= 2, f"arity must be >= 2, got {arity}")
+    require(bits_per_arg >= 1, f"bits_per_arg must be >= 1, got {bits_per_arg}")
+    cells = 1 << (arity * bits_per_arg)
+    if cells > memory_limit:
+        raise InvalidParameterError(
+            f"table would need {cells} cells, exceeding the limit "
+            f"{memory_limit}; crunch labels further (larger k) or reduce "
+            f"the doubling depth"
+        )
+    b = bits_per_arg
+    d = 1 << b
+    # Level 2: f over all ordered pairs, INVALID on the diagonal.
+    keys2 = np.arange(d * d, dtype=np.int64)
+    a = keys2 >> b
+    c = keys2 & (d - 1)
+    level = np.full(d * d, INVALID, dtype=np.int64)
+    ok = a != c
+    level[ok] = pair_function(a[ok], c[ok])
+    for j in range(3, arity + 1):
+        size_j = 1 << (j * b)
+        # For ascending keys, key >> b enumerates the previous level
+        # with each entry repeated d times, and key & mask tiles it —
+        # build the operand arrays directly instead of materializing
+        # the key arrays (three size_j int64 temporaries saved).
+        lo = np.repeat(level, d)
+        hi = np.tile(level, d)
+        nxt = np.full(size_j, INVALID, dtype=np.int64)
+        ok = (lo != INVALID) & (hi != INVALID) & (lo != hi)
+        nxt[ok] = pair_function(lo[ok], hi[ok])
+        level = nxt
+    valid = _window_valid_mask(arity, b, level.size)
+    level[~valid] = INVALID
+    max_label = int(level.max()) if np.any(level != INVALID) else INVALID
+    return MatchingFunctionTable(
+        arity=arity, bits_per_arg=b, table=level, max_label=max_label
+    )
+
+
+# ---------------------------------------------------------------------------
+# The appendix's guess-and-verify EREW tableau.
+# ---------------------------------------------------------------------------
+
+def _tableau_cells(arity: int) -> Iterator[tuple[int, int]]:
+    """Yield (start, length) for every sub-window cell of the tableau.
+
+    The appendix labels cells ``a_p a_{p+1} ... a_{p+q}`` for
+    ``1 <= p <= i`` and ``0 <= q <= i - p``: all contiguous windows of
+    the argument tuple, ``i(i+1)/2`` in total.
+    """
+    for length in range(1, arity + 1):
+        for start in range(arity - length + 1):
+            yield start, length
+
+
+def verify_tableau(
+    pair_function: PairFunction,
+    args: Sequence[int],
+    tableau: dict[tuple[int, int], int],
+) -> bool:
+    """Verify one guessed tableau per the appendix, returning validity.
+
+    Every cell ``(start, length)`` for ``length >= 2`` is checked
+    against the two cells below it: its value must equal
+    ``f(cell(start, length-1), cell(start+1, length-1))``.  Length-1
+    cells must hold the arguments themselves.  All checks are
+    independent (one verifying processor each, constant time); the
+    conjunction is a binary fan-in of depth ``O(log i)`` — we return
+    the conjunction, and the fan-in depth is what E10 accounts.
+    """
+    arity = len(args)
+    checks: list[bool] = []
+    for start, length in _tableau_cells(arity):
+        if (start, length) not in tableau:
+            return False
+        if length == 1:
+            checks.append(tableau[(start, 1)] == args[start])
+            continue
+        lo = tableau[(start, length - 1)]
+        hi = tableau[(start + 1, length - 1)]
+        if lo == hi:
+            return False
+        want = int(pair_function(
+            np.asarray([lo], dtype=np.int64),
+            np.asarray([hi], dtype=np.int64),
+        )[0])
+        checks.append(tableau[(start, length)] == want)
+    return all(checks)
+
+
+def build_table_guess_and_verify(
+    pair_function: PairFunction,
+    *,
+    arity: int,
+    bits_per_arg: int,
+    memory_limit: int = 1 << 20,
+) -> MatchingFunctionTable:
+    """Build the ``f^(arity)`` table via the appendix's EREW scheme.
+
+    For every packed tuple, fill the triangular tableau bottom-up (the
+    simulation of "guessing" the unique correct value — the appendix
+    enumerates all guesses in parallel; only the correct one verifies,
+    and we construct exactly that one), then run :func:`verify_tableau`
+    as the appendix's acceptance check.  Quadratically more work per
+    entry than :func:`build_table_direct`, so the memory limit defaults
+    lower; the point of this builder is fidelity, not speed, and tests
+    assert it agrees cell-for-cell with the direct builder.
+    """
+    require(arity >= 2, f"arity must be >= 2, got {arity}")
+    cells = 1 << (arity * bits_per_arg)
+    if cells > memory_limit:
+        raise InvalidParameterError(
+            f"guess-and-verify table would need {cells} cells, exceeding "
+            f"the limit {memory_limit}"
+        )
+    b = bits_per_arg
+    field = (1 << b) - 1
+    table = np.full(cells, INVALID, dtype=np.int64)
+    for key in range(cells):
+        args = [(key >> (b * (arity - 1 - j))) & field for j in range(arity)]
+        if any(args[j] == args[j + 1] for j in range(arity - 1)):
+            continue
+        tableau: dict[tuple[int, int], int] = {}
+        valid = True
+        for start, length in _tableau_cells(arity):
+            if length == 1:
+                tableau[(start, 1)] = args[start]
+                continue
+            lo = tableau.get((start, length - 1))
+            hi = tableau.get((start + 1, length - 1))
+            if lo is None or hi is None or lo == hi:
+                valid = False
+                break
+            tableau[(start, length)] = int(pair_function(
+                np.asarray([lo], dtype=np.int64),
+                np.asarray([hi], dtype=np.int64),
+            )[0])
+        if not valid:
+            continue
+        if not verify_tableau(pair_function, args, tableau):
+            continue
+        table[key] = tableau[(0, arity)]
+    max_label = int(table.max()) if np.any(table != INVALID) else INVALID
+    return MatchingFunctionTable(
+        arity=arity, bits_per_arg=b, table=table, max_label=max_label
+    )
+
+
+def shuffle_graph(arity: int, domain: int):
+    """Construct the shuffle graph of [10] used to certify tables.
+
+    Vertices are all ``arity``-tuples over ``{0..domain-1}`` with no
+    adjacent equal pair (the windows a list can realize).  Vertices
+    ``(a_1..a_i)`` and ``(b_1..b_i)`` are adjacent iff
+    ``a_j = b_{j+1}`` for all ``1 <= j < i`` — i.e. they can occur as
+    *consecutive* windows of one label sequence.  A valid vertex
+    coloring of this graph is precisely a matching partition function
+    table (the paper's final appendix paragraph).
+
+    Returns a ``networkx.Graph`` whose nodes are the tuples.  Intended
+    for tiny parameters (tests/E10); the node count is ``domain^arity``.
+    """
+    import networkx as nx  # deferred: only tests/benches need it
+
+    require(arity >= 2, f"arity must be >= 2, got {arity}")
+    require(domain >= 2, f"domain must be >= 2, got {domain}")
+    require(domain ** arity <= 1 << 18,
+            "shuffle_graph is for small parameters only")
+    g = nx.Graph()
+
+    def windows() -> Iterator[tuple[int, ...]]:
+        stack: list[tuple[int, ...]] = [(v,) for v in range(domain)]
+        while stack:
+            t = stack.pop()
+            if len(t) == arity:
+                yield t
+                continue
+            for v in range(domain):
+                if v != t[-1]:
+                    stack.append(t + (v,))
+
+    nodes = list(windows())
+    g.add_nodes_from(nodes)
+    for t in nodes:
+        # successors share the overlap: u = (t_2, ..., t_i, x)
+        for x in range(domain):
+            if x != t[-1]:
+                u = t[1:] + (x,)
+                if u != t:
+                    g.add_edge(t, u)
+    _ = ceil_div  # keep import referenced for linters
+    return g

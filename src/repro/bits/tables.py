@@ -1,0 +1,163 @@
+"""Lookup tables from the paper's appendix, with construction costs.
+
+Two tables appear in the appendix:
+
+- **Unary-to-binary table** ``T``: maps an isolated power of two ``2^k``
+  to its exponent ``k``.  "The table T has only log n entries which are
+  useful."  On an EREW machine each processor needs its own copy;
+  ``p`` copies can be created "using O(p log n) space and
+  O(n/p + log p) time" — we account both figures so the preprocessing
+  cost tables in E10 can be reproduced.
+- **Bit-reversal permutation table**: maps a ``w``-bit value to its
+  bit-reversed image, letting the MSB pipeline reuse the LSB pipeline.
+
+Both classes index by a *compressed* key so the table really does hold
+only the useful entries: the unary→binary table keys by exponent slot
+(constant-time re-derivation of the slot from the value is part of the
+conversion trick), and the bit-reversal table holds all ``2^w`` entries
+for small ``w`` exactly as a tabulated instruction would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import as_index_array, ceil_div, require
+from ..errors import InvalidParameterError
+from .bitops import bit_reverse, unary_to_binary
+
+__all__ = ["UnaryToBinaryTable", "BitReversalTable"]
+
+
+@dataclass(frozen=True)
+class TableCost:
+    """Construction cost of a preprocessing table.
+
+    Attributes
+    ----------
+    space:
+        Total memory cells used across all processor-private copies.
+    time:
+        Synchronous PRAM steps to build the copies.
+    copies:
+        Number of processor-private copies built (EREW needs one per
+        processor; CRCW models can share one).
+    """
+
+    space: int
+    time: int
+    copies: int
+
+
+class UnaryToBinaryTable:
+    """The appendix's table ``T``: ``2^k -> k`` for ``0 <= k < width``.
+
+    Parameters
+    ----------
+    width:
+        Number of useful entries, i.e. the number of distinct bit
+        positions (``ceil(log2 n)`` for addresses below ``n``).
+    copies:
+        Number of EREW processor-private copies to account for.
+
+    Notes
+    -----
+    Internally the entries are stored densely (``width`` cells per
+    copy), matching the paper's observation that only ``log n`` entries
+    are useful; the power-of-two key is reduced to its slot with the
+    same exact ``log2`` primitive the direct path uses, so the class is
+    a *faithful cost model* of the table while remaining O(log n) space.
+    """
+
+    def __init__(self, width: int, *, copies: int = 1) -> None:
+        require(width >= 1, f"width must be >= 1, got {width}")
+        require(width <= 53, f"width must be <= 53, got {width}")
+        require(copies >= 1, f"copies must be >= 1, got {copies}")
+        self.width = int(width)
+        self.copies = int(copies)
+        # The dense table: slot k holds k. Trivial contents, but the
+        # object's value is the cost accounting and the domain checking.
+        self._table = np.arange(self.width, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"UnaryToBinaryTable(width={self.width}, copies={self.copies})"
+
+    @property
+    def construction_cost(self) -> TableCost:
+        """EREW construction cost per the appendix.
+
+        ``p`` copies of a ``log n``-entry table: O(p log n) space; the
+        time to replicate by doubling is ``O(log p)`` plus the O(log n)
+        to build the first copy sequentially per processor — the paper
+        quotes ``O(n/p + log p)`` in the context of an n-sized input; we
+        report the table-only terms.
+        """
+        logp = max(1, (self.copies - 1).bit_length())
+        return TableCost(
+            space=self.copies * self.width,
+            time=self.width + logp,
+            copies=self.copies,
+        )
+
+    def lookup(self, powers: np.ndarray) -> np.ndarray:
+        """Convert an array of isolated powers of two to exponents.
+
+        Raises
+        ------
+        InvalidParameterError
+            If any value is not a power of two or is out of range for
+            this table's width.
+        """
+        powers = as_index_array(powers, name="powers")
+        slots = unary_to_binary(powers)
+        if slots.size and int(slots.max()) >= self.width:
+            raise InvalidParameterError(
+                f"value 2^{int(slots.max())} exceeds table width {self.width}"
+            )
+        return self._table[slots]
+
+
+class BitReversalTable:
+    """Tabulated bit-reversal permutation for ``width``-bit values.
+
+    Holds all ``2^width`` entries, exactly what the appendix means by
+    "a bit reversal permutation table".  Kept for small widths (the
+    paper applies it to values of magnitude ``O(log n)`` after the
+    first crunching round; we cap at 22 bits = 4M entries).
+    """
+
+    MAX_WIDTH = 22
+
+    def __init__(self, width: int) -> None:
+        require(1 <= width <= self.MAX_WIDTH,
+                f"width must be in [1, {self.MAX_WIDTH}], got {width}")
+        self.width = int(width)
+        self._table = bit_reverse(
+            np.arange(1 << self.width, dtype=np.int64), self.width
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BitReversalTable(width={self.width})"
+
+    def __len__(self) -> int:
+        return 1 << self.width
+
+    @property
+    def construction_cost(self) -> TableCost:
+        """One shared copy: ``2^width`` cells, built in one parallel step
+        per cell (time ``ceil(2^width / p)`` for any ``p``; we report
+        ``p = 2^width`` i.e. constant time, as the CRCW construction
+        does)."""
+        return TableCost(space=1 << self.width, time=1, copies=1)
+
+    def lookup(self, values: np.ndarray) -> np.ndarray:
+        """Return the bit-reversed image of each value."""
+        values = as_index_array(values, name="values")
+        if values.size and (int(values.min()) < 0
+                            or int(values.max()) >= (1 << self.width)):
+            raise InvalidParameterError(
+                f"values must fit in {self.width} bits"
+            )
+        return self._table[values]

@@ -1,0 +1,302 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Gives the library a shell-usable face:
+
+- ``match``  — run one maximal-matching algorithm, print the summary
+  and phase breakdown.
+- ``rank``   — list ranking by contraction / Wyllie / sequential.
+- ``color``  — 3-coloring summary.
+- ``curve``  — sweep the processor axis for one algorithm and print
+  the time/efficiency table (the E6-style view).
+- ``info``   — the support functions for an ``n``: ``log^(i) n``,
+  ``G(n)``, ``log G(n)``, Match4 row counts.
+- ``fold``   — data-dependent prefix/suffix folds (sum/max/min).
+- ``trace``  — space-time diagram of the instruction-level Match4.
+- ``selfcheck`` — the 9-check installation battery.
+- ``fig1``   — render the paper's Fig. 1 (or any small list) as an
+  ASCII arc diagram, optionally with Fig. 2's bisector.
+
+Everything prints deterministic output for a fixed ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+LAYOUT_CHOICES = ["random", "sequential", "reversed", "sawtooth",
+                  "blocked", "gray", "bitrev", "interleaved"]
+
+
+def _make_list(n: int, layout: str, seed: int):
+    from .lists import (
+        bit_reversal_list,
+        blocked_list,
+        gray_code_list,
+        interleaved_list,
+        random_list,
+        reversed_list,
+        sawtooth_list,
+        sequential_list,
+    )
+
+    makers: dict[str, Callable] = {
+        "random": lambda: random_list(n, rng=seed),
+        "sequential": lambda: sequential_list(n),
+        "reversed": lambda: reversed_list(n),
+        "sawtooth": lambda: sawtooth_list(n),
+        "blocked": lambda: blocked_list(n, block=max(1, n // 8), rng=seed),
+        "gray": lambda: gray_code_list(n),
+        "bitrev": lambda: bit_reversal_list(n),
+        "interleaved": lambda: interleaved_list(n, ways=max(1, n // 16)),
+    }
+    return makers[layout]()
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    from .core.maximal_matching import maximal_matching
+    import repro.baselines  # noqa: F401  (registers baselines)
+
+    lst = _make_list(args.n, args.layout, args.seed)
+    kwargs = {}
+    if args.algorithm == "match4":
+        kwargs["i"] = args.i
+    matching, report, _ = maximal_matching(
+        lst, algorithm=args.algorithm, p=args.p, **kwargs
+    )
+    print(f"algorithm : {args.algorithm}")
+    print(f"n, p      : {args.n}, {args.p}")
+    print(f"matched   : {matching.size} of {args.n - 1} pointers")
+    print(f"maximal   : {matching.is_maximal}")
+    print(f"PRAM time : {report.time} steps")
+    print(f"work      : {report.work} ({report.work / args.n:.2f} per node)")
+    if report.phases:
+        print("phases    :")
+        for ph in report.phases:
+            print(f"  {ph.name:<12} {ph.time:>8}")
+    return 0
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    from .apps.ranking import list_ranks, sequential_ranks
+
+    lst = _make_list(args.n, args.layout, args.seed)
+    ranks, report = list_ranks(lst, p=args.p, algorithm=args.algorithm)
+    ok = np.array_equal(ranks, sequential_ranks(lst))
+    print(f"algorithm : {args.algorithm}")
+    print(f"n, p      : {args.n}, {args.p}")
+    print(f"PRAM time : {report.time} steps")
+    print(f"work      : {report.work} ({report.work / args.n:.2f} per node)")
+    print(f"verified  : {ok}")
+    return 0 if ok else 1
+
+
+def _cmd_color(args: argparse.Namespace) -> int:
+    from .apps.coloring import three_coloring
+
+    lst = _make_list(args.n, args.layout, args.seed)
+    colors, report = three_coloring(lst, p=args.p)
+    hist = np.bincount(colors, minlength=3)
+    print(f"n, p      : {args.n}, {args.p}")
+    print(f"PRAM time : {report.time} steps")
+    print(f"classes   : {hist.tolist()}")
+    return 0
+
+
+def _cmd_curve(args: argparse.Namespace) -> int:
+    from .analysis.experiments import powers_up_to
+    from .analysis.report import format_table
+    from .core.maximal_matching import maximal_matching
+    import repro.baselines  # noqa: F401
+
+    lst = _make_list(args.n, args.layout, args.seed)
+    rows = []
+    kwargs = {"i": args.i} if args.algorithm == "match4" else {}
+    for p in powers_up_to(args.n, base=args.base):
+        _, report, _ = maximal_matching(
+            lst, algorithm=args.algorithm, p=p, **kwargs
+        )
+        rows.append({
+            "p": p,
+            "time": report.time,
+            "cost": report.cost,
+            "eff": args.n / report.cost,
+        })
+    print(format_table(
+        rows,
+        ["p", "time", ("cost", "time*p"), ("eff", "n/(time*p)")],
+        title=f"{args.algorithm} on n={args.n} ({args.layout})",
+    ))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .bits.iterated_log import G, ilog2, log_G
+    from .core.match4 import plan_rows
+
+    n = args.n
+    print(f"n          : {n}")
+    print(f"G(n)       : {G(n)}")
+    print(f"log G(n)   : {log_G(n)}")
+    for i in range(1, G(n)):
+        try:
+            val = ilog2(n, i)
+        except Exception:
+            break
+        print(f"log^({i}) n  : {val:.4f}   (Match4 rows x = {plan_rows(n, i)})")
+    return 0
+
+
+def _cmd_fold(args: argparse.Namespace) -> int:
+    from .apps.fold import list_prefix_fold, list_suffix_fold
+
+    lst = _make_list(args.n, args.layout, args.seed)
+    values = np.arange(args.n, dtype=np.int64)
+    fn = list_prefix_fold if args.direction == "prefix" else list_suffix_fold
+    out, report, stats = fn(lst, values, op=args.op, p=args.p)
+    print(f"{args.direction} {args.op} over {args.n} nodes "
+          f"({stats.levels} contraction levels)")
+    print(f"PRAM time : {report.time} steps")
+    print(f"work      : {report.work} ({report.work / args.n:.2f} per node)")
+    anchor = lst.tail if args.direction == "prefix" else lst.head
+    print(f"full fold : {int(out[anchor])}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .lists import random_list
+    from .pram.algorithms import run_match4
+    from .pram.trace import processor_activity, utilization
+
+    lst = random_list(args.n, rng=args.seed)
+    tails, report = run_match4(lst, i=args.i, trace=True)
+    print(f"instruction-level Match4: n={args.n}, "
+          f"{report.nprocs} column processors, {report.steps} EREW steps, "
+          f"utilization {utilization(report):.3f}")
+    print(processor_activity(report, max_procs=args.rows,
+                             step_range=(args.start, args.start + args.span)))
+    return 0
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from .selfcheck import run_selfcheck
+
+    report = run_selfcheck(n=args.n, seed=args.seed)
+    print(report.summary)
+    return 0 if report.passed else 1
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from .lists import LinkedList
+    from .lists.diagram import arc_diagram
+
+    if args.order:
+        order = [int(tok) for tok in args.order.split(",")]
+        lst = LinkedList.from_order(order)
+    else:
+        # the paper's Fig. 1: x0..x6 at addresses 0,2,4,1,5,3,6... the
+        # figure shows order 0 -> 2 -> 4 -> 1 -> 5 -> 3 -> 6.
+        lst = LinkedList.from_order([0, 2, 4, 1, 5, 3, 6])
+    print(arc_diagram(lst, bisector=args.bisector))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Maximal matching of linked lists on a simulated PRAM "
+            "(Han, SPAA 1989)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--n", type=int, default=1 << 14,
+                       help="list size (default 16384)")
+        p.add_argument("--p", type=int, default=256,
+                       help="processor count (default 256)")
+        p.add_argument("--layout", default="random",
+                       choices=LAYOUT_CHOICES)
+        p.add_argument("--seed", type=int, default=0)
+
+    m = sub.add_parser("match", help="run one matching algorithm")
+    common(m)
+    m.add_argument("--algorithm", default="match4",
+                   choices=["match1", "match2", "match3", "match4",
+                            "sequential", "random_mate"])
+    m.add_argument("--i", type=int, default=2,
+                   help="Match4's adjustable parameter")
+    m.set_defaults(fn=_cmd_match)
+
+    r = sub.add_parser("rank", help="list ranking")
+    common(r)
+    r.add_argument("--algorithm", default="contraction",
+                   choices=["contraction", "wyllie", "sequential"])
+    r.set_defaults(fn=_cmd_rank)
+
+    c = sub.add_parser("color", help="3-coloring")
+    common(c)
+    c.set_defaults(fn=_cmd_color)
+
+    cv = sub.add_parser("curve", help="sweep the processor axis")
+    common(cv)
+    cv.add_argument("--algorithm", default="match4",
+                    choices=["match1", "match2", "match3", "match4"])
+    cv.add_argument("--i", type=int, default=2)
+    cv.add_argument("--base", type=int, default=4,
+                    help="geometric step of the p sweep")
+    cv.set_defaults(fn=_cmd_curve)
+
+    info = sub.add_parser("info", help="support functions for an n")
+    info.add_argument("--n", type=int, default=1 << 20)
+    info.set_defaults(fn=_cmd_info)
+
+    fo = sub.add_parser("fold", help="data-dependent prefix/suffix fold")
+    common(fo)
+    fo.add_argument("--op", default="sum", choices=["sum", "max", "min"])
+    fo.add_argument("--direction", default="suffix",
+                    choices=["suffix", "prefix"])
+    fo.set_defaults(fn=_cmd_fold)
+
+    tr = sub.add_parser("trace", help="space-time trace of Match4")
+    tr.add_argument("--n", type=int, default=96)
+    tr.add_argument("--i", type=int, default=1)
+    tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument("--layout", default="random")
+    tr.add_argument("--rows", type=int, default=10)
+    tr.add_argument("--start", type=int, default=1)
+    tr.add_argument("--span", type=int, default=70)
+    tr.set_defaults(fn=_cmd_trace)
+
+    sc = sub.add_parser("selfcheck", help="verify the installation")
+    sc.add_argument("--n", type=int, default=2048)
+    sc.add_argument("--seed", type=int, default=0)
+    sc.set_defaults(fn=_cmd_selfcheck)
+
+    f = sub.add_parser("fig1", help="render the paper's Fig. 1")
+    f.add_argument("--order", default="",
+                   help="comma-separated visit order (default: Fig. 1)")
+    f.add_argument("--bisector", action="store_true",
+                   help="draw Fig. 2's bisecting line and F/B marks")
+    f.set_defaults(fn=_cmd_fig1)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.fn(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""The bisecting-lines view of the matching partition (paper Fig. 2).
+
+Before defining ``f`` algebraically, the paper derives it
+geometrically: draw a line ``c`` bisecting the storage array; forward
+pointers crossing ``c`` have pairwise-disjoint heads and tails (so do
+backward ones); recurse on both halves.  The pointers therefore split
+into a *forward* and a *backward* family, each further split into
+``log n`` matching sets by the deepest bisecting line they cross.
+
+This module makes that construction executable and checkable:
+
+- :func:`bisection_level` — the index of the bisecting line a pointer
+  crosses, i.e. ``g(<a,b>) = max{ i : bit i of a XOR b is 1 }``;
+- :func:`bisection_partition` — the full ``2 log n``-set partition in
+  Fig. 2's terms (direction, level), which the tests verify to be
+  *exactly* the partition ``f_msb`` produces (the point of section 2);
+- :func:`crossing_pointers` — the pointers crossing a given line, with
+  the disjointness property the paper's observation rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import require
+from ..bits.bitops import msb_index
+from ..errors import VerificationError
+from ..lists.linked_list import NIL, LinkedList
+
+__all__ = [
+    "BisectionPartition",
+    "bisection_level",
+    "bisection_partition",
+    "crossing_pointers",
+]
+
+
+def bisection_level(tails: np.ndarray, heads: np.ndarray) -> np.ndarray:
+    """Deepest bisecting line separating each pointer's endpoints.
+
+    Level ``k`` means the pointer crosses a line between two blocks of
+    ``2^k`` addresses but no coarser one — exactly
+    ``g(<a,b>) = msb(a XOR b)``.
+    """
+    tails = np.asarray(tails, dtype=np.int64)
+    heads = np.asarray(heads, dtype=np.int64)
+    if np.any(tails == heads):
+        raise VerificationError("a pointer cannot be a self-loop")
+    return msb_index(tails ^ heads)
+
+
+@dataclass(frozen=True)
+class BisectionPartition:
+    """Fig. 2's partition of a list's pointers.
+
+    Attributes
+    ----------
+    tails, heads:
+        The pointers.
+    level:
+        Per-pointer bisecting-line depth (``g``).
+    forward:
+        Per-pointer direction (``head > tail``).
+    """
+
+    tails: np.ndarray
+    heads: np.ndarray
+    level: np.ndarray
+    forward: np.ndarray
+
+    @property
+    def num_sets(self) -> int:
+        """Distinct (direction, level) classes in use."""
+        key = 2 * self.level + self.forward.astype(np.int64)
+        return int(np.unique(key).size)
+
+    def set_key(self) -> np.ndarray:
+        """The combined class key — *literally* ``f_msb`` of the
+        pointer: at the deepest crossed line ``k`` the endpoints differ
+        in bit ``k``, so the tail's bit ``a_k`` is 0 exactly when the
+        pointer ascends (forward).  Hence ``f = 2k + a_k`` encodes
+        direction as ``2k + (1 - forward)``."""
+        return 2 * self.level + (~self.forward).astype(np.int64)
+
+    def members(self, level: int, forward: bool) -> np.ndarray:
+        """Tails of the pointers in one (level, direction) class."""
+        sel = (self.level == level) & (self.forward == forward)
+        return self.tails[sel]
+
+
+def bisection_partition(lst: LinkedList) -> BisectionPartition:
+    """Partition all of ``lst``'s pointers by (direction, line depth)."""
+    tails, heads = lst.pointers()
+    if tails.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return BisectionPartition(empty, empty, empty,
+                                  np.empty(0, dtype=bool))
+    level = bisection_level(tails, heads)
+    forward = heads > tails
+    return BisectionPartition(tails, heads, level, forward)
+
+
+def crossing_pointers(
+    lst: LinkedList, block: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pointers crossing a bisecting line of block size ``block``.
+
+    ``block`` must be a power of two; a pointer crosses such a line iff
+    its endpoints lie in different ``block``-aligned blocks but the same
+    ``2*block``-aligned block — i.e. its bisection level is
+    ``log2 block``.
+
+    Returns ``(forward_tails, backward_tails)``.  The paper's
+    observation — each family has pairwise-disjoint heads and tails —
+    is verified here (a :class:`VerificationError` would expose a
+    falsified premise; the test suite sweeps this).
+    """
+    require(block >= 1 and (block & (block - 1)) == 0,
+            f"block must be a positive power of two, got {block}")
+    part = bisection_partition(lst)
+    k = block.bit_length() - 1
+    fwd = part.members(k, True)
+    bwd = part.members(k, False)
+    nxt = lst.next
+    for family, name in ((fwd, "forward"), (bwd, "backward")):
+        ends = np.concatenate([family, nxt[family]])
+        if np.unique(ends).size != ends.size:
+            raise VerificationError(
+                f"{name} pointers crossing the level-{k} line share an "
+                f"endpoint — the bisection observation failed"
+            )
+    return fwd, bwd

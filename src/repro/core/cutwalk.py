@@ -1,0 +1,184 @@
+"""Steps 3–4 of Match1: local-minima cut + alternate-pointer walk.
+
+Given constant-magnitude node labels with distinct adjacent values
+(the outcome of Match1 step 2, Match3 step 4, or Match4's six-set
+combiner), a maximal matching follows in O(1) parallel rounds:
+
+**Step 3 (cut).**  Delete pointer ``<v, suc(v)>`` whenever
+``label[pre(v)] > label[v] < label[suc(v)]`` — ``v`` is a strict local
+minimum.  Two observations make this work: cuts are never adjacent
+(two consecutive cuts would need ``label[v] < label[suc(v)]`` and
+``label[v] > label[suc(v)]`` at once), and between two interior local
+minima the label sequence rises then falls, so with labels below a
+constant ``c`` every sublist has at most ``2c`` pointers.
+
+**Step 4 (walk).**  One processor per sublist walks it, adding every
+other pointer (the first, third, ...) to the matching — constant time
+because sublists are constant-length.  "At least one of any three
+consecutive pointers of the linked list is in the matching", so the
+matching is maximal ... *except* possibly at the very last pointer:
+when the final pointer is itself cut and the sublist before it happens
+to end on a skipped pointer, the final pointer's both endpoints stay
+free.  The paper's invariant does not cover this boundary (its
+three-in-a-row argument needs a pointer *after* the gap); we close it
+with an O(1) repair step that re-adds the final pointer when addable.
+This is the only deviation from the paper's literal step 4 and is
+exercised directly by the test suite.
+
+The cut condition is evaluated on interior nodes only (the head has no
+predecessor, so its pointer is never cut); node labels themselves may
+have been computed with the circular convention — only the *cut* is
+non-circular, matching the fact that the list's structure is a path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import as_index_array
+from ..errors import VerificationError
+from ..lists.linked_list import NIL, LinkedList
+from ..pram.cost import CostModel
+
+__all__ = ["CutWalkStats", "cut_and_walk"]
+
+
+@dataclass(frozen=True)
+class CutWalkStats:
+    """Diagnostics of one cut-and-walk run (used by E3/E5/E6 benches).
+
+    Attributes
+    ----------
+    num_cut:
+        Pointers deleted by step 3.
+    num_segments:
+        Sublists walked by step 4.
+    walk_rounds:
+        Parallel rounds the walk needed — ``ceil(L/2)`` for the longest
+        sublist ``L``; the paper's constant-sublist claim bounds this by
+        a constant, which tests assert.
+    end_repaired:
+        Whether the final-pointer repair fired.
+    """
+
+    num_cut: int
+    num_segments: int
+    walk_rounds: int
+    end_repaired: bool
+
+
+def cut_and_walk(
+    lst: LinkedList,
+    node_labels: np.ndarray,
+    *,
+    cost: CostModel | None = None,
+    max_walk_rounds: int | None = None,
+) -> tuple[np.ndarray, CutWalkStats]:
+    """Run steps 3–4 on constant-size ``node_labels``.
+
+    Parameters
+    ----------
+    lst:
+        The input list.
+    node_labels:
+        One label per node (every node, tail included — labels come
+        from the circular iteration), with adjacent labels distinct.
+    cost:
+        Optional cost model; charges one width-``n`` step for the cut
+        and ``walk_rounds`` steps of width ``num_segments`` for the
+        walk.
+    max_walk_rounds:
+        Safety bound on walk rounds (defaults to ``n``); exceeding it
+        raises :class:`VerificationError`, since it would disprove the
+        constant-sublist claim.
+
+    Returns
+    -------
+    (tails, stats):
+        Tails of the maximal matching's pointers and diagnostics.
+    """
+    labels = as_index_array(node_labels, name="node_labels")
+    n = lst.n
+    if labels.size != n:
+        raise VerificationError(
+            f"node_labels has {labels.size} entries for {n} nodes"
+        )
+    nxt = lst.next
+    pred = lst.pred
+    if n <= 1:
+        return np.empty(0, dtype=np.int64), CutWalkStats(0, 0, 0, False)
+
+    # Adjacent-distinct precondition (cheap, prevents silent nonsense).
+    v_all = np.flatnonzero(nxt != NIL)
+    if np.any(labels[v_all] == labels[nxt[v_all]]):
+        raise VerificationError(
+            "node_labels must be distinct on adjacent nodes for the cut"
+        )
+
+    # ---- Step 3: cut strict local minima (interior nodes only). ----
+    interior = (pred != NIL) & (nxt != NIL)
+    cut = np.zeros(n, dtype=bool)
+    iv = np.flatnonzero(interior)
+    is_min = (labels[pred[iv]] > labels[iv]) & (labels[iv] < labels[nxt[iv]])
+    cut[iv[is_min]] = True
+    if cost is not None:
+        cost.parallel(n)
+
+    # ---- Step 4: walk each sublist, taking alternate pointers. ----
+    has_ptr = nxt != NIL
+    # Segment starts: non-cut pointers whose predecessor pointer is
+    # absent (head) or cut.
+    start_mask = has_ptr & ~cut
+    not_head = pred != NIL
+    follows_live = np.zeros(n, dtype=bool)
+    hp = np.flatnonzero(not_head & has_ptr)
+    follows_live[hp] = ~cut[pred[hp]]
+    start_mask &= ~(not_head & follows_live)
+    current = np.flatnonzero(start_mask)
+    num_segments = int(current.size)
+
+    chosen = np.zeros(n, dtype=bool)
+    limit = max_walk_rounds if max_walk_rounds is not None else n
+    rounds = 0
+    while current.size:
+        if rounds >= limit:
+            raise VerificationError(
+                f"sublist walk exceeded {limit} rounds: sublists are not "
+                f"constant-length (labels too large?)"
+            )
+        rounds += 1
+        chosen[current] = True
+        w1 = nxt[current]                       # the skipped pointer's tail
+        in1 = (nxt[w1] != NIL) & ~cut[w1]       # skipped pointer is in-segment
+        w2 = nxt[w1[in1]]                       # candidate next chosen tail
+        in2 = (nxt[w2] != NIL) & ~cut[w2]
+        current = w2[in2]
+    if cost is not None:
+        cost.parallel(num_segments, depth=max(1, rounds))
+
+    # ---- End repair (see module docstring). ----
+    end_repaired = False
+    tail_node = lst.tail
+    last_ptr = int(pred[tail_node]) if pred[tail_node] != NIL else NIL
+    if last_ptr != NIL and not chosen[last_ptr]:
+        # <last_ptr, tail> is addable iff last_ptr is uncovered, i.e.
+        # neither its own pointer (known unchosen) nor its predecessor's
+        # is in the matching.
+        before = pred[last_ptr]
+        covered = before != NIL and chosen[before]
+        if not covered:
+            chosen[last_ptr] = True
+            end_repaired = True
+    if cost is not None:
+        cost.sequential(1)
+
+    tails = np.flatnonzero(chosen)
+    stats = CutWalkStats(
+        num_cut=int(cut.sum()),
+        num_segments=num_segments,
+        walk_rounds=rounds,
+        end_repaired=end_repaired,
+    )
+    return tails, stats

@@ -1,0 +1,162 @@
+"""The paper's pipeline on forests of lists (extension module).
+
+Everything is per-component local: iterated ``f`` uses each
+component's own circular wrap, the local-minima cut applies to interior
+nodes of every component, each component's first pointer seeds a walk,
+and the end repair fires independently per component tail (repairs on
+different components touch disjoint nodes, so they commute).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import require
+from ..bits.iterated_log import G
+from ..errors import VerificationError
+from ..lists.forest import Forest
+from ..lists.linked_list import NIL
+from ..pram.cost import CostModel, CostReport
+from .functions import FunctionKind, pair_function
+
+__all__ = [
+    "forest_iterate_f",
+    "forest_maximal_matching",
+    "verify_forest_maximal_matching",
+]
+
+
+def forest_iterate_f(
+    forest: Forest,
+    rounds: int,
+    *,
+    kind: FunctionKind = "msb",
+    cost: CostModel | None = None,
+) -> np.ndarray:
+    """Iterate ``f`` with per-component circular wrap."""
+    require(rounds >= 0, f"rounds must be >= 0, got {rounds}")
+    func = pair_function(kind)
+    labels = np.arange(forest.n, dtype=np.int64)
+    cnext = forest.circular_next()
+    # Single-node components wrap to themselves; f is undefined there,
+    # so mask them out (their labels are irrelevant — no pointers).
+    live = cnext != np.arange(forest.n)
+    for _ in range(rounds):
+        new = labels.copy()
+        new[live] = func(labels[live], labels[cnext[live]])
+        labels = new
+        clash = live & (labels == labels[cnext])
+        if np.any(clash):
+            raise VerificationError(
+                "adjacent labels collided during forest iteration"
+            )
+        if cost is not None:
+            cost.parallel(forest.n)
+    return labels
+
+
+def forest_maximal_matching(
+    forest: Forest,
+    *,
+    p: int = 1,
+    kind: FunctionKind = "msb",
+    rounds: int | None = None,
+) -> tuple[np.ndarray, CostReport]:
+    """Maximal matching of every component, in one vectorized pipeline.
+
+    Returns ``(tails, report)``; verified before return.
+    """
+    require(p >= 1, f"p must be >= 1, got {p}")
+    n = forest.n
+    cost = CostModel(p)
+    if rounds is None:
+        rounds = G(max(2, n))
+    with cost.phase("iterate"):
+        labels = forest_iterate_f(forest, rounds, kind=kind, cost=cost)
+    nxt = forest.next
+    pred = forest.pred
+    with cost.phase("cutwalk"):
+        # Cut interior strict local minima (per component — the masks
+        # already encode component boundaries as NIL neighbors).
+        interior = (pred != NIL) & (nxt != NIL)
+        cut = np.zeros(n, dtype=bool)
+        iv = np.flatnonzero(interior)
+        is_min = (labels[pred[iv]] > labels[iv]) & (
+            labels[iv] < labels[nxt[iv]]
+        )
+        cut[iv[is_min]] = True
+        cost.parallel(n)
+        # Segment starts: every component head's pointer + successors
+        # of cuts.
+        has_ptr = nxt != NIL
+        start_mask = has_ptr & ~cut
+        not_head = pred != NIL
+        follows_live = np.zeros(n, dtype=bool)
+        hp = np.flatnonzero(not_head & has_ptr)
+        follows_live[hp] = ~cut[pred[hp]]
+        start_mask &= ~(not_head & follows_live)
+        current = np.flatnonzero(start_mask)
+        num_segments = int(current.size)
+        chosen = np.zeros(n, dtype=bool)
+        walked = 0
+        while current.size:
+            walked += 1
+            if walked > n:
+                raise VerificationError("forest walk failed to terminate")
+            chosen[current] = True
+            w1 = nxt[current]
+            in1 = (nxt[w1] != NIL) & ~cut[w1]
+            w2 = nxt[w1[in1]]
+            in2 = (nxt[w2] != NIL) & ~cut[w2]
+            current = w2[in2]
+        cost.parallel(num_segments, depth=max(1, walked))
+        # Per-component end repair (independent components commute).
+        last_ptrs = pred[forest.tails]
+        last_ptrs = last_ptrs[last_ptrs != NIL]
+        if last_ptrs.size:
+            unchosen = ~chosen[last_ptrs]
+            before = pred[last_ptrs]
+            covered = np.zeros(last_ptrs.size, dtype=bool)
+            hb = before != NIL
+            covered[hb] = chosen[before[hb]]
+            repair = last_ptrs[unchosen & ~covered]
+            chosen[repair] = True
+            cost.parallel(int(last_ptrs.size))
+    tails = np.flatnonzero(chosen)
+    verify_forest_maximal_matching(forest, tails)
+    return tails, cost.report()
+
+
+def verify_forest_maximal_matching(forest: Forest, tails: np.ndarray) -> None:
+    """Independence + maximality over every component at once."""
+    tails = np.asarray(tails, dtype=np.int64)
+    n = forest.n
+    nxt = forest.next
+    pred = forest.pred
+    if tails.size and (int(tails.min()) < 0 or int(tails.max()) >= n):
+        raise VerificationError("forest tails must be node addresses")
+    if np.any(nxt[tails] == NIL):
+        bad = int(tails[np.flatnonzero(nxt[tails] == NIL)[0]])
+        raise VerificationError(f"node {bad} has no pointer but was matched")
+    chosen = np.zeros(n, dtype=bool)
+    chosen[tails] = True
+    clash = chosen[tails] & chosen[nxt[tails]]
+    if np.any(clash):
+        bad = int(tails[np.flatnonzero(clash)[0]])
+        raise VerificationError(
+            f"consecutive pointers at {bad} and {int(nxt[bad])} both matched"
+        )
+    free_v = np.flatnonzero((nxt != NIL) & ~chosen)
+    left_ok = np.zeros(free_v.size, dtype=bool)
+    hl = pred[free_v] != NIL
+    left_ok[hl] = chosen[pred[free_v][hl]]
+    right_ok = np.zeros(free_v.size, dtype=bool)
+    w = nxt[free_v]
+    hr = nxt[w] != NIL
+    right_ok[hr] = chosen[w[hr]]
+    addable = ~(left_ok | right_ok)
+    if np.any(addable):
+        bad = int(free_v[np.flatnonzero(addable)[0]])
+        raise VerificationError(
+            f"forest pointer <{bad},{int(nxt[bad])}> could still be added"
+        )

@@ -1,0 +1,180 @@
+"""Matching partition functions (paper section 2, Lemmas 1–2).
+
+The pointer ``<a, b>`` is assigned ``f(<a,b>) = 2k + a_k`` where ``k``
+is the index of the bit where ``a XOR b`` differ — the *most*
+significant such bit in the paper's intuitive definition (derived from
+the bisecting-lines picture of Fig. 2) or the *least* significant one
+in the variant the paper credits to [6,15] and Cole–Vishkin [3]
+("In doing so, we gain the advantage for computing function f at the
+expense of losing intuition").  Both are **matching partition
+functions**:
+
+    ``f(a, b) != f(b, c)`` whenever ``a != b`` or ``b != c``
+
+so pointers carrying equal labels never share an endpoint, i.e. each
+label class is a matching set.  Since ``k < ceil(log2 n)`` for
+addresses below ``n``, one application yields at most ``2 ceil(log n)``
+sets — Lemma 1.
+
+Re-applying ``f`` to the label sequence (taking each node's label as
+its new "address") coarsens the partition: Lemma 2 bounds ``f^(k)`` by
+``2 log^(k-1) n (1 + o(1))`` sets.  :func:`iterate_f` implements the
+iteration with the paper's circular convention for the last element and
+charges each round to an optional cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Literal
+
+import numpy as np
+
+from .._util import as_index_array, require
+from ..bits.bitops import bit_at, lsb_index, msb_index
+from ..errors import InvalidParameterError, VerificationError
+from ..lists.linked_list import LinkedList
+from ..pram.cost import CostModel
+
+__all__ = [
+    "f_msb",
+    "f_lsb",
+    "pair_function",
+    "apply_f",
+    "iterate_f",
+    "max_label_after",
+    "label_bound_sequence",
+]
+
+FunctionKind = Literal["msb", "lsb"]
+
+
+def f_msb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The paper's bisecting-line function: ``2k + a_k``, ``k`` the MSB
+    of ``a XOR b``.
+
+    ``a`` and ``b`` must be elementwise distinct non-negative arrays.
+    The ``a_k`` bit records whether ``<a,b>`` is a forward or backward
+    pointer across bisecting line ``k`` (section 2).
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if np.any(a == b):
+        raise InvalidParameterError("f requires a != b elementwise")
+    if a.size and (int(a.min()) < 0 or int(b.min()) < 0):
+        raise InvalidParameterError("f requires non-negative addresses")
+    k = msb_index(a ^ b)
+    return 2 * k + bit_at(a, k)
+
+
+def f_lsb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The least-significant-bit variant: ``2k + a_k``, ``k`` the LSB of
+    ``a XOR b`` (the Cole–Vishkin "deterministic coin tossing" form,
+    cheaper to evaluate — the appendix's unary-conversion pipeline is
+    exactly this ``k``)."""
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if np.any(a == b):
+        raise InvalidParameterError("f requires a != b elementwise")
+    if a.size and (int(a.min()) < 0 or int(b.min()) < 0):
+        raise InvalidParameterError("f requires non-negative addresses")
+    k = lsb_index(a ^ b)
+    return 2 * k + bit_at(a, k)
+
+
+def pair_function(kind: FunctionKind) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+    """Resolve ``"msb"`` / ``"lsb"`` to the corresponding function."""
+    if kind == "msb":
+        return f_msb
+    if kind == "lsb":
+        return f_lsb
+    raise InvalidParameterError(f"unknown matching function kind {kind!r}")
+
+
+def apply_f(
+    labels: np.ndarray,
+    circular_next: np.ndarray,
+    func: Callable[[np.ndarray, np.ndarray], np.ndarray] = f_msb,
+) -> np.ndarray:
+    """One parallel round: ``label[v] := f(label[v], label[suc(v)])``.
+
+    ``circular_next`` must have the tail wired to the head (the paper's
+    convention making ``f`` total), and the current labels must be
+    distinct on every adjacent pair — which holds inductively, see
+    :func:`iterate_f`.
+    """
+    labels = as_index_array(labels, name="labels")
+    circular_next = as_index_array(circular_next, name="circular_next")
+    return func(labels, labels[circular_next])
+
+
+def iterate_f(
+    lst: LinkedList,
+    rounds: int,
+    *,
+    kind: FunctionKind = "msb",
+    cost: CostModel | None = None,
+    return_history: bool = False,
+) -> np.ndarray | list[np.ndarray]:
+    """Apply ``f`` ``rounds`` times starting from node addresses.
+
+    This is steps 1–2 of Match1 (and the "number crunching" step 2 of
+    Match3): ``label[v] := address of v``, then ``rounds`` synchronous
+    rounds of ``label[v] := f(label[v], label[suc(v)])`` with the
+    circular convention at the tail.
+
+    Returns the final per-node labels (or, with ``return_history``, the
+    list of label arrays after each round — round 0 being the raw
+    addresses).  Each round charges one width-``n`` parallel step to
+    ``cost``.
+
+    The adjacent-distinct invariant is asserted after every round: its
+    failure would mean ``f`` is not a matching partition function,
+    hence :class:`VerificationError`.
+    """
+    require(rounds >= 0, f"rounds must be >= 0, got {rounds}")
+    func = pair_function(kind)
+    cnext = lst.circular_next()
+    labels = np.arange(lst.n, dtype=np.int64)
+    history = [labels]
+    if lst.n == 1:
+        # A single node has no pointer; its "label" stays its address.
+        return history * (rounds + 1) if return_history else labels
+    for _ in range(rounds):
+        labels = apply_f(labels, cnext, func)
+        if np.any(labels == labels[cnext]):
+            raise VerificationError(
+                "adjacent labels collided after an f round; "
+                "matching-partition property violated"
+            )
+        if cost is not None:
+            cost.parallel(lst.n)
+        if return_history:
+            history.append(labels)
+    return history if return_history else labels
+
+
+def max_label_after(n: int, rounds: int, *, kind: FunctionKind = "msb") -> int:
+    """Upper bound (exclusive) on labels after ``rounds`` applications.
+
+    Round 0 labels are addresses ``< n``.  Each round maps values
+    ``< m`` to values ``< 2*ceil(log2 m)`` (``k < ceil(log2 m)``), for
+    either variant.  This is the bound Match3 uses to size its lookup
+    table fields.
+    """
+    require(n >= 1, f"n must be >= 1, got {n}")
+    require(rounds >= 0, f"rounds must be >= 0, got {rounds}")
+    bound = int(n)
+    for _ in range(rounds):
+        bound = 2 * max(1, (bound - 1).bit_length())
+    _ = kind  # both variants share the bound
+    return bound
+
+
+def label_bound_sequence(n: int, rounds: int) -> list[int]:
+    """The sequence ``[n, bound_1, ..., bound_rounds]`` of exclusive
+    label bounds per round — Lemma 2's ``2 log^(k-1) n (1+o(1))``
+    with explicit constants; used by benches E2/E5."""
+    out = [int(n)]
+    for r in range(1, rounds + 1):
+        out.append(max_label_after(n, r))
+    return out

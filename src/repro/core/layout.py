@@ -1,0 +1,138 @@
+"""Match4's two-dimensional array view (paper section 3, step 2).
+
+The list's storage array is viewed as ``x`` rows by ``y`` columns,
+column-major: column ``c`` holds addresses ``[c*x, (c+1)*x)`` (the last
+column padded).  One processor owns each column and **sorts its column
+by matching-set label** with a sequential counting sort — ``O(x)``
+local work, the move that replaces Match2's global sort.
+
+After the sort, every node has a (row, column) position; a pointer
+``<v, suc(v)>`` is **intra-row** when both endpoints' cells share a row
+and **inter-row** otherwise.  The :class:`Layout2D` artifact exposes
+positions, the classification, and the per-column sorted label arrays
+``A`` that WalkDown2's automaton walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import as_index_array, ceil_div, require
+from ..errors import InvalidParameterError
+from ..lists.linked_list import NIL, LinkedList
+from ..pram.cost import CostModel
+
+__all__ = ["Layout2D", "build_layout"]
+
+#: Grid cells holding no node (padding in the last column).
+EMPTY = -1
+
+
+@dataclass(frozen=True)
+class Layout2D:
+    """The sorted 2-D view of a list under per-node set labels.
+
+    Attributes
+    ----------
+    x, y:
+        Rows and columns; ``x * y >= n``.
+    grid:
+        ``(x, y)`` array of node addresses (``EMPTY`` for padding);
+        column ``c`` is its original address block sorted by label.
+    row_of, col_of:
+        Per-node position after the column sorts.
+    labels:
+        The per-node set labels the sort used.
+    """
+
+    x: int
+    y: int
+    grid: np.ndarray
+    row_of: np.ndarray
+    col_of: np.ndarray
+    labels: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of real nodes."""
+        return int(self.row_of.size)
+
+    def sorted_label_column(self, c: int) -> np.ndarray:
+        """Column ``c``'s sorted label array ``A[0..x-1]`` (padding
+        labelled ``x``, sorting to the bottom) — the array WalkDown2's
+        automaton walks."""
+        col = self.grid[:, c]
+        out = np.full(self.x, self.x, dtype=np.int64)
+        real = col != EMPTY
+        out[real] = self.labels[col[real]]
+        return out
+
+    def classify_pointers(self, lst: LinkedList) -> tuple[np.ndarray, np.ndarray]:
+        """Split the list's pointers into (intra_tails, inter_tails).
+
+        A pointer is intra-row iff its tail's and head's cells share a
+        row in this layout.
+        """
+        tails, heads = lst.pointers()
+        same = self.row_of[tails] == self.row_of[heads]
+        return tails[same], tails[~same]
+
+
+def build_layout(
+    lst: LinkedList,
+    labels: np.ndarray,
+    x: int,
+    *,
+    cost: CostModel | None = None,
+) -> Layout2D:
+    """Sort each column by label and return the resulting layout.
+
+    ``labels`` must hold one set label per node, each in ``[0, x)`` —
+    the row count equals the number of possible labels so WalkDown2's
+    automaton invariant (Lemma 7: processed at step ``A[r] + r``) spans
+    ``2x - 1`` steps.
+
+    Cost: each column processor counting-sorts ``x`` keys of magnitude
+    ``x`` in ``O(x)`` local time; charged as a width-``y`` depth-``x``
+    parallel phase.
+    """
+    labels = as_index_array(labels, name="labels")
+    n = lst.n
+    require(labels.size == n, "need one label per node")
+    require(x >= 1, f"x must be >= 1, got {x}")
+    if labels.size and (int(labels.min()) < 0 or int(labels.max()) >= x):
+        raise InvalidParameterError(
+            f"labels must lie in [0, {x}) to index {x} rows; got max "
+            f"{int(labels.max())}"
+        )
+    y = ceil_div(n, x)
+    # Column-major fill with padding, labels padded above any real label
+    # so padding sinks to the bottom rows of each column.
+    padded = np.full(x * y, EMPTY, dtype=np.int64)
+    padded[:n] = np.arange(n, dtype=np.int64)
+    key = np.full(x * y, x, dtype=np.int64)
+    key[:n] = labels
+    grid_nodes = padded.reshape(y, x).T      # (x, y), column c = block c
+    grid_keys = key.reshape(y, x).T
+    # Stable per-column counting sort, all columns at once.  np.argsort
+    # is O(x log x); the charged cost is the counting sort's O(x).
+    order = np.argsort(grid_keys, axis=0, kind="stable")
+    grid_sorted = np.take_along_axis(grid_nodes, order, axis=0)
+    if cost is not None:
+        cost.parallel(y, depth=x)
+    row_of = np.empty(n, dtype=np.int64)
+    col_of = np.empty(n, dtype=np.int64)
+    rows, cols = np.nonzero(grid_sorted != EMPTY)
+    nodes = grid_sorted[rows, cols]
+    row_of[nodes] = rows
+    col_of[nodes] = cols
+    return Layout2D(
+        x=x,
+        y=y,
+        grid=grid_sorted,
+        row_of=row_of,
+        col_of=col_of,
+        labels=labels,
+    )

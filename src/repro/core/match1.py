@@ -1,0 +1,78 @@
+"""Algorithm Match1 (paper section 2).
+
+Iterate the matching partition function ``G(n)`` times — after which
+every label fits in a constant (values stay below 6 once they get
+there, since ``f`` maps values below ``2^3`` to values below 6) — then
+cut at local minima and walk the constant-length sublists.
+
+Time: ``O(n G(n) / p + G(n))``.  The algorithm is *not* optimal — its
+work is ``Theta(n G(n))`` against the sequential ``Theta(n)`` — which
+is exactly what E3 measures and what Match4 repairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import require
+from ..bits.iterated_log import G
+from ..errors import VerificationError
+from ..lists.linked_list import LinkedList
+from ..pram.cost import CostModel, CostReport
+from .cutwalk import CutWalkStats, cut_and_walk
+from .functions import FunctionKind, iterate_f
+from .matching import Matching
+
+__all__ = ["match1"]
+
+#: Labels are guaranteed below this constant after iteration-to-fixpoint;
+#: it is the fixed point of ``m -> 2*ceil(log2 m)``.
+CONSTANT_LABEL_BOUND = 6
+
+
+def match1(
+    lst: LinkedList,
+    *,
+    p: int = 1,
+    kind: FunctionKind = "msb",
+    rounds: int | None = None,
+) -> tuple[Matching, CostReport, CutWalkStats]:
+    """Compute a maximal matching by Algorithm Match1.
+
+    Parameters
+    ----------
+    lst:
+        Input list.
+    p:
+        Processor count for the cost accounting.
+    kind:
+        Matching partition function variant (``"msb"`` or ``"lsb"``).
+    rounds:
+        Number of ``f`` iterations; defaults to ``G(n)`` per the paper.
+        If the supplied count leaves labels above the constant bound the
+        run fails verification rather than return a wrong answer.
+
+    Returns
+    -------
+    (matching, report, stats):
+        The maximal matching, its Brent cost report (phases
+        ``iterate``, ``cutwalk``), and cut/walk diagnostics.
+    """
+    require(p >= 1, f"p must be >= 1, got {p}")
+    n = lst.n
+    if rounds is None:
+        rounds = G(n)
+    cost = CostModel(p)
+    with cost.phase("iterate"):
+        labels = iterate_f(lst, rounds, kind=kind, cost=cost)
+    if n > 1:
+        max_label = int(labels.max())
+        if max_label >= max(CONSTANT_LABEL_BOUND, 2 * CONSTANT_LABEL_BOUND):
+            raise VerificationError(
+                f"labels not constant-size after {rounds} rounds "
+                f"(max {max_label}); pass more rounds"
+            )
+    with cost.phase("cutwalk"):
+        tails, stats = cut_and_walk(lst, labels, cost=cost)
+    matching = Matching(lst, tails)
+    return matching, cost.report(), stats

@@ -1,0 +1,163 @@
+"""Algorithm Match2 (paper section 2, Lemma 4).
+
+The optimal EREW algorithm: partition pointers into at most
+``O(log^(2) n)`` matching sets (two rounds of ``f``), **sort** the
+pointers by set number so each set is contiguous, then sweep the sets
+one by one, greedily adding every pointer whose endpoints are still
+free.  Because pointers inside one set never share endpoints, each
+sub-round is conflict-free.
+
+"The time complexity of Step 2 in Match2 dominates the whole
+algorithm": the sort is an integer sort on keys in
+``{0..log^(2) n - 1}``, costing ``O(n/p + log n)`` on the EREW PRAM;
+Reif's CRCW partial-sum algorithm improves the additive term to
+``log n / log^(3) n`` and Cole–Vishkin's to ``log n / log^(2) n``.  We
+execute one real stable counting sort and charge whichever *cost law*
+the caller selects — the substitution documented in DESIGN.md §2 —
+so E4 can reproduce all three variants' curves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .._util import ceil_div, require
+from ..bits.iterated_log import ilog2
+from ..errors import InvalidParameterError
+from ..lists.linked_list import NIL, LinkedList
+from ..pram.cost import CostModel, CostReport
+from .functions import FunctionKind, iterate_f
+from .matching import Matching
+
+__all__ = ["SORT_COST_LAWS", "Match2Stats", "match2"]
+
+
+def _additive_erew(n: int) -> int:
+    """EREW integer sort: additive ``Theta(log n)``."""
+    return max(1, (max(2, n) - 1).bit_length())
+
+
+def _additive_reif(n: int) -> int:
+    """Reif's CRCW partial sums: additive ``Theta(log n / log^(3) n)``."""
+    log_n = _additive_erew(n)
+    denom = max(1.0, ilog2(max(16, n), 3))
+    return max(1, math.ceil(log_n / denom))
+
+
+def _additive_cole_vishkin(n: int) -> int:
+    """Cole–Vishkin partial sums: additive ``Theta(log n / log^(2) n)``."""
+    log_n = _additive_erew(n)
+    denom = max(1.0, ilog2(max(4, n), 2))
+    return max(1, math.ceil(log_n / denom))
+
+
+#: Pluggable sort-cost laws, keyed by the variant names used in E4.
+SORT_COST_LAWS: dict[str, Callable[[int], int]] = {
+    "erew": _additive_erew,
+    "reif": _additive_reif,
+    "cole_vishkin": _additive_cole_vishkin,
+}
+
+
+@dataclass(frozen=True)
+class Match2Stats:
+    """Diagnostics of one Match2 run."""
+
+    num_sets: int
+    sort_law: str
+    sort_additive: int
+
+
+def match2(
+    lst: LinkedList,
+    *,
+    p: int = 1,
+    kind: FunctionKind = "msb",
+    sort_law: str = "erew",
+    partition_rounds: int = 2,
+) -> tuple[Matching, CostReport, Match2Stats]:
+    """Compute a maximal matching by Algorithm Match2.
+
+    Parameters
+    ----------
+    lst:
+        Input list.
+    p:
+        Processor count for the cost accounting.
+    kind:
+        Matching partition function variant.
+    sort_law:
+        Which partial-sum machinery prices the sort: ``"erew"``
+        (Lemma 4's ``O(n/p + log n)``), ``"reif"``, or
+        ``"cole_vishkin"``.
+    partition_rounds:
+        ``f`` iterations in step 1 (2 per the paper, giving
+        ``O(log^(2) n)`` sets).
+
+    Returns
+    -------
+    (matching, report, stats):
+        Phases in the report: ``partition``, ``sort``, ``sweep``.
+    """
+    require(p >= 1, f"p must be >= 1, got {p}")
+    require(partition_rounds >= 1,
+            f"partition_rounds must be >= 1, got {partition_rounds}")
+    if sort_law not in SORT_COST_LAWS:
+        raise InvalidParameterError(
+            f"unknown sort_law {sort_law!r}; choose from "
+            f"{sorted(SORT_COST_LAWS)}"
+        )
+    n = lst.n
+    cost = CostModel(p)
+
+    # ---- Step 1: partition into O(log^(2) n) matching sets. ----
+    with cost.phase("partition"):
+        labels = iterate_f(lst, partition_rounds, kind=kind, cost=cost)
+
+    nxt = lst.next
+    tails = np.flatnonzero(nxt != NIL)
+    ptr_labels = labels[tails]
+
+    # ---- Step 2: stable integer sort of pointers by set number. ----
+    with cost.phase("sort"):
+        order = np.argsort(ptr_labels, kind="stable")
+        sorted_tails = tails[order]
+        sorted_labels = ptr_labels[order]
+        additive = SORT_COST_LAWS[sort_law](n)
+        cost.parallel(n)           # the O(n/p) data-movement term
+        cost.sequential(additive)  # the law's additive term
+
+    # ---- Step 3: sweep the sets, greedily matching free pointers. ----
+    done = np.zeros(n, dtype=bool)
+    chosen = np.zeros(n, dtype=bool)
+    if sorted_labels.size:
+        set_values, set_starts = np.unique(sorted_labels, return_index=True)
+        boundaries = np.append(set_starts, sorted_labels.size)
+    else:
+        set_values = np.empty(0, dtype=np.int64)
+        boundaries = np.asarray([0])
+    with cost.phase("sweep"):
+        for j in range(set_values.size):
+            members = sorted_tails[boundaries[j]:boundaries[j + 1]]
+            heads = nxt[members]
+            free = ~done[members] & ~done[heads]
+            add = members[free]
+            # Pointers in one matching set have pairwise-disjoint
+            # endpoints, so these updates are conflict-free.
+            done[add] = True
+            done[nxt[add]] = True
+            chosen[add] = True
+            cost.parallel(int(members.size))
+            cost.sequential(0 if members.size else 1)
+
+    matching = Matching(lst, np.flatnonzero(chosen))
+    stats = Match2Stats(
+        num_sets=int(set_values.size),
+        sort_law=sort_law,
+        sort_additive=additive if n > 1 else 0,
+    )
+    return matching, cost.report(), stats

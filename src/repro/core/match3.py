@@ -1,0 +1,217 @@
+"""Algorithm Match3 (paper section 2, Lemma 5; Han [7] / Beame).
+
+The table-lookup algorithm:
+
+1. *Number crunching* — ``k`` rounds of ``f`` shrink every label to
+   ``b = O(log^(k) n)`` bits.
+2. *Doubling concatenation* — ``r = log G(n)`` rounds of
+   ``label[v] := label[v] ++ label[NEXT[v]]; NEXT[v] := NEXT[NEXT[v]]``
+   leave each node holding the ``g = 2^r`` consecutive crunched labels
+   starting at it, packed in ``g*b`` bits.
+3. *Table lookup* — one probe of a precomputed table holding the
+   iterated matching partition function ``f^(g)`` collapses the window
+   to a constant-size label.
+4. Steps 3–4 of Match1 finish the maximal matching.
+
+Time ``O(n log G(n) / p + log G(n))``; the table has
+``2^(G(n) log^(k) n)`` cells, which the paper keeps below ``n`` by
+choosing ``k > 4``.  :func:`plan_match3` performs exactly that
+feasibility calculation and (when the literal ``log G(n)`` doubling
+depth would breach the memory budget) clamps the doubling depth,
+recording both figures so E5 can tabulate the trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import require
+from ..bits.iterated_log import log_G
+from ..bits.lookup import INVALID, MatchingFunctionTable, build_table_direct
+from ..errors import InvalidParameterError, VerificationError
+from ..lists.linked_list import LinkedList
+from ..pram.cost import CostModel, CostReport
+from .cutwalk import CutWalkStats, cut_and_walk
+from .functions import FunctionKind, iterate_f, max_label_after, pair_function
+from .matching import Matching
+
+__all__ = ["Match3Plan", "Match3Stats", "plan_match3", "match3"]
+
+
+@dataclass(frozen=True)
+class Match3Plan:
+    """Concrete parameters for one Match3 run.
+
+    Attributes
+    ----------
+    n:
+        Input size the plan was sized for.
+    crunch_rounds:
+        ``k``, the number-crunching depth (step 2 of the paper's
+        listing).
+    doubling_rounds:
+        ``r``, the executed doubling depth; ``arity = 2^r``.
+    paper_doubling_rounds:
+        The literal ``log G(n)`` the paper prescribes (equal to
+        ``doubling_rounds`` unless the memory budget forced a clamp).
+    bits_per_arg:
+        ``b``, the post-crunch label width.
+    """
+
+    n: int
+    crunch_rounds: int
+    doubling_rounds: int
+    paper_doubling_rounds: int
+    bits_per_arg: int
+
+    @property
+    def arity(self) -> int:
+        """Window length ``g = 2^doubling_rounds``."""
+        return 1 << self.doubling_rounds
+
+    @property
+    def table_cells(self) -> int:
+        """Size of the lookup table, ``2^(g*b)``."""
+        return 1 << (self.arity * self.bits_per_arg)
+
+
+@dataclass(frozen=True)
+class Match3Stats:
+    """Diagnostics of one Match3 run."""
+
+    plan: Match3Plan
+    final_label_max: int
+    cutwalk: CutWalkStats
+
+
+def plan_match3(
+    n: int,
+    *,
+    crunch_rounds: int | None = None,
+    doubling_rounds: int | None = None,
+    memory_limit: int = 1 << 24,
+) -> Match3Plan:
+    """Size Match3's parameters for an ``n``-node list.
+
+    Defaults follow the paper: ``k = 5`` ("k is greater than 4") and
+    ``r = log G(n)``; ``r`` is reduced — never below 1 — until the
+    table fits ``memory_limit`` cells, the same consideration the paper
+    resolves by raising ``k`` (raising ``k`` further cannot shrink
+    ``b`` below the constant fixed point, so clamping ``r`` is the
+    honest lever at simulator scales).
+    """
+    require(n >= 2, f"n must be >= 2, got {n}")
+    k = 5 if crunch_rounds is None else crunch_rounds
+    require(k >= 1, f"crunch_rounds must be >= 1, got {k}")
+    bound = max_label_after(n, k)
+    b = max(1, (bound - 1).bit_length())
+    paper_r = log_G(n)
+    if doubling_rounds is None:
+        r = paper_r
+        while r > 1 and (1 << b) ** (1 << r) > memory_limit:
+            r -= 1
+    else:
+        r = doubling_rounds
+        require(r >= 1, f"doubling_rounds must be >= 1, got {r}")
+    cells = 1 << ((1 << r) * b)
+    if cells > memory_limit:
+        raise InvalidParameterError(
+            f"Match3 table needs {cells} cells (> {memory_limit}); "
+            f"increase crunch_rounds or reduce doubling_rounds"
+        )
+    return Match3Plan(
+        n=n,
+        crunch_rounds=k,
+        doubling_rounds=r,
+        paper_doubling_rounds=paper_r,
+        bits_per_arg=b,
+    )
+
+
+def match3(
+    lst: LinkedList,
+    *,
+    p: int = 1,
+    kind: FunctionKind = "msb",
+    plan: Match3Plan | None = None,
+    table: MatchingFunctionTable | None = None,
+) -> tuple[Matching, CostReport, Match3Stats]:
+    """Compute a maximal matching by Algorithm Match3.
+
+    The lookup table counts as preprocessing (the paper prices its
+    construction separately, in the appendix); pass a prebuilt
+    ``table`` to amortize it across runs, else one is built from the
+    plan.
+
+    Returns ``(matching, report, stats)`` with report phases
+    ``crunch``, ``double``, ``lookup``, ``cutwalk``.
+    """
+    require(p >= 1, f"p must be >= 1, got {p}")
+    n = lst.n
+    if n == 1:
+        return (
+            Matching(lst, np.empty(0, dtype=np.int64)),
+            CostModel(p).report(),
+            Match3Stats(
+                plan=Match3Plan(1, 1, 1, 1, 1),
+                final_label_max=-1,
+                cutwalk=CutWalkStats(0, 0, 0, False),
+            ),
+        )
+    if plan is None:
+        plan = plan_match3(n)
+    if table is None:
+        table = build_table_direct(
+            pair_function(kind),
+            arity=plan.arity,
+            bits_per_arg=plan.bits_per_arg,
+        )
+    if table.arity != plan.arity or table.bits_per_arg != plan.bits_per_arg:
+        raise InvalidParameterError(
+            f"table shape ({table.arity}, {table.bits_per_arg}) does not "
+            f"match plan ({plan.arity}, {plan.bits_per_arg})"
+        )
+    cost = CostModel(p)
+
+    # ---- Steps 1–2: number crunching. ----
+    with cost.phase("crunch"):
+        labels = iterate_f(lst, plan.crunch_rounds, kind=kind, cost=cost)
+    if int(labels.max()) >> plan.bits_per_arg:
+        raise VerificationError(
+            "crunched labels exceed the planned field width"
+        )
+
+    # ---- Step 3: doubling concatenation. ----
+    b = plan.bits_per_arg
+    with cost.phase("double"):
+        packed = labels.copy()
+        cnext = lst.circular_next()
+        width = 1
+        for _ in range(plan.doubling_rounds):
+            packed = (packed << (b * width)) | packed[cnext]
+            cnext = cnext[cnext]
+            width *= 2
+            cost.parallel(n)
+
+    # ---- Step 4: table lookup. ----
+    with cost.phase("lookup"):
+        final_labels = table.lookup(packed)
+        cost.parallel(n)
+    if np.any(final_labels == INVALID):
+        raise VerificationError(
+            "a packed window hit an INVALID table cell; the window "
+            "contained an adjacent equal pair, which no list produces"
+        )
+
+    # ---- Steps 5–6: Match1 steps 3–4. ----
+    with cost.phase("cutwalk"):
+        tails, cw = cut_and_walk(lst, final_labels, cost=cost)
+    matching = Matching(lst, tails)
+    stats = Match3Stats(
+        plan=plan,
+        final_label_max=int(final_labels.max()),
+        cutwalk=cw,
+    )
+    return matching, cost.report(), stats

@@ -1,0 +1,228 @@
+"""Algorithm Match4 — the paper's main contribution (section 3).
+
+The optimal processor-scheduling algorithm:
+
+1. Partition the pointers into ``x = O(log^(i) n)`` matching sets
+   (two strategies, below).
+2. View the array as ``x`` rows × ``y = n/x`` columns; each column
+   processor sorts its own column by set label — a *local* ``O(x)``
+   counting sort replacing Match2's global sort.
+3. WalkDown1 3-labels the inter-row pointers with ``{0,1,2}``.
+4. WalkDown2 3-labels the intra-row pointers with ``{3,4,5}`` — the
+   "minor adjustment needed in combining the partitions" is exactly the
+   disjoint label ranges, which make mixed-class neighbors distinct for
+   free.
+5. Steps 3–4 of Match1 finish the maximal matching from the six-set
+   partition.
+
+**Theorem 1**: optimal (``T*p = O(n)``) for up to ``n / log^(i) n``
+processors, any constant ``i``.  **Theorem 2**: time
+``O(n log i / p + log^(i) n + log i)`` for constructible ``i``.
+
+Step 1 strategies:
+
+- ``"iterate"`` (Lemma 3): ``i`` rounds of ``f`` — ``O(n i / p + i)``.
+- ``"table"`` (Lemma 5): crunch 2 rounds, pointer-double
+  ``ceil(log2 i)`` rounds, one ``f^(2^ceil(log2 i))`` table lookup —
+  ``O(n log i / p + log i)``, the cost Theorem 2 quotes.  The table is
+  preprocessing, exactly as in Match3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from .._util import ceil_div, require
+from ..bits.lookup import INVALID, MatchingFunctionTable, build_table_direct
+from ..errors import InvalidParameterError, VerificationError
+from ..lists.linked_list import NIL, LinkedList
+from ..pram.cost import CostModel, CostReport
+from .cutwalk import CutWalkStats, cut_and_walk
+from .functions import FunctionKind, iterate_f, max_label_after, pair_function
+from .layout import Layout2D, build_layout
+from .matching import Matching
+from .partition import NO_POINTER, verify_matching_partition
+from .walkdown import walkdown1, walkdown2
+
+__all__ = ["Match4Stats", "match4", "plan_rows"]
+
+PartitionStrategy = Literal["iterate", "table"]
+
+
+@dataclass(frozen=True)
+class Match4Stats:
+    """Diagnostics of one Match4 run (E6/E7 benches)."""
+
+    i: int
+    strategy: str
+    x: int
+    y: int
+    num_inter: int
+    num_intra: int
+    cutwalk: CutWalkStats
+
+
+def _bound_map(m: int, times: int) -> int:
+    """Apply ``m -> 2*ceil(log2 m)`` ``times`` times (label magnitude)."""
+    for _ in range(times):
+        m = 2 * max(1, (m - 1).bit_length())
+    return m
+
+
+def plan_rows(n: int, i: int, strategy: PartitionStrategy = "iterate") -> int:
+    """Row count ``x`` — the exclusive label bound step 1 achieves.
+
+    ``Theta(log^(i) n)`` either way; the table strategy applies ``f``
+    ``2 + 2^ceil(log2 i) - 1`` times in total, the iterate strategy
+    exactly ``i`` times.
+    """
+    require(n >= 2, f"n must be >= 2, got {n}")
+    require(i >= 1, f"i must be >= 1, got {i}")
+    if strategy == "iterate":
+        return max(2, max_label_after(n, i))
+    if strategy == "table":
+        r = max(1, (i - 1).bit_length())
+        g = 1 << r
+        return max(2, _bound_map(max_label_after(n, 2), g - 1))
+    raise InvalidParameterError(f"unknown strategy {strategy!r}")
+
+
+def _partition_iterate(
+    lst: LinkedList, i: int, kind: FunctionKind, cost: CostModel
+) -> tuple[np.ndarray, int]:
+    labels = iterate_f(lst, i, kind=kind, cost=cost)
+    return labels, max(2, max_label_after(lst.n, i))
+
+
+def _partition_table(
+    lst: LinkedList,
+    i: int,
+    kind: FunctionKind,
+    cost: CostModel,
+    memory_limit: int,
+    table: MatchingFunctionTable | None,
+) -> tuple[np.ndarray, int]:
+    n = lst.n
+    crunch = 2
+    r = max(1, (i - 1).bit_length())
+    g = 1 << r
+    bound2 = max_label_after(n, crunch)
+    b = max(1, (bound2 - 1).bit_length())
+    cells = 1 << (g * b)
+    if cells > memory_limit:
+        raise InvalidParameterError(
+            f"Match4 step-1 table needs {cells} cells (> {memory_limit}); "
+            f"use strategy='iterate' for this (n, i)"
+        )
+    if table is None:
+        table = build_table_direct(pair_function(kind), arity=g, bits_per_arg=b)
+    labels = iterate_f(lst, crunch, kind=kind, cost=cost)
+    packed = labels.copy()
+    cnext = lst.circular_next()
+    width = 1
+    for _ in range(r):
+        packed = (packed << (b * width)) | packed[cnext]
+        cnext = cnext[cnext]
+        width *= 2
+        cost.parallel(n)
+    out = table.lookup(packed)
+    cost.parallel(n)
+    if np.any(out == INVALID):
+        raise VerificationError("step-1 table lookup hit an INVALID window")
+    return out, max(2, _bound_map(bound2, g - 1))
+
+
+def match4(
+    lst: LinkedList,
+    *,
+    p: int = 1,
+    i: int = 2,
+    kind: FunctionKind = "msb",
+    strategy: PartitionStrategy = "iterate",
+    memory_limit: int = 1 << 24,
+    step1_table: MatchingFunctionTable | None = None,
+    check: bool = True,
+) -> tuple[Matching, CostReport, Match4Stats]:
+    """Compute a maximal matching by Algorithm Match4.
+
+    Parameters
+    ----------
+    lst:
+        Input list.
+    p:
+        Processor count for the cost accounting (the paper's optimal
+        regime is ``p <= n / log^(i) n``; any ``p`` is accepted).
+    i:
+        The adjustable parameter: deeper partition → fewer rows →
+        shorter sweeps, at ``O(n log i / p)`` partition cost.
+    kind:
+        Matching partition function variant.
+    strategy:
+        Step-1 strategy (see module docstring).
+    memory_limit:
+        Cell budget for the ``"table"`` strategy's lookup table.
+    step1_table:
+        Optional prebuilt step-1 table (must match the plan's shape).
+    check:
+        Verify the six-set partition and sweep disjointness invariants
+        as the run goes (cheap; on by default — benches may disable).
+
+    Returns
+    -------
+    (matching, report, stats):
+        Report phases: ``partition``, ``sort``, ``walkdown1``,
+        ``walkdown2``, ``cutwalk``.
+    """
+    require(p >= 1, f"p must be >= 1, got {p}")
+    require(i >= 1, f"i must be >= 1, got {i}")
+    n = lst.n
+    cost = CostModel(p)
+    if n == 1:
+        return (
+            Matching(lst, np.empty(0, dtype=np.int64)),
+            cost.report(),
+            Match4Stats(i, strategy, 1, 1, 0, 0, CutWalkStats(0, 0, 0, False)),
+        )
+
+    # ---- Step 1: partition into x matching sets. ----
+    with cost.phase("partition"):
+        if strategy == "iterate":
+            labels, x = _partition_iterate(lst, i, kind, cost)
+        elif strategy == "table":
+            labels, x = _partition_table(
+                lst, i, kind, cost, memory_limit, step1_table
+            )
+        else:
+            raise InvalidParameterError(f"unknown strategy {strategy!r}")
+
+    # ---- Step 2: 2-D layout + per-column local sorts. ----
+    with cost.phase("sort"):
+        layout = build_layout(lst, labels, x, cost=cost)
+    intra_tails, inter_tails = layout.classify_pointers(lst)
+
+    # ---- Steps 3–4: the WalkDown sweeps. ----
+    labels6 = np.full(n, NO_POINTER, dtype=np.int64)
+    with cost.phase("walkdown1"):
+        walkdown1(lst, layout, inter_tails, labels6, cost=cost, check=check)
+    with cost.phase("walkdown2"):
+        walkdown2(lst, layout, intra_tails, labels6, cost=cost, check=check)
+    if check:
+        verify_matching_partition(lst, labels6)
+
+    # ---- Step 5: Match1 steps 3–4 on the six-set partition. ----
+    with cost.phase("cutwalk"):
+        tails, cw = cut_and_walk(lst, labels6, cost=cost)
+    matching = Matching(lst, tails)
+    stats = Match4Stats(
+        i=i,
+        strategy=strategy,
+        x=layout.x,
+        y=layout.y,
+        num_inter=int(inter_tails.size),
+        num_intra=int(intra_tails.size),
+        cutwalk=cw,
+    )
+    return matching, cost.report(), stats

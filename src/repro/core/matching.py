@@ -1,0 +1,143 @@
+"""Matchings of a linked list: artifacts and verification.
+
+A matching is a set of pointers no two of which are incident on the
+same vertex; it is *maximal* when no further pointer can be added.  On
+a path the pointers themselves form a path (pointer ``i`` adjacent to
+pointer ``i+1``), so:
+
+- **independence** ⟺ no two consecutive pointers are both chosen;
+- **maximality** ⟺ every unchosen pointer has a chosen neighbor
+  (equivalently, the paper's phrasing: "at least one of any three
+  consecutive pointers of the linked list is in the matching", with the
+  ends tightened to two).
+
+Matchings are identified by the tails of the chosen pointers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import as_index_array
+from ..errors import VerificationError
+from ..lists.linked_list import NIL, LinkedList
+
+__all__ = ["Matching", "verify_matching", "verify_maximal_matching"]
+
+
+@dataclass(frozen=True)
+class Matching:
+    """A matching, validated for independence on construction.
+
+    Attributes
+    ----------
+    lst:
+        The underlying list.
+    tails:
+        Sorted array of tail addresses of the chosen pointers.
+    """
+
+    lst: LinkedList
+    tails: np.ndarray
+
+    def __post_init__(self) -> None:
+        tails = np.unique(as_index_array(self.tails, name="tails"))
+        object.__setattr__(self, "tails", tails)
+        verify_matching(self.lst, tails)
+        self.tails.setflags(write=False)
+
+    @property
+    def size(self) -> int:
+        """Number of matched pointers."""
+        return int(self.tails.size)
+
+    @property
+    def is_maximal(self) -> bool:
+        """Whether no pointer can be added (checked, not assumed)."""
+        try:
+            verify_maximal_matching(self.lst, self.tails)
+        except VerificationError:
+            return False
+        return True
+
+    def matched_mask(self) -> np.ndarray:
+        """Boolean per-node mask: is node ``v``'s pointer in the matching."""
+        mask = np.zeros(self.lst.n, dtype=bool)
+        mask[self.tails] = True
+        return mask
+
+    def matched_nodes(self) -> np.ndarray:
+        """Addresses of nodes covered by some matched pointer."""
+        return np.unique(
+            np.concatenate([self.tails, self.lst.next[self.tails]])
+        )
+
+
+def verify_matching(lst: LinkedList, tails: np.ndarray) -> None:
+    """Check independence: the chosen pointers exist and share no vertex.
+
+    Raises :class:`VerificationError` naming the first offense.
+    """
+    tails = as_index_array(tails, name="tails")
+    n = lst.n
+    if tails.size and (int(tails.min()) < 0 or int(tails.max()) >= n):
+        raise VerificationError("matched tails must be node addresses")
+    if np.unique(tails).size != tails.size:
+        raise VerificationError("matched tails contain duplicates")
+    nxt = lst.next
+    if np.any(nxt[tails] == NIL):
+        bad = int(tails[np.flatnonzero(nxt[tails] == NIL)[0]])
+        raise VerificationError(
+            f"node {bad} has no pointer (it is the tail) but was matched"
+        )
+    chosen = np.zeros(n, dtype=bool)
+    chosen[tails] = True
+    # Two chosen pointers share a vertex iff consecutive: <v,w> & <w,u>.
+    heads = nxt[tails]
+    clash = chosen[heads]
+    if np.any(clash):
+        bad = int(tails[np.flatnonzero(clash)[0]])
+        raise VerificationError(
+            f"pointers <{bad},{int(nxt[bad])}> and "
+            f"<{int(nxt[bad])},{int(nxt[nxt[bad]])}> are both matched but "
+            f"share node {int(nxt[bad])}"
+        )
+
+
+def verify_maximal_matching(lst: LinkedList, tails: np.ndarray) -> None:
+    """Check independence *and* maximality.
+
+    Maximality: every pointer ``<v, suc(v)>`` outside the matching has a
+    consecutive pointer inside it — otherwise both its endpoints are
+    free and it could be added.
+
+    Raises :class:`VerificationError` naming the first addable pointer.
+    """
+    verify_matching(lst, tails)
+    n = lst.n
+    if n <= 1:
+        return
+    nxt = lst.next
+    pred = lst.pred
+    chosen = np.zeros(n, dtype=bool)
+    chosen[as_index_array(tails, name="tails")] = True
+    has_ptr = nxt != NIL
+    v = np.flatnonzero(has_ptr & ~chosen)
+    # Neighbor pointers: <pre(v), v> (exists iff pred[v] != NIL) and
+    # <suc(v), suc(suc(v))> (exists iff nxt[suc(v)] != NIL).
+    left_ok = np.zeros(v.size, dtype=bool)
+    has_left = pred[v] != NIL
+    left_ok[has_left] = chosen[pred[v][has_left]]
+    right_ok = np.zeros(v.size, dtype=bool)
+    w = nxt[v]
+    has_right = nxt[w] != NIL
+    right_ok[has_right] = chosen[w[has_right]]
+    addable = ~(left_ok | right_ok)
+    if np.any(addable):
+        bad = int(v[np.flatnonzero(addable)[0]])
+        raise VerificationError(
+            f"pointer <{bad},{int(nxt[bad])}> could still be added: "
+            f"the matching is not maximal"
+        )

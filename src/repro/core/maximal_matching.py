@@ -1,0 +1,87 @@
+"""Unified entry point for all maximal-matching algorithms.
+
+``maximal_matching(lst, algorithm="match4", p=8)`` dispatches to the
+paper's algorithms (and the baselines registered by
+:mod:`repro.baselines`) with one calling convention, returning
+``(matching, report, stats)``.  Raw ``NEXT`` arrays are accepted in
+place of a :class:`repro.lists.LinkedList` and validated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..lists.linked_list import LinkedList
+from ..pram.cost import CostReport
+from .match1 import match1
+from .match2 import match2
+from .match3 import match3
+from .match4 import match4
+from .matching import Matching
+
+__all__ = ["ALGORITHMS", "maximal_matching", "register_algorithm"]
+
+#: Registry of maximal-matching algorithms.  Each entry maps
+#: ``lst, p=..., **kw`` to ``(Matching, CostReport, stats)``.
+ALGORITHMS: dict[str, Callable[..., tuple[Matching, CostReport, Any]]] = {
+    "match1": match1,
+    "match2": match2,
+    "match3": match3,
+    "match4": match4,
+}
+
+
+def register_algorithm(
+    name: str, fn: Callable[..., tuple[Matching, CostReport, Any]]
+) -> None:
+    """Register an additional algorithm (used by the baselines package).
+
+    Re-registration of an existing name is rejected to keep experiment
+    configurations unambiguous.
+    """
+    if name in ALGORITHMS:
+        raise InvalidParameterError(f"algorithm {name!r} already registered")
+    ALGORITHMS[name] = fn
+
+
+def maximal_matching(
+    lst: LinkedList | np.ndarray | list,
+    *,
+    algorithm: str = "match4",
+    p: int = 1,
+    **kwargs: Any,
+) -> tuple[Matching, CostReport, Any]:
+    """Compute a maximal matching of a linked list.
+
+    Parameters
+    ----------
+    lst:
+        A :class:`LinkedList` or a raw ``NEXT`` array (validated).
+    algorithm:
+        One of :data:`ALGORITHMS` (paper algorithms ``match1`` ...
+        ``match4`` plus registered baselines).
+    p:
+        Processor count for the cost accounting.
+    kwargs:
+        Forwarded to the algorithm (e.g. ``i=3`` for Match4,
+        ``sort_law="reif"`` for Match2).
+
+    Returns
+    -------
+    (matching, report, stats):
+        The maximal matching, a Brent :class:`CostReport`, and
+        algorithm-specific diagnostics.
+    """
+    if not isinstance(lst, LinkedList):
+        lst = LinkedList(lst)
+    try:
+        fn = ALGORITHMS[algorithm]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown algorithm {algorithm!r}; choose from "
+            f"{sorted(ALGORITHMS)}"
+        ) from None
+    return fn(lst, p=p, **kwargs)

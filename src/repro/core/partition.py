@@ -1,0 +1,116 @@
+"""Matching partitions: artifacts and verification.
+
+A *matching partition* assigns every pointer of the list a set label
+such that no two pointers in one set are incident on the same vertex.
+For a simple path two pointers share a vertex iff they are consecutive
+(``<a,b>`` and ``<b,c>``), so the verifiable property is: consecutive
+pointers carry distinct labels.
+
+Pointer labels are stored per tail node: ``labels[v]`` is the label of
+pointer ``<v, suc(v)>``; the tail node (which has no pointer) carries
+:data:`NO_POINTER`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import as_index_array
+from ..errors import VerificationError
+from ..lists.linked_list import NIL, LinkedList
+
+__all__ = ["NO_POINTER", "MatchingPartition", "verify_matching_partition"]
+
+#: Label stored at the tail node, which owns no pointer.
+NO_POINTER = -1
+
+
+@dataclass(frozen=True)
+class MatchingPartition:
+    """A verified-on-construction matching partition of a list's pointers.
+
+    Attributes
+    ----------
+    lst:
+        The underlying list.
+    labels:
+        Per-node pointer labels (``labels[v]`` labels ``<v, suc(v)>``;
+        :data:`NO_POINTER` at the tail).
+    """
+
+    lst: LinkedList
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        verify_matching_partition(self.lst, self.labels)
+        self.labels.setflags(write=False)
+
+    @property
+    def num_sets(self) -> int:
+        """Number of distinct labels in use (the partition's size)."""
+        real = self.labels[self.labels != NO_POINTER]
+        return int(np.unique(real).size)
+
+    @property
+    def max_label(self) -> int:
+        """Largest label in use (the quantity Lemmas 1–2 bound)."""
+        real = self.labels[self.labels != NO_POINTER]
+        return int(real.max()) if real.size else NO_POINTER
+
+    def set_sizes(self) -> dict[int, int]:
+        """Histogram ``{label: pointer count}``."""
+        real = self.labels[self.labels != NO_POINTER]
+        uniq, counts = np.unique(real, return_counts=True)
+        return {int(u): int(c) for u, c in zip(uniq, counts)}
+
+    def pointers_in_set(self, label: int) -> np.ndarray:
+        """Tails of the pointers carrying ``label``."""
+        return np.flatnonzero(self.labels == label)
+
+
+def verify_matching_partition(lst: LinkedList, labels: np.ndarray) -> None:
+    """Check that ``labels`` is a valid matching partition of ``lst``.
+
+    Verifies, vectorized:
+
+    1. shape: one entry per node;
+    2. the tail (and only the tail) carries :data:`NO_POINTER`;
+    3. labels are non-negative elsewhere;
+    4. **the matching property**: consecutive pointers
+       ``<v, suc(v)>`` and ``<suc(v), suc(suc(v))>`` carry distinct
+       labels (pointers in one set then share no endpoint, because a
+       path's pointers intersect only consecutively).
+
+    Raises :class:`VerificationError` with the first offending node.
+    """
+    labels = as_index_array(labels, name="labels")
+    n = lst.n
+    if labels.size != n:
+        raise VerificationError(
+            f"labels has {labels.size} entries for {n} nodes"
+        )
+    nxt = lst.next
+    has_ptr = nxt != NIL
+    if n >= 1:
+        if np.any(labels[~has_ptr] != NO_POINTER):
+            raise VerificationError("the tail node must carry NO_POINTER")
+        if np.any(labels[has_ptr] < 0):
+            bad = int(np.flatnonzero(has_ptr & (labels < 0))[0])
+            raise VerificationError(
+                f"pointer <{bad}, {int(nxt[bad])}> carries negative label "
+                f"{int(labels[bad])}"
+            )
+    # Consecutive pointers: v -> suc(v), both with real pointers.
+    v = np.flatnonzero(has_ptr)
+    w = nxt[v]
+    both = nxt[w] != NIL
+    v, w = v[both], w[both]
+    clash = labels[v] == labels[w]
+    if np.any(clash):
+        bad = int(v[np.flatnonzero(clash)[0]])
+        raise VerificationError(
+            f"consecutive pointers at nodes {bad} and {int(nxt[bad])} share "
+            f"label {int(labels[bad])}: not a matching partition"
+        )

@@ -1,0 +1,291 @@
+"""The paper's pipeline on genuine rings (extension module).
+
+On a circular list every node owns a pointer and the circular label
+convention is exact, which *simplifies* steps 3–4 of Match1:
+
+- the cut condition applies uniformly (every node is interior);
+- a strict local minimum always exists for ``n >= 2`` (the global
+  minimum's circular neighbors differ from it, hence exceed it), so at
+  least one cut fires and the path version's end repair disappears;
+- every segment both starts and ends at a cut, so "the first pointer of
+  each segment is chosen" covers all boundaries.
+
+The one new case is ``n = 2``: pointers ``<0,1>`` and ``<1,0>`` share
+both endpoints, so a maximal matching holds exactly one of them — the
+generic pipeline already produces that (the smaller-labelled pointer is
+cut, the other chosen).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import require
+from ..bits.iterated_log import G
+from ..errors import VerificationError
+from ..lists.ring import Ring
+from ..pram.cost import CostModel, CostReport
+from .functions import FunctionKind, pair_function
+
+__all__ = [
+    "ring_iterate_f",
+    "ring_maximal_matching",
+    "ring_mis",
+    "ring_three_coloring",
+    "verify_ring_matching",
+    "verify_ring_maximal_matching",
+    "verify_ring_coloring",
+]
+
+
+def ring_iterate_f(
+    ring: Ring,
+    rounds: int,
+    *,
+    kind: FunctionKind = "msb",
+    cost: CostModel | None = None,
+) -> np.ndarray:
+    """Iterate ``f`` around the ring (no wrap convention needed)."""
+    require(rounds >= 0, f"rounds must be >= 0, got {rounds}")
+    func = pair_function(kind)
+    labels = np.arange(ring.n, dtype=np.int64)
+    if ring.n == 1:
+        return labels
+    nxt = ring.next
+    for _ in range(rounds):
+        labels = func(labels, labels[nxt])
+        if np.any(labels == labels[nxt]):
+            raise VerificationError(
+                "adjacent ring labels collided after an f round"
+            )
+        if cost is not None:
+            cost.parallel(ring.n)
+    return labels
+
+
+def ring_maximal_matching(
+    ring: Ring,
+    *,
+    p: int = 1,
+    kind: FunctionKind = "msb",
+    rounds: int | None = None,
+) -> tuple[np.ndarray, CostReport]:
+    """Maximal matching of a ring's ``n`` pointers (Match1 pipeline).
+
+    Returns ``(tails, report)`` where ``tails`` are the chosen
+    pointers' tail addresses; the result is verified before return.
+    """
+    require(p >= 1, f"p must be >= 1, got {p}")
+    n = ring.n
+    cost = CostModel(p)
+    if n == 1:
+        return np.empty(0, dtype=np.int64), cost.report()
+    if rounds is None:
+        rounds = G(n)
+    with cost.phase("iterate"):
+        labels = ring_iterate_f(ring, rounds, kind=kind, cost=cost)
+    if int(labels.max()) >= 12:
+        raise VerificationError(
+            f"ring labels not constant after {rounds} rounds"
+        )
+    nxt = ring.next
+    pred = ring.pred
+    with cost.phase("cutwalk"):
+        # Cut: strict local minima — uniform, every node interior.
+        cut = (labels[pred] > labels) & (labels < labels[nxt])
+        cost.parallel(n)
+        if not np.any(cut):
+            raise VerificationError(
+                "no circular local minimum: impossible for adjacent-"
+                "distinct labels"
+            )
+        # Walk: segment starts are non-cut pointers following a cut.
+        chosen = np.zeros(n, dtype=bool)
+        current = np.flatnonzero(cut[pred] & ~cut)
+        num_segments = int(current.size)
+        rounds_walked = 0
+        while current.size:
+            rounds_walked += 1
+            if rounds_walked > n:
+                raise VerificationError("ring walk failed to terminate")
+            chosen[current] = True
+            w1 = nxt[current]              # the skipped pointer's tail
+            in1 = ~cut[w1] & ~chosen[w1]   # still inside my segment
+            w2 = nxt[w1[in1]]
+            in2 = ~cut[w2] & ~chosen[w2]
+            current = w2[in2]
+        cost.parallel(num_segments, depth=max(1, rounds_walked))
+    tails = np.flatnonzero(chosen)
+    verify_ring_maximal_matching(ring, tails)
+    return tails, cost.report()
+
+
+def ring_three_coloring(
+    ring: Ring,
+    *,
+    p: int = 1,
+    kind: FunctionKind = "msb",
+    rounds: int | None = None,
+) -> tuple[np.ndarray, CostReport]:
+    """Proper 3-coloring of a ring's nodes.
+
+    Works for every cycle length >= 3 (odd cycles genuinely need three
+    colors; even ones may use fewer) and for the 2-ring (two colors).
+    """
+    require(p >= 1, f"p must be >= 1, got {p}")
+    n = ring.n
+    cost = CostModel(p)
+    if n == 1:
+        return np.zeros(1, dtype=np.int64), cost.report()
+    if n == 2:
+        return np.asarray([0, 1], dtype=np.int64), cost.report()
+    if rounds is None:
+        rounds = G(n)
+    with cost.phase("iterate"):
+        colors = ring_iterate_f(ring, rounds, kind=kind, cost=cost)
+    if int(colors.max()) >= 6:
+        raise VerificationError(
+            f"ring colors not below 6 after {rounds} rounds"
+        )
+    nxt = ring.next
+    pred = ring.pred
+    colors = colors.copy()
+    with cost.phase("reduce"):
+        for doomed in (5, 4, 3):
+            sel = np.flatnonzero(colors == doomed)
+            if sel.size == 0:
+                cost.sequential(1)
+                continue
+            lc = colors[pred[sel]]
+            rc = colors[nxt[sel]]
+            c0, c1 = np.int64(0), np.int64(1)
+            bad0 = (lc == c0) | (rc == c0)
+            bad1 = (lc == c1) | (rc == c1)
+            colors[sel] = np.where(~bad0, c0,
+                                   np.where(~bad1, c1, np.int64(2)))
+            cost.parallel(int(sel.size))
+    verify_ring_coloring(ring, colors, 3)
+    return colors, cost.report()
+
+
+# ---------------------------------------------------------------------------
+# Verifiers.
+# ---------------------------------------------------------------------------
+
+def verify_ring_matching(ring: Ring, tails: np.ndarray) -> None:
+    """Independence on a ring: no two chosen pointers share a node."""
+    tails = np.asarray(tails, dtype=np.int64)
+    n = ring.n
+    if tails.size and (int(tails.min()) < 0 or int(tails.max()) >= n):
+        raise VerificationError("ring tails must be node addresses")
+    if np.unique(tails).size != tails.size:
+        raise VerificationError("ring tails contain duplicates")
+    if n == 1 and tails.size:
+        raise VerificationError("a 1-ring has no valid pointer")
+    chosen = np.zeros(n, dtype=bool)
+    chosen[tails] = True
+    nxt = ring.next
+    clash = chosen & chosen[nxt]
+    # on a 2-ring, <0,1> and <1,0> also share both endpoints
+    if n == 2 and tails.size > 1:
+        raise VerificationError("both pointers of a 2-ring share endpoints")
+    if n > 2 and np.any(clash):
+        bad = int(np.flatnonzero(clash)[0])
+        raise VerificationError(
+            f"chosen ring pointers at {bad} and {int(nxt[bad])} share a node"
+        )
+
+
+def verify_ring_maximal_matching(ring: Ring, tails: np.ndarray) -> None:
+    """Independence + maximality around the ring."""
+    verify_ring_matching(ring, tails)
+    n = ring.n
+    if n == 1:
+        return
+    chosen = np.zeros(n, dtype=bool)
+    chosen[np.asarray(tails, dtype=np.int64)] = True
+    if n == 2:
+        if not chosen.any():
+            raise VerificationError("the 2-ring's pointer is addable")
+        return
+    nxt = ring.next
+    pred = ring.pred
+    free = np.flatnonzero(~chosen)
+    lonely = ~chosen[pred[free]] & ~chosen[nxt[free]]
+    if np.any(lonely):
+        bad = int(free[np.flatnonzero(lonely)[0]])
+        raise VerificationError(
+            f"ring pointer <{bad},{int(nxt[bad])}> could still be added"
+        )
+
+
+def verify_ring_coloring(ring: Ring, colors: np.ndarray, k: int) -> None:
+    """Proper coloring of the cycle with values in ``[0, k)``."""
+    colors = np.asarray(colors, dtype=np.int64)
+    if colors.size != ring.n:
+        raise VerificationError(
+            f"colors has {colors.size} entries for {ring.n} nodes"
+        )
+    if colors.size and (int(colors.min()) < 0 or int(colors.max()) >= k):
+        raise VerificationError(f"ring colors must lie in [0, {k})")
+    if ring.n == 1:
+        return
+    nxt = ring.next
+    clash = colors == colors[nxt]
+    if np.any(clash):
+        bad = int(np.flatnonzero(clash)[0])
+        raise VerificationError(
+            f"ring nodes {bad} and {int(nxt[bad])} are adjacent and share "
+            f"color {int(colors[bad])}"
+        )
+
+
+def ring_mis(
+    ring: Ring,
+    *,
+    p: int = 1,
+    kind: FunctionKind = "msb",
+) -> tuple[np.ndarray, CostReport]:
+    """Maximal independent set of a ring's nodes.
+
+    Admit every matched pointer's tail, then one repair pass for the
+    free runs (length <= 2, as on paths; the ring has no ends, so the
+    path version's boundary cases vanish).  Returns ``(mask, report)``.
+    """
+    require(p >= 1, f"p must be >= 1, got {p}")
+    n = ring.n
+    cost = CostModel(p)
+    if n == 1:
+        return np.ones(1, dtype=bool), cost.report()
+    if n == 2:
+        return np.asarray([True, False]), cost.report()
+    tails, m_report = ring_maximal_matching(ring, p=p, kind=kind)
+    cost.absorb(m_report)
+    nxt = ring.next
+    pred = ring.pred
+    in_set = np.zeros(n, dtype=bool)
+    with cost.phase("admit"):
+        in_set[tails] = True
+        cost.parallel(int(tails.size))
+    with cost.phase("repair"):
+        covered = np.zeros(n, dtype=bool)
+        covered[tails] = True
+        covered[nxt[tails]] = True
+        free = np.flatnonzero(~covered)
+        if free.size:
+            # run leaders (left neighbor covered) with no in-set
+            # neighbor; the covered node after a free run is a matched
+            # tail (in the set), so run seconds are always dominated.
+            leader = covered[pred[free]]
+            right_in = in_set[nxt[free]]
+            left_in = in_set[pred[free]]
+            in_set[free[leader & ~right_in & ~left_in]] = True
+            cost.parallel(int(free.size))
+    # verify: independent + maximal on the cycle
+    if np.any(in_set & in_set[nxt]):
+        raise VerificationError("ring MIS produced adjacent members")
+    out = np.flatnonzero(~in_set)
+    lonely = ~in_set[pred[out]] & ~in_set[nxt[out]]
+    if np.any(lonely):
+        raise VerificationError("ring MIS is not maximal")
+    return in_set, cost.report()

@@ -1,0 +1,244 @@
+"""WalkDown1 and WalkDown2 (paper section 3, Lemmas 6–7).
+
+These are the paper's new processor-scheduling technique.  Both sweeps
+3-label a class of pointers greedily; their whole content is the
+*schedule* guaranteeing that no two pointers sharing an endpoint are
+ever processed in the same synchronous step, so each processor can pick
+its label from ``{0,1,2}`` independently.
+
+**WalkDown1** (Lemma 6) — handles **inter-row** pointers.  All column
+processors sweep rows ``0..x-1`` in lockstep; at step ``r`` the pointer
+in each column's row-``r`` cell is processed *if it is inter-row*.
+Safety: a neighbor pointer of an inter-row pointer processed at step
+``r`` would have to sit in row ``r`` too, which the inter-row condition
+forbids (worked out per-case in the test suite).
+
+**WalkDown2** (Lemma 7) — handles **intra-row** pointers over the
+label-sorted columns.  Each processor runs the paper's count/index
+automaton for ``2x - 1`` steps::
+
+    count := 0; index := 0
+    for i := 0 to 2x - 2:
+        if index <= x - 1:
+            if A[index] = count: process A[index]; index += 1
+            else:                count += 1
+
+Lemma 7: the cell in row ``r`` is processed exactly at step
+``A[r] + r``.  Corollary 1: every cell gets processed.  Corollary 2:
+all processors in one row at one step see the same label — so pointers
+processed together in a row belong to one matching set and share no
+endpoints.  Pointers in *different* rows at the same step are safe too:
+an intra-row pointer's neighbors in the walk live in its own row.
+
+Both sweeps are implemented twice: a **literal automaton**
+(:func:`walkdown2_automaton`) used to certify Lemma 7 and the
+corollaries, and the production vectorized sweeps (:func:`walkdown1`,
+:func:`walkdown2`) that group work by step and assert the
+disjointness invariant as they go.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import as_index_array
+from ..errors import VerificationError
+from ..lists.linked_list import NIL, LinkedList
+from ..pram.cost import CostModel
+from .layout import EMPTY, Layout2D
+
+__all__ = [
+    "WalkDown2Trace",
+    "walkdown1",
+    "walkdown2",
+    "walkdown2_automaton",
+    "walkdown2_step_of",
+]
+
+
+# ---------------------------------------------------------------------------
+# The literal automaton (Lemma 7 artifact).
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WalkDown2Trace:
+    """Trace of one column's WalkDown2 automaton run.
+
+    Attributes
+    ----------
+    processed_at:
+        ``processed_at[r]`` is the step at which row ``r``'s cell was
+        processed (marked), per the loop index ``i``.
+    idle_steps:
+        Steps spent in the ``count := count + 1`` branch.
+    total_steps:
+        Loop iterations executed (always ``2x - 1``).
+    """
+
+    processed_at: np.ndarray
+    idle_steps: int
+    total_steps: int
+
+
+def walkdown2_automaton(sorted_labels: np.ndarray) -> WalkDown2Trace:
+    """Run the paper's count/index loop literally on one column.
+
+    ``sorted_labels`` is the ascending label array ``A[0..x-1]`` with
+    every entry in ``[0, x)`` (Lemma 7's premise ``A[r] <= x - 1`` —
+    ``A[r] <= r`` is not required, only sortedness and range).
+    """
+    a = as_index_array(sorted_labels, name="sorted_labels")
+    x = a.size
+    if x == 0:
+        return WalkDown2Trace(np.empty(0, dtype=np.int64), 0, 0)
+    if np.any(np.diff(a) < 0):
+        raise VerificationError("WalkDown2 requires an ascending column")
+    if int(a.min()) < 0 or int(a.max()) > x - 1:
+        raise VerificationError(
+            f"WalkDown2 labels must lie in [0, {x - 1}]"
+        )
+    processed_at = np.full(x, -1, dtype=np.int64)
+    count = 0
+    index = 0
+    idle = 0
+    total = 0
+    for i in range(2 * x - 1):
+        total += 1
+        if index <= x - 1:
+            if a[index] == count:
+                processed_at[index] = i   # "A[index] := MARKED"
+                index += 1
+            else:
+                count += 1
+                idle += 1
+    if np.any(processed_at < 0):
+        raise VerificationError(
+            "WalkDown2 automaton failed to mark every cell "
+            "(contradicts Corollary 1)"
+        )
+    return WalkDown2Trace(processed_at=processed_at, idle_steps=idle,
+                          total_steps=total)
+
+
+def walkdown2_step_of(layout: Layout2D) -> np.ndarray:
+    """Lemma 7 in closed form: node ``v``'s cell is processed at step
+    ``label[v] + row_of[v]``.  The automaton trace is asserted equal in
+    tests; production sweeps use this directly."""
+    return layout.labels + layout.row_of
+
+
+# ---------------------------------------------------------------------------
+# Production sweeps.
+# ---------------------------------------------------------------------------
+
+def _mex3(base: int, l1: np.ndarray, l2: np.ndarray) -> np.ndarray:
+    """Smallest label in ``{base, base+1, base+2}`` avoiding l1 and l2.
+
+    ``l1``/``l2`` are current neighbor labels (-1 when absent).  With
+    at most two exclusions among three candidates, a choice always
+    exists.
+    """
+    c0 = np.int64(base)
+    c1 = np.int64(base + 1)
+    bad0 = (l1 == c0) | (l2 == c0)
+    bad1 = (l1 == c1) | (l2 == c1)
+    return np.where(~bad0, c0, np.where(~bad1, c1, np.int64(base + 2)))
+
+
+def _greedy_sweep(
+    lst: LinkedList,
+    layout: Layout2D,
+    tails: np.ndarray,
+    step_of: np.ndarray,
+    *,
+    base: int,
+    labels6: np.ndarray,
+    cost: CostModel | None,
+    check: bool,
+    phase_name: str,
+) -> int:
+    """Process the given pointers grouped by step, greedily 3-labeling.
+
+    ``step_of`` maps each tail in ``tails`` to its processing step.
+    Writes into ``labels6`` in place.  Returns the number of steps
+    swept.  With ``check``, asserts that pointers processed in one step
+    never share an endpoint — the sweeps' safety theorem.
+    """
+    nxt = lst.next
+    pred = lst.pred
+    if tails.size == 0:
+        return 0
+    order = np.argsort(step_of, kind="stable")
+    tails = tails[order]
+    steps = step_of[order]
+    uniq, starts = np.unique(steps, return_index=True)
+    boundaries = np.append(starts, steps.size)
+    max_step = int(uniq.max()) + 1 if uniq.size else 0
+    for j in range(uniq.size):
+        group = tails[boundaries[j]:boundaries[j + 1]]
+        if check and group.size > 1:
+            ends = np.concatenate([group, nxt[group]])
+            if np.unique(ends).size != ends.size:
+                raise VerificationError(
+                    f"{phase_name}: two pointers processed at step "
+                    f"{int(uniq[j])} share an endpoint — the schedule's "
+                    f"safety guarantee failed"
+                )
+        heads = nxt[group]
+        # Neighbor pointers: <pre(tail), tail> and <head, suc(head)>.
+        left = pred[group]
+        l1 = np.where(left != NIL, labels6[np.where(left != NIL, left, 0)], -1)
+        has_r = nxt[heads] != NIL
+        l2 = np.where(has_r, labels6[np.where(has_r, heads, 0)], -1)
+        labels6[group] = _mex3(base, l1, l2)
+    if cost is not None:
+        cost.parallel(layout.y, depth=max(1, max_step))
+    return max_step
+
+
+def walkdown1(
+    lst: LinkedList,
+    layout: Layout2D,
+    inter_tails: np.ndarray,
+    labels6: np.ndarray,
+    *,
+    cost: CostModel | None = None,
+    check: bool = True,
+) -> int:
+    """Sweep rows 0..x-1, 3-labeling inter-row pointers with {0,1,2}.
+
+    Step of pointer ``<v, suc(v)>`` is ``row_of[v]`` (the row its tail
+    cell occupies).  Returns the number of steps (``x``).
+    """
+    step_of = layout.row_of[inter_tails]
+    _greedy_sweep(
+        lst, layout, inter_tails, step_of,
+        base=0, labels6=labels6, cost=cost, check=check,
+        phase_name="WalkDown1",
+    )
+    return layout.x
+
+
+def walkdown2(
+    lst: LinkedList,
+    layout: Layout2D,
+    intra_tails: np.ndarray,
+    labels6: np.ndarray,
+    *,
+    cost: CostModel | None = None,
+    check: bool = True,
+) -> int:
+    """Pipelined sweep 3-labeling intra-row pointers with {3,4,5}.
+
+    Step of pointer ``<v, suc(v)>`` is ``label[v] + row_of[v]``
+    (Lemma 7).  Returns the number of steps (``<= 2x - 1``).
+    """
+    step_of = walkdown2_step_of(layout)[intra_tails]
+    swept = _greedy_sweep(
+        lst, layout, intra_tails, step_of,
+        base=3, labels6=labels6, cost=cost, check=check,
+        phase_name="WalkDown2",
+    )
+    return min(max(swept, 1), 2 * layout.x - 1)

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses distinguish the three
+broad failure domains: malformed inputs (:class:`InvalidListError`),
+violations of PRAM execution rules detected by the simulator
+(:class:`PRAMError` and its children), and internal invariant violations
+surfaced by the verification layer (:class:`VerificationError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidListError(ReproError, ValueError):
+    """An input linked list is structurally invalid.
+
+    Raised when pointer arrays are malformed: out-of-range successors,
+    nodes with two predecessors, cycles where a simple path is required,
+    or unreachable nodes.
+    """
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """An algorithm parameter is outside its documented domain.
+
+    Examples: a processor count ``p < 1``, an iteration parameter
+    ``i < 1``, or a bit-crunch depth that would make a Match3 lookup
+    table larger than the input size allows.
+    """
+
+
+class PRAMError(ReproError, RuntimeError):
+    """Base class for errors raised by the PRAM simulator."""
+
+
+class MemoryConflictError(PRAMError):
+    """A memory access violated the machine's conflict-resolution rule.
+
+    EREW machines raise this on *any* same-cell same-step collision;
+    CREW machines on concurrent writes; CRCW-common machines on
+    concurrent writes of *different* values.
+    """
+
+
+class DeadlockError(PRAMError):
+    """All live processors are blocked and no progress is possible."""
+
+
+class ProgramError(PRAMError):
+    """A PRAM program yielded a malformed instruction."""
+
+
+class VerificationError(ReproError, AssertionError):
+    """A verified artifact (matching, partition, coloring) is invalid.
+
+    Raised by the checkers in :mod:`repro.core.matching` and
+    :mod:`repro.core.partition` when an algorithm's output violates the
+    property it is supposed to guarantee.  Seeing this in the wild is a
+    library bug, never a user error.
+    """

@@ -1,0 +1,110 @@
+"""ASCII rendering of array-stored linked lists (the paper's Fig. 1).
+
+Fig. 1 draws the list as an array of cells with pointer arcs hopping
+across it; Fig. 2 adds the bisecting line whose crossings define the
+matching partition function.  :func:`arc_diagram` reproduces that view
+in plain text: one cell per address, arcs packed greedily onto as few
+levels as possible, arrowheads marking pointer heads, and (optionally)
+the coarsest bisecting line of Fig. 2.
+
+Intended for teaching/debugging at small ``n``; the CLI's ``fig1``
+command renders the paper's own example.
+"""
+
+from __future__ import annotations
+
+from .._util import require
+from .linked_list import NIL, LinkedList
+
+__all__ = ["arc_diagram"]
+
+#: Maximum list size the renderer accepts (a terminal-width concern).
+MAX_NODES = 32
+
+
+def arc_diagram(
+    lst: LinkedList,
+    *,
+    bisector: bool = False,
+    cell_width: int = 4,
+) -> str:
+    """Render ``lst`` as an array with pointer arcs (Fig. 1 style).
+
+    Parameters
+    ----------
+    lst:
+        The list (at most :data:`MAX_NODES` nodes).
+    bisector:
+        Also draw Fig. 2's coarsest bisecting line ``c`` between the
+        lower and upper half of the address range, and annotate each
+        arc with F/B when it crosses ``c`` forward/backward.
+    cell_width:
+        Horizontal characters per array cell.
+
+    Returns the multi-line string.
+    """
+    n = lst.n
+    require(n <= MAX_NODES, f"arc_diagram renders up to {MAX_NODES} nodes")
+    w = cell_width
+
+    def col(addr: int) -> int:
+        return addr * w + w // 2
+
+    width = n * w
+    # Greedy interval packing of arcs onto levels (lowest level first).
+    tails, heads = lst.pointers()
+    arcs = sorted(
+        (min(int(a), int(b)), max(int(a), int(b)), int(a), int(b))
+        for a, b in zip(tails, heads)
+    )
+    levels: list[list[tuple[int, int, int, int]]] = []
+    for arc in arcs:
+        placed = False
+        for level in levels:
+            # strict separation: consecutive pointers share an endpoint
+            # and would overwrite each other's corner glyphs
+            if all(arc[0] > hi or arc[1] < lo for lo, hi, _, _ in level):
+                level.append(arc)
+                placed = True
+                break
+        if not placed:
+            levels.append([arc])
+
+    lines: list[str] = []
+    mid_col = (n // 2) * w  # Fig. 2's line c sits before the upper half
+    for level in reversed(levels):
+        row = [" "] * width
+        for lo, hi, a, b in level:
+            c_lo, c_hi = col(lo), col(hi)
+            for x in range(c_lo + 1, c_hi):
+                row[x] = "─"
+            # corners: the arc descends into both endpoints
+            row[c_lo] = "╭"
+            row[c_hi] = "╮"
+            # arrowhead at the head's side, one char inside the corner
+            if b > a:  # forward pointer: head on the right
+                row[c_hi - 1] = "►"
+            else:      # backward pointer: head on the left
+                row[c_lo + 1] = "◄"
+            if bisector and ((a < n // 2) != (b < n // 2)):
+                mark = "F" if b > a else "B"
+                mid = (c_lo + c_hi) // 2
+                row[mid] = mark
+        lines.append("".join(row).rstrip())
+    # connector row: vertical stubs from the lowest arcs into cells
+    stub = [" "] * width
+    for addr in range(n):
+        stub[col(addr)] = "│"
+    lines.append("".join(stub).rstrip())
+    # the array cells
+    cells = "".join(f"{addr:^{w}d}" for addr in range(n))
+    lines.append(cells.rstrip())
+    ranks = lst.rank
+    order_row = "".join(f"{'x%d' % ranks[addr]:^{w}}" for addr in range(n))
+    lines.append(order_row.rstrip())
+    if bisector and n >= 2:
+        pointer_line = [" "] * width
+        pointer_line[mid_col] = "c"
+        lines.append("".join(pointer_line).rstrip())
+    header = f"linked list, n={n}, head={lst.head} (x_j = j-th node in order)"
+    return "\n".join([header] + lines)

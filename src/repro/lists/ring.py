@@ -1,0 +1,162 @@
+"""Circular linked lists (rings) — the natural home of the paper's ``f``.
+
+The paper already treats labels circularly ("If a is the last element
+in the list, we can define f(a, suc(a)) = f(a, b) where b is the first
+element"); only the *structure* it matches is a path.  This module
+extends the machinery to genuine rings, where the circular treatment is
+exact rather than a convention:
+
+- every node owns a pointer, so a ring of ``n`` nodes has ``n``
+  pointers;
+- the local-minima cut needs no boundary handling — a circular
+  adjacent-distinct label sequence always contains a strict local
+  minimum (the global minimum's neighbors differ from it, hence exceed
+  it), so at least one cut always exists and the end-repair of
+  :mod:`repro.core.cutwalk` becomes unnecessary;
+- maximal matchings and 3-colorings follow by the same pipeline.
+
+The only genuinely new boundary case is ``n = 2``: the two pointers
+``<0,1>`` and ``<1,0>`` share *both* endpoints, so a maximal matching
+holds exactly one of them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .._util import as_index_array
+from ..errors import InvalidListError
+from .linked_list import NIL
+
+__all__ = ["Ring", "random_ring", "sequential_ring"]
+
+
+class Ring:
+    """A circular singly linked list over addresses ``0..n-1``.
+
+    ``next_[v]`` is the successor of ``v``; following it from any node
+    visits every node exactly once and returns.  Unlike
+    :class:`repro.lists.LinkedList` there is no head or tail; iteration
+    starts at address 0's position by convention.
+    """
+
+    __slots__ = ("_next", "_pred")
+
+    def __init__(self, next_: Sequence[int] | np.ndarray, *,
+                 validate: bool = True) -> None:
+        nxt = as_index_array(next_, name="NEXT")
+        if validate:
+            self._validate(nxt)
+        self._next = nxt
+        self._next.setflags(write=False)
+        pred = np.empty(nxt.size, dtype=np.int64)
+        pred[nxt] = np.arange(nxt.size, dtype=np.int64)
+        pred.setflags(write=False)
+        self._pred = pred
+
+    @staticmethod
+    def _validate(nxt: np.ndarray) -> None:
+        n = nxt.size
+        if n == 0:
+            raise InvalidListError("empty ring")
+        if np.any(nxt < 0) or np.any(nxt >= n):
+            raise InvalidListError("ring pointers must be addresses in [0, n)")
+        if n > 1 and np.any(nxt == np.arange(n)):
+            bad = int(np.flatnonzero(nxt == np.arange(n))[0])
+            raise InvalidListError(f"self-loop at node {bad} in a ring of {n}")
+        if np.unique(nxt).size != n:
+            raise InvalidListError("ring successors must be a permutation")
+        # single cycle: walk from 0
+        seen = 0
+        v = 0
+        while True:
+            seen += 1
+            v = int(nxt[v])
+            if v == 0:
+                break
+            if seen > n:
+                raise InvalidListError("ring walk did not close")
+        if seen != n:
+            raise InvalidListError(
+                f"ring has multiple cycles: walk from 0 closed after "
+                f"{seen} of {n} nodes"
+            )
+
+    @classmethod
+    def from_order(cls, order: Sequence[int] | np.ndarray) -> "Ring":
+        """Build a ring visiting the given address permutation."""
+        order = as_index_array(order, name="order")
+        n = order.size
+        if n == 0:
+            raise InvalidListError("cannot build a ring from an empty order")
+        check = np.zeros(n, dtype=bool)
+        if np.any(order < 0) or np.any(order >= n):
+            raise InvalidListError("order entries must be addresses in [0, n)")
+        check[order] = True
+        if not np.all(check):
+            raise InvalidListError("order must be a permutation of 0..n-1")
+        nxt = np.empty(n, dtype=np.int64)
+        nxt[order] = np.roll(order, -1)
+        return cls(nxt, validate=False)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes (= number of pointers)."""
+        return int(self._next.size)
+
+    @property
+    def next(self) -> np.ndarray:
+        """The (read-only) successor array."""
+        return self._next
+
+    @property
+    def pred(self) -> np.ndarray:
+        """The (read-only) predecessor array (total on a ring)."""
+        return self._pred
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self) -> Iterator[int]:
+        v = 0
+        for _ in range(self.n):
+            yield int(v)
+            v = int(self._next[v])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Ring(n={self.n})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Ring):
+            return NotImplemented
+        return bool(np.array_equal(self._next, other._next))
+
+    def __hash__(self) -> int:
+        return hash((self.n, self._next.tobytes()))
+
+    def cut_open(self, at: int = 0):
+        """Return the :class:`LinkedList` obtained by deleting the
+        pointer *into* node ``at`` (making ``at`` the head)."""
+        from .linked_list import LinkedList
+
+        nxt = self._next.copy()
+        nxt[self._pred[at]] = NIL
+        return LinkedList(nxt, validate=False)
+
+
+def random_ring(n: int, rng: np.random.Generator | int | None = None) -> Ring:
+    """A ring visiting a uniformly random permutation."""
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    if n < 1:
+        raise InvalidListError("ring needs n >= 1")
+    return Ring.from_order(rng.permutation(n))
+
+
+def sequential_ring(n: int) -> Ring:
+    """The identity-layout ring ``0 -> 1 -> ... -> n-1 -> 0``."""
+    if n < 1:
+        raise InvalidListError("ring needs n >= 1")
+    return Ring.from_order(np.arange(n, dtype=np.int64))

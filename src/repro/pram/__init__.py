@@ -1,0 +1,58 @@
+"""PRAM substrate: the machine model the paper's bounds are stated on.
+
+The paper's results are synchronous-PRAM step counts for ``p``
+processors under EREW/CREW/CRCW memory rules.  Python cannot execute
+true shared-memory lockstep parallelism (the GIL), so this subpackage
+provides the two standard simulation tiers and cross-checks them:
+
+- **Instruction level** (:mod:`repro.pram.machine`,
+  :mod:`repro.pram.memory`, :mod:`repro.pram.program`): processors are
+  Python generators yielding one shared-memory operation per
+  synchronous step; the machine executes all processors in lockstep and
+  *enforces* the memory model — an EREW run that ever has two
+  processors touch one cell in one step raises
+  :class:`repro.errors.MemoryConflictError`.  This tier is the ground
+  truth for step counts and legality at small ``n``.
+
+- **Cost-model level** (:mod:`repro.pram.cost`): algorithms execute
+  vectorized in NumPy while a :class:`repro.pram.cost.CostModel`
+  charges Brent-scheduled time — a parallel step of width ``m`` on
+  ``p`` processors costs ``ceil(m/p)`` time units and ``m`` work.  This
+  tier reproduces the complexity curves at ``n`` up to millions.
+
+:mod:`repro.pram.primitives` holds PRAM programs for the subroutines
+the paper leans on — pointer jumping, parallel prefix, balanced
+fan-in — written for the instruction-level machine.
+"""
+
+from .cost import CostModel, CostReport, PhaseCost
+from .machine import MachineReport, PRAM
+from .memory import AccessMode, SharedMemory
+from .program import Halt, LocalBarrier, Read, Write
+from .algorithms import run_iterate_f, run_match1, run_match2, run_match3, run_match4
+from .virtualize import run_virtualized, virtualize
+from .trace import memory_heat, processor_activity, utilization
+
+__all__ = [
+    "run_iterate_f",
+    "run_match1",
+    "run_match2",
+    "run_match3",
+    "run_match4",
+    "virtualize",
+    "run_virtualized",
+    "processor_activity",
+    "memory_heat",
+    "utilization",
+    "CostModel",
+    "CostReport",
+    "PhaseCost",
+    "MachineReport",
+    "PRAM",
+    "AccessMode",
+    "SharedMemory",
+    "Halt",
+    "LocalBarrier",
+    "Read",
+    "Write",
+]

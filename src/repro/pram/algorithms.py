@@ -1,0 +1,868 @@
+"""The paper's algorithms as instruction-level PRAM programs.
+
+The vectorized implementations in :mod:`repro.core` charge a cost model
+but execute as NumPy kernels.  This module re-implements the paper's
+pipeline as *literal lockstep programs* for the conflict-checked
+machine — each processor a generator, one shared-memory operation per
+synchronous step — so the memory-model claims become machine-checked
+facts rather than prose:
+
+- :func:`run_iterate_f` — steps 1–2 of Match1 on ``p <= n``
+  processors, EREW-clean (label reads are exclusive because ``NEXT`` is
+  injective; rounds are double-buffered when ``p < n`` so a Brent-
+  simulated round still reads only pre-round labels).
+- :func:`run_match1` — the complete Match1 (iterate, cut at local
+  minima, walk sublists) on ``n`` processors, EREW-clean.
+- :func:`run_match3` — the complete Match3; its table-lookup step
+  makes the appendix's copy discussion executable (EREW needs
+  per-processor copies of ``T``; one shared copy forces CREW — both
+  machine-checked).
+- :func:`run_match2` — the complete Match2, with its integer sort
+  realized as per-value EREW prefix-sum passes plus an EREW broadcast
+  tree for each pass total — the ``log n``-additive sort cost as
+  actual machine steps.
+- :func:`run_match4` — the complete Match4 on ``y`` column processors:
+  per-column local sorts, the WalkDown1 row sweep, the WalkDown2
+  count/index automaton, cut and walk.  Perhaps surprisingly, the whole
+  program is EREW-clean: the apparent hazard — two pointers processed
+  in one step consulting a shared neighbor (``<a,b>`` and
+  ``<a', pred(a)>`` both care about pointer ``<pred(a), a>``) — never
+  collides at the memory, because "read my predecessor's label" and
+  "read my successor's label" are separate instructions landing on
+  separate lockstep sub-steps, and each family's targets are distinct
+  by injectivity of ``PRED`` resp. ``NEXT``.  The machine *checks*
+  this: the test suite runs it under ``mode="EREW"``.
+
+Processors keep private Python state between yields (registers); only
+``yield``-ed operations touch shared memory, and every branch of every
+phase is padded to a fixed yield count so all processors stay on the
+same step schedule — the alignment arguments in the docstrings below
+are what the EREW claims rest on.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from .._util import ceil_div, require
+from ..bits.iterated_log import G
+from ..lists.linked_list import NIL, LinkedList
+from .machine import PRAM, MachineReport
+from .program import LocalBarrier, Read, Write
+
+__all__ = ["run_iterate_f", "run_match1", "run_match2", "run_match3", "run_match4"]
+
+
+def _f_msb_local(a: int, b: int) -> int:
+    """Local-register evaluation of ``f`` (one PRAM instruction)."""
+    x = a ^ b
+    k = x.bit_length() - 1
+    return 2 * k + ((a >> k) & 1)
+
+
+def _mex3_local(base: int, l1: int, l2: int) -> int:
+    """Smallest of {base, base+1, base+2} avoiding l1 and l2."""
+    for c in (base, base + 1, base + 2):
+        if c != l1 and c != l2:
+            return c
+    raise AssertionError("unreachable: two exclusions, three candidates")
+
+
+# ---------------------------------------------------------------------------
+# iterate f
+# ---------------------------------------------------------------------------
+
+def run_iterate_f(
+    lst: LinkedList,
+    rounds: int,
+    *,
+    p: int | None = None,
+    mode: str = "EREW",
+) -> tuple[np.ndarray, MachineReport]:
+    """Steps 1–2 of Match1 as a PRAM program.
+
+    Memory map: ``[0, n)`` labels, ``[n, 2n)`` circular ``NEXT``
+    (static), ``[2n, 3n)`` the double buffer.
+
+    With ``p == n`` (default) each round is four steps (read own
+    ``NEXT``, read own label, read successor's label, write own label);
+    reads precede the write inside the round, so no buffering is
+    needed.  With ``p < n`` each processor serves ``ceil(n/p)`` nodes
+    per round and new labels go to the buffer first, then a copy pass
+    commits them — otherwise a processor would read a *new* label
+    mid-round and the run would not be a synchronous PRAM round.
+
+    Returns ``(labels, report)``.
+    """
+    require(rounds >= 0, f"rounds must be >= 0, got {rounds}")
+    n = lst.n
+    if p is None:
+        p = n
+    require(1 <= p <= n, f"p must be in [1, n], got {p}")
+    cnext = lst.circular_next()
+    mem = np.zeros(3 * n, dtype=np.int64)
+    mem[:n] = np.arange(n)
+    mem[n:2 * n] = cnext
+    chunk = ceil_div(n, p)
+
+    def program(pid: int, nprocs: int) -> Generator:
+        for _ in range(rounds):
+            new: dict[int, int] = {}
+            for slot in range(chunk):
+                v = pid * chunk + slot
+                if v < n:
+                    j = yield Read(n + v)
+                    lv = yield Read(v)
+                    lj = yield Read(j)
+                    new[v] = _f_msb_local(lv, lj)
+                    yield Write(2 * n + v, new[v])
+                else:
+                    for _ in range(4):
+                        yield LocalBarrier()
+            # commit pass: copy buffer back (exclusive, own cells)
+            for slot in range(chunk):
+                v = pid * chunk + slot
+                if v < n:
+                    val = yield Read(2 * n + v)
+                    yield Write(v, val)
+                else:
+                    yield LocalBarrier()
+                    yield LocalBarrier()
+
+    machine = PRAM(3 * n, mode=mode, initial_memory=mem)
+    report = machine.run([program] * p)
+    return report.memory[:n].copy(), report
+
+
+# ---------------------------------------------------------------------------
+# Match1
+# ---------------------------------------------------------------------------
+
+def run_match1(
+    lst: LinkedList,
+    *,
+    rounds: int | None = None,
+    mode: str = "EREW",
+    max_walk: int = 24,
+    trace: bool = False,
+) -> tuple[np.ndarray, MachineReport]:
+    """The complete Match1 as an ``n``-processor EREW program.
+
+    Memory map: ``[0,n)`` labels, ``[n,2n)`` circular ``NEXT``,
+    ``[2n,3n)`` real ``NEXT`` (``NIL`` encoded as ``n`` pointing at a
+    scratch sentinel block), ``[3n,4n)`` ``PRED`` (head's encoded
+    likewise), ``[4n,5n)`` cut flags, ``[5n,6n)`` chosen flags, plus a
+    sentinel cell.
+
+    EREW legality per phase: the iterate phase is the ``p = n`` case of
+    :func:`run_iterate_f`; the cut phase reads ``label[pred(v)]`` and
+    ``label[suc(v)]`` (exclusive by injectivity of ``PRED``/``NEXT``)
+    at distinct step indices; walkers traverse disjoint sublists, so
+    their reads/writes never meet, and every walker executes exactly
+    ``max_walk`` fixed-shape iterations (idling once its sublist ends)
+    to preserve alignment.
+
+    Returns ``(chosen_tails, report)``.
+    """
+    n = lst.n
+    require(n >= 1, "need at least one node")
+    if rounds is None:
+        rounds = G(n)
+    if n == 1:
+        machine = PRAM(1, mode=mode)
+        report = machine.run([lambda pid, np_: iter(())])
+        return np.empty(0, dtype=np.int64), report
+    # Memory map:
+    #   labels   [0, n)
+    #   cnext    [n, 2n)    circular NEXT (static)
+    #   rnext    [2n, 3n)   real NEXT, NIL encoded as 6n
+    #   pred     [3n, 4n)   PRED, head's encoded as 6n
+    #   cut      [4n, 5n)
+    #   chosen   [5n, 6n)
+    #   sentinel [6n]       the nil stand-in; never actually Read
+    mem = np.zeros(6 * n + 1, dtype=np.int64)
+    mem[:n] = np.arange(n)
+    mem[n:2 * n] = lst.circular_next()
+    rnext = lst.next.copy()
+    rnext[rnext == NIL] = 6 * n
+    mem[2 * n:3 * n] = rnext
+    pred = lst.pred.copy()
+    pred[pred == NIL] = 6 * n
+    mem[3 * n:4 * n] = pred
+    mem[4 * n:5 * n] = 0
+
+    def program(v: int, nprocs: int) -> Generator:
+        # ---- phase 1: iterate f (4 yields per round) ----
+        for _ in range(rounds):
+            j = yield Read(n + v)
+            lv = yield Read(v)
+            lj = yield Read(j)
+            yield Write(v, _f_msb_local(lv, lj))
+        # ---- phase 2: cut at strict local minima (interior only) ----
+        pv = yield Read(3 * n + v)
+        sv = yield Read(2 * n + v)
+        lv = yield Read(v)
+        interior = pv != 6 * n and sv != 6 * n
+        if interior:
+            lp = yield Read(pv)
+            ls = yield Read(sv)
+            cut = 1 if (lp > lv and lv < ls) else 0
+            yield Write(4 * n + v, cut)
+        else:
+            yield LocalBarrier()
+            yield LocalBarrier()
+            yield LocalBarrier()
+        # ---- phase 3: find segment starts ----
+        # start iff I have a pointer (sv != sentinel) and (no pred or
+        # pred's pointer cut).
+        if sv != 6 * n and pv != 6 * n:
+            pc = yield Read(4 * n + pv)
+            start = pc == 1
+        else:
+            yield LocalBarrier()
+            start = sv != 6 * n and pv == 6 * n  # the head's pointer
+        # ---- phase 4: walk my sublist ----
+        # Fixed max_walk iterations of exactly six yields each; walkers
+        # own disjoint sublists, so all their reads/writes are
+        # exclusive regardless of which branch pads.  Invariant on an
+        # active `cur`: pointer <cur, suc(cur)> exists and is uncut.
+        cur = v if start else -1
+        for _ in range(max_walk):
+            if cur < 0:
+                for _ in range(6):
+                    yield LocalBarrier()
+                continue
+            yield Write(5 * n + cur, 1)        # choose <cur, suc(cur)>
+            w1 = yield Read(2 * n + cur)       # the skipped tail
+            w1n = yield Read(2 * n + w1)       # does <w1, .> exist?
+            if w1n == 6 * n:
+                cur = -1
+                for _ in range(3):
+                    yield LocalBarrier()
+                continue
+            c1 = yield Read(4 * n + w1)        # is <w1, .> cut?
+            if c1 == 1:
+                cur = -1
+                yield LocalBarrier()
+                yield LocalBarrier()
+                continue
+            w2 = w1n
+            w2n = yield Read(2 * n + w2)       # does <w2, .> exist?
+            if w2n == 6 * n:
+                cur = -1
+                yield LocalBarrier()
+                continue
+            c2 = yield Read(4 * n + w2)        # is <w2, .> cut?
+            cur = w2 if c2 == 0 else -1
+        # ---- phase 5: end repair (see core.cutwalk docstring) ----
+        # The unique owner of the list's final pointer re-adds it when
+        # both its endpoints stayed free; at most one processor enters
+        # the branch, so its reads are trivially exclusive.
+        if sv != 6 * n:
+            svn = yield Read(2 * n + sv)
+        else:
+            svn = -1
+            yield LocalBarrier()
+        if sv != 6 * n and svn == 6 * n and pv != 6 * n:
+            ch_me = yield Read(5 * n + v)
+            ch_pred = yield Read(5 * n + pv)
+            if ch_me == 0 and ch_pred == 0:
+                yield Write(5 * n + v, 1)
+            else:
+                yield LocalBarrier()
+        else:
+            for _ in range(3):
+                yield LocalBarrier()
+        _ = lv
+
+    machine = PRAM(6 * n + 1, mode=mode, initial_memory=mem)
+    report = machine.run([program] * n, max_steps=5_000_000, trace=trace)
+    chosen = np.flatnonzero(report.memory[5 * n:6 * n] == 1)
+    return chosen, report
+
+
+# ---------------------------------------------------------------------------
+# Match4
+# ---------------------------------------------------------------------------
+
+def run_match4(
+    lst: LinkedList,
+    *,
+    i: int = 2,
+    mode: str = "EREW",
+    max_walk: int = 24,
+    trace: bool = False,
+) -> tuple[np.ndarray, MachineReport]:
+    """The complete Match4 as a ``y``-column-processor PRAM program.
+
+    One processor per column of the ``x = Theta(log^(i) n)``-row view;
+    each runs, in lockstep with the others: the iterated-``f``
+    partition (double-buffered, since ``p = y < n``), a *local* stable
+    counting sort of its own column, the WalkDown1 row sweep over
+    inter-row pointers, the literal WalkDown2 count/index automaton
+    over intra-row pointers, the local-minima cut, the sublist walk,
+    and the end repair.
+
+    A result worth stating: the whole program is **EREW-legal**.  The
+    apparent hazard — two pointers processed in one step consulting a
+    shared neighbor pointer's label — never materializes because a
+    PRAM processor reads one cell per instruction anyway, and in the
+    lockstep schedule all "read my predecessor's label" instructions
+    land on one sub-step (targets distinct by injectivity of ``PRED``)
+    while all "read my successor's label" instructions land on another
+    (distinct by injectivity of ``NEXT``).  The machine verifies this
+    by running clean under ``mode="EREW"``.
+
+    Returns ``(chosen_tails, report)``; tests assert the result is
+    bit-identical to the vectorized :func:`repro.core.match4.match4`.
+    """
+    from ..core.match4 import plan_rows
+
+    n = lst.n
+    require(n >= 1, "need at least one node")
+    if n == 1:
+        machine = PRAM(1, mode=mode)
+        report = machine.run([lambda pid, np_: iter(())])
+        return np.empty(0, dtype=np.int64), report
+    x = plan_rows(n, i)
+    y = ceil_div(n, x)
+    # Memory map:
+    #   LBL    [0, n)      iterated-f labels
+    #   BUF    [n, 2n)     double buffer for LBL
+    #   CNEXT  [2n, 3n)    circular NEXT (static)
+    #   RNEXT  [3n, 4n)    real NEXT, NIL -> SENT
+    #   PRED   [4n, 5n)    PRED, head -> SENT
+    #   ROW    [5n, 6n)    row of each node after the column sorts
+    #   L6     [6n, 7n)    six-set labels, init -1
+    #   CUT    [7n, 8n)
+    #   CHOSEN [8n, 9n)
+    SENT = 9 * n
+    mem = np.zeros(9 * n + 1, dtype=np.int64)
+    mem[:n] = np.arange(n)
+    mem[2 * n:3 * n] = lst.circular_next()
+    rnext = lst.next.copy()
+    rnext[rnext == NIL] = SENT
+    mem[3 * n:4 * n] = rnext
+    pred = lst.pred.copy()
+    pred[pred == NIL] = SENT
+    mem[4 * n:5 * n] = pred
+    mem[6 * n:7 * n] = -1
+
+    def program(c: int, nprocs: int) -> Generator:
+        col = [v for v in range(c * x, min(n, (c + 1) * x))]
+
+        # ---- phase 1: iterate f, i rounds, double-buffered ----
+        for _ in range(i):
+            for slot in range(x):
+                if slot < len(col):
+                    v = col[slot]
+                    j = yield Read(2 * n + v)
+                    lv = yield Read(v)
+                    lj = yield Read(j)
+                    yield Write(n + v, _f_msb_local(lv, lj))
+                else:
+                    for _ in range(4):
+                        yield LocalBarrier()
+            for slot in range(x):
+                if slot < len(col):
+                    v = col[slot]
+                    val = yield Read(n + v)
+                    yield Write(v, val)
+                else:
+                    yield LocalBarrier()
+                    yield LocalBarrier()
+
+        # ---- phase 2: local stable counting sort of my column ----
+        labels: list[int] = []
+        for slot in range(x):
+            if slot < len(col):
+                labels.append((yield Read(col[slot])))
+            else:
+                yield LocalBarrier()
+        order = sorted(range(len(col)), key=lambda s: labels[s])
+        sorted_nodes = [col[s] for s in order]      # row r -> node
+        sorted_labels = [labels[s] for s in order]
+        for r in range(x):
+            if r < len(sorted_nodes):
+                yield Write(5 * n + sorted_nodes[r], r)
+            else:
+                yield LocalBarrier()
+
+        # ---- phase 3: WalkDown1 over inter-row pointers ----
+        # Cache each row's successor and its row for phase 4.
+        suc_of: list[int] = [SENT] * x
+        row_of_suc: list[int] = [-1] * x
+        for r in range(x):
+            v = sorted_nodes[r] if r < len(sorted_nodes) else -1
+            if v >= 0:
+                b = yield Read(3 * n + v)
+                suc_of[r] = b
+            else:
+                b = SENT
+                yield LocalBarrier()
+            if v >= 0 and b != SENT:
+                rb = yield Read(5 * n + b)
+                row_of_suc[r] = rb
+            else:
+                rb = -1
+                yield LocalBarrier()
+            inter = v >= 0 and b != SENT and rb != r
+            if inter:
+                pv = yield Read(4 * n + v)
+            else:
+                pv = SENT
+                yield LocalBarrier()
+            if inter and pv != SENT:
+                l1 = yield Read(6 * n + pv)
+            else:
+                l1 = -1
+                yield LocalBarrier()
+            if inter:
+                l2 = yield Read(6 * n + b)
+                yield Write(6 * n + v, _mex3_local(0, l1, l2))
+            else:
+                yield LocalBarrier()
+                yield LocalBarrier()
+
+        # ---- phase 4: WalkDown2 automaton over intra-row pointers ----
+        count = 0
+        index = 0
+        for _ in range(2 * x - 1):
+            fire = (
+                index <= x - 1
+                and index < len(sorted_labels)
+                and sorted_labels[index] == count
+            )
+            if fire:
+                v = sorted_nodes[index]
+                b = suc_of[index]
+                intra = b != SENT and row_of_suc[index] == index
+                index += 1
+            else:
+                v = -1
+                intra = False
+                if index <= x - 1 and index < len(sorted_labels):
+                    count += 1
+                elif index <= x - 1:
+                    count += 1  # padding rows: the automaton idles
+            if intra:
+                pv = yield Read(4 * n + v)
+            else:
+                pv = SENT
+                yield LocalBarrier()
+            if intra and pv != SENT:
+                l1 = yield Read(6 * n + pv)
+            else:
+                l1 = -1
+                yield LocalBarrier()
+            if intra:
+                l2 = yield Read(6 * n + b)
+                yield Write(6 * n + v, _mex3_local(3, l1, l2))
+            else:
+                yield LocalBarrier()
+                yield LocalBarrier()
+
+        # ---- phase 5: cut at strict local minima (interior only) ----
+        cut_info: list[tuple[int, int, int]] = []
+        for slot in range(x):
+            if slot < len(col):
+                v = col[slot]
+                pv = yield Read(4 * n + v)
+                sv = yield Read(3 * n + v)
+                lv = yield Read(6 * n + v)
+                cut_info.append((v, pv, sv))
+                if pv != SENT and sv != SENT:
+                    lp = yield Read(6 * n + pv)
+                    ls = yield Read(6 * n + sv)
+                    yield Write(7 * n + v,
+                                1 if (lp > lv and lv < ls) else 0)
+                else:
+                    for _ in range(3):
+                        yield LocalBarrier()
+            else:
+                for _ in range(6):
+                    yield LocalBarrier()
+
+        # ---- phase 6: segment starts + sublist walks ----
+        for slot in range(x):
+            if slot < len(cut_info):
+                v, pv, sv = cut_info[slot]
+                if sv != SENT and pv != SENT:
+                    pc = yield Read(7 * n + pv)
+                    start = pc == 1
+                else:
+                    yield LocalBarrier()
+                    start = sv != SENT and pv == SENT
+            else:
+                v = -1
+                start = False
+                yield LocalBarrier()
+            cur = v if start else -1
+            for _ in range(max_walk):
+                if cur < 0:
+                    for _ in range(6):
+                        yield LocalBarrier()
+                    continue
+                yield Write(8 * n + cur, 1)
+                w1 = yield Read(3 * n + cur)
+                w1n = yield Read(3 * n + w1)
+                if w1n == SENT:
+                    cur = -1
+                    for _ in range(3):
+                        yield LocalBarrier()
+                    continue
+                c1 = yield Read(7 * n + w1)
+                if c1 == 1:
+                    cur = -1
+                    yield LocalBarrier()
+                    yield LocalBarrier()
+                    continue
+                w2 = w1n
+                w2n = yield Read(3 * n + w2)
+                if w2n == SENT:
+                    cur = -1
+                    yield LocalBarrier()
+                    continue
+                c2 = yield Read(7 * n + w2)
+                cur = w2 if c2 == 0 else -1
+
+        # ---- phase 7: end repair (unique owner of the last pointer) ----
+        for slot in range(x):
+            if slot < len(cut_info):
+                v, pv, sv = cut_info[slot]
+                if sv != SENT:
+                    svn = yield Read(3 * n + sv)
+                else:
+                    svn = -1
+                    yield LocalBarrier()
+                if sv != SENT and svn == SENT and pv != SENT:
+                    ch_me = yield Read(8 * n + v)
+                    ch_pred = yield Read(8 * n + pv)
+                    if ch_me == 0 and ch_pred == 0:
+                        yield Write(8 * n + v, 1)
+                    else:
+                        yield LocalBarrier()
+                else:
+                    for _ in range(3):
+                        yield LocalBarrier()
+            else:
+                for _ in range(4):
+                    yield LocalBarrier()
+
+    machine = PRAM(9 * n + 1, mode=mode, initial_memory=mem)
+    report = machine.run([program] * y, max_steps=10_000_000, trace=trace)
+    chosen = np.flatnonzero(report.memory[8 * n:9 * n] == 1)
+    return chosen, report
+
+
+# ---------------------------------------------------------------------------
+# Match2
+# ---------------------------------------------------------------------------
+
+def run_match2(
+    lst: LinkedList,
+    *,
+    partition_rounds: int = 2,
+    mode: str = "EREW",
+) -> tuple[np.ndarray, MachineReport]:
+    """The complete Match2 as an EREW program on ``m = 2^ceil(lg n)``
+    processors (the padding processors serve the prefix tree only).
+
+    Step 2's integer sort is realized the textbook EREW way: one
+    prefix-sum pass (up-sweep, down-sweep over a ``m``-cell tree) per
+    set value computes every member's sorted offset, followed by an
+    EREW *broadcast tree* distributing the pass total — the paper's
+    ``O(log n)``-additive sort term appears as real machine steps, per
+    pass.  Step 3 sweeps the sets in value order; within a set the
+    endpoints are pairwise disjoint, so the DONE bookkeeping is
+    exclusive and the machine's EREW checker stays quiet.
+
+    Memory map: ``[0,n)`` labels; ``[n,2n)`` circular ``NEXT``;
+    ``[2n,3n)`` real ``NEXT`` (nil -> sentinel); ``[3n,4n)`` DONE;
+    ``[4n,5n)`` chosen; ``[5n,6n)`` sorted-position scratch; tree
+    ``[6n, 6n+m)``; broadcast ``[6n+m, 6n+2m)``.
+
+    Returns ``(chosen_tails, report)``.
+    """
+    require(partition_rounds >= 1,
+            f"partition_rounds must be >= 1, got {partition_rounds}")
+    n = lst.n
+    require(n >= 1, "need at least one node")
+    if n == 1:
+        machine = PRAM(1, mode=mode)
+        report = machine.run([lambda pid, np_: iter(())])
+        return np.empty(0, dtype=np.int64), report
+    from .._util import next_power_of_two
+    from ..core.functions import max_label_after
+
+    m = next_power_of_two(n)
+    S = max_label_after(n, partition_rounds)
+    TREE = 6 * n
+    BCAST = 6 * n + m
+    SENTINEL = 6 * n + 2 * m
+    mem = np.zeros(SENTINEL + 1, dtype=np.int64)
+    mem[:n] = np.arange(n)
+    mem[n:2 * n] = lst.circular_next()
+    rnext = lst.next.copy()
+    rnext[rnext == NIL] = SENTINEL
+    mem[2 * n:3 * n] = rnext
+    levels = m.bit_length() - 1
+
+    def program(v: int, nprocs: int) -> Generator:
+        real = v < n
+        # ---- step 1: partition (4 yields per round + 2 reads) ----
+        for _ in range(partition_rounds):
+            if real:
+                j = yield Read(n + v)
+                lv = yield Read(v)
+                lj = yield Read(j)
+                yield Write(v, _f_msb_local(lv, lj))
+            else:
+                for _ in range(4):
+                    yield LocalBarrier()
+        if real:
+            my_label = yield Read(v)
+            sv = yield Read(2 * n + v)
+        else:
+            my_label, sv = -1, SENTINEL
+            yield LocalBarrier()
+            yield LocalBarrier()
+        has_ptr = real and sv != SENTINEL
+
+        # ---- step 2: counting sort, one scan+broadcast per value ----
+        my_rank = -1
+        base = 0
+        for k in range(S):
+            flag = 1 if (has_ptr and my_label == k) else 0
+            yield Write(TREE + v, flag if real else 0)
+            # up-sweep
+            for d in range(levels):
+                stride = 1 << (d + 1)
+                half = 1 << d
+                if (v + 1) % stride == 0:
+                    left = yield Read(TREE + v - half)
+                    own = yield Read(TREE + v)
+                    yield Write(TREE + v, left + own)
+                else:
+                    for _ in range(3):
+                        yield LocalBarrier()
+            # down-sweep (inclusive scan)
+            for d in range(levels - 2, -1, -1):
+                stride = 1 << (d + 1)
+                half = 1 << d
+                if v >= stride and (v + 1 - half) % stride == 0:
+                    carry = yield Read(TREE + v - half)
+                    own = yield Read(TREE + v)
+                    yield Write(TREE + v, carry + own)
+                else:
+                    for _ in range(3):
+                        yield LocalBarrier()
+            inclusive = yield Read(TREE + v)
+            if flag:
+                my_rank = base + inclusive - 1
+            # EREW broadcast of the pass total (the inclusive value at
+            # the last *real* cell): seed, then doubling rounds.
+            if v == n - 1:
+                yield Write(BCAST + 0, inclusive)
+            else:
+                yield LocalBarrier()
+            for d in range(levels):
+                lo = 1 << d
+                if v < lo and v + lo < n:
+                    val = yield Read(BCAST + v)
+                    yield Write(BCAST + v + lo, val)
+                else:
+                    yield LocalBarrier()
+                    yield LocalBarrier()
+            if real:
+                total = yield Read(BCAST + v)
+            else:
+                total = 0
+                yield LocalBarrier()
+            base += total
+        if has_ptr:
+            yield Write(5 * n + my_rank, v)  # the sorted pointer array
+        else:
+            yield LocalBarrier()
+
+        # ---- step 3: sweep sets in value order ----
+        for k in range(S):
+            if has_ptr and my_label == k:
+                da = yield Read(3 * n + v)
+                db = yield Read(3 * n + sv)
+                if not da and not db:
+                    yield Write(3 * n + v, 1)
+                    yield Write(3 * n + sv, 1)
+                    yield Write(4 * n + v, 1)
+                else:
+                    for _ in range(3):
+                        yield LocalBarrier()
+            else:
+                for _ in range(5):
+                    yield LocalBarrier()
+
+    machine = PRAM(SENTINEL + 1, mode=mode, initial_memory=mem)
+    report = machine.run([program] * m, max_steps=20_000_000)
+    chosen = np.flatnonzero(report.memory[4 * n:5 * n] == 1)
+    return chosen, report
+
+
+# ---------------------------------------------------------------------------
+# Match3
+# ---------------------------------------------------------------------------
+
+def run_match3(
+    lst: LinkedList,
+    *,
+    crunch_rounds: int = 3,
+    doubling_rounds: int = 1,
+    mode: str = "EREW",
+    table_copies: bool | None = None,
+    max_walk: int = 24,
+) -> tuple[np.ndarray, MachineReport]:
+    """The complete Match3 as an ``n``-processor PRAM program.
+
+    The lookup step is where the appendix's table-copy discussion
+    becomes executable: with a *single* shared table, two processors
+    holding equal packed windows read the same cell in the same step —
+    a concurrent read, so the program is CREW.  With ``table_copies``
+    (the default under ``mode="EREW"``), every processor probes its own
+    private copy — "to run our algorithms on the EREW model ... we
+    need copies of T to be set up in the preprocessing stage" — and the
+    machine's checker confirms the run is then exclusive.
+
+    Memory map: ``[0,n)`` labels; ``[n,2n)`` circular ``NEXT``
+    (mutated by the doubling); ``[2n,3n)`` real ``NEXT``
+    (nil -> sentinel); ``[3n,4n)`` ``PRED``; ``[4n,5n)`` cut;
+    ``[5n,6n)`` chosen; tables from ``6n`` (one copy, or ``n`` copies
+    of ``cells`` each).
+
+    Returns ``(chosen_tails, report)``; tests assert bit-identity with
+    the vectorized :func:`repro.core.match3.match3` under the same
+    plan.
+    """
+    from ..bits.lookup import build_table_direct
+    from ..core.functions import max_label_after, pair_function
+
+    n = lst.n
+    require(n >= 1, "need at least one node")
+    require(crunch_rounds >= 1, "crunch_rounds must be >= 1")
+    require(doubling_rounds >= 1, "doubling_rounds must be >= 1")
+    if n == 1:
+        machine = PRAM(1, mode=mode)
+        report = machine.run([lambda pid, np_: iter(())])
+        return np.empty(0, dtype=np.int64), report
+    if table_copies is None:
+        table_copies = mode.upper() == "EREW"
+    bound = max_label_after(n, crunch_rounds)
+    b = max(1, (bound - 1).bit_length())
+    arity = 1 << doubling_rounds
+    table = build_table_direct(
+        pair_function("msb"), arity=arity, bits_per_arg=b,
+        memory_limit=1 << 20,
+    )
+    cells = table.size
+    copies = n if table_copies else 1
+    TBASE = 6 * n
+    SENT = TBASE + copies * cells
+    mem = np.zeros(SENT + 1, dtype=np.int64)
+    mem[:n] = np.arange(n)
+    mem[n:2 * n] = lst.circular_next()
+    rnext = lst.next.copy()
+    rnext[rnext == NIL] = SENT
+    mem[2 * n:3 * n] = rnext
+    pred = lst.pred.copy()
+    pred[pred == NIL] = SENT
+    mem[3 * n:4 * n] = pred
+    for c in range(copies):
+        mem[TBASE + c * cells:TBASE + (c + 1) * cells] = table.table
+
+    def program(v: int, nprocs: int) -> Generator:
+        # ---- steps 1-2: number crunching ----
+        for _ in range(crunch_rounds):
+            j = yield Read(n + v)
+            lv = yield Read(v)
+            lj = yield Read(j)
+            yield Write(v, _f_msb_local(lv, lj))
+        # ---- step 3: doubling concatenation ----
+        width = 1
+        for _ in range(doubling_rounds):
+            j = yield Read(n + v)
+            lv = yield Read(v)
+            lj = yield Read(j)
+            jj = yield Read(n + j)
+            yield Write(v, (lv << (b * width)) | lj)
+            yield Write(n + v, jj)
+            width *= 2
+        # ---- step 4: table lookup ----
+        key = yield Read(v)
+        base = TBASE + (v * cells if table_copies else 0)
+        label = yield Read(base + key)
+        yield Write(v, label)
+        # ---- steps 5-6: cut + walk + end repair (as in Match1) ----
+        pv = yield Read(3 * n + v)
+        sv = yield Read(2 * n + v)
+        lv = yield Read(v)
+        if pv != SENT and sv != SENT:
+            lp = yield Read(pv)
+            ls = yield Read(sv)
+            yield Write(4 * n + v, 1 if (lp > lv and lv < ls) else 0)
+        else:
+            for _ in range(3):
+                yield LocalBarrier()
+        if sv != SENT and pv != SENT:
+            pc = yield Read(4 * n + pv)
+            start = pc == 1
+        else:
+            yield LocalBarrier()
+            start = sv != SENT and pv == SENT
+        cur = v if start else -1
+        for _ in range(max_walk):
+            if cur < 0:
+                for _ in range(6):
+                    yield LocalBarrier()
+                continue
+            yield Write(5 * n + cur, 1)
+            w1 = yield Read(2 * n + cur)
+            w1n = yield Read(2 * n + w1)
+            if w1n == SENT:
+                cur = -1
+                for _ in range(3):
+                    yield LocalBarrier()
+                continue
+            c1 = yield Read(4 * n + w1)
+            if c1 == 1:
+                cur = -1
+                yield LocalBarrier()
+                yield LocalBarrier()
+                continue
+            w2 = w1n
+            w2n = yield Read(2 * n + w2)
+            if w2n == SENT:
+                cur = -1
+                yield LocalBarrier()
+                continue
+            c2 = yield Read(4 * n + w2)
+            cur = w2 if c2 == 0 else -1
+        if sv != SENT:
+            svn = yield Read(2 * n + sv)
+        else:
+            svn = -1
+            yield LocalBarrier()
+        if sv != SENT and svn == SENT and pv != SENT:
+            ch_me = yield Read(5 * n + v)
+            ch_pred = yield Read(5 * n + pv)
+            if ch_me == 0 and ch_pred == 0:
+                yield Write(5 * n + v, 1)
+            else:
+                yield LocalBarrier()
+        else:
+            for _ in range(3):
+                yield LocalBarrier()
+
+    machine = PRAM(SENT + 1, mode=mode, initial_memory=mem)
+    report = machine.run([program] * n, max_steps=10_000_000)
+    chosen = np.flatnonzero(report.memory[5 * n:6 * n] == 1)
+    return chosen, report

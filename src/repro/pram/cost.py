@@ -1,0 +1,210 @@
+"""Brent-scheduled cost accounting for the vectorized algorithm tier.
+
+Every algorithm in :mod:`repro.core` executes its data movement with
+NumPy but *narrates* its parallel structure to a :class:`CostModel`:
+each call to :meth:`CostModel.parallel` declares one synchronous PRAM
+step of a given width (how many processors the paper's pseudocode would
+activate), and the model charges ``ceil(width / p)`` time units — the
+standard Brent simulation of a width-``m`` step on ``p`` physical
+processors — plus ``width`` units of work.
+
+The resulting :class:`CostReport` is the quantity all benchmark tables
+plot: it is exact (not asymptotic) for the concrete schedules our
+implementations use, so the paper's curves ``O(n log i / p +
+log^(i) n + log i)`` appear with their constants.
+
+Phases let a report attribute time to algorithm stages ("sort",
+"walkdown2", ...) so E4 can show Match2's sort dominating and E6 can
+show Match4 removing it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .._util import ceil_div, require
+
+__all__ = ["CostModel", "CostReport", "PhaseCost"]
+
+
+@dataclass
+class PhaseCost:
+    """Accumulated cost of one named algorithm phase."""
+
+    name: str
+    time: int = 0
+    work: int = 0
+    steps: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return f"{self.name}: time={self.time} work={self.work} steps={self.steps}"
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Immutable summary of a timed run.
+
+    Attributes
+    ----------
+    p:
+        Processor count the schedule was charged against.
+    time:
+        Total synchronous PRAM steps (Brent-scheduled).
+    work:
+        Total operations across all processors (time×width summed);
+        ``work / n`` near 1 certifies an optimal algorithm.
+    phases:
+        Per-phase breakdown, in execution order.
+    """
+
+    p: int
+    time: int
+    work: int
+    phases: tuple[PhaseCost, ...] = ()
+
+    @property
+    def cost(self) -> int:
+        """The time-processor product ``time * p`` — the quantity the
+        paper's optimality definition compares against ``T_1``."""
+        return self.time * self.p
+
+    def phase(self, name: str) -> PhaseCost:
+        """Look up a phase by name (raises ``KeyError`` if absent)."""
+        for ph in self.phases:
+            if ph.name == name:
+                return ph
+        raise KeyError(name)
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        lines = [f"CostReport(p={self.p}, time={self.time}, work={self.work})"]
+        lines += [f"  {ph}" for ph in self.phases]
+        return "\n".join(lines)
+
+
+class CostModel:
+    """Accumulates Brent-scheduled time/work for one algorithm run.
+
+    Parameters
+    ----------
+    p:
+        Number of physical processors to charge against (>= 1).
+
+    Examples
+    --------
+    >>> cm = CostModel(p=4)
+    >>> with cm.phase("scan"):
+    ...     cm.parallel(10)          # one step, width 10 -> ceil(10/4) = 3
+    >>> cm.report().time
+    3
+    """
+
+    def __init__(self, p: int) -> None:
+        require(p >= 1, f"processor count must be >= 1, got {p}")
+        self.p = int(p)
+        self._time = 0
+        self._work = 0
+        self._phases: list[PhaseCost] = []
+        self._stack: list[PhaseCost] = []
+
+    # -- charging ----------------------------------------------------------
+
+    def parallel(self, width: int, depth: int = 1) -> None:
+        """Charge ``depth`` synchronous steps each of ``width`` processors.
+
+        Brent time: ``depth * ceil(width / p)``; work ``depth * width``.
+        A zero-width step is free (algorithms may legitimately activate
+        an empty set, e.g. an empty matching class in Match2 step 3).
+        """
+        require(width >= 0, f"width must be >= 0, got {width}")
+        require(depth >= 0, f"depth must be >= 0, got {depth}")
+        if width == 0 or depth == 0:
+            return
+        t = depth * ceil_div(width, self.p)
+        w = depth * width
+        self._charge(t, w, depth)
+
+    def sequential(self, steps: int) -> None:
+        """Charge an inherently serial segment: ``steps`` time, ``steps`` work.
+
+        Used for the additive terms in the paper's bounds (``log n``
+        rounds of a tree, ``G(n)`` iterations of a loop whose body is a
+        full-width parallel step are charged via ``parallel``; this is
+        for single-processor work on the critical path).
+        """
+        require(steps >= 0, f"steps must be >= 0, got {steps}")
+        if steps:
+            self._charge(steps, steps, steps)
+
+    def per_processor(self, local_steps: int) -> None:
+        """Charge every processor doing ``local_steps`` private steps.
+
+        Time ``local_steps``; work ``local_steps * p``.  This is how
+        Match4's per-column sequential sorts are charged: each of the
+        ``y`` column-processors spends ``O(x)`` local time
+        simultaneously.
+        """
+        require(local_steps >= 0, f"local_steps must be >= 0, got {local_steps}")
+        if local_steps:
+            self._charge(local_steps, local_steps * self.p, local_steps)
+
+    def _charge(self, time: int, work: int, steps: int) -> None:
+        self._time += time
+        self._work += work
+        if self._stack:
+            ph = self._stack[-1]
+            ph.time += time
+            ph.work += work
+            ph.steps += steps
+
+    # -- structure ----------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseCost]:
+        """Group subsequent charges under ``name`` (non-reentrant nesting:
+        charges inside a nested phase count toward the *innermost* phase
+        only, and toward the run total exactly once)."""
+        ph = PhaseCost(name)
+        self._phases.append(ph)
+        self._stack.append(ph)
+        try:
+            yield ph
+        finally:
+            self._stack.pop()
+
+    def absorb(self, report: CostReport) -> None:
+        """Fold a finished sub-run's report into this model.
+
+        Adds the report's time and work to the totals (and to the
+        current phase, if any) and appends its phases to this model's
+        phase list — used when one algorithm invokes another as a
+        subroutine (e.g. contraction ranking calling Match4 per level).
+        The sub-run must have been charged against the same ``p``.
+        """
+        require(report.p == self.p,
+                f"cannot absorb a report charged at p={report.p} into a "
+                f"model at p={self.p}")
+        self._charge(report.time, report.work, 0)
+        self._phases.extend(report.phases)
+
+    # -- results -------------------------------------------------------------
+
+    @property
+    def time(self) -> int:
+        """Time accumulated so far."""
+        return self._time
+
+    @property
+    def work(self) -> int:
+        """Work accumulated so far."""
+        return self._work
+
+    def report(self) -> CostReport:
+        """Freeze the accumulated costs into a :class:`CostReport`."""
+        return CostReport(
+            p=self.p,
+            time=self._time,
+            work=self._work,
+            phases=tuple(self._phases),
+        )

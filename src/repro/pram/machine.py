@@ -1,0 +1,209 @@
+"""The synchronous PRAM machine driving instruction-level programs.
+
+The machine advances all live processors in lockstep: at each step it
+collects every processor's pending instruction, hands the step's reads
+and writes to :class:`repro.pram.memory.SharedMemory` (which enforces
+the access mode), delivers read results, and moves on.  Processors are
+plain generators (see :mod:`repro.pram.program`), so algorithm code
+reads like the paper's pseudocode.
+
+A processor finishes by returning or yielding :class:`Halt`; the run
+finishes when every processor has finished.  Runs are bounded by
+``max_steps`` to convert accidental livelock into a diagnosable
+:class:`repro.errors.DeadlockError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Sequence
+
+import numpy as np
+
+from .._util import require
+from ..errors import DeadlockError, ProgramError
+from .memory import AccessMode, SharedMemory
+from .program import Halt, Instruction, LocalBarrier, Read, Write
+
+__all__ = ["PRAM", "MachineReport"]
+
+#: A program factory: called with (pid, nprocs), returns the processor
+#: generator.
+ProgramFactory = Callable[[int, int], Generator]
+
+
+@dataclass(frozen=True)
+class StepTrace:
+    """One synchronous step's memory traffic (tracing runs only)."""
+
+    step: int
+    reads: dict[int, int]
+    writes: dict[int, tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class MachineReport:
+    """Outcome of one PRAM run.
+
+    Attributes
+    ----------
+    steps:
+        Synchronous steps executed (the paper's time measure).
+    nprocs:
+        Number of processors the run was launched with.
+    memory:
+        The final shared memory contents.
+    peak_step_footprint:
+        Largest number of distinct cells touched in one step.
+    trace:
+        Per-step memory traffic when the run was launched with
+        ``trace=True`` (else ``None``); consumed by
+        :mod:`repro.pram.trace`'s renderers.
+    """
+
+    steps: int
+    nprocs: int
+    memory: np.ndarray
+    peak_step_footprint: int
+    trace: tuple[StepTrace, ...] | None = None
+
+    @property
+    def cost(self) -> int:
+        """Time-processor product."""
+        return self.steps * self.nprocs
+
+
+class PRAM:
+    """A ``p``-processor synchronous PRAM with conflict enforcement.
+
+    Parameters
+    ----------
+    memory_size:
+        Number of shared cells.
+    mode:
+        Access mode (:class:`repro.pram.memory.AccessMode` or its name).
+    initial_memory:
+        Optional initial shared-memory contents.
+
+    Examples
+    --------
+    Two processors swap two cells through a scratch area:
+
+    >>> def swapper(pid, nprocs):
+    ...     v = yield Read(pid)          # step 1: read own cell
+    ...     yield Write(2 + pid, v)      # step 2: stash
+    ...     v = yield Read(2 + (1 - pid))  # step 3: read the other stash
+    ...     yield Write(pid, v)          # step 4: write back swapped
+    >>> machine = PRAM(4, mode="EREW", initial_memory=[10, 20, 0, 0])
+    >>> report = machine.run([swapper, swapper])
+    >>> report.memory[:2].tolist(), report.steps
+    ([20, 10], 4)
+    """
+
+    def __init__(
+        self,
+        memory_size: int,
+        mode: AccessMode | str = AccessMode.CREW,
+        initial_memory: Sequence[int] | np.ndarray | None = None,
+    ) -> None:
+        self.memory = SharedMemory(memory_size, mode, initial_memory)
+        self.mode = self.memory.mode
+
+    def run(
+        self,
+        programs: Sequence[ProgramFactory],
+        *,
+        max_steps: int = 1_000_000,
+        trace: bool = False,
+    ) -> MachineReport:
+        """Execute the given programs to completion in lockstep.
+
+        Parameters
+        ----------
+        programs:
+            One factory per processor; processor ``i`` runs
+            ``programs[i](i, len(programs))``.
+        max_steps:
+            Step budget; exceeding it raises :class:`DeadlockError`.
+        trace:
+            Record every step's memory traffic into the report (for
+            the space-time renderers; costs memory proportional to the
+            run's total traffic).
+        """
+        require(len(programs) >= 1, "need at least one processor")
+        traces: list[StepTrace] | None = [] if trace else None
+        nprocs = len(programs)
+        procs: list[Generator | None] = [
+            factory(pid, nprocs) for pid, factory in enumerate(programs)
+        ]
+        # Pending value to send into each generator (read results).
+        inbox: list[int | None] = [None] * nprocs
+        live = nprocs
+        steps = 0
+        # Prime: advance each generator to its first yield.
+        pending: list[Instruction | None] = [None] * nprocs
+        for pid in range(nprocs):
+            pending[pid] = self._advance(procs, pid, None)
+            if pending[pid] is None:
+                live -= 1
+        while live > 0:
+            if steps >= max_steps:
+                raise DeadlockError(
+                    f"run exceeded max_steps={max_steps} with {live} "
+                    f"processors still live"
+                )
+            steps += 1
+            reads: dict[int, int] = {}
+            writes: dict[int, tuple[int, int]] = {}
+            for pid, instr in enumerate(pending):
+                if instr is None:
+                    continue
+                if isinstance(instr, Read):
+                    reads[pid] = instr.addr
+                elif isinstance(instr, Write):
+                    writes[pid] = (instr.addr, int(instr.value))
+                elif isinstance(instr, LocalBarrier):
+                    pass
+                elif isinstance(instr, Halt):
+                    procs[pid].close()
+                    procs[pid] = None
+                    pending[pid] = None
+                    live -= 1
+                else:
+                    raise ProgramError(
+                        f"processor {pid} yielded {instr!r}, which is not "
+                        f"an instruction"
+                    )
+            results = self.memory.apply_step(reads, writes)
+            if traces is not None:
+                traces.append(StepTrace(steps, dict(reads), dict(writes)))
+            for pid in list(reads) + list(writes) + [
+                i for i, ins in enumerate(pending)
+                if isinstance(ins, LocalBarrier)
+            ]:
+                send = results.get(pid)
+                pending[pid] = self._advance(procs, pid, send)
+                if pending[pid] is None:
+                    live -= 1
+        return MachineReport(
+            steps=steps,
+            nprocs=nprocs,
+            memory=self.memory.snapshot(),
+            peak_step_footprint=self.memory.peak_step_footprint,
+            trace=tuple(traces) if traces is not None else None,
+        )
+
+    @staticmethod
+    def _advance(
+        procs: list[Generator | None], pid: int, send: int | None
+    ) -> Instruction | None:
+        gen = procs[pid]
+        if gen is None:
+            return None
+        try:
+            if send is None:
+                return next(gen)
+            return gen.send(send)
+        except StopIteration:
+            procs[pid] = None
+            return None

@@ -1,0 +1,190 @@
+"""Conflict-checked shared memory for the instruction-level simulator.
+
+The PRAM variants differ only in which same-step collisions they allow
+(Snir [14], Borodin–Hopcroft [2]):
+
+=============  ==================  =====================================
+mode           concurrent reads    concurrent writes
+=============  ==================  =====================================
+EREW           forbidden           forbidden
+CREW           allowed             forbidden
+CRCW_COMMON    allowed             allowed iff all write the same value
+CRCW_ARBITRARY allowed             allowed; an arbitrary one wins (we
+                                   pick the lowest pid, and tests that
+                                   rely on arbitrariness must pass under
+                                   *any* winner)
+CRCW_PRIORITY  allowed             allowed; lowest pid wins by contract
+=============  ==================  =====================================
+
+:meth:`SharedMemory.apply_step` takes *all* of one step's accesses at
+once so the rules can be enforced exactly: reads are serviced from the
+pre-step state, conflicts diagnosed, then writes committed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from enum import Enum
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .._util import require
+from ..errors import MemoryConflictError
+
+__all__ = ["AccessMode", "SharedMemory"]
+
+
+class AccessMode(str, Enum):
+    """Memory conflict-resolution rule of a PRAM variant."""
+
+    EREW = "EREW"
+    CREW = "CREW"
+    CRCW_COMMON = "CRCW_COMMON"
+    CRCW_ARBITRARY = "CRCW_ARBITRARY"
+    CRCW_PRIORITY = "CRCW_PRIORITY"
+
+    @property
+    def allows_concurrent_read(self) -> bool:
+        return self is not AccessMode.EREW
+
+    @property
+    def allows_concurrent_write(self) -> bool:
+        return self in (
+            AccessMode.CRCW_COMMON,
+            AccessMode.CRCW_ARBITRARY,
+            AccessMode.CRCW_PRIORITY,
+        )
+
+
+class SharedMemory:
+    """A flat array of int64 cells with per-step conflict enforcement.
+
+    Parameters
+    ----------
+    size:
+        Number of cells.
+    mode:
+        The :class:`AccessMode` to enforce.
+    initial:
+        Optional initial contents (defaults to zeros).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        mode: AccessMode | str = AccessMode.CREW,
+        initial: Sequence[int] | np.ndarray | None = None,
+    ) -> None:
+        require(size >= 0, f"memory size must be >= 0, got {size}")
+        self.mode = AccessMode(mode)
+        if initial is None:
+            self._cells = np.zeros(size, dtype=np.int64)
+        else:
+            arr = np.asarray(initial, dtype=np.int64)
+            require(arr.size == size,
+                    f"initial contents size {arr.size} != memory size {size}")
+            self._cells = arr.copy()
+        self.size = size
+        #: Peak number of distinct cells touched in any single step —
+        #: reported so tests can confirm bandwidth expectations.
+        self.peak_step_footprint = 0
+
+    def __getitem__(self, addr: int) -> int:
+        """Debug/verification access (not a PRAM operation)."""
+        return int(self._cells[addr])
+
+    def snapshot(self) -> np.ndarray:
+        """A copy of the current contents (verification use)."""
+        return self._cells.copy()
+
+    def load(self, addr: int) -> int:
+        self._bounds(addr)
+        return int(self._cells[addr])
+
+    def _bounds(self, addr: int) -> None:
+        if not 0 <= addr < self.size:
+            raise MemoryConflictError(
+                f"address {addr} out of bounds for memory of size {self.size}"
+            )
+
+    def apply_step(
+        self,
+        reads: Mapping[int, int],
+        writes: Mapping[int, tuple[int, int]],
+    ) -> dict[int, int]:
+        """Execute one synchronous step of accesses.
+
+        Parameters
+        ----------
+        reads:
+            ``{pid: addr}`` for every processor reading this step.
+        writes:
+            ``{pid: (addr, value)}`` for every processor writing.
+
+        Returns
+        -------
+        dict
+            ``{pid: value}`` read results, from the pre-step state.
+
+        Raises
+        ------
+        MemoryConflictError
+            On any access pattern the mode forbids, with a message
+            naming the cell and the colliding processors.
+        """
+        read_cells: dict[int, list[int]] = defaultdict(list)
+        for pid, addr in reads.items():
+            self._bounds(addr)
+            read_cells[addr].append(pid)
+        write_cells: dict[int, list[tuple[int, int]]] = defaultdict(list)
+        for pid, (addr, value) in writes.items():
+            self._bounds(addr)
+            write_cells[addr].append((pid, value))
+
+        footprint = len(set(read_cells) | set(write_cells))
+        self.peak_step_footprint = max(self.peak_step_footprint, footprint)
+
+        mode = self.mode
+        if not mode.allows_concurrent_read:
+            for addr, pids in read_cells.items():
+                if len(pids) > 1:
+                    raise MemoryConflictError(
+                        f"EREW violation: processors {sorted(pids)} read "
+                        f"cell {addr} in the same step"
+                    )
+            # EREW also forbids a read and a write on one cell together.
+            for addr in set(read_cells) & set(write_cells):
+                rp = sorted(read_cells[addr])
+                wp = sorted(pid for pid, _ in write_cells[addr])
+                raise MemoryConflictError(
+                    f"EREW violation: cell {addr} read by {rp} and "
+                    f"written by {wp} in the same step"
+                )
+        for addr, writers in write_cells.items():
+            if len(writers) <= 1:
+                continue
+            if not mode.allows_concurrent_write:
+                raise MemoryConflictError(
+                    f"{mode.value} violation: processors "
+                    f"{sorted(p for p, _ in writers)} write cell {addr} "
+                    f"in the same step"
+                )
+            if mode is AccessMode.CRCW_COMMON:
+                values = {v for _, v in writers}
+                if len(values) > 1:
+                    raise MemoryConflictError(
+                        f"CRCW_COMMON violation: cell {addr} written with "
+                        f"distinct values {sorted(values)}"
+                    )
+
+        results = {pid: int(self._cells[addr]) for pid, addr in reads.items()}
+
+        for addr, writers in write_cells.items():
+            if len(writers) == 1:
+                self._cells[addr] = writers[0][1]
+            else:
+                # COMMON: all equal. ARBITRARY/PRIORITY: lowest pid wins.
+                winner = min(writers, key=lambda pv: pv[0])
+                self._cells[addr] = winner[1]
+        return results

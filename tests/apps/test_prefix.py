@@ -1,0 +1,62 @@
+"""Tests for repro.apps.prefix: data-dependent prefix sums."""
+
+import numpy as np
+import pytest
+
+from repro.apps.prefix import list_prefix_sums
+from repro.errors import InvalidParameterError
+from repro.lists import LinkedList, random_list
+
+
+def oracle(lst, values):
+    order = lst.order
+    out = np.empty(lst.n, dtype=np.int64)
+    out[order] = np.cumsum(values[order])
+    return out
+
+
+class TestPrefixSums:
+    @pytest.mark.parametrize("n", [1, 2, 3, 17, 500, 4096])
+    @pytest.mark.parametrize("ranking", ["contraction", "wyllie",
+                                         "sequential"])
+    def test_matches_oracle(self, n, ranking):
+        lst = random_list(n, rng=n)
+        values = np.arange(1, n + 1, dtype=np.int64)
+        out, _ = list_prefix_sums(lst, values, ranking=ranking)
+        assert np.array_equal(out, oracle(lst, values))
+
+    def test_all_layouts(self, make_list):
+        lst = make_list(321)
+        values = (np.arange(321) * 7 - 300).astype(np.int64)
+        out, _ = list_prefix_sums(lst, values)
+        assert np.array_equal(out, oracle(lst, values))
+
+    def test_negative_values(self):
+        lst = random_list(64, rng=1)
+        values = np.asarray([(-1) ** k * k for k in range(64)])
+        out, _ = list_prefix_sums(lst, values)
+        assert np.array_equal(out, oracle(lst, values))
+
+    def test_last_node_is_total(self):
+        lst = random_list(128, rng=2)
+        values = np.ones(128, dtype=np.int64)
+        out, _ = list_prefix_sums(lst, values)
+        assert out[lst.tail] == 128
+        assert out[lst.head] == 1
+
+    def test_size_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            list_prefix_sums(random_list(4, rng=0), np.asarray([1, 2]))
+
+    def test_unknown_ranking(self):
+        with pytest.raises(InvalidParameterError):
+            list_prefix_sums(
+                random_list(4, rng=0), np.arange(4), ranking="bogus"
+            )
+
+    def test_cost_includes_ranking(self):
+        lst = random_list(1024, rng=3)
+        values = np.ones(1024, dtype=np.int64)
+        _, rep_seq = list_prefix_sums(lst, values, ranking="sequential")
+        _, rep_con = list_prefix_sums(lst, values, ranking="contraction")
+        assert rep_con.work > 0 and rep_seq.work > 0

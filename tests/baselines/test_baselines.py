@@ -1,0 +1,93 @@
+"""Tests for the baseline algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_mate import random_mate_matching
+from repro.baselines.sequential import sequential_matching
+from repro.baselines.wyllie import wyllie_ranks
+from repro.core.matching import verify_maximal_matching
+from repro.apps.ranking import sequential_ranks
+from repro.lists import random_list, sequential_list
+
+
+class TestSequential:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 999])
+    def test_maximal(self, n):
+        lst = random_list(n, rng=n)
+        m, report, _ = sequential_matching(lst)
+        verify_maximal_matching(lst, m.tails)
+
+    def test_takes_alternate_on_path(self):
+        lst = sequential_list(7)
+        m, _, _ = sequential_matching(lst)
+        assert m.tails.tolist() == [0, 2, 4]
+
+    def test_linear_time(self):
+        for n in (128, 1024):
+            _, report, _ = sequential_matching(random_list(n, rng=n))
+            assert report.time == n
+
+    def test_largest_possible_matching_on_path(self):
+        # greedy from the head achieves ceil((n-1)/2) on a path
+        for n in (2, 5, 10, 101):
+            m, _, _ = sequential_matching(random_list(n, rng=n))
+            assert m.size == n // 2
+
+    def test_p_ignored_for_time(self):
+        lst = random_list(256, rng=1)
+        _, r1, _ = sequential_matching(lst, p=1)
+        _, r64, _ = sequential_matching(lst, p=64)
+        assert r1.time == r64.time
+
+
+class TestRandomMate:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_maximal(self, seed):
+        lst = random_list(2000, rng=5)
+        m, _, stats = random_mate_matching(lst, rng=seed)
+        verify_maximal_matching(lst, m.tails)
+
+    def test_logarithmic_rounds(self):
+        lst = random_list(1 << 14, rng=6)
+        _, _, stats = random_mate_matching(lst, rng=0)
+        assert stats.rounds <= 4 * 14
+
+    def test_deterministic_with_seed(self):
+        lst = random_list(500, rng=7)
+        a, _, _ = random_mate_matching(lst, rng=42)
+        b, _, _ = random_mate_matching(lst, rng=42)
+        assert np.array_equal(a.tails, b.tails)
+
+    def test_generator_accepted(self):
+        lst = random_list(100, rng=8)
+        gen = np.random.default_rng(1)
+        m, _, stats = random_mate_matching(lst, rng=gen)
+        assert not stats.seed_used
+        verify_maximal_matching(lst, m.tails)
+
+    def test_singleton(self):
+        m, _, stats = random_mate_matching(random_list(1), rng=0)
+        assert m.size == 0
+        assert stats.rounds == 0
+
+
+class TestWyllie:
+    @pytest.mark.parametrize("n", [1, 2, 3, 17, 256, 1000])
+    def test_ranks_match_oracle(self, n):
+        lst = random_list(n, rng=n)
+        ranks, _ = wyllie_ranks(lst)
+        assert np.array_equal(ranks, sequential_ranks(lst))
+
+    def test_nlogn_work(self):
+        n = 1 << 12
+        lst = random_list(n, rng=9)
+        _, report = wyllie_ranks(lst, p=1)
+        # exactly n per round, log n rounds
+        assert report.work == n * 12
+
+    def test_log_time_at_full_width(self):
+        n = 1 << 10
+        lst = random_list(n, rng=10)
+        _, report = wyllie_ranks(lst, p=n)
+        assert report.time == 10

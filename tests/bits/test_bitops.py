@@ -1,0 +1,159 @@
+"""Tests for repro.bits.bitops: bit extraction primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits.bitops import (
+    bit_at,
+    bit_reverse,
+    lsb_index,
+    lsb_index_scalar,
+    msb_index,
+    msb_index_scalar,
+    unary_to_binary,
+)
+from repro.errors import InvalidParameterError
+
+POSITIVE = st.integers(min_value=1, max_value=(1 << 53) - 1)
+
+
+class TestScalarOracles:
+    def test_msb_small_values(self):
+        assert msb_index_scalar(1) == 0
+        assert msb_index_scalar(2) == 1
+        assert msb_index_scalar(3) == 1
+        assert msb_index_scalar(4) == 2
+        assert msb_index_scalar(255) == 7
+        assert msb_index_scalar(256) == 8
+
+    def test_lsb_small_values(self):
+        assert lsb_index_scalar(1) == 0
+        assert lsb_index_scalar(2) == 1
+        assert lsb_index_scalar(3) == 0
+        assert lsb_index_scalar(4) == 2
+        assert lsb_index_scalar(12) == 2
+        assert lsb_index_scalar(96) == 5
+
+    def test_msb_rejects_nonpositive(self):
+        with pytest.raises(InvalidParameterError):
+            msb_index_scalar(0)
+        with pytest.raises(InvalidParameterError):
+            msb_index_scalar(-5)
+
+    def test_lsb_rejects_nonpositive(self):
+        with pytest.raises(InvalidParameterError):
+            lsb_index_scalar(0)
+
+    @given(POSITIVE)
+    def test_msb_matches_bit_length(self, x):
+        assert msb_index_scalar(x) == x.bit_length() - 1
+
+    @given(POSITIVE)
+    def test_lsb_matches_and_trick(self, x):
+        assert lsb_index_scalar(x) == (x & -x).bit_length() - 1
+
+
+class TestVectorized:
+    @given(st.lists(POSITIVE, min_size=1, max_size=64))
+    @settings(max_examples=60)
+    def test_msb_matches_scalar(self, xs):
+        arr = np.asarray(xs, dtype=np.int64)
+        expected = [msb_index_scalar(int(x)) for x in xs]
+        assert msb_index(arr).tolist() == expected
+
+    @given(st.lists(POSITIVE, min_size=1, max_size=64))
+    @settings(max_examples=60)
+    def test_lsb_matches_scalar(self, xs):
+        arr = np.asarray(xs, dtype=np.int64)
+        expected = [lsb_index_scalar(int(x)) for x in xs]
+        assert lsb_index(arr).tolist() == expected
+
+    def test_boundary_values(self):
+        # Values straddling power-of-two boundaries, where a sloppy
+        # float log2 would misfire.
+        xs = []
+        for k in range(1, 53):
+            xs += [(1 << k) - 1, 1 << k, (1 << k) + 1]
+        arr = np.asarray(xs, dtype=np.int64)
+        expected = [int(x).bit_length() - 1 for x in xs]
+        assert msb_index(arr).tolist() == expected
+
+    def test_domain_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            msb_index(np.asarray([0]))
+        with pytest.raises(InvalidParameterError):
+            msb_index(np.asarray([1 << 53]))
+        with pytest.raises(InvalidParameterError):
+            lsb_index(np.asarray([-1]))
+
+    def test_empty_arrays_ok(self):
+        assert msb_index(np.asarray([], dtype=np.int64)).size == 0
+        assert lsb_index(np.asarray([], dtype=np.int64)).size == 0
+
+
+class TestBitAt:
+    def test_basic(self):
+        x = np.asarray([0b1010, 0b1010, 0b1010, 0b1010])
+        k = np.asarray([0, 1, 2, 3])
+        assert bit_at(x, k).tolist() == [0, 1, 0, 1]
+
+    def test_scalar_k_broadcast(self):
+        x = np.asarray([1, 2, 3, 4])
+        assert bit_at(x, 0).tolist() == [1, 0, 1, 0]
+
+    def test_bad_index(self):
+        with pytest.raises(InvalidParameterError):
+            bit_at(np.asarray([1]), np.asarray([-1]))
+        with pytest.raises(InvalidParameterError):
+            bit_at(np.asarray([1]), np.asarray([63]))
+
+
+class TestUnaryToBinary:
+    def test_powers(self):
+        powers = np.asarray([1 << k for k in range(50)], dtype=np.int64)
+        assert unary_to_binary(powers).tolist() == list(range(50))
+
+    def test_rejects_non_powers(self):
+        with pytest.raises(InvalidParameterError):
+            unary_to_binary(np.asarray([3]))
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidParameterError):
+            unary_to_binary(np.asarray([0]))
+
+
+class TestBitReverse:
+    def test_known_values(self):
+        x = np.asarray([0b0001, 0b0010, 0b1000, 0b1011])
+        assert bit_reverse(x, 4).tolist() == [0b1000, 0b0100, 0b0001, 0b1101]
+
+    @given(st.lists(st.integers(0, (1 << 12) - 1), min_size=1, max_size=32))
+    @settings(max_examples=50)
+    def test_involution(self, xs):
+        arr = np.asarray(xs, dtype=np.int64)
+        assert bit_reverse(bit_reverse(arr, 12), 12).tolist() == xs
+
+    @given(st.integers(0, (1 << 10) - 1))
+    @settings(max_examples=50)
+    def test_matches_string_reversal(self, x):
+        got = int(bit_reverse(np.asarray([x]), 10)[0])
+        assert got == int(format(x, "010b")[::-1], 2)
+
+    def test_width_validation(self):
+        with pytest.raises(InvalidParameterError):
+            bit_reverse(np.asarray([1]), 0)
+        with pytest.raises(InvalidParameterError):
+            bit_reverse(np.asarray([1]), 63)
+
+    def test_value_out_of_width(self):
+        with pytest.raises(InvalidParameterError):
+            bit_reverse(np.asarray([16]), 4)
+
+    def test_msb_lsb_duality(self):
+        # The appendix's trick: MSB of x == width-1 - LSB(reverse(x)).
+        xs = np.asarray([1, 5, 12, 100, 1000, 4095], dtype=np.int64)
+        width = 12
+        rev = bit_reverse(xs, width)
+        assert (msb_index(xs) == width - 1 - lsb_index(rev)).all()

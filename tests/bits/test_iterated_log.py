@@ -1,0 +1,140 @@
+"""Tests for repro.bits.iterated_log: log^(i), G(n), log G(n)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits.iterated_log import (
+    G,
+    big_g_sequential,
+    ilog2,
+    ilog2_int,
+    log_G,
+    log_g_pointer_jumping,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestIlog2:
+    def test_identity_at_zero_iterations(self):
+        assert ilog2(1000, 0) == 1000
+
+    def test_single_log(self):
+        assert ilog2(8, 1) == 3
+        assert ilog2(1 << 20, 1) == 20
+
+    def test_nested(self):
+        assert ilog2(1 << 16, 2) == 4
+        assert ilog2(1 << 16, 3) == 2
+
+    def test_rejects_domain_exit(self):
+        with pytest.raises(InvalidParameterError):
+            ilog2(2, 3)  # log log log 2 = log log 1 = log 0 boom
+
+    def test_rejects_negative_iterations(self):
+        with pytest.raises(InvalidParameterError):
+            ilog2(8, -1)
+
+    @given(st.integers(4, 1 << 30))
+    @settings(max_examples=50)
+    def test_matches_math_log(self, n):
+        assert ilog2(n, 1) == pytest.approx(math.log2(n))
+
+
+class TestIlog2Int:
+    def test_floor_one(self):
+        assert ilog2_int(2, 5) == 1
+
+    def test_matches_bit_length(self):
+        assert ilog2_int(1 << 20, 1) == 20
+        assert ilog2_int((1 << 20) + 1, 1) == 21  # ceil behaviour
+
+    @given(st.integers(2, 1 << 40), st.integers(0, 6))
+    @settings(max_examples=80)
+    def test_upper_bounds_real_ilog(self, n, i):
+        try:
+            real = ilog2(n, i)
+        except InvalidParameterError:
+            return
+        if real >= 1:
+            assert ilog2_int(n, i) >= real - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ilog2_int(0, 1)
+
+
+class TestG:
+    def test_known_values(self):
+        assert G(2) == 2
+        assert G(4) == 3
+        assert G(16) == 4
+        assert G(65536) == 5
+        assert G(1) == 1
+
+    def test_definition(self):
+        # G(n) = min{k : log^(k) n < 1}: check both sides for a sweep.
+        for n in (2, 3, 7, 16, 100, 4096, 1 << 20):
+            k = G(n)
+            assert ilog2(n, k) < 1
+            if k > 1:
+                assert ilog2(n, k - 1) >= 1
+
+    def test_monotone(self):
+        values = [G(n) for n in range(2, 2000)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_extremely_slow_growth(self):
+        assert G(1 << 60) == 5  # still 5 at 10^18
+
+
+class TestLogG:
+    def test_values(self):
+        assert log_G(2) == 1
+        assert log_G(1 << 20) == 3  # G = 5, ceil(log2 5) = 3
+
+    def test_at_least_one(self):
+        for n in (2, 3, 4, 100):
+            assert log_G(n) >= 1
+
+
+class TestSequentialProcedure:
+    def test_matches_G(self):
+        for n in (2, 3, 16, 255, 65536, 1 << 20):
+            value, steps = big_g_sequential(n)
+            assert value == G(n)
+            # The procedure runs G(n) - 1 constant-time iterations.
+            assert steps == value - 1
+
+    def test_rejects_small(self):
+        with pytest.raises(InvalidParameterError):
+            big_g_sequential(1)
+
+
+class TestPointerJumpingProcedure:
+    def test_main_list_length_is_theta_g(self):
+        for n in (4, 16, 256, 65536, 1 << 18):
+            rounds, length = log_g_pointer_jumping(n)
+            # main list threads the power tower: length within 2 of G(n)
+            assert abs(length - G(n)) <= 2
+            assert rounds >= 1
+
+    def test_rounds_are_log_of_length(self):
+        rounds, length = log_g_pointer_jumping(1 << 17)  # tower: 1,2,4,16,65536
+        assert length == 5
+        # collapsing a 5-element chain takes 2 jump rounds
+        assert rounds == 2
+
+    def test_agrees_with_pram_program(self):
+        from repro.pram.primitives import run_main_list_log_g
+
+        for n in (16, 256, 70000):
+            vec_rounds, _ = log_g_pointer_jumping(n)
+            pram_rounds, _ = run_main_list_log_g(n, mode="CREW")
+            assert vec_rounds == pram_rounds
+
+    def test_rejects_small(self):
+        with pytest.raises(InvalidParameterError):
+            log_g_pointer_jumping(1)

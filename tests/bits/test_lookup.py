@@ -1,0 +1,198 @@
+"""Tests for repro.bits.lookup: f^(i) table construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits.lookup import (
+    INVALID,
+    build_table_direct,
+    build_table_guess_and_verify,
+    shuffle_graph,
+    verify_tableau,
+)
+from repro.core.functions import f_lsb, f_msb
+from repro.errors import InvalidParameterError
+
+
+def f_iterated_reference(func, args):
+    """Direct recursion oracle for f^(k)."""
+    vals = list(args)
+    while len(vals) > 1:
+        nxt = []
+        for a, b in zip(vals, vals[1:]):
+            if a == b:
+                return INVALID
+            nxt.append(int(func(np.asarray([a]), np.asarray([b]))[0]))
+        vals = nxt
+    return vals[0]
+
+
+class TestDirectBuilder:
+    @pytest.mark.parametrize("func", [f_msb, f_lsb], ids=["msb", "lsb"])
+    @pytest.mark.parametrize("arity,bits", [(2, 3), (3, 2), (4, 2), (3, 3)])
+    def test_matches_reference(self, func, arity, bits):
+        table = build_table_direct(func, arity=arity, bits_per_arg=bits)
+        d = 1 << bits
+        # exhaustively check every tuple
+        def tuples(prefix):
+            if len(prefix) == arity:
+                yield tuple(prefix)
+                return
+            for v in range(d):
+                yield from tuples(prefix + [v])
+        for t in tuples([]):
+            got = table.lookup_tuple(t)
+            if any(t[i] == t[i + 1] for i in range(arity - 1)):
+                assert got == INVALID
+            else:
+                assert got == f_iterated_reference(func, t)
+
+    def test_valid_windows_never_invalid(self):
+        table = build_table_direct(f_msb, arity=4, bits_per_arg=2)
+        # windows with no adjacent equal pair must be valid
+        d = 4
+        for a in range(d):
+            for b in range(d):
+                for c in range(d):
+                    for e in range(d):
+                        t = (a, b, c, e)
+                        adjacent_equal = a == b or b == c or c == e
+                        got = table.lookup_tuple(t)
+                        assert (got == INVALID) == adjacent_equal
+
+    def test_max_label_is_constant(self):
+        table = build_table_direct(f_msb, arity=4, bits_per_arg=3)
+        assert 0 <= table.max_label < 6
+
+    def test_memory_limit(self):
+        with pytest.raises(InvalidParameterError):
+            build_table_direct(f_msb, arity=8, bits_per_arg=8,
+                               memory_limit=1 << 20)
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            build_table_direct(f_msb, arity=1, bits_per_arg=3)
+        with pytest.raises(InvalidParameterError):
+            build_table_direct(f_msb, arity=2, bits_per_arg=0)
+
+
+class TestPackLookup:
+    def test_pack_order_matches_match3_concatenation(self):
+        table = build_table_direct(f_msb, arity=2, bits_per_arg=3)
+        keys = table.pack(np.asarray([[5, 2]]))
+        # own label in the high bits: 5 << 3 | 2
+        assert int(keys[0]) == (5 << 3) | 2
+
+    def test_pack_shape_validation(self):
+        table = build_table_direct(f_msb, arity=3, bits_per_arg=2)
+        with pytest.raises(InvalidParameterError):
+            table.pack(np.asarray([[1, 2]]))  # wrong arity
+
+    def test_pack_range_validation(self):
+        table = build_table_direct(f_msb, arity=2, bits_per_arg=2)
+        with pytest.raises(InvalidParameterError):
+            table.pack(np.asarray([[4, 0]]))  # 4 needs 3 bits
+
+    def test_lookup_bounds(self):
+        table = build_table_direct(f_msb, arity=2, bits_per_arg=2)
+        with pytest.raises(InvalidParameterError):
+            table.lookup(np.asarray([table.size]))
+
+    @given(st.lists(st.integers(0, 7), min_size=3, max_size=3))
+    @settings(max_examples=60)
+    def test_lookup_tuple_consistency(self, t):
+        table = build_table_direct(f_msb, arity=3, bits_per_arg=3)
+        packed = table.pack(np.asarray([t]))
+        assert int(table.lookup(packed)[0]) == table.lookup_tuple(t)
+
+
+class TestGuessAndVerify:
+    @pytest.mark.parametrize("arity,bits", [(2, 2), (3, 2), (2, 3)])
+    def test_agrees_with_direct(self, arity, bits):
+        direct = build_table_direct(f_msb, arity=arity, bits_per_arg=bits)
+        gv = build_table_guess_and_verify(f_msb, arity=arity, bits_per_arg=bits)
+        assert np.array_equal(direct.table, gv.table)
+
+    def test_memory_limit_lower(self):
+        with pytest.raises(InvalidParameterError):
+            build_table_guess_and_verify(
+                f_msb, arity=4, bits_per_arg=6, memory_limit=1 << 10
+            )
+
+
+class TestVerifyTableau:
+    def _correct_tableau(self, args):
+        tableau = {}
+        arity = len(args)
+        for length in range(1, arity + 1):
+            for start in range(arity - length + 1):
+                if length == 1:
+                    tableau[(start, 1)] = args[start]
+                else:
+                    lo = tableau[(start, length - 1)]
+                    hi = tableau[(start + 1, length - 1)]
+                    tableau[(start, length)] = int(
+                        f_msb(np.asarray([lo]), np.asarray([hi]))[0]
+                    )
+        return tableau
+
+    def test_accepts_correct_guess(self):
+        args = (5, 1, 6, 2)
+        assert verify_tableau(f_msb, args, self._correct_tableau(args))
+
+    def test_rejects_wrong_top_cell(self):
+        args = (5, 1, 6, 2)
+        t = self._correct_tableau(args)
+        t[(0, 4)] += 1
+        assert not verify_tableau(f_msb, args, t)
+
+    def test_rejects_wrong_middle_cell(self):
+        args = (5, 1, 6, 2)
+        t = self._correct_tableau(args)
+        t[(1, 2)] += 1
+        assert not verify_tableau(f_msb, args, t)
+
+    def test_rejects_missing_cell(self):
+        args = (5, 1, 6)
+        t = self._correct_tableau(args)
+        del t[(0, 2)]
+        assert not verify_tableau(f_msb, args, t)
+
+    def test_rejects_wrong_base(self):
+        args = (5, 1, 6)
+        t = self._correct_tableau(args)
+        t[(2, 1)] = 7
+        assert not verify_tableau(f_msb, args, t)
+
+
+class TestShuffleGraph:
+    def test_structure(self):
+        g = shuffle_graph(2, 3)
+        # vertices: ordered pairs (a,b), a != b: 6 of them
+        assert g.number_of_nodes() == 6
+        # (a,b) ~ (b,c): consecutive windows, in either direction
+        assert g.has_edge((0, 1), (1, 2))
+        assert g.has_edge((0, 1), (2, 0))  # (2,0) precedes (0,1)
+        assert not g.has_edge((0, 1), (0, 2))  # no overlap either way
+
+    def test_table_is_valid_coloring(self):
+        # The paper's appendix claim: f^(i) values properly color the
+        # shuffle graph.
+        table = build_table_direct(f_msb, arity=3, bits_per_arg=2)
+        g = shuffle_graph(3, 4)
+        for u, v in g.edges():
+            cu, cv = table.lookup_tuple(u), table.lookup_tuple(v)
+            assert cu != INVALID and cv != INVALID
+            assert cu != cv
+
+    def test_chromatic_bound(self):
+        # 2 log^(i-1) n (1+o(1)) colors: for domain 16 and arity 2,
+        # f uses < 2*4 = 8 colors.
+        table = build_table_direct(f_msb, arity=2, bits_per_arg=4)
+        assert table.max_label < 8
+
+    def test_size_guard(self):
+        with pytest.raises(InvalidParameterError):
+            shuffle_graph(10, 10)

@@ -1,0 +1,82 @@
+"""Tests for repro.bits.tables: the appendix's lookup tables."""
+
+import numpy as np
+import pytest
+
+from repro.bits.tables import BitReversalTable, UnaryToBinaryTable
+from repro.errors import InvalidParameterError
+
+
+class TestUnaryToBinaryTable:
+    def test_lookup_round_trip(self):
+        t = UnaryToBinaryTable(20)
+        powers = np.asarray([1 << k for k in range(20)], dtype=np.int64)
+        assert t.lookup(powers).tolist() == list(range(20))
+
+    def test_width_enforced(self):
+        t = UnaryToBinaryTable(8)
+        with pytest.raises(InvalidParameterError):
+            t.lookup(np.asarray([1 << 8]))
+
+    def test_rejects_non_power(self):
+        t = UnaryToBinaryTable(8)
+        with pytest.raises(InvalidParameterError):
+            t.lookup(np.asarray([6]))
+
+    def test_construction_cost_scales_with_copies(self):
+        one = UnaryToBinaryTable(16, copies=1).construction_cost
+        many = UnaryToBinaryTable(16, copies=64).construction_cost
+        assert many.space == 64 * one.space
+        assert many.copies == 64
+        # Replication by doubling adds log(copies) = 6 steps.
+        assert many.time == one.time - 1 + 6
+        assert many.time > one.time
+
+    def test_cost_space_is_p_log_n(self):
+        # The paper: p copies need O(p log n) space.
+        t = UnaryToBinaryTable(20, copies=128)
+        assert t.construction_cost.space == 128 * 20
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            UnaryToBinaryTable(0)
+        with pytest.raises(InvalidParameterError):
+            UnaryToBinaryTable(54)
+        with pytest.raises(InvalidParameterError):
+            UnaryToBinaryTable(8, copies=0)
+
+
+class TestBitReversalTable:
+    def test_matches_direct_computation(self):
+        from repro.bits.bitops import bit_reverse
+
+        t = BitReversalTable(8)
+        xs = np.arange(256, dtype=np.int64)
+        assert np.array_equal(t.lookup(xs), bit_reverse(xs, 8))
+
+    def test_len(self):
+        assert len(BitReversalTable(6)) == 64
+
+    def test_out_of_range(self):
+        t = BitReversalTable(4)
+        with pytest.raises(InvalidParameterError):
+            t.lookup(np.asarray([16]))
+        with pytest.raises(InvalidParameterError):
+            t.lookup(np.asarray([-1]))
+
+    def test_width_cap(self):
+        with pytest.raises(InvalidParameterError):
+            BitReversalTable(BitReversalTable.MAX_WIDTH + 1)
+        with pytest.raises(InvalidParameterError):
+            BitReversalTable(0)
+
+    def test_construction_cost(self):
+        t = BitReversalTable(10)
+        cost = t.construction_cost
+        assert cost.space == 1024
+        assert cost.copies == 1
+
+    def test_lookup_is_involution(self):
+        t = BitReversalTable(9)
+        xs = np.arange(512, dtype=np.int64)
+        assert np.array_equal(t.lookup(t.lookup(xs)), xs)

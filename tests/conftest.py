@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lists import (
+    blocked_list,
+    random_list,
+    reversed_list,
+    sawtooth_list,
+    sequential_list,
+)
+
+#: Generators exercised by every layout-parametrized test.
+LAYOUTS = {
+    "random": lambda n: random_list(n, rng=n),
+    "sequential": sequential_list,
+    "reversed": reversed_list,
+    "sawtooth": sawtooth_list,
+    "blocked": lambda n: blocked_list(n, block=max(1, n // 8), rng=n),
+}
+
+
+@pytest.fixture(params=sorted(LAYOUTS))
+def layout_name(request):
+    """Parametrize over all workload layouts."""
+    return request.param
+
+
+@pytest.fixture
+def make_list(layout_name):
+    """Factory: n -> LinkedList of the current layout."""
+    return LAYOUTS[layout_name]
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for tests needing randomness."""
+    return np.random.default_rng(12345)

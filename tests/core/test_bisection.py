@@ -1,0 +1,111 @@
+"""Tests for the Fig. 2 bisection view of the matching partition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bisection import (
+    bisection_level,
+    bisection_partition,
+    crossing_pointers,
+)
+from repro.core.functions import f_msb, iterate_f
+from repro.errors import VerificationError
+from repro.lists import LinkedList, random_list, sawtooth_list
+
+
+class TestBisectionLevel:
+    def test_neighbors_cross_finest_line(self):
+        # addresses 2k and 2k+1 differ only in bit 0
+        assert bisection_level(np.asarray([4]), np.asarray([5]))[0] == 0
+
+    def test_halves_cross_coarsest_line(self):
+        assert bisection_level(np.asarray([0]), np.asarray([8]))[0] == 3
+
+    @given(st.integers(0, 1 << 20), st.integers(0, 1 << 20))
+    @settings(max_examples=100)
+    def test_level_is_msb_of_xor(self, a, b):
+        if a == b:
+            return
+        lvl = int(bisection_level(np.asarray([a]), np.asarray([b]))[0])
+        assert lvl == (a ^ b).bit_length() - 1
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(VerificationError):
+            bisection_level(np.asarray([3]), np.asarray([3]))
+
+
+class TestPartitionEqualsF:
+    """Section 2's punchline: the geometric partition IS f_msb."""
+
+    @pytest.mark.parametrize("n", [2, 7, 64, 1000, 1 << 13])
+    def test_set_key_equals_f(self, n):
+        lst = random_list(n, rng=n)
+        part = bisection_partition(lst)
+        expected = f_msb(part.tails, part.heads)
+        assert np.array_equal(part.set_key(), expected)
+
+    def test_set_key_equals_first_iteration_labels(self, make_list):
+        lst = make_list(256)
+        part = bisection_partition(lst)
+        labels = iterate_f(lst, 1)
+        assert np.array_equal(part.set_key(), labels[part.tails])
+
+    def test_num_sets_bounded(self):
+        n = 1 << 12
+        lst = random_list(n, rng=1)
+        part = bisection_partition(lst)
+        assert part.num_sets <= 2 * (n - 1).bit_length()
+
+
+class TestCrossingObservation:
+    """'Forward pointers crossing line c have disjoint heads and tails.'"""
+
+    @pytest.mark.parametrize("n", [16, 128, 1024, 1 << 13])
+    def test_every_line_every_layout(self, n):
+        for maker in (lambda m: random_list(m, rng=m), sawtooth_list):
+            lst = maker(n)
+            block = 1
+            while block < n:
+                # must not raise: the disjointness check is inside
+                crossing_pointers(lst, block)
+                block *= 2
+
+    def test_sawtooth_crosses_coarsest_everywhere(self):
+        n = 64
+        lst = sawtooth_list(n)
+        fwd, bwd = crossing_pointers(lst, n // 2)
+        assert fwd.size + bwd.size == n - 1
+
+    def test_sequential_only_crosses_at_boundaries(self):
+        # order 0,1,2,...: pointer k -> k+1 crosses the level-j line
+        # only when k+1 is a multiple of 2^j
+        from repro.lists import sequential_list
+
+        n = 64
+        lst = sequential_list(n)
+        fwd, bwd = crossing_pointers(lst, 16)
+        assert bwd.size == 0
+        assert set(fwd.tolist()) == {15, 47}
+
+    def test_families_partition_all_pointers(self):
+        n = 512
+        lst = random_list(n, rng=2)
+        total = 0
+        block = 1
+        while block < n:
+            fwd, bwd = crossing_pointers(lst, block)
+            total += fwd.size + bwd.size
+            block *= 2
+        assert total == n - 1
+
+    def test_block_validation(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            crossing_pointers(random_list(8, rng=0), 3)
+
+    def test_singleton_list(self):
+        part = bisection_partition(LinkedList.from_order([0]))
+        assert part.num_sets == 0

@@ -1,0 +1,136 @@
+"""Tests for repro.core.cutwalk: Match1 steps 3-4."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits.iterated_log import G
+from repro.core.cutwalk import cut_and_walk
+from repro.core.functions import iterate_f
+from repro.core.matching import verify_maximal_matching
+from repro.errors import VerificationError
+from repro.lists import LinkedList, random_list
+
+
+def run(lst, rounds=None):
+    labels = iterate_f(lst, G(lst.n) if rounds is None else rounds)
+    return cut_and_walk(lst, labels)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 7, 16, 100, 1001, 1 << 12])
+    def test_maximal_on_random(self, n):
+        lst = random_list(n, rng=n)
+        tails, _ = run(lst)
+        verify_maximal_matching(lst, tails)
+
+    def test_maximal_on_all_layouts(self, make_list):
+        lst = make_list(512)
+        tails, _ = run(lst)
+        verify_maximal_matching(lst, tails)
+
+    @given(st.permutations(list(range(12))))
+    @settings(max_examples=100, deadline=None)
+    def test_maximal_on_tiny_exhaustive_ish(self, perm):
+        lst = LinkedList.from_order(list(perm))
+        tails, _ = run(lst)
+        verify_maximal_matching(lst, tails)
+
+
+class TestStructure:
+    def test_cuts_never_adjacent(self):
+        lst = random_list(5000, rng=2)
+        labels = iterate_f(lst, G(lst.n))
+        nxt, pred = lst.next, lst.pred
+        interior = (pred != -1) & (nxt != -1)
+        iv = np.flatnonzero(interior)
+        cut = np.zeros(lst.n, dtype=bool)
+        is_min = (labels[pred[iv]] > labels[iv]) & (
+            labels[iv] < labels[nxt[iv]]
+        )
+        cut[iv[is_min]] = True
+        cuts = np.flatnonzero(cut)
+        assert not np.any(cut[nxt[cuts]])
+
+    def test_walk_rounds_constant(self):
+        # with labels < 6, sublists have <= ~2*6 pointers
+        for n in (64, 1024, 1 << 14):
+            lst = random_list(n, rng=n)
+            _, stats = run(lst)
+            assert stats.walk_rounds <= 8
+
+    def test_segments_partition_pointers(self):
+        lst = random_list(300, rng=4)
+        labels = iterate_f(lst, G(lst.n))
+        tails, stats = cut_and_walk(lst, labels)
+        # chosen + cut + skipped = all pointers; chosen count within
+        # maximal bounds
+        ptrs = lst.n - 1
+        assert (ptrs + 2) // 3 <= len(tails) <= (ptrs + 1) // 2
+
+
+class TestEndRepair:
+    def test_repair_case_constructed(self):
+        # Craft labels where the final pointer is cut and the preceding
+        # segment ends unchosen: path 0-1-2-3-4 with node labels
+        # chosen so node 3 is a strict local min (cut <3,4>) and the
+        # walk of segment [<0,1>,<1,2>,<2,3>] picks 0 and 2... that
+        # covers 3 — need segment ending unchosen right before the cut:
+        # path of 4: pointers <0,1>,<1,2>,<2,3>; cut at node 2
+        # (labels: 1, 2, 0, 3 -> pre(2)=1 has 2 > 0 < 3) leaves segment
+        # [<0,1>,<1,2>]; walk takes <0,1>, skips <1,2>; pointer <2,3>
+        # is cut and unchosen; node 2 free, node 3 free -> repair must
+        # fire.
+        lst = LinkedList.from_order([0, 1, 2, 3])
+        labels = np.asarray([1, 2, 0, 3])
+        tails, stats = cut_and_walk(lst, labels)
+        assert stats.end_repaired
+        verify_maximal_matching(lst, tails)
+        assert 2 in tails.tolist()
+
+    def test_no_repair_when_covered(self):
+        lst = LinkedList.from_order([0, 1, 2])
+        labels = np.asarray([0, 1, 2])
+        tails, stats = cut_and_walk(lst, labels)
+        assert not stats.end_repaired
+        verify_maximal_matching(lst, tails)
+
+
+class TestValidation:
+    def test_rejects_adjacent_equal_labels(self):
+        lst = LinkedList.from_order([0, 1, 2])
+        with pytest.raises(VerificationError, match="distinct"):
+            cut_and_walk(lst, np.asarray([1, 1, 0]))
+
+    def test_rejects_wrong_size(self):
+        lst = LinkedList.from_order([0, 1])
+        with pytest.raises(VerificationError, match="entries"):
+            cut_and_walk(lst, np.asarray([1]))
+
+    def test_walk_round_limit(self):
+        # monotone labels => no interior cut => one long segment; a
+        # tiny round limit must trip the constant-sublist assertion.
+        lst = LinkedList.from_order(list(range(64)))
+        labels = np.arange(64)
+        with pytest.raises(VerificationError, match="rounds"):
+            cut_and_walk(lst, labels, max_walk_rounds=3)
+
+    def test_trivial_lists(self):
+        tails, stats = cut_and_walk(
+            LinkedList.from_order([0]), np.asarray([0])
+        )
+        assert tails.size == 0
+        assert stats.num_segments == 0
+
+
+class TestCostAccounting:
+    def test_charges_cut_and_walk(self):
+        from repro.pram.cost import CostModel
+
+        lst = random_list(256, rng=1)
+        labels = iterate_f(lst, G(lst.n))
+        cm = CostModel(p=256)
+        cut_and_walk(lst, labels, cost=cm)
+        # cut: 1 step at full width; walk: a few rounds; repair: 1
+        assert 2 <= cm.time <= 16

@@ -1,0 +1,180 @@
+"""Tests for repro.core.functions: the matching partition functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.functions import (
+    apply_f,
+    f_lsb,
+    f_msb,
+    iterate_f,
+    label_bound_sequence,
+    max_label_after,
+    pair_function,
+)
+from repro.errors import InvalidParameterError
+from repro.lists import random_list
+
+addresses = st.integers(0, (1 << 40) - 1)
+
+
+def scalar(func, a, b):
+    return int(func(np.asarray([a]), np.asarray([b]))[0])
+
+
+class TestDefinition:
+    def test_msb_formula(self):
+        # a=12 (1100), b=10 (1010): xor=0110, msb k=2, a_2=1 -> 5
+        assert scalar(f_msb, 12, 10) == 5
+        assert scalar(f_msb, 10, 12) == 4  # b_2 = 0
+
+    def test_lsb_formula(self):
+        # a=12 (1100), b=10 (1010): xor=0110, lsb k=1, a_1=0 -> 2
+        assert scalar(f_lsb, 12, 10) == 2
+        assert scalar(f_lsb, 10, 12) == 3
+
+    def test_forward_backward_encoding(self):
+        # the low bit records a_k: distinguishes <a,b> from <b,a>
+        for a, b in [(0, 1), (5, 9), (100, 7)]:
+            assert scalar(f_msb, a, b) != scalar(f_msb, b, a)
+            assert scalar(f_lsb, a, b) != scalar(f_lsb, b, a)
+
+    def test_rejects_equal(self):
+        with pytest.raises(InvalidParameterError):
+            f_msb(np.asarray([3]), np.asarray([3]))
+        with pytest.raises(InvalidParameterError):
+            f_lsb(np.asarray([3]), np.asarray([3]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            f_msb(np.asarray([-1]), np.asarray([2]))
+
+    def test_pair_function_resolver(self):
+        assert pair_function("msb") is f_msb
+        assert pair_function("lsb") is f_lsb
+        with pytest.raises(InvalidParameterError):
+            pair_function("nope")
+
+
+class TestMatchingPartitionProperty:
+    """The defining inequality: f(a,b) != f(b,c) whenever a!=b or b!=c."""
+
+    @given(addresses, addresses, addresses)
+    @settings(max_examples=300)
+    def test_msb_property(self, a, b, c):
+        if a == b or b == c:
+            return
+        assert scalar(f_msb, a, b) != scalar(f_msb, b, c)
+
+    @given(addresses, addresses, addresses)
+    @settings(max_examples=300)
+    def test_lsb_property(self, a, b, c):
+        if a == b or b == c:
+            return
+        assert scalar(f_lsb, a, b) != scalar(f_lsb, b, c)
+
+    @given(addresses, addresses)
+    @settings(max_examples=200)
+    def test_antisymmetric_on_pairs(self, a, b):
+        # special case a == c of the property
+        if a == b:
+            return
+        assert scalar(f_msb, a, b) != scalar(f_msb, b, a)
+
+
+class TestLemma1Bound:
+    """Lemma 1: f partitions n pointers into at most 2 log n sets."""
+
+    @pytest.mark.parametrize("kind", ["msb", "lsb"])
+    @pytest.mark.parametrize("n", [4, 16, 100, 1024, 1 << 14])
+    def test_label_bound(self, kind, n):
+        lst = random_list(n, rng=n)
+        labels = iterate_f(lst, 1, kind=kind)
+        bits = (n - 1).bit_length()
+        assert int(labels.max()) < 2 * bits
+
+    @pytest.mark.parametrize("n", [16, 1024, 1 << 14])
+    def test_set_count_bound(self, n):
+        lst = random_list(n, rng=n)
+        labels = iterate_f(lst, 1)
+        num_sets = np.unique(labels).size
+        assert num_sets <= 2 * (n - 1).bit_length()
+
+
+class TestIteration:
+    def test_round_zero_is_addresses(self):
+        lst = random_list(32, rng=0)
+        assert np.array_equal(iterate_f(lst, 0), np.arange(32))
+
+    def test_history_lengths(self):
+        lst = random_list(32, rng=0)
+        hist = iterate_f(lst, 3, return_history=True)
+        assert len(hist) == 4
+        assert np.array_equal(hist[0], np.arange(32))
+
+    def test_adjacent_distinct_every_round(self):
+        lst = random_list(500, rng=5)
+        cnext = lst.circular_next()
+        for labels in iterate_f(lst, 5, return_history=True)[1:]:
+            assert not np.any(labels == labels[cnext])
+
+    def test_labels_shrink_per_lemma2(self):
+        n = 1 << 16
+        lst = random_list(n, rng=3)
+        hist = iterate_f(lst, 4, return_history=True)
+        bounds = label_bound_sequence(n, 4)
+        for r, labels in enumerate(hist):
+            assert int(labels.max()) < bounds[r]
+
+    def test_reaches_constant_labels(self):
+        from repro.bits.iterated_log import G
+
+        for n in (2, 3, 17, 256, 5000, 1 << 16):
+            lst = random_list(n, rng=n)
+            labels = iterate_f(lst, G(n))
+            if n > 1:
+                assert int(labels.max()) < 6
+
+    def test_singleton_list(self):
+        lst = random_list(1)
+        assert iterate_f(lst, 3).tolist() == [0]
+
+    def test_cost_charged_per_round(self):
+        from repro.pram.cost import CostModel
+
+        lst = random_list(64, rng=0)
+        cm = CostModel(p=64)
+        iterate_f(lst, 4, cost=cm)
+        assert cm.time == 4  # one step per round at p = n
+
+    def test_rejects_negative_rounds(self):
+        with pytest.raises(InvalidParameterError):
+            iterate_f(random_list(4, rng=0), -1)
+
+
+class TestApplyF:
+    def test_single_round_equivalence(self):
+        lst = random_list(100, rng=9)
+        direct = apply_f(np.arange(100), lst.circular_next())
+        assert np.array_equal(direct, iterate_f(lst, 1))
+
+
+class TestBounds:
+    def test_max_label_after_zero(self):
+        assert max_label_after(1000, 0) == 1000
+
+    def test_max_label_after_one(self):
+        assert max_label_after(1 << 20, 1) == 40
+
+    def test_fixed_point_is_six(self):
+        assert max_label_after(1 << 20, 50) == 6
+
+    def test_bound_sequence(self):
+        seq = label_bound_sequence(1 << 20, 3)
+        assert seq == [1 << 20, 40, 12, 8]
+
+    def test_monotone_in_n(self):
+        for r in range(4):
+            assert max_label_after(1 << 10, r) <= max_label_after(1 << 20, r)

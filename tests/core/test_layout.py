@@ -1,0 +1,95 @@
+"""Tests for repro.core.layout: the 2-D array view."""
+
+import numpy as np
+import pytest
+
+from repro.core.functions import iterate_f, max_label_after
+from repro.core.layout import EMPTY, build_layout
+from repro.errors import InvalidParameterError
+from repro.lists import random_list
+
+
+def make(n, i=2, seed=0):
+    lst = random_list(n, rng=seed)
+    labels = iterate_f(lst, i)
+    x = max(2, max_label_after(n, i))
+    return lst, labels, build_layout(lst, labels, x)
+
+
+class TestGeometry:
+    def test_grid_shape(self):
+        lst, labels, layout = make(1000)
+        assert layout.grid.shape == (layout.x, layout.y)
+        assert layout.x * layout.y >= 1000
+
+    def test_every_node_placed_once(self):
+        lst, labels, layout = make(777)
+        real = layout.grid[layout.grid != EMPTY]
+        assert np.sort(real).tolist() == list(range(777))
+
+    def test_positions_consistent_with_grid(self):
+        lst, labels, layout = make(500)
+        for v in range(0, 500, 37):
+            assert layout.grid[layout.row_of[v], layout.col_of[v]] == v
+
+    def test_column_membership_preserved(self):
+        # sorting permutes within a column: node v stays in column v//x
+        lst, labels, layout = make(640)
+        assert np.array_equal(
+            layout.col_of, np.arange(640) // layout.x
+        )
+
+
+class TestSorting:
+    def test_columns_sorted_by_label(self):
+        lst, labels, layout = make(2048)
+        for c in range(layout.y):
+            col = layout.sorted_label_column(c)
+            assert np.all(np.diff(col) >= 0)
+
+    def test_padding_sinks_to_bottom(self):
+        lst, labels, layout = make(1001)  # ragged last column
+        last = layout.grid[:, -1]
+        empties = np.flatnonzero(last == EMPTY)
+        if empties.size:
+            assert empties.min() > np.flatnonzero(last != EMPTY).max()
+
+    def test_sorted_label_column_range(self):
+        lst, labels, layout = make(300)
+        col = layout.sorted_label_column(0)
+        assert int(col.max()) <= layout.x  # padding key is x
+
+
+class TestClassification:
+    def test_partition_of_pointers(self):
+        lst, labels, layout = make(4096)
+        intra, inter = layout.classify_pointers(lst)
+        assert intra.size + inter.size == lst.n - 1
+
+    def test_intra_means_same_row(self):
+        lst, labels, layout = make(4096)
+        intra, inter = layout.classify_pointers(lst)
+        nxt = lst.next
+        assert np.all(layout.row_of[intra] == layout.row_of[nxt[intra]])
+        assert np.all(layout.row_of[inter] != layout.row_of[nxt[inter]])
+
+
+class TestValidation:
+    def test_label_out_of_range(self):
+        lst = random_list(16, rng=0)
+        with pytest.raises(InvalidParameterError, match="rows"):
+            build_layout(lst, np.full(16, 5), x=4)
+
+    def test_label_size_mismatch(self):
+        lst = random_list(16, rng=0)
+        with pytest.raises(InvalidParameterError):
+            build_layout(lst, np.zeros(4, dtype=np.int64), x=4)
+
+    def test_cost_charged(self):
+        from repro.pram.cost import CostModel
+
+        lst, labels, _ = make(1024)
+        x = max(2, max_label_after(1024, 2))
+        cm = CostModel(p=1024 // x)
+        build_layout(lst, labels, x, cost=cm)
+        assert cm.time >= x  # depth-x column sort

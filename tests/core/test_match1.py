@@ -1,0 +1,77 @@
+"""Tests for Algorithm Match1."""
+
+import pytest
+
+from repro.bits.iterated_log import G
+from repro.core.match1 import match1
+from repro.core.matching import verify_maximal_matching
+from repro.errors import VerificationError
+from repro.lists import random_list
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [2, 3, 5, 17, 128, 4097])
+    @pytest.mark.parametrize("kind", ["msb", "lsb"])
+    def test_maximal(self, n, kind):
+        lst = random_list(n, rng=n)
+        matching, _, _ = match1(lst, kind=kind)
+        verify_maximal_matching(lst, matching.tails)
+
+    def test_all_layouts(self, make_list):
+        lst = make_list(777)
+        matching, _, _ = match1(lst)
+        verify_maximal_matching(lst, matching.tails)
+
+    def test_explicit_rounds(self):
+        lst = random_list(1024, rng=1)
+        matching, _, _ = match1(lst, rounds=G(1024) + 2)
+        verify_maximal_matching(lst, matching.tails)
+
+    def test_too_few_rounds_detected(self):
+        lst = random_list(1 << 14, rng=1)
+        with pytest.raises(VerificationError, match="constant"):
+            match1(lst, rounds=1)
+
+
+class TestComplexity:
+    def test_time_is_g_rounds_at_full_width(self):
+        n = 1 << 12
+        lst = random_list(n, rng=2)
+        _, report, _ = match1(lst, p=n)
+        # iterate: G(n) steps; cutwalk: constant more
+        assert report.phase("iterate").time == G(n)
+        assert report.time <= G(n) + 12
+
+    def test_work_is_n_g(self):
+        n = 4096
+        lst = random_list(n, rng=3)
+        _, report, _ = match1(lst, p=1)
+        assert report.phase("iterate").work == n * G(n)
+
+    def test_not_optimal(self):
+        # work/n grows with G(n): the paper's point that Match1 is
+        # suboptimal.
+        n = 1 << 14
+        lst = random_list(n, rng=4)
+        _, report, _ = match1(lst, p=1)
+        assert report.work > 3 * n
+
+    def test_bound_curve(self):
+        from repro.analysis.complexity import match1_time_bound
+
+        for n in (256, 4096):
+            for p in (1, 16, n):
+                lst = random_list(n, rng=n)
+                _, report, _ = match1(lst, p=p)
+                bound = match1_time_bound(n, p)
+                assert report.time <= 4 * bound
+                assert report.time >= bound / 4
+
+
+class TestStats:
+    def test_stats_fields(self):
+        lst = random_list(512, rng=5)
+        _, _, stats = match1(lst)
+        assert stats.num_segments >= 1
+        assert stats.walk_rounds <= 8
+        assert stats.num_cut < lst.n

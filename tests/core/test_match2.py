@@ -1,0 +1,102 @@
+"""Tests for Algorithm Match2."""
+
+import pytest
+
+from repro.core.match2 import SORT_COST_LAWS, match2
+from repro.core.matching import verify_maximal_matching
+from repro.errors import InvalidParameterError
+from repro.lists import random_list
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [2, 3, 9, 65, 1000, 1 << 12])
+    def test_maximal(self, n):
+        lst = random_list(n, rng=n)
+        matching, _, _ = match2(lst)
+        verify_maximal_matching(lst, matching.tails)
+
+    def test_all_layouts(self, make_list):
+        lst = make_list(600)
+        matching, _, _ = match2(lst)
+        verify_maximal_matching(lst, matching.tails)
+
+    @pytest.mark.parametrize("law", sorted(SORT_COST_LAWS))
+    def test_all_sort_laws_same_matching(self, law):
+        lst = random_list(512, rng=7)
+        m_default, _, _ = match2(lst, sort_law="erew")
+        m_law, _, _ = match2(lst, sort_law=law)
+        assert m_default.tails.tolist() == m_law.tails.tolist()
+
+    def test_unknown_law(self):
+        with pytest.raises(InvalidParameterError):
+            match2(random_list(8, rng=0), sort_law="bogus")
+
+    def test_more_partition_rounds(self):
+        lst = random_list(1024, rng=8)
+        matching, _, stats = match2(lst, partition_rounds=3)
+        verify_maximal_matching(lst, matching.tails)
+        assert stats.num_sets <= 8
+
+
+class TestLemma4Shape:
+    def test_set_count_is_loglog(self):
+        n = 1 << 16
+        lst = random_list(n, rng=1)
+        _, _, stats = match2(lst)
+        # two rounds: labels < 2*ceil(log2(2*16)) = 12
+        assert stats.num_sets <= 12
+
+    def test_sort_dominates_at_high_p(self):
+        # "The time complexity of Step 2 in Match2 dominates": at p=n
+        # the additive log n sort term exceeds every other phase.
+        n = 1 << 14
+        lst = random_list(n, rng=2)
+        _, report, _ = match2(lst, p=n)
+        sort_t = report.phase("sort").time
+        assert sort_t >= report.phase("partition").time
+        assert sort_t >= report.phase("sweep").time
+
+    def test_crcw_laws_shrink_additive(self):
+        # Paper ordering: EREW log n > Reif log n/log^(3) n >
+        # Cole-Vishkin log n/log^(2) n ("thus yielding a better
+        # algorithm").
+        n = 1 << 16
+        lst = random_list(n, rng=3)
+        _, r_erew, s_erew = match2(lst, p=n, sort_law="erew")
+        _, r_reif, s_reif = match2(lst, p=n, sort_law="reif")
+        _, r_cv, s_cv = match2(lst, p=n, sort_law="cole_vishkin")
+        assert s_cv.sort_additive < s_reif.sort_additive < s_erew.sort_additive
+        assert r_cv.time < r_reif.time < r_erew.time
+
+    def test_optimal_at_n_over_log_n(self):
+        # Lemma 4 regime: p = n / log n keeps time*p = O(n).
+        n = 1 << 14
+        p = n // 14
+        lst = random_list(n, rng=4)
+        _, report, _ = match2(lst, p=p)
+        assert report.time * p <= 10 * n
+
+    def test_bound_curve(self):
+        from repro.analysis.complexity import match2_time_bound
+
+        n = 1 << 12
+        for p in (1, 64, n):
+            lst = random_list(n, rng=5)
+            _, report, _ = match2(lst, p=p)
+            bound = match2_time_bound(n, p)
+            assert report.time <= 8 * bound
+
+
+class TestSweepSemantics:
+    def test_sets_processed_in_order(self):
+        # first set's pointers always all admitted (nothing done yet)
+        lst = random_list(256, rng=6)
+        matching, _, _ = match2(lst)
+        from repro.core.functions import iterate_f
+        import numpy as np
+
+        labels = iterate_f(lst, 2)
+        tails = np.flatnonzero(lst.next != -1)
+        first_label = int(labels[tails].min())
+        first_set = tails[labels[tails] == first_label]
+        assert np.isin(first_set, matching.tails).all()

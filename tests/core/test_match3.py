@@ -1,0 +1,128 @@
+"""Tests for Algorithm Match3."""
+
+import pytest
+
+from repro.bits.iterated_log import log_G
+from repro.bits.lookup import build_table_direct
+from repro.core.functions import pair_function
+from repro.core.match3 import match3, plan_match3
+from repro.core.matching import verify_maximal_matching
+from repro.errors import InvalidParameterError
+from repro.lists import random_list
+
+
+class TestPlanning:
+    def test_default_plan(self):
+        plan = plan_match3(1 << 20)
+        assert plan.crunch_rounds == 5  # "k is greater than 4"
+        assert plan.paper_doubling_rounds == log_G(1 << 20)
+        assert plan.table_cells <= 1 << 24
+
+    def test_table_size_formula(self):
+        plan = plan_match3(1 << 16, crunch_rounds=3, doubling_rounds=2)
+        assert plan.arity == 4
+        assert plan.table_cells == 1 << (4 * plan.bits_per_arg)
+
+    def test_memory_limit_respected(self):
+        plan = plan_match3(1 << 20, memory_limit=1 << 12)
+        assert plan.table_cells <= 1 << 12
+
+    def test_explicit_overshoot_rejected(self):
+        with pytest.raises(InvalidParameterError, match="cells"):
+            plan_match3(1 << 20, crunch_rounds=1, doubling_rounds=3,
+                        memory_limit=1 << 16)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            plan_match3(1)
+        with pytest.raises(InvalidParameterError):
+            plan_match3(16, crunch_rounds=0)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [2, 3, 9, 100, 1024, 1 << 13])
+    def test_maximal(self, n):
+        lst = random_list(n, rng=n)
+        matching, _, _ = match3(lst)
+        verify_maximal_matching(lst, matching.tails)
+
+    def test_all_layouts(self, make_list):
+        lst = make_list(999)
+        matching, _, _ = match3(lst)
+        verify_maximal_matching(lst, matching.tails)
+
+    @pytest.mark.parametrize("kind", ["msb", "lsb"])
+    def test_both_function_kinds(self, kind):
+        lst = random_list(2048, rng=11)
+        matching, _, _ = match3(lst, kind=kind)
+        verify_maximal_matching(lst, matching.tails)
+
+    @pytest.mark.parametrize("k,r", [(3, 1), (3, 2), (4, 2), (5, 3)])
+    def test_parameter_grid(self, k, r):
+        n = 1 << 12
+        lst = random_list(n, rng=12)
+        plan = plan_match3(n, crunch_rounds=k, doubling_rounds=r)
+        matching, _, stats = match3(lst, plan=plan)
+        verify_maximal_matching(lst, matching.tails)
+        assert stats.final_label_max < 2 * (1 << plan.bits_per_arg)
+
+    def test_prebuilt_table_reused(self):
+        n = 4096
+        plan = plan_match3(n, crunch_rounds=4, doubling_rounds=2)
+        table = build_table_direct(
+            pair_function("msb"),
+            arity=plan.arity,
+            bits_per_arg=plan.bits_per_arg,
+        )
+        for seed in range(3):
+            lst = random_list(n, rng=seed)
+            matching, _, _ = match3(lst, plan=plan, table=table)
+            verify_maximal_matching(lst, matching.tails)
+
+    def test_table_shape_mismatch_rejected(self):
+        n = 4096
+        plan = plan_match3(n, crunch_rounds=4, doubling_rounds=2)
+        wrong = build_table_direct(
+            pair_function("msb"), arity=2, bits_per_arg=plan.bits_per_arg
+        )
+        with pytest.raises(InvalidParameterError, match="shape"):
+            match3(random_list(n, rng=0), plan=plan, table=wrong)
+
+    def test_singleton(self):
+        matching, _, _ = match3(random_list(1))
+        assert matching.size == 0
+
+
+class TestLemma5Shape:
+    def test_final_labels_constant(self):
+        lst = random_list(1 << 14, rng=13)
+        _, _, stats = match3(lst)
+        assert stats.final_label_max < 12
+
+    def test_doubling_phase_dominates(self):
+        # time O(n log G(n)/p): the double phase runs r rounds of
+        # width n.
+        n = 1 << 13
+        lst = random_list(n, rng=14)
+        plan = plan_match3(n)
+        _, report, _ = match3(lst, p=1, plan=plan)
+        assert report.phase("double").work == n * plan.doubling_rounds
+
+    def test_bound_curve(self):
+        from repro.analysis.complexity import match3_time_bound
+
+        n = 1 << 12
+        for p in (1, 64, n):
+            lst = random_list(n, rng=15)
+            _, report, _ = match3(lst, p=p)
+            assert report.time <= 8 * match3_time_bound(n, p)
+
+    def test_faster_than_match1_at_full_width(self):
+        # Match3's point: log G(n) < G(n) rounds at p = n.
+        from repro.core.match1 import match1
+
+        n = 1 << 16
+        lst = random_list(n, rng=16)
+        _, r3, _ = match3(lst, p=n)
+        _, r1, _ = match1(lst, p=n)
+        assert r3.phase("double").time < r1.phase("iterate").time

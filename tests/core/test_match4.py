@@ -1,0 +1,155 @@
+"""Tests for Algorithm Match4 — the paper's main contribution."""
+
+import numpy as np
+import pytest
+
+from repro.core.match4 import match4, plan_rows
+from repro.core.matching import verify_maximal_matching
+from repro.errors import InvalidParameterError
+from repro.lists import random_list
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [2, 3, 5, 9, 33, 100, 1024, 1 << 13])
+    def test_maximal(self, n):
+        lst = random_list(n, rng=n)
+        matching, _, _ = match4(lst)
+        verify_maximal_matching(lst, matching.tails)
+
+    def test_all_layouts(self, make_list):
+        lst = make_list(800)
+        matching, _, _ = match4(lst)
+        verify_maximal_matching(lst, matching.tails)
+
+    @pytest.mark.parametrize("i", [1, 2, 3, 4])
+    def test_i_sweep(self, i):
+        lst = random_list(4096, rng=i)
+        matching, _, stats = match4(lst, i=i)
+        verify_maximal_matching(lst, matching.tails)
+        assert stats.i == i
+
+    @pytest.mark.parametrize("kind", ["msb", "lsb"])
+    def test_function_kinds(self, kind):
+        lst = random_list(2048, rng=21)
+        matching, _, _ = match4(lst, kind=kind)
+        verify_maximal_matching(lst, matching.tails)
+
+    @pytest.mark.parametrize("i", [1, 2, 3])
+    def test_table_strategy(self, i):
+        lst = random_list(4096, rng=22 + i)
+        matching, _, stats = match4(lst, i=i, strategy="table")
+        verify_maximal_matching(lst, matching.tails)
+        assert stats.strategy == "table"
+
+    def test_unknown_strategy(self):
+        with pytest.raises(InvalidParameterError):
+            match4(random_list(16, rng=0), strategy="bogus")
+
+    def test_singleton(self):
+        matching, _, _ = match4(random_list(1))
+        assert matching.size == 0
+
+    def test_check_can_be_disabled(self):
+        lst = random_list(1024, rng=23)
+        matching, _, _ = match4(lst, check=False)
+        verify_maximal_matching(lst, matching.tails)
+
+
+class TestGeometry:
+    def test_plan_rows_decreases_with_i(self):
+        n = 1 << 20
+        xs = [plan_rows(n, i) for i in (1, 2, 3, 4)]
+        assert xs == sorted(xs, reverse=True)
+        assert xs[0] == 40  # 2 * log n
+        assert xs[-1] <= 8
+
+    def test_stats_geometry(self):
+        n = 1 << 12
+        lst = random_list(n, rng=24)
+        _, _, stats = match4(lst, i=2)
+        assert stats.x == plan_rows(n, 2)
+        assert stats.x * stats.y >= n
+        assert stats.num_inter + stats.num_intra == n - 1
+
+    def test_inter_dominates_random_layout(self):
+        # With x rows and random placement most pointers land inter-row.
+        lst = random_list(1 << 13, rng=25)
+        _, _, stats = match4(lst, i=2)
+        assert stats.num_inter > stats.num_intra
+
+
+class TestTheorems:
+    def test_theorem1_optimal_at_n_over_ilog(self):
+        # p = n / log^(i) n must keep work-efficiency: time*p = O(n).
+        from repro.analysis.complexity import optimal_processor_bound
+
+        n = 1 << 14
+        for i in (1, 2, 3):
+            lst = random_list(n, rng=30 + i)
+            p = optimal_processor_bound(n, i)
+            _, report, _ = match4(lst, p=p, i=i)
+            # O(n) with the constant absorbing the 2x in x = 2 log^(i)n
+            assert report.time * p <= 32 * n, (i, report.time, p)
+            # tighter at the geometric optimum p = y = n/x:
+            p_geo = stats_y(lst, i)
+            _, report_geo, _ = match4(lst, p=p_geo, i=i)
+            assert report_geo.time * p_geo <= 16 * n, (i, report_geo.time)
+
+    def test_theorem2_curve(self):
+        from repro.analysis.complexity import match4_time_bound
+
+        n = 1 << 13
+        for i in (1, 2, 3):
+            for p in (1, 64, n // 16, n):
+                lst = random_list(n, rng=40 + i)
+                _, report, _ = match4(lst, p=p, i=i)
+                bound = match4_time_bound(n, p, i)
+                assert report.time <= 10 * bound, (i, p)
+
+    def test_sweep_phases_are_theta_x(self):
+        n = 1 << 13
+        lst = random_list(n, rng=50)
+        _, report, stats = match4(lst, p=stats_y(lst, 2), i=2)
+        x = stats_x(lst, 2)
+        assert report.phase("walkdown1").time <= 2 * x
+        assert report.phase("walkdown2").time <= 2 * (2 * x - 1)
+
+    def test_no_global_sort_term(self):
+        # Match4's whole point: at p = y, the sort phase is O(x), not
+        # O(log n).
+        n = 1 << 16
+        lst = random_list(n, rng=51)
+        _, report, stats = match4(lst, p=stats_y(lst, 3), i=3)
+        x = stats_x(lst, 3)
+        assert report.phase("sort").time <= 2 * x
+
+
+def stats_x(lst, i):
+    return plan_rows(lst.n, i)
+
+
+def stats_y(lst, i):
+    from repro._util import ceil_div
+
+    return ceil_div(lst.n, plan_rows(lst.n, i))
+
+
+class TestWorkOptimality:
+    def test_work_linear_in_n(self):
+        # total work (any p) stays O(i * n) — the optimality substrate.
+        for n in (1 << 10, 1 << 13, 1 << 15):
+            lst = random_list(n, rng=n)
+            _, report, _ = match4(lst, p=1, i=2)
+            assert report.work <= 12 * n
+
+    def test_matches_other_algorithms_maximality_not_identity(self):
+        # Different algorithms may return different maximal matchings;
+        # both must be maximal, sizes within the m/3..m/2 band.
+        from repro.core.match1 import match1
+
+        lst = random_list(5000, rng=60)
+        m4, _, _ = match4(lst)
+        m1, _, _ = match1(lst)
+        ptrs = lst.n - 1
+        for m in (m4, m1):
+            assert (ptrs + 2) // 3 <= m.size <= (ptrs + 1) // 2

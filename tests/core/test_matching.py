@@ -1,0 +1,104 @@
+"""Tests for repro.core.matching: matching artifacts and verifiers."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching import (
+    Matching,
+    verify_matching,
+    verify_maximal_matching,
+)
+from repro.errors import VerificationError
+from repro.lists import LinkedList
+
+
+def path(n):
+    return LinkedList.from_order(list(range(n)))
+
+
+class TestVerifyMatching:
+    def test_accepts_alternating(self):
+        verify_matching(path(6), np.asarray([0, 2, 4]))
+
+    def test_accepts_empty(self):
+        verify_matching(path(4), np.asarray([], dtype=np.int64))
+
+    def test_rejects_adjacent(self):
+        with pytest.raises(VerificationError, match="share node"):
+            verify_matching(path(4), np.asarray([0, 1]))
+
+    def test_rejects_tail_pointer(self):
+        with pytest.raises(VerificationError, match="no pointer"):
+            verify_matching(path(3), np.asarray([2]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(VerificationError, match="addresses"):
+            verify_matching(path(3), np.asarray([5]))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(VerificationError, match="duplicates"):
+            verify_matching(path(5), np.asarray([0, 0]))
+
+
+class TestVerifyMaximal:
+    def test_accepts_maximal(self):
+        verify_maximal_matching(path(7), np.asarray([0, 2, 4]))
+
+    def test_rejects_addable_middle(self):
+        # pointers 0-5 on path(7); choosing {0, 4} leaves <2,3> addable
+        with pytest.raises(VerificationError, match="added"):
+            verify_maximal_matching(path(7), np.asarray([0, 4]))
+
+    def test_rejects_addable_at_end(self):
+        # path(5) has pointers 0..3; {0} leaves <2,3> and <3,4> free
+        with pytest.raises(VerificationError, match="added"):
+            verify_maximal_matching(path(5), np.asarray([0]))
+
+    def test_rejects_empty_on_nontrivial(self):
+        with pytest.raises(VerificationError):
+            verify_maximal_matching(path(2), np.asarray([], dtype=np.int64))
+
+    def test_accepts_trivial(self):
+        verify_maximal_matching(path(1), np.asarray([], dtype=np.int64))
+
+    def test_every_third_pointer_is_enough(self):
+        # paper invariant: one of any three consecutive pointers chosen;
+        # pattern C U U C U U ... is maximal when it ends correctly.
+        verify_maximal_matching(path(8), np.asarray([0, 3, 6]))
+
+
+class TestMatchingArtifact:
+    def test_size_and_masks(self):
+        m = Matching(path(6), np.asarray([2, 0]))
+        assert m.size == 2
+        assert m.tails.tolist() == [0, 2]  # sorted + deduped
+        assert m.matched_mask().tolist() == [True, False, True,
+                                             False, False, False]
+        assert m.matched_nodes().tolist() == [0, 1, 2, 3]
+
+    def test_is_maximal_flag(self):
+        assert Matching(path(6), np.asarray([0, 2, 4])).is_maximal
+        assert not Matching(path(6), np.asarray([0])).is_maximal
+
+    def test_construction_validates_independence(self):
+        with pytest.raises(VerificationError):
+            Matching(path(4), np.asarray([0, 1]))
+
+    def test_tails_frozen(self):
+        m = Matching(path(4), np.asarray([0]))
+        with pytest.raises(ValueError):
+            m.tails[0] = 2
+
+
+class TestSizeBounds:
+    def test_maximal_matching_size_range(self):
+        # A maximal matching on m pointers has between ceil(m/3) and
+        # ceil(m/2) pointers.
+        from repro.baselines.sequential import sequential_matching
+        from repro.lists import random_list
+
+        for n in (2, 3, 10, 101, 1000):
+            lst = random_list(n, rng=n)
+            m, _, _ = sequential_matching(lst)
+            ptrs = n - 1
+            assert (ptrs + 2) // 3 <= m.size <= (ptrs + 1) // 2

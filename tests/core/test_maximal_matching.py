@@ -1,0 +1,70 @@
+"""Tests for the unified maximal_matching dispatcher."""
+
+import numpy as np
+import pytest
+
+import repro.baselines  # noqa: F401  (registers baseline algorithms)
+from repro.core.maximal_matching import (
+    ALGORITHMS,
+    maximal_matching,
+    register_algorithm,
+)
+from repro.core.matching import verify_maximal_matching
+from repro.errors import InvalidListError, InvalidParameterError
+from repro.lists import NIL, random_list
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "alg", ["match1", "match2", "match3", "match4",
+                "sequential", "random_mate"]
+    )
+    def test_every_algorithm(self, alg):
+        lst = random_list(1000, rng=1)
+        matching, report, _ = maximal_matching(lst, algorithm=alg, p=8)
+        verify_maximal_matching(lst, matching.tails)
+        assert report.p == 8
+
+    def test_raw_next_array_accepted(self):
+        matching, _, _ = maximal_matching([1, 2, NIL], algorithm="match4")
+        assert matching.size == 1
+
+    def test_raw_array_validated(self):
+        with pytest.raises(InvalidListError):
+            maximal_matching([0, NIL], algorithm="match4")  # self-loop
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(InvalidParameterError, match="unknown algorithm"):
+            maximal_matching(random_list(4, rng=0), algorithm="nope")
+
+    def test_kwargs_forwarded(self):
+        lst = random_list(512, rng=2)
+        _, _, stats = maximal_matching(lst, algorithm="match4", i=3)
+        assert stats.i == 3
+
+    def test_registry_rejects_duplicates(self):
+        with pytest.raises(InvalidParameterError, match="already"):
+            register_algorithm("match1", ALGORITHMS["match1"])
+
+
+class TestCrossAlgorithmAgreement:
+    """All algorithms produce valid maximal matchings on shared inputs."""
+
+    @pytest.mark.parametrize("n", [2, 3, 7, 50, 333])
+    def test_sizes_in_band(self, n):
+        lst = random_list(n, rng=n)
+        sizes = {}
+        for alg in ("match1", "match2", "match3", "match4", "sequential"):
+            m, _, _ = maximal_matching(lst, algorithm=alg)
+            verify_maximal_matching(lst, m.tails)
+            sizes[alg] = m.size
+        ptrs = n - 1
+        for alg, s in sizes.items():
+            assert (ptrs + 2) // 3 <= s <= (ptrs + 1) // 2, alg
+
+    def test_deterministic(self):
+        lst = random_list(400, rng=9)
+        for alg in ("match1", "match2", "match3", "match4"):
+            a, _, _ = maximal_matching(lst, algorithm=alg)
+            b, _, _ = maximal_matching(lst, algorithm=alg)
+            assert np.array_equal(a.tails, b.tails), alg

@@ -1,0 +1,90 @@
+"""Tests for repro.core.partition: partition artifacts and verifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.functions import iterate_f
+from repro.core.partition import (
+    NO_POINTER,
+    MatchingPartition,
+    verify_matching_partition,
+)
+from repro.errors import VerificationError
+from repro.lists import LinkedList, random_list
+
+
+def pointer_labels_from_node_labels(lst, node_labels):
+    """Node labels to per-pointer labels (tail gets NO_POINTER)."""
+    labels = node_labels.copy()
+    labels[lst.tail] = NO_POINTER
+    return labels
+
+
+class TestVerifier:
+    def test_accepts_f_partition(self, make_list):
+        lst = make_list(256)
+        labels = pointer_labels_from_node_labels(lst, iterate_f(lst, 1))
+        verify_matching_partition(lst, labels)
+
+    def test_rejects_adjacent_equal(self):
+        lst = LinkedList.from_order([0, 1, 2, 3])
+        labels = np.asarray([1, 1, 2, NO_POINTER])
+        with pytest.raises(VerificationError, match="share label"):
+            verify_matching_partition(lst, labels)
+
+    def test_rejects_wrong_size(self):
+        lst = LinkedList.from_order([0, 1])
+        with pytest.raises(VerificationError, match="entries"):
+            verify_matching_partition(lst, np.asarray([0]))
+
+    def test_rejects_labelled_tail(self):
+        lst = LinkedList.from_order([0, 1, 2])
+        with pytest.raises(VerificationError, match="tail"):
+            verify_matching_partition(lst, np.asarray([0, 1, 0]))
+
+    def test_rejects_negative_pointer_label(self):
+        lst = LinkedList.from_order([0, 1, 2])
+        with pytest.raises(VerificationError, match="negative"):
+            verify_matching_partition(lst, np.asarray([0, -5, NO_POINTER]))
+
+    def test_nonconsecutive_pointers_may_share(self):
+        # <0,1> and <2,3> don't touch: same label is fine.
+        lst = LinkedList.from_order([0, 1, 2, 3])
+        verify_matching_partition(lst, np.asarray([0, 1, 0, NO_POINTER]))
+
+
+class TestArtifact:
+    def make(self, n=128, rounds=1):
+        lst = random_list(n, rng=n)
+        labels = pointer_labels_from_node_labels(lst, iterate_f(lst, rounds))
+        return lst, MatchingPartition(lst, labels)
+
+    def test_num_sets_lemma1(self):
+        lst, part = self.make(1 << 12)
+        assert part.num_sets <= 2 * (lst.n - 1).bit_length()
+
+    def test_max_label(self):
+        _, part = self.make(64)
+        assert 0 <= part.max_label < 12
+
+    def test_set_sizes_sum_to_pointer_count(self):
+        lst, part = self.make(500)
+        assert sum(part.set_sizes().values()) == lst.n - 1
+
+    def test_pointers_in_set_are_disjoint(self):
+        lst, part = self.make(1000)
+        nxt = lst.next
+        for label in part.set_sizes():
+            tails = part.pointers_in_set(label)
+            ends = np.concatenate([tails, nxt[tails]])
+            assert np.unique(ends).size == ends.size
+
+    def test_construction_validates(self):
+        lst = LinkedList.from_order([0, 1, 2])
+        with pytest.raises(VerificationError):
+            MatchingPartition(lst, np.asarray([1, 1, NO_POINTER]))
+
+    def test_labels_frozen(self):
+        _, part = self.make(16)
+        with pytest.raises(ValueError):
+            part.labels[0] = 99

@@ -1,0 +1,205 @@
+"""Tests for the ring extension: matching + coloring on cycles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rings import (
+    ring_iterate_f,
+    ring_maximal_matching,
+    ring_three_coloring,
+    verify_ring_coloring,
+    verify_ring_matching,
+    verify_ring_maximal_matching,
+)
+from repro.errors import InvalidListError, VerificationError
+from repro.lists.ring import Ring, random_ring, sequential_ring
+
+
+class TestRingContainer:
+    def test_iteration_closes(self):
+        ring = Ring.from_order([0, 3, 1, 2])
+        assert list(ring) == [0, 3, 1, 2]
+        assert len(ring) == 4
+
+    def test_pred_inverts_next(self):
+        ring = random_ring(50, rng=1)
+        assert np.array_equal(ring.pred[ring.next], np.arange(50))
+
+    def test_two_ring(self):
+        ring = Ring([1, 0])
+        assert list(ring) == [0, 1]
+
+    def test_one_ring(self):
+        ring = Ring([0])
+        assert list(ring) == [0]
+
+    def test_rejects_self_loop_in_larger_ring(self):
+        with pytest.raises(InvalidListError, match="self-loop"):
+            Ring([0, 2, 1])
+
+    def test_rejects_multiple_cycles(self):
+        with pytest.raises(InvalidListError, match="cycles"):
+            Ring([1, 0, 3, 2])
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(InvalidListError):
+            Ring([1, 1, 0])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidListError):
+            Ring([1, 5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidListError):
+            Ring(np.asarray([], dtype=np.int64))
+
+    def test_cut_open(self):
+        ring = Ring.from_order([2, 0, 1])
+        lst = ring.cut_open(at=0)
+        assert list(lst) == [0, 1, 2]
+
+    def test_equality(self):
+        assert Ring([1, 0]) == Ring([1, 0])
+        assert Ring.from_order([0, 1, 2]) != Ring.from_order([0, 2, 1])
+
+
+class TestRingIterateF:
+    @pytest.mark.parametrize("n", [2, 3, 5, 64, 1000])
+    def test_adjacent_distinct(self, n):
+        ring = random_ring(n, rng=n)
+        labels = ring_iterate_f(ring, 3)
+        assert not np.any(labels == labels[ring.next])
+
+    def test_collapses_to_constant(self):
+        from repro.bits.iterated_log import G
+
+        ring = random_ring(4096, rng=2)
+        labels = ring_iterate_f(ring, G(4096))
+        assert int(labels.max()) < 6
+
+
+class TestRingMatching:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 9, 64, 1000, 4097])
+    def test_maximal(self, n):
+        ring = random_ring(n, rng=n)
+        tails, _ = ring_maximal_matching(ring)
+        verify_ring_maximal_matching(ring, tails)
+
+    def test_sequential_layout(self):
+        ring = sequential_ring(100)
+        tails, _ = ring_maximal_matching(ring)
+        verify_ring_maximal_matching(ring, tails)
+
+    @given(st.integers(2, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_size_band(self, n):
+        # maximal matching on an n-cycle has between ceil(n/3) and
+        # floor(n/2) edges
+        ring = random_ring(n, rng=n * 13 + 1)
+        tails, _ = ring_maximal_matching(ring)
+        if n == 2:
+            assert tails.size == 1
+        else:
+            assert (n + 2) // 3 <= tails.size <= n // 2
+
+    def test_two_ring_exactly_one(self):
+        ring = Ring([1, 0])
+        tails, _ = ring_maximal_matching(ring)
+        assert tails.size == 1
+
+    def test_one_ring_empty(self):
+        tails, _ = ring_maximal_matching(Ring([0]))
+        assert tails.size == 0
+
+    def test_no_end_repair_needed(self):
+        # structural claim: ring matchings come out maximal with the
+        # plain pipeline (the path's repair case cannot occur)
+        for seed in range(20):
+            ring = random_ring(200, rng=seed)
+            tails, _ = ring_maximal_matching(ring)
+            verify_ring_maximal_matching(ring, tails)
+
+    def test_cost_shape(self):
+        from repro.bits.iterated_log import G
+
+        n = 1 << 14
+        ring = random_ring(n, rng=3)
+        _, report = ring_maximal_matching(ring, p=n)
+        assert report.time <= G(n) + 12
+
+
+class TestRingColoring:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 64, 999])
+    def test_proper_three_coloring(self, n):
+        ring = random_ring(n, rng=n)
+        colors, _ = ring_three_coloring(ring)
+        verify_ring_coloring(ring, colors, 3)
+
+    def test_odd_cycle_needs_three(self):
+        # chromatic number of an odd cycle is 3: our coloring must use
+        # all three on at least some odd rings — and can never use 2
+        # everywhere... verify it's proper; using 3 colors is allowed.
+        ring = sequential_ring(7)
+        colors, _ = ring_three_coloring(ring)
+        verify_ring_coloring(ring, colors, 3)
+        assert np.unique(colors).size == 3
+
+    def test_two_ring(self):
+        colors, _ = ring_three_coloring(Ring([1, 0]))
+        assert sorted(colors.tolist()) == [0, 1]
+
+
+class TestRingVerifiers:
+    def test_rejects_adjacent_chosen(self):
+        ring = sequential_ring(6)
+        with pytest.raises(VerificationError, match="share"):
+            verify_ring_matching(ring, np.asarray([0, 1]))
+
+    def test_rejects_non_maximal(self):
+        ring = sequential_ring(6)
+        with pytest.raises(VerificationError, match="added"):
+            verify_ring_maximal_matching(ring, np.asarray([0]))
+
+    def test_rejects_two_ring_double(self):
+        with pytest.raises(VerificationError, match="2-ring"):
+            verify_ring_matching(Ring([1, 0]), np.asarray([0, 1]))
+
+    def test_rejects_bad_coloring(self):
+        ring = sequential_ring(4)
+        with pytest.raises(VerificationError, match="share color"):
+            verify_ring_coloring(ring, np.asarray([0, 0, 1, 2]), 3)
+
+    def test_rejects_out_of_range_color(self):
+        ring = sequential_ring(3)
+        with pytest.raises(VerificationError, match="lie in"):
+            verify_ring_coloring(ring, np.asarray([0, 1, 5]), 3)
+
+
+class TestRingMIS:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 9, 64, 999, 4096])
+    def test_independent_and_maximal(self, n):
+        from repro.core.rings import ring_mis
+
+        ring = random_ring(n, rng=n)
+        mask, _ = ring_mis(ring)  # verifies internally; re-check here
+        if n > 2:
+            assert not np.any(mask & mask[ring.next])
+            out = np.flatnonzero(~mask)
+            assert np.all(mask[ring.pred[out]] | mask[ring.next[out]])
+
+    def test_size_band(self):
+        from repro.core.rings import ring_mis
+
+        for n in (6, 30, 301):
+            ring = random_ring(n, rng=n + 5)
+            mask, _ = ring_mis(ring)
+            # MIS of a cycle: between ceil(n/3) and floor(n/2)
+            assert (n + 2) // 3 <= mask.sum() <= n // 2
+
+    def test_tiny_rings(self):
+        from repro.core.rings import ring_mis
+
+        assert ring_mis(Ring([0]))[0].tolist() == [True]
+        assert sum(ring_mis(Ring([1, 0]))[0]) == 1

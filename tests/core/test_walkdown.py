@@ -1,0 +1,138 @@
+"""Tests for the WalkDown sweeps (Lemmas 6-7, Corollaries 1-2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.functions import iterate_f, max_label_after
+from repro.core.layout import build_layout
+from repro.core.partition import NO_POINTER, verify_matching_partition
+from repro.core.walkdown import (
+    walkdown1,
+    walkdown2,
+    walkdown2_automaton,
+    walkdown2_step_of,
+)
+from repro.errors import VerificationError
+from repro.lists import random_list
+
+sorted_columns = st.integers(2, 40).flatmap(
+    lambda x: st.lists(
+        st.integers(0, x - 1), min_size=x, max_size=x
+    ).map(sorted)
+)
+
+
+class TestAutomatonLemma7:
+    @given(sorted_columns)
+    @settings(max_examples=150)
+    def test_processed_at_equals_label_plus_row(self, column):
+        a = np.asarray(column, dtype=np.int64)
+        trace = walkdown2_automaton(a)
+        # Lemma 7: row r processed at step A[r] + r.
+        assert np.array_equal(trace.processed_at, a + np.arange(a.size))
+
+    @given(sorted_columns)
+    @settings(max_examples=100)
+    def test_corollary1_every_cell_marked(self, column):
+        trace = walkdown2_automaton(np.asarray(column))
+        assert np.all(trace.processed_at >= 0)
+
+    @given(sorted_columns)
+    @settings(max_examples=100)
+    def test_total_steps_2x_minus_1(self, column):
+        trace = walkdown2_automaton(np.asarray(column))
+        assert trace.total_steps == 2 * len(column) - 1
+        assert int(trace.processed_at.max()) <= trace.total_steps - 1
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(VerificationError, match="ascending"):
+            walkdown2_automaton(np.asarray([2, 1, 3]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(VerificationError, match="lie in"):
+            walkdown2_automaton(np.asarray([0, 1, 5]))
+
+    def test_empty_column(self):
+        trace = walkdown2_automaton(np.asarray([], dtype=np.int64))
+        assert trace.total_steps == 0
+
+
+class TestCorollary2:
+    @pytest.mark.parametrize("n,i", [(1024, 1), (1 << 13, 2), (4096, 3)])
+    def test_same_row_same_step_same_label(self, n, i):
+        lst = random_list(n, rng=n + i)
+        labels = iterate_f(lst, i)
+        x = max(2, max_label_after(n, i))
+        layout = build_layout(lst, labels, x)
+        step_of = walkdown2_step_of(layout)
+        # group nodes by (row, step): all labels equal within a group
+        key = layout.row_of * (10 * x) + step_of
+        order = np.argsort(key)
+        ks = key[order]
+        ls = labels[order]
+        boundaries = np.flatnonzero(np.diff(ks)) + 1
+        for grp in np.split(ls, boundaries):
+            assert np.unique(grp).size == 1
+
+
+class TestSweepSafety:
+    def run_sweeps(self, n, i, seed):
+        lst = random_list(n, rng=seed)
+        labels = iterate_f(lst, i)
+        x = max(2, max_label_after(n, i))
+        layout = build_layout(lst, labels, x)
+        intra, inter = layout.classify_pointers(lst)
+        labels6 = np.full(n, NO_POINTER, dtype=np.int64)
+        walkdown1(lst, layout, inter, labels6, check=True)
+        walkdown2(lst, layout, intra, labels6, check=True)
+        return lst, layout, intra, inter, labels6
+
+    @pytest.mark.parametrize("n", [8, 64, 1000, 1 << 12])
+    @pytest.mark.parametrize("i", [1, 2])
+    def test_disjointness_checks_pass(self, n, i):
+        # check=True raises if two same-step pointers share an endpoint;
+        # passing is the theorem.
+        self.run_sweeps(n, i, seed=n * 7 + i)
+
+    def test_classification_partitions_pointers(self):
+        lst, layout, intra, inter, _ = self.run_sweeps(2048, 2, seed=3)
+        assert intra.size + inter.size == lst.n - 1
+        assert np.intersect1d(intra, inter).size == 0
+
+    def test_labels_in_disjoint_ranges(self):
+        lst, layout, intra, inter, labels6 = self.run_sweeps(2048, 2, seed=4)
+        if inter.size:
+            assert set(np.unique(labels6[inter])) <= {0, 1, 2}
+        if intra.size:
+            assert set(np.unique(labels6[intra])) <= {3, 4, 5}
+
+    def test_result_is_matching_partition(self):
+        lst, *_, labels6 = self.run_sweeps(4096, 2, seed=5)
+        verify_matching_partition(lst, labels6)
+
+    def test_all_pointers_labelled(self):
+        lst, layout, intra, inter, labels6 = self.run_sweeps(512, 1, seed=6)
+        tails = np.flatnonzero(lst.next != -1)
+        assert np.all(labels6[tails] >= 0)
+
+
+class TestInterRowSafetyArgument:
+    def test_inter_row_neighbors_in_different_rows(self):
+        # Lemma 6's premise check: an inter-row pointer processed at
+        # step r (its tail's row) never has a neighbor pointer whose
+        # tail is also in row r being inter-row... verify on data.
+        n = 4096
+        lst = random_list(n, rng=9)
+        labels = iterate_f(lst, 2)
+        x = max(2, max_label_after(n, 2))
+        layout = build_layout(lst, labels, x)
+        intra, inter = layout.classify_pointers(lst)
+        inter_set = np.zeros(n, dtype=bool)
+        inter_set[inter] = True
+        nxt = lst.next
+        for v in inter[:200]:
+            w = nxt[v]
+            if nxt[w] != -1 and inter_set[w]:
+                assert layout.row_of[w] != layout.row_of[v]

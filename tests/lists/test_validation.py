@@ -1,0 +1,62 @@
+"""Tests for repro.lists.validation: every structural defect diagnosed."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidListError
+from repro.lists import NIL
+from repro.lists.validation import validate_next_array
+
+
+class TestValidInputs:
+    def test_simple_path(self):
+        assert validate_next_array(np.asarray([1, 2, NIL])) == 0
+
+    def test_head_not_at_zero(self):
+        # order: 2 -> 0 -> 1
+        assert validate_next_array(np.asarray([1, NIL, 0])) == 2
+
+    def test_singleton(self):
+        assert validate_next_array(np.asarray([NIL])) == 0
+
+
+class TestDefects:
+    def test_empty(self):
+        with pytest.raises(InvalidListError, match="empty"):
+            validate_next_array(np.asarray([], dtype=np.int64))
+
+    def test_out_of_range_pointer(self):
+        with pytest.raises(InvalidListError, match="neither nil"):
+            validate_next_array(np.asarray([1, 7]))
+
+    def test_negative_non_nil(self):
+        with pytest.raises(InvalidListError, match="neither nil"):
+            validate_next_array(np.asarray([1, -3]))
+
+    def test_no_tail(self):
+        with pytest.raises(InvalidListError, match="exactly one nil"):
+            validate_next_array(np.asarray([1, 0]))
+
+    def test_two_tails(self):
+        with pytest.raises(InvalidListError, match="exactly one nil"):
+            validate_next_array(np.asarray([NIL, NIL]))
+
+    def test_self_loop(self):
+        with pytest.raises(InvalidListError, match="self-loop"):
+            validate_next_array(np.asarray([0, NIL]))
+
+    def test_two_predecessors(self):
+        # 0 -> 2, 1 -> 2
+        with pytest.raises(InvalidListError, match="predecessors"):
+            validate_next_array(np.asarray([2, 2, NIL]))
+
+    def test_disconnected_cycle(self):
+        # path: 0 -> nil; cycle: 1 -> 2 -> 1
+        with pytest.raises(InvalidListError):
+            validate_next_array(np.asarray([NIL, 2, 1]))
+
+    def test_wrong_dtype(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            validate_next_array(np.asarray([0.5, 1.0]))

@@ -1,0 +1,131 @@
+"""Tests for repro.pram.cost: Brent accounting."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.pram.cost import CostModel
+
+
+class TestCharging:
+    def test_parallel_brent_rule(self):
+        cm = CostModel(p=4)
+        cm.parallel(10)
+        assert cm.time == 3  # ceil(10/4)
+        assert cm.work == 10
+
+    def test_parallel_depth(self):
+        cm = CostModel(p=2)
+        cm.parallel(5, depth=3)
+        assert cm.time == 3 * 3
+        assert cm.work == 15
+
+    def test_parallel_width_less_than_p(self):
+        cm = CostModel(p=100)
+        cm.parallel(3)
+        assert cm.time == 1
+
+    def test_zero_width_free(self):
+        cm = CostModel(p=4)
+        cm.parallel(0)
+        cm.parallel(10, depth=0)
+        assert cm.time == 0
+
+    def test_sequential(self):
+        cm = CostModel(p=8)
+        cm.sequential(5)
+        assert cm.time == 5
+        assert cm.work == 5
+
+    def test_per_processor(self):
+        cm = CostModel(p=8)
+        cm.per_processor(4)
+        assert cm.time == 4
+        assert cm.work == 32
+
+    def test_negative_rejected(self):
+        cm = CostModel(p=1)
+        with pytest.raises(InvalidParameterError):
+            cm.parallel(-1)
+        with pytest.raises(InvalidParameterError):
+            cm.sequential(-1)
+
+    def test_p_validation(self):
+        with pytest.raises(InvalidParameterError):
+            CostModel(p=0)
+
+
+class TestPhases:
+    def test_phases_attribute_costs(self):
+        cm = CostModel(p=2)
+        with cm.phase("a"):
+            cm.parallel(4)
+        with cm.phase("b"):
+            cm.sequential(3)
+        rep = cm.report()
+        assert rep.phase("a").time == 2
+        assert rep.phase("b").time == 3
+        assert rep.time == 5
+
+    def test_unknown_phase_raises(self):
+        cm = CostModel(p=1)
+        with pytest.raises(KeyError):
+            cm.report().phase("nope")
+
+    def test_charges_outside_phase_counted_in_total(self):
+        cm = CostModel(p=1)
+        cm.parallel(3)
+        with cm.phase("x"):
+            cm.parallel(2)
+        rep = cm.report()
+        assert rep.time == 5
+        assert rep.phase("x").time == 2
+
+    def test_nested_phase_goes_to_innermost(self):
+        cm = CostModel(p=1)
+        with cm.phase("outer"):
+            cm.parallel(1)
+            with cm.phase("inner"):
+                cm.parallel(2)
+        rep = cm.report()
+        assert rep.phase("outer").time == 1
+        assert rep.phase("inner").time == 2
+        assert rep.time == 3
+
+
+class TestAbsorb:
+    def test_absorb_adds_totals_and_phases(self):
+        sub = CostModel(p=4)
+        with sub.phase("sub"):
+            sub.parallel(8)
+        main = CostModel(p=4)
+        main.parallel(4)
+        main.absorb(sub.report())
+        rep = main.report()
+        assert rep.time == 1 + 2
+        assert rep.phase("sub").time == 2
+
+    def test_absorb_p_mismatch(self):
+        sub = CostModel(p=2)
+        main = CostModel(p=4)
+        with pytest.raises(InvalidParameterError):
+            main.absorb(sub.report())
+
+
+class TestReport:
+    def test_cost_property(self):
+        cm = CostModel(p=8)
+        cm.parallel(64)
+        rep = cm.report()
+        assert rep.cost == rep.time * 8
+
+    def test_report_is_frozen(self):
+        cm = CostModel(p=1)
+        rep = cm.report()
+        with pytest.raises(Exception):
+            rep.time = 99  # type: ignore[misc]
+
+    def test_str_contains_phases(self):
+        cm = CostModel(p=1)
+        with cm.phase("alpha"):
+            cm.parallel(1)
+        assert "alpha" in str(cm.report())

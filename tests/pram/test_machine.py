@@ -1,0 +1,140 @@
+"""Tests for repro.pram.machine: lockstep execution semantics."""
+
+import pytest
+
+from repro.errors import DeadlockError, MemoryConflictError, ProgramError
+from repro.pram import PRAM, Halt, LocalBarrier, Read, Write
+
+
+class TestBasicExecution:
+    def test_single_processor_write(self):
+        def prog(pid, nprocs):
+            yield Write(0, 42)
+
+        report = PRAM(1).run([prog])
+        assert report.memory[0] == 42
+        assert report.steps == 1
+
+    def test_read_returns_value(self):
+        def prog(pid, nprocs):
+            v = yield Read(0)
+            yield Write(1, v + 1)
+
+        report = PRAM(2, initial_memory=[10, 0]).run([prog])
+        assert report.memory[1] == 11
+        assert report.steps == 2
+
+    def test_swap_through_scratch(self):
+        def swapper(pid, nprocs):
+            v = yield Read(pid)
+            yield Write(2 + pid, v)
+            v = yield Read(2 + (1 - pid))
+            yield Write(pid, v)
+
+        report = PRAM(4, mode="EREW", initial_memory=[10, 20, 0, 0]).run(
+            [swapper, swapper]
+        )
+        assert report.memory[:2].tolist() == [20, 10]
+        assert report.steps == 4
+
+    def test_lockstep_visibility(self):
+        # Writes land at the end of the step: a same-step read sees old.
+        def writer(pid, nprocs):
+            yield Write(0, 5)
+
+        def reader(pid, nprocs):
+            v = yield Read(0)
+            yield Write(1, v)
+
+        report = PRAM(2, mode="CREW").run([writer, reader])
+        assert report.memory[1] == 0  # read the pre-write value
+
+    def test_next_step_visibility(self):
+        def writer(pid, nprocs):
+            yield Write(0, 5)
+
+        def reader(pid, nprocs):
+            yield LocalBarrier()
+            v = yield Read(0)
+            yield Write(1, v)
+
+        report = PRAM(2, mode="CREW").run([writer, reader])
+        assert report.memory[1] == 5
+
+
+class TestTermination:
+    def test_halt_instruction(self):
+        def prog(pid, nprocs):
+            yield Write(0, 1)
+            yield Halt()
+            yield Write(0, 99)  # never reached
+
+        report = PRAM(1).run([prog])
+        assert report.memory[0] == 1
+
+    def test_uneven_lengths(self):
+        def short(pid, nprocs):
+            yield Write(0, 1)
+
+        def long(pid, nprocs):
+            for i in range(5):
+                yield Write(1, i)
+
+        report = PRAM(2).run([short, long])
+        assert report.steps == 5
+        assert report.memory.tolist() == [1, 4]
+
+    def test_deadlock_guard(self):
+        def forever(pid, nprocs):
+            while True:
+                yield LocalBarrier()
+
+        with pytest.raises(DeadlockError):
+            PRAM(1).run([forever], max_steps=100)
+
+    def test_empty_program(self):
+        def nothing(pid, nprocs):
+            return
+            yield  # pragma: no cover
+
+        report = PRAM(1).run([nothing])
+        assert report.steps == 0
+
+
+class TestErrors:
+    def test_bad_instruction(self):
+        def prog(pid, nprocs):
+            yield "not an instruction"
+
+        with pytest.raises(ProgramError):
+            PRAM(1).run([prog])
+
+    def test_conflicts_propagate(self):
+        def prog(pid, nprocs):
+            yield Read(0)
+
+        with pytest.raises(MemoryConflictError):
+            PRAM(1, mode="EREW").run([prog, prog])
+
+    def test_needs_processors(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            PRAM(1).run([])
+
+
+class TestReport:
+    def test_cost_is_time_times_processors(self):
+        def prog(pid, nprocs):
+            yield Write(pid, pid)
+
+        report = PRAM(4).run([prog] * 4)
+        assert report.nprocs == 4
+        assert report.cost == report.steps * 4
+
+    def test_pid_and_nprocs_passed(self):
+        def prog(pid, nprocs):
+            yield Write(pid, nprocs * 100 + pid)
+
+        report = PRAM(3).run([prog] * 3)
+        assert report.memory.tolist() == [300, 301, 302]

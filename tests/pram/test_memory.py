@@ -1,0 +1,108 @@
+"""Tests for repro.pram.memory: conflict rules of each PRAM variant."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryConflictError
+from repro.pram.memory import AccessMode, SharedMemory
+
+
+def mem(mode, size=8, initial=None):
+    return SharedMemory(size, mode, initial)
+
+
+class TestEREW:
+    def test_exclusive_access_ok(self):
+        m = mem("EREW", initial=[5, 6, 0, 0, 0, 0, 0, 0])
+        out = m.apply_step({0: 0, 1: 1}, {2: (2, 9)})
+        assert out == {0: 5, 1: 6}
+        assert m[2] == 9
+
+    def test_concurrent_read_rejected(self):
+        m = mem("EREW")
+        with pytest.raises(MemoryConflictError, match="read"):
+            m.apply_step({0: 3, 1: 3}, {})
+
+    def test_concurrent_write_rejected(self):
+        m = mem("EREW")
+        with pytest.raises(MemoryConflictError, match="write"):
+            m.apply_step({}, {0: (3, 1), 1: (3, 1)})
+
+    def test_read_write_same_cell_rejected(self):
+        m = mem("EREW")
+        with pytest.raises(MemoryConflictError, match="read by"):
+            m.apply_step({0: 3}, {1: (3, 1)})
+
+
+class TestCREW:
+    def test_concurrent_read_ok(self):
+        m = mem("CREW", initial=[7] + [0] * 7)
+        out = m.apply_step({0: 0, 1: 0, 2: 0}, {})
+        assert out == {0: 7, 1: 7, 2: 7}
+
+    def test_concurrent_write_rejected(self):
+        m = mem("CREW")
+        with pytest.raises(MemoryConflictError, match="CREW"):
+            m.apply_step({}, {0: (1, 2), 1: (1, 2)})
+
+
+class TestCRCWCommon:
+    def test_same_value_ok(self):
+        m = mem("CRCW_COMMON")
+        m.apply_step({}, {0: (1, 42), 1: (1, 42), 2: (1, 42)})
+        assert m[1] == 42
+
+    def test_different_values_rejected(self):
+        m = mem("CRCW_COMMON")
+        with pytest.raises(MemoryConflictError, match="distinct values"):
+            m.apply_step({}, {0: (1, 1), 1: (1, 2)})
+
+
+class TestCRCWArbitraryPriority:
+    @pytest.mark.parametrize("mode", ["CRCW_ARBITRARY", "CRCW_PRIORITY"])
+    def test_lowest_pid_wins(self, mode):
+        m = mem(mode)
+        m.apply_step({}, {3: (1, 30), 1: (1, 10), 2: (1, 20)})
+        assert m[1] == 10
+
+
+class TestSemantics:
+    def test_reads_see_pre_step_state(self):
+        # A read and write of one cell in one step: the read returns
+        # the old value (CREW forbids it only if multiple writers...
+        # here one reader + one writer on the same cell is legal in
+        # CREW? The read phase precedes the write phase).
+        m = mem("CREW", initial=[1] + [0] * 7)
+        out = m.apply_step({0: 0}, {1: (0, 99)})
+        assert out == {0: 1}
+        assert m[0] == 99
+
+    def test_out_of_bounds(self):
+        m = mem("CREW", size=4)
+        with pytest.raises(MemoryConflictError, match="out of bounds"):
+            m.apply_step({0: 4}, {})
+        with pytest.raises(MemoryConflictError, match="out of bounds"):
+            m.apply_step({}, {0: (-1, 0)})
+
+    def test_snapshot_is_copy(self):
+        m = mem("CREW", size=2, initial=[1, 2])
+        snap = m.snapshot()
+        snap[0] = 99
+        assert m[0] == 1
+
+    def test_initial_size_checked(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            SharedMemory(3, "CREW", initial=[1, 2])
+
+    def test_peak_footprint_tracked(self):
+        m = mem("CREW")
+        m.apply_step({0: 0, 1: 1, 2: 2}, {3: (3, 1)})
+        assert m.peak_step_footprint == 4
+        m.apply_step({0: 0}, {})
+        assert m.peak_step_footprint == 4
+
+    def test_mode_accepts_enum(self):
+        m = SharedMemory(2, AccessMode.EREW)
+        assert m.mode is AccessMode.EREW

@@ -1,0 +1,96 @@
+"""Stateful model-based test of the shared memory's conflict rules.
+
+A hypothesis rule-based state machine drives random step batches
+against :class:`SharedMemory` and, in parallel, against a trivial
+Python model that knows the conflict rules declaratively.  Divergence
+in either direction — the memory accepting a batch the model calls
+illegal, rejecting a legal one, or landing different values — fails.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.errors import MemoryConflictError
+from repro.pram.memory import AccessMode, SharedMemory
+
+SIZE = 8
+MODES = list(AccessMode)
+
+
+def model_legal(mode: AccessMode, reads: dict, writes: dict) -> bool:
+    """Declarative restatement of the access rules."""
+    read_cells: dict[int, int] = {}
+    for addr in reads.values():
+        read_cells[addr] = read_cells.get(addr, 0) + 1
+    write_cells: dict[int, list[int]] = {}
+    for addr, value in writes.values():
+        write_cells.setdefault(addr, []).append(value)
+    if mode is AccessMode.EREW:
+        if any(c > 1 for c in read_cells.values()):
+            return False
+        if set(read_cells) & set(write_cells):
+            return False
+    if not mode.allows_concurrent_write:
+        if any(len(vs) > 1 for vs in write_cells.values()):
+            return False
+    if mode is AccessMode.CRCW_COMMON:
+        if any(len(set(vs)) > 1 for vs in write_cells.values()):
+            return False
+    return True
+
+
+class MemoryMachine(RuleBasedStateMachine):
+    @initialize(mode=st.sampled_from(MODES))
+    def setup(self, mode):
+        self.mode = mode
+        self.memory = SharedMemory(SIZE, mode)
+        self.model = [0] * SIZE
+
+    @rule(
+        data=st.data(),
+        n_readers=st.integers(0, 4),
+        n_writers=st.integers(0, 4),
+    )
+    def step(self, data, n_readers, n_writers):
+        reads = {
+            pid: data.draw(st.integers(0, SIZE - 1), label=f"r{pid}")
+            for pid in range(n_readers)
+        }
+        writes = {
+            100 + pid: (
+                data.draw(st.integers(0, SIZE - 1), label=f"wa{pid}"),
+                data.draw(st.integers(0, 3), label=f"wv{pid}"),
+            )
+            for pid in range(n_writers)
+        }
+        legal = model_legal(self.mode, reads, writes)
+        try:
+            results = self.memory.apply_step(reads, writes)
+        except MemoryConflictError:
+            assert not legal, (
+                f"memory rejected a legal {self.mode} step: "
+                f"{reads} {writes}"
+            )
+            return
+        assert legal, (
+            f"memory accepted an illegal {self.mode} step: {reads} {writes}"
+        )
+        # model the read results and writes
+        expected = {pid: self.model[addr] for pid, addr in reads.items()}
+        assert results == expected
+        for pid in sorted(writes, reverse=True):
+            addr, value = writes[pid]
+            self.model[addr] = value
+
+    @invariant()
+    def memories_agree(self):
+        if hasattr(self, "memory"):
+            assert self.memory.snapshot().tolist() == self.model
+
+
+MemoryMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)
+TestMemoryModel = MemoryMachine.TestCase

@@ -1,0 +1,110 @@
+"""Tests for repro.pram.primitives: textbook PRAM programs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryConflictError
+from repro.lists import random_list
+from repro.pram.primitives import (
+    run_fan_in_all,
+    run_main_list_log_g,
+    run_pointer_jumping_ranks,
+    run_prefix_sum,
+)
+
+
+class TestPrefixSum:
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_cumsum(self, xs):
+        vals = np.asarray(xs, dtype=np.int64)
+        prefix, _ = run_prefix_sum(vals)
+        assert np.array_equal(prefix, np.cumsum(vals))
+
+    def test_erew_clean(self):
+        # The default run IS the EREW run; its success is the proof,
+        # but assert mode explicitly for documentation value.
+        vals = np.arange(32)
+        _, report = run_prefix_sum(vals, mode="EREW")
+        assert report.steps > 0
+
+    def test_logarithmic_steps(self):
+        # 2 log m tree rounds, 3 machine steps each.
+        _, r64 = run_prefix_sum(np.ones(64, dtype=np.int64))
+        _, r1024 = run_prefix_sum(np.ones(1024, dtype=np.int64))
+        assert r64.steps == 3 * (2 * 6 - 1) or r64.steps <= 3 * 2 * 6
+        # growth is logarithmic, not linear:
+        assert r1024.steps <= r64.steps * (10 / 6) + 3
+
+    def test_non_power_of_two(self):
+        vals = np.arange(1, 14)
+        prefix, _ = run_prefix_sum(vals)
+        assert np.array_equal(prefix, np.cumsum(vals))
+
+
+class TestPointerJumping:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 33, 100])
+    def test_ranks_match_oracle(self, n):
+        lst = random_list(n, rng=n)
+        ranks, _ = run_pointer_jumping_ranks(lst.next)
+        expected = np.empty(n, dtype=np.int64)
+        expected[lst.order] = np.arange(n - 1, -1, -1)
+        assert np.array_equal(ranks, expected)
+
+    def test_erew_legality(self):
+        # Six-yield alignment keeps the EREW machine conflict-free.
+        lst = random_list(64, rng=1)
+        ranks, report = run_pointer_jumping_ranks(lst.next, mode="EREW")
+        assert report.steps == 6 * 6  # ceil(log2 64) rounds of 6 steps
+
+    def test_step_count_logarithmic(self):
+        lst_small = random_list(32, rng=2)
+        lst_large = random_list(1024, rng=2)
+        _, rs = run_pointer_jumping_ranks(lst_small.next)
+        _, rl = run_pointer_jumping_ranks(lst_large.next)
+        assert rl.steps == rs.steps * 2  # log 1024 / log 32 = 10/5
+
+
+class TestFanIn:
+    def test_all_true(self):
+        ok, _ = run_fan_in_all(np.ones(33, dtype=np.int64))
+        assert ok is True
+
+    def test_single_false(self):
+        flags = np.ones(33, dtype=np.int64)
+        flags[17] = 0
+        ok, _ = run_fan_in_all(flags)
+        assert ok is False
+
+    def test_singleton(self):
+        ok, _ = run_fan_in_all(np.asarray([1]))
+        assert ok is True
+        ok, _ = run_fan_in_all(np.asarray([0]))
+        assert ok is False
+
+    def test_logarithmic_depth(self):
+        _, r = run_fan_in_all(np.ones(256, dtype=np.int64))
+        assert r.steps == 3 * 8  # log2(256) levels, 3 steps each
+
+
+class TestMainListLogG:
+    @pytest.mark.parametrize("n", [4, 16, 256, 65536, 100000])
+    def test_rounds_match_vectorized(self, n):
+        from repro.bits.iterated_log import log_g_pointer_jumping
+
+        pram_rounds, _ = run_main_list_log_g(n, mode="CREW")
+        vec_rounds, _ = log_g_pointer_jumping(n)
+        assert pram_rounds == vec_rounds
+
+    def test_concurrent_read_required(self):
+        # The appendix: "In some cases we need the concurrent read
+        # feature" — the literal program is CREW, EREW must reject it.
+        with pytest.raises(MemoryConflictError):
+            run_main_list_log_g(64, mode="EREW")
+
+    def test_rounds_grow_with_tower(self):
+        small, _ = run_main_list_log_g(4, mode="CREW")       # tower 1,2,4
+        large, _ = run_main_list_log_g(65536, mode="CREW")    # ...,65536
+        assert small <= large

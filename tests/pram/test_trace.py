@@ -1,0 +1,99 @@
+"""Tests for PRAM run tracing and the space-time renderers."""
+
+import numpy as np
+import pytest
+
+from repro.pram import PRAM, LocalBarrier, Read, Write
+from repro.pram.trace import memory_heat, processor_activity, utilization
+
+
+def staircase(nprocs):
+    def prog(pid, n):
+        for _ in range(pid):
+            yield LocalBarrier()
+        yield Write(pid, 1)
+        yield Read(pid)
+
+    return [prog] * nprocs
+
+
+class TestTraceCollection:
+    def test_disabled_by_default(self):
+        rep = PRAM(4).run(staircase(4))
+        assert rep.trace is None
+
+    def test_enabled_records_every_step(self):
+        rep = PRAM(4).run(staircase(4), trace=True)
+        assert rep.trace is not None
+        assert len(rep.trace) == rep.steps
+        assert rep.trace[0].step == 1
+
+    def test_traffic_contents(self):
+        rep = PRAM(2).run(staircase(2), trace=True)
+        # step 1: P0 writes cell 0; P1 barriers
+        assert rep.trace[0].writes == {0: (0, 1)}
+        assert rep.trace[0].reads == {}
+        # step 2: P0 reads cell 0, P1 writes cell 1
+        assert rep.trace[1].reads == {0: 0}
+        assert rep.trace[1].writes == {1: (1, 1)}
+
+
+class TestRenderers:
+    def test_activity_staircase_shape(self):
+        rep = PRAM(4).run(staircase(4), trace=True)
+        text = processor_activity(rep)
+        lines = text.splitlines()[1:]
+        assert lines[0].endswith("wr...")
+        assert lines[3].endswith("...wr")
+
+    def test_activity_requires_trace(self):
+        rep = PRAM(2).run(staircase(2))
+        with pytest.raises(ValueError, match="trace"):
+            processor_activity(rep)
+
+    def test_activity_clipping(self):
+        rep = PRAM(8).run(staircase(8), trace=True)
+        text = processor_activity(rep, max_procs=3)
+        assert "more processors" in text
+        assert "P3" not in text
+
+    def test_step_range(self):
+        rep = PRAM(6).run(staircase(6), trace=True)
+        text = processor_activity(rep, step_range=(3, 5))
+        assert "steps 3..5" in text
+
+    def test_memory_heat(self):
+        rep = PRAM(4).run(staircase(4), trace=True)
+        text = memory_heat(rep, buckets=4)
+        assert "peak" in text
+        # every cell touched twice (one write + one read)
+        assert text.count(" 2") >= 4
+
+    def test_utilization_bounds(self):
+        rep = PRAM(4).run(staircase(4), trace=True)
+        u = utilization(rep)
+        assert 0.0 < u <= 1.0
+        # staircase: 8 ops over 5 steps * 4 procs
+        assert u == pytest.approx(8 / 20)
+
+
+class TestAlgorithmTraces:
+    def test_match4_trace_shows_pipeline(self):
+        from repro.lists import random_list
+        from repro.pram.algorithms import run_match4
+
+        lst = random_list(64, rng=1)
+        tails, rep = run_match4(lst, trace=True)
+        assert rep.trace is not None
+        u = utilization(rep)
+        assert 0.02 < u < 1.0
+        text = processor_activity(rep, max_procs=8, max_steps=60)
+        assert "P0" in text
+
+    def test_match1_trace(self):
+        from repro.lists import random_list
+        from repro.pram.algorithms import run_match1
+
+        lst = random_list(32, rng=2)
+        _, rep = run_match1(lst, trace=True)
+        assert len(rep.trace) == rep.steps

@@ -1,0 +1,169 @@
+"""Tests for the Brent virtualization layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.pram import PRAM, LocalBarrier, Read, Write
+from repro.pram.virtualize import run_virtualized, virtualize
+
+
+def tree_sum_program(m):
+    """m-processor EREW tree sum into cell 0 (m a power of two)."""
+    levels = m.bit_length() - 1
+
+    def program(pid, nprocs):
+        yield Write(pid, pid + 1)
+        for d in range(levels):
+            stride = 1 << (d + 1)
+            half = 1 << d
+            if pid % stride == 0:
+                a = yield Read(pid)
+                b = yield Read(pid + half)
+                yield Write(pid, a + b)
+            else:
+                for _ in range(3):
+                    yield LocalBarrier()
+
+    return [program] * m
+
+
+def racing_increment_program(m):
+    """Every processor reads cell 0 then writes back +1 — in a single
+    synchronous step only ONE increment lands (all read the old value).
+    The canonical test that virtualization preserves read-before-write
+    synchrony: a naive sequential simulation would produce m."""
+
+    def program(pid, nprocs):
+        v = yield Read(0)
+        yield Write(0, v + 1)
+
+    return [program] * m
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("p", [1, 2, 3, 8, 16])
+    def test_tree_sum_any_p(self, p):
+        m = 16
+        report = run_virtualized(
+            tree_sum_program(m), p=p, memory_size=m, mode="CREW"
+        )
+        assert report.memory[0] == m * (m + 1) // 2
+
+    @pytest.mark.parametrize("p", [1, 2, 5, 11])
+    def test_synchrony_preserved(self, p):
+        # the racing increment: exactly one +1 per logical step, not m
+        m = 11
+        report = run_virtualized(
+            racing_increment_program(m), p=p, memory_size=1,
+            mode="CRCW_ARBITRARY",
+        )
+        assert report.memory[0] == 1, (
+            "virtualization leaked intra-step writes into later reads"
+        )
+
+    def test_matches_native_run_exactly(self):
+        m = 8
+        native = PRAM(m, mode="CREW").run(tree_sum_program(m))
+        virtual = run_virtualized(tree_sum_program(m), p=3, memory_size=m)
+        assert np.array_equal(native.memory, virtual.memory)
+
+
+class TestBrentScaling:
+    def test_steps_scale_with_chunk(self):
+        m = 32
+        steps = {}
+        for p in (32, 16, 8, 4):
+            report = run_virtualized(
+                tree_sum_program(m), p=p, memory_size=m
+            )
+            steps[p] = report.steps
+        # halving p doubles the chunk hence ~doubles the steps
+        assert steps[16] == 2 * steps[32]
+        assert steps[8] == 2 * steps[16]
+        assert steps[4] == 2 * steps[8]
+
+    def test_full_width_costs_two_phases(self):
+        # at p = m the wrapper still splits read/write phases: 2 slots
+        # per logical step (the price of generic synchrony)
+        m = 8
+        native = PRAM(m, mode="CREW").run(tree_sum_program(m))
+        virtual = run_virtualized(tree_sum_program(m), p=m, memory_size=m)
+        assert virtual.steps == 2 * native.steps
+
+
+class TestLogicalSemantics:
+    def test_pids_forwarded(self):
+        def program(pid, nprocs):
+            yield Write(pid, nprocs * 1000 + pid)
+
+        report = run_virtualized([program] * 6, p=2, memory_size=6)
+        assert report.memory.tolist() == [6000 + j for j in range(6)]
+
+    def test_uneven_logical_lengths(self):
+        def short(pid, nprocs):
+            yield Write(pid, 1)
+
+        def long(pid, nprocs):
+            for k in range(5):
+                yield Write(pid, k)
+
+        report = run_virtualized([short, long, long, short], p=2,
+                                 memory_size=4)
+        assert report.memory.tolist() == [1, 4, 4, 1]
+
+    def test_halt_supported(self):
+        from repro.pram import Halt
+
+        def halting(pid, nprocs):
+            yield Write(pid, 7)
+            yield Halt()
+            yield Write(pid, 99)  # unreachable
+
+        report = run_virtualized([halting] * 4, p=2, memory_size=4)
+        assert report.memory.tolist() == [7, 7, 7, 7]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            virtualize([], p=1)
+        with pytest.raises(InvalidParameterError):
+            virtualize([lambda pid, m: iter(())] * 4, p=5)
+
+    def test_bad_instruction_diagnosed(self):
+        from repro.errors import ProgramError
+
+        def bad(pid, nprocs):
+            yield "bogus"
+
+        with pytest.raises(ProgramError):
+            run_virtualized([bad, bad], p=1, memory_size=1)
+
+
+class TestVirtualizedPaperPrograms:
+    def test_iterate_f_under_virtualization(self):
+        # run the n-processor iterate-f program at p < n through the
+        # generic layer and compare with the vectorized tier
+        from repro.core.functions import iterate_f
+        from repro.lists import random_list
+        from repro.pram.algorithms import _f_msb_local
+
+        lst = random_list(24, rng=1)
+        n = lst.n
+        cnext = lst.circular_next()
+        mem = np.zeros(2 * n, dtype=np.int64)
+        mem[:n] = np.arange(n)
+        mem[n:] = cnext
+
+        def program(v, nprocs):
+            for _ in range(3):
+                j = yield Read(n + v)
+                lv = yield Read(v)
+                lj = yield Read(j)
+                yield Write(v, _f_msb_local(lv, lj))
+
+        for p in (24, 8, 5, 1):
+            report = run_virtualized(
+                [program] * n, p=p, memory_size=2 * n,
+                initial_memory=mem.copy(),
+            )
+            assert np.array_equal(report.memory[:n], iterate_f(lst, 3)), p

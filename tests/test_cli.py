@@ -1,0 +1,188 @@
+"""Tests for the command-line interface and the Fig. 1 renderer."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["match"])
+        assert args.algorithm == "match4"
+        assert args.n == 1 << 14
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["match", "--algorithm", "bogus"])
+
+
+class TestCommands:
+    @pytest.mark.parametrize(
+        "alg", ["match1", "match2", "match3", "match4", "sequential"]
+    )
+    def test_match(self, alg, capsys):
+        rc = main(["match", "--n", "512", "--p", "8",
+                   "--algorithm", alg])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "maximal   : True" in out
+
+    @pytest.mark.parametrize("layout", ["random", "sequential", "reversed",
+                                        "sawtooth", "blocked"])
+    def test_match_layouts(self, layout, capsys):
+        rc = main(["match", "--n", "256", "--layout", layout])
+        assert rc == 0
+
+    @pytest.mark.parametrize("alg", ["contraction", "wyllie", "sequential"])
+    def test_rank(self, alg, capsys):
+        rc = main(["rank", "--n", "300", "--p", "4", "--algorithm", alg])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verified  : True" in out
+
+    def test_color(self, capsys):
+        rc = main(["color", "--n", "400"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "classes" in out
+
+    def test_curve(self, capsys):
+        rc = main(["curve", "--n", "256", "--algorithm", "match4",
+                   "--base", "16"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "time*p" in out
+
+    def test_info(self, capsys):
+        rc = main(["info", "--n", "1048576"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "G(n)       : 5" in out
+        assert "log G(n)   : 3" in out
+
+    def test_fig1_default_is_paper_example(self, capsys):
+        rc = main(["fig1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "n=7" in out and "x0" in out
+
+    def test_fig1_custom_order(self, capsys):
+        rc = main(["fig1", "--order", "2,0,1", "--bisector"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "n=3" in out
+        assert "c" in out.splitlines()[-1]
+
+    def test_deterministic(self, capsys):
+        main(["match", "--n", "512", "--seed", "3"])
+        first = capsys.readouterr().out
+        main(["match", "--n", "512", "--seed", "3"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestArcDiagram:
+    def test_every_pointer_drawn(self):
+        from repro.lists import LinkedList
+        from repro.lists.diagram import arc_diagram
+
+        lst = LinkedList.from_order([0, 2, 4, 1, 5, 3, 6])
+        text = arc_diagram(lst)
+        # one arrowhead per pointer
+        assert (text.count("►") + text.count("◄")) == lst.n - 1
+
+    def test_bisector_marks(self):
+        from repro.lists import LinkedList
+        from repro.lists.diagram import arc_diagram
+
+        lst = LinkedList.from_order([0, 2, 4, 1, 5, 3, 6])
+        text = arc_diagram(lst, bisector=True)
+        # Fig. 2: forward/backward pointers crossing c get marked
+        assert "F" in text and "B" in text
+
+    def test_size_limit(self):
+        from repro.errors import InvalidParameterError
+        from repro.lists import sequential_list
+        from repro.lists.diagram import arc_diagram
+
+        with pytest.raises(InvalidParameterError):
+            arc_diagram(sequential_list(64))
+
+    def test_small_lists(self):
+        from repro.lists import LinkedList
+        from repro.lists.diagram import arc_diagram
+
+        for order in ([0], [1, 0], [0, 1]):
+            text = arc_diagram(LinkedList.from_order(order))
+            assert f"n={len(order)}" in text
+
+
+class TestSelfCheck:
+    def test_all_pass(self, capsys):
+        rc = main(["selfcheck", "--n", "512"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "9/9 checks passed" in out
+        assert "FAIL" not in out
+
+    def test_report_api(self):
+        from repro.selfcheck import run_selfcheck
+
+        report = run_selfcheck(n=256, seed=1)
+        assert report.passed
+        assert len(report.results) == 9
+        names = [r.name for r in report.results]
+        assert "PRAM memory discipline" in names
+
+    def test_failures_are_collected_not_raised(self, monkeypatch):
+        # sabotage one subsystem: the report must record a FAIL and
+        # keep going
+        import repro.selfcheck as sc
+        from repro.selfcheck import run_selfcheck
+
+        import repro.apps.ranking as ranking
+
+        def broken(lst, **kw):
+            raise RuntimeError("injected")
+
+        monkeypatch.setattr(ranking, "contraction_ranks", broken)
+        report = run_selfcheck(n=128, seed=2)
+        assert not report.passed
+        failed = [r for r in report.results if not r.passed]
+        assert len(failed) == 1
+        assert "injected" in failed[0].detail
+        assert "FAIL" in report.summary
+
+
+class TestFoldAndTraceCommands:
+    @pytest.mark.parametrize("op", ["sum", "max", "min"])
+    @pytest.mark.parametrize("direction", ["suffix", "prefix"])
+    def test_fold(self, op, direction, capsys):
+        rc = main(["fold", "--n", "256", "--op", op,
+                   "--direction", direction])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"{direction} {op}" in out
+
+    def test_fold_full_sum(self, capsys):
+        main(["fold", "--n", "100", "--op", "sum", "--direction", "prefix"])
+        out = capsys.readouterr().out
+        assert f"full fold : {sum(range(100))}" in out
+
+    def test_trace(self, capsys):
+        rc = main(["trace", "--n", "48", "--rows", "3", "--span", "20"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "P0" in out and "utilization" in out
+
+    @pytest.mark.parametrize("layout", ["gray", "bitrev", "interleaved"])
+    def test_new_layouts(self, layout, capsys):
+        # gray/bitrev need a power-of-two n
+        rc = main(["match", "--n", "256", "--layout", layout])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "maximal   : True" in out

@@ -1,0 +1,37 @@
+"""Run the library's docstring examples as tests.
+
+Several public docstrings carry ``>>>`` examples (container
+construction, the machine's swap demo, ``G``'s values...).  This module
+executes them so the documentation cannot silently rot.
+"""
+
+import doctest
+
+import pytest
+
+import repro.bits.bitops
+import repro.bits.iterated_log
+import repro.lists.linked_list
+import repro.pram.cost
+import repro.pram.machine
+
+MODULES = [
+    repro.bits.bitops,
+    repro.bits.iterated_log,
+    repro.lists.linked_list,
+    repro.pram.cost,
+    repro.pram.machine,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module.__name__}"
+    )
+    assert results.attempted > 0, (
+        f"{module.__name__} lost its doctest examples"
+    )

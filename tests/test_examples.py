@@ -1,0 +1,52 @@
+"""Keep the examples runnable: compile all, execute the fast ones.
+
+Examples are documentation that executes; this module prevents them
+from rotting.  The two quick ones run end-to-end in a subprocess; the
+longer sweeps are compile-checked (their content is exercised through
+the library tests anyway).
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+ALL = sorted(p.name for p in EXAMPLES.glob("*.py"))
+FAST = ["quickstart.py", "fig1_walkthrough.py"]
+
+
+def test_inventory():
+    assert set(FAST) <= set(ALL)
+    assert len(ALL) >= 6
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_compiles(name):
+    py_compile.compile(str(EXAMPLES / name), doraise=True)
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_runs(name):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(EXAMPLES.parent),
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_maximality():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(EXAMPLES.parent),
+    )
+    assert "maximal: True" in proc.stdout

@@ -1,0 +1,179 @@
+"""Metamorphic tests: invariants under input/parameter transformations.
+
+Rather than checking outputs against oracles, these tests check that
+*relations between runs* hold: relabeling addresses preserves validity,
+reversing the list mirrors ranks, growing ``p`` can only shrink Brent
+time while leaving work untouched, prefix sums are linear, and so on.
+They catch a class of bugs (accidental dependence on incidental input
+structure, broken cost accounting) that example-based tests miss.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.matching import verify_maximal_matching
+from repro.lists import LinkedList, random_list
+
+ALGS = ["match1", "match2", "match3", "match4"]
+
+small_perms = st.integers(2, 48).flatmap(
+    lambda n: st.permutations(list(range(n)))
+)
+
+
+def relabel(lst: LinkedList, pi: np.ndarray) -> LinkedList:
+    """The list with every address v renamed pi[v]."""
+    nxt = lst.next
+    new_next = np.full(lst.n, -1, dtype=np.int64)
+    live = np.flatnonzero(nxt != -1)
+    new_next[pi[live]] = pi[nxt[live]]
+    return LinkedList(new_next, validate=False)
+
+
+class TestRelabelingInvariance:
+    @given(small_perms, st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_matchings_stay_maximal_under_relabeling(self, perm, rnd):
+        lst = LinkedList.from_order(list(perm))
+        n = lst.n
+        pi = np.asarray(rnd.sample(range(n), n), dtype=np.int64)
+        relabeled = relabel(lst, pi)
+        for alg in ("match1", "match4"):
+            m, _, _ = repro.maximal_matching(relabeled, algorithm=alg)
+            verify_maximal_matching(relabeled, m.tails)
+
+    def test_identity_relabeling_is_identity(self):
+        lst = random_list(100, rng=0)
+        pi = np.arange(100, dtype=np.int64)
+        assert relabel(lst, pi) == lst
+
+
+class TestReversalDuality:
+    def reverse(self, lst: LinkedList) -> LinkedList:
+        order = lst.order[::-1]
+        return LinkedList.from_order(order)
+
+    @pytest.mark.parametrize("n", [2, 17, 100, 500])
+    def test_ranks_mirror(self, n):
+        from repro.apps.ranking import contraction_ranks
+
+        lst = random_list(n, rng=n)
+        rev = self.reverse(lst)
+        r_fwd, _, _ = contraction_ranks(lst)
+        r_rev, _, _ = contraction_ranks(rev)
+        assert np.array_equal(r_fwd + r_rev, np.full(n, n - 1))
+
+    @pytest.mark.parametrize("n", [10, 200])
+    def test_matching_sizes_in_band_both_directions(self, n):
+        lst = random_list(n, rng=n)
+        rev = self.reverse(lst)
+        for target in (lst, rev):
+            m, _, _ = repro.match4(target)
+            assert (n + 1) // 3 <= m.size <= (n - 1 + 1) // 2 + 1
+
+
+class TestCostModelLaws:
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_time_non_increasing_in_p(self, alg):
+        lst = random_list(2048, rng=11)
+        times = []
+        for p in (1, 4, 16, 64, 256, 1024):
+            _, report, _ = repro.maximal_matching(lst, algorithm=alg, p=p)
+            times.append(report.time)
+        assert times == sorted(times, reverse=True)
+
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_brent_bracketing(self, alg):
+        # t(p) <= t(p/2) <= 2*t(p) + additive slack
+        lst = random_list(2048, rng=12)
+        prev = None
+        for p in (1, 2, 4, 8, 16):
+            _, report, _ = repro.maximal_matching(lst, algorithm=alg, p=p)
+            if prev is not None:
+                assert report.time <= prev
+                assert prev <= 2 * report.time
+            prev = report.time
+
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_work_independent_of_p(self, alg):
+        lst = random_list(1024, rng=13)
+        works = set()
+        for p in (1, 7, 64, 1024):
+            _, report, _ = repro.maximal_matching(lst, algorithm=alg, p=p)
+            works.add(report.work)
+        assert len(works) == 1
+
+    def test_cost_equals_time_times_p(self):
+        lst = random_list(512, rng=14)
+        for p in (1, 9, 100):
+            _, report, _ = repro.match4(lst, p=p)
+            assert report.cost == report.time * p
+
+
+class TestPrefixLinearity:
+    @pytest.mark.parametrize("n", [3, 64, 500])
+    def test_additive(self, n):
+        lst = random_list(n, rng=n)
+        rng = np.random.default_rng(7)
+        a = rng.integers(-50, 50, size=n)
+        b = rng.integers(-50, 50, size=n)
+        pa, _ = repro.list_prefix_sums(lst, a, ranking="sequential")
+        pb, _ = repro.list_prefix_sums(lst, b, ranking="sequential")
+        pab, _ = repro.list_prefix_sums(lst, a + b, ranking="sequential")
+        assert np.array_equal(pa + pb, pab)
+
+    def test_constant_shift(self):
+        n = 128
+        lst = random_list(n, rng=3)
+        ones, _ = repro.list_prefix_sums(
+            lst, np.ones(n, dtype=np.int64), ranking="sequential"
+        )
+        # prefix of all-ones is 1 + position in order
+        assert np.array_equal(np.sort(ones), np.arange(1, n + 1))
+
+
+class TestKindDuality:
+    """MSB and LSB variants are interchangeable everywhere."""
+
+    @pytest.mark.parametrize("alg", ALGS)
+    def test_both_kinds_valid(self, alg):
+        lst = random_list(700, rng=15)
+        for kind in ("msb", "lsb"):
+            m, _, _ = repro.maximal_matching(lst, algorithm=alg, kind=kind)
+            verify_maximal_matching(lst, m.tails)
+
+    def test_kinds_generally_differ(self):
+        # not a law, but documents that the variants are genuinely
+        # different functions (same guarantees, different matchings)
+        lst = random_list(700, rng=16)
+        m_msb, _, _ = repro.match1(lst, kind="msb")
+        m_lsb, _, _ = repro.match1(lst, kind="lsb")
+        assert not np.array_equal(m_msb.tails, m_lsb.tails)
+
+
+class TestSubdivisionConsistency:
+    def test_forest_of_one_equals_list(self):
+        from repro.core.forests import forest_maximal_matching
+        from repro.lists.forest import Forest
+
+        order = list(random_list(60, rng=17))
+        forest = Forest.from_orders([order])
+        lst = LinkedList.from_order(order)
+        f_tails, _ = forest_maximal_matching(forest)
+        from repro.bits.iterated_log import G
+        from repro.core.cutwalk import cut_and_walk
+        from repro.core.functions import iterate_f
+
+        l_tails, _ = cut_and_walk(lst, iterate_f(lst, G(60)))
+        assert np.array_equal(f_tails, l_tails)
+
+    def test_ring_cut_open_matches_list_pipeline(self):
+        from repro.lists.ring import random_ring
+
+        ring = random_ring(80, rng=18)
+        lst = ring.cut_open(at=0)
+        m, _, _ = repro.match4(lst)
+        verify_maximal_matching(lst, m.tails)
