@@ -12,9 +12,13 @@ Gives the library a shell-usable face:
   ``G(n)``, ``log G(n)``, Match4 row counts.
 - ``fold``   — data-dependent prefix/suffix folds (sum/max/min).
 - ``trace``  — space-time diagram of the instruction-level Match4.
-- ``selfcheck`` — the 9-check installation battery.
+- ``selfcheck`` — the 10-check installation battery.
 - ``fig1``   — render the paper's Fig. 1 (or any small list) as an
   ASCII arc diagram, optionally with Fig. 2's bisector.
+- ``resilience`` — inject processor crashes / memory bit-flips /
+  dropped writes into an instruction-level run and recover via
+  checkpoint-restart, the self-stabilizing repair pass, or the
+  degradation ladder (see ``docs/resilience.md``).
 
 Everything prints deterministic output for a fixed ``--seed``.
 """
@@ -192,6 +196,95 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _parse_fault_specs(args: argparse.Namespace):
+    """Build a FaultPlan from --crash-at / --flip / --drop-write specs."""
+    from .pram.faults import BitFlip, DroppedWrite, FaultPlan, ProcessorCrash
+
+    def ints(spec: str, parts: int, flag: str) -> list[int]:
+        toks = spec.split(":")
+        if len(toks) != parts:
+            raise SystemExit(
+                f"{flag} wants {parts} colon-separated integers, "
+                f"got {spec!r}"
+            )
+        return [int(t) for t in toks]
+
+    faults = []
+    for spec in args.crash_at:
+        step, pid = ints(spec, 2, "--crash-at STEP:PID")
+        faults.append(ProcessorCrash(step=step, pid=pid))
+    for spec in args.flip:
+        step, addr, bit = ints(spec, 3, "--flip STEP:ADDR:BIT")
+        faults.append(BitFlip(step=step, addr=addr, bit=bit))
+    for spec in args.drop_write:
+        step, pid = ints(spec, 2, "--drop-write STEP:PID")
+        faults.append(DroppedWrite(step=step, pid=pid))
+    return FaultPlan(faults)
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from .core.matching import verify_maximal_matching
+    from .errors import VerificationError
+    from .pram.algorithms import run_match1, run_match4
+    from .resilience import repair_matching, resilient_matching
+
+    lst = _make_list(args.n, args.layout, args.seed)
+    plan = _parse_fault_specs(args)
+    runner = run_match4 if args.algorithm == "match4" else run_match1
+    kwargs = {"i": args.i} if args.algorithm == "match4" else {}
+
+    if args.strategy == "ladder":
+        # Degradation-ladder demo: the first --fail-first attempts are
+        # sabotaged (one matched pointer deleted), the ladder recovers.
+        fail_first = args.fail_first
+        result = resilient_matching(
+            lst,
+            perturb=lambda tails, i: tails[1:] if i < fail_first else tails,
+            repair=args.repair,
+            tries_per_rung=args.tries_per_rung,
+        )
+        print(result.log.summary)
+        print(f"matched   : {result.matching.size} of {args.n - 1} pointers")
+        print(f"degraded  : {result.degraded}")
+        print("verified  : True")
+        return 0
+
+    clean, _ = runner(lst, **kwargs)
+    if args.strategy == "restart":
+        tails, report = runner(
+            lst, fault_plan=plan, recover=True,
+            checkpoint_interval=args.checkpoint_interval, **kwargs,
+        )
+        print(f"algorithm : instruction-level {args.algorithm}")
+        print(f"faults    : {len(report.faults)} injected")
+        for e in report.faults:
+            print(f"  step {e.step:>5}  {e.kind:<13} "
+                  f"{'effective' if e.effective else 'no-op':<9}  {e.detail}")
+    else:  # repair
+        tails, report = runner(lst, fault_plan=plan, **kwargs)
+        print(f"algorithm : instruction-level {args.algorithm}")
+        print(f"faults    : {len(report.faults)} injected (no restart)")
+        try:
+            verify_maximal_matching(lst, tails)
+            print("corrupted : no (faults did not damage the matching)")
+        except VerificationError as exc:
+            print(f"corrupted : yes — {exc}")
+        tails, stats = repair_matching(lst, tails)
+        print(f"repair    : {stats.n_sanitized} sanitized, "
+              f"{stats.n_dropped} dropped, {stats.n_added} re-matched "
+              f"in {stats.rounds} round(s)")
+    try:
+        verify_maximal_matching(lst, tails)
+        verified = True
+    except VerificationError as exc:
+        verified = False
+        print(f"FAILED    : {exc}")
+    print(f"matched   : {tails.size} of {args.n - 1} pointers")
+    print(f"identical : {np.array_equal(tails, clean)} (vs fault-free run)")
+    print(f"verified  : {verified}")
+    return 0 if verified else 1
+
+
 def _cmd_fig1(args: argparse.Namespace) -> int:
     from .lists import LinkedList
     from .lists.diagram import arc_diagram
@@ -280,6 +373,39 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--n", type=int, default=2048)
     sc.add_argument("--seed", type=int, default=0)
     sc.set_defaults(fn=_cmd_selfcheck)
+
+    rz = sub.add_parser(
+        "resilience",
+        help="inject faults into an instruction-level run and recover",
+    )
+    rz.add_argument("--n", type=int, default=96,
+                    help="list size (default 96; instruction-level)")
+    rz.add_argument("--layout", default="random", choices=LAYOUT_CHOICES)
+    rz.add_argument("--seed", type=int, default=0)
+    rz.add_argument("--algorithm", default="match4",
+                    choices=["match1", "match4"])
+    rz.add_argument("--i", type=int, default=2,
+                    help="Match4's adjustable parameter")
+    rz.add_argument("--crash-at", action="append", default=[],
+                    metavar="STEP:PID",
+                    help="crash-stop processor PID at step STEP (repeatable)")
+    rz.add_argument("--flip", action="append", default=[],
+                    metavar="STEP:ADDR:BIT",
+                    help="flip BIT of cell ADDR after step STEP (repeatable)")
+    rz.add_argument("--drop-write", action="append", default=[],
+                    metavar="STEP:PID",
+                    help="lose PID's write at step STEP (repeatable)")
+    rz.add_argument("--strategy", default="restart",
+                    choices=["restart", "repair", "ladder"],
+                    help="recovery strategy (default checkpoint-restart)")
+    rz.add_argument("--checkpoint-interval", type=int, default=32,
+                    help="steps between snapshots (restart strategy)")
+    rz.add_argument("--fail-first", type=int, default=3,
+                    help="ladder demo: sabotage this many attempts")
+    rz.add_argument("--tries-per-rung", type=int, default=2)
+    rz.add_argument("--repair", action="store_true",
+                    help="ladder: try local repair before degrading")
+    rz.set_defaults(fn=_cmd_resilience)
 
     f = sub.add_parser("fig1", help="render the paper's Fig. 1")
     f.add_argument("--order", default="",

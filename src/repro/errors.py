@@ -54,6 +54,18 @@ class ProgramError(PRAMError):
     """A PRAM program yielded a malformed instruction."""
 
 
+class ResilienceExhaustedError(ReproError, RuntimeError):
+    """Every rung of the resilience degradation ladder failed.
+
+    Raised by :func:`repro.resilience.runner.resilient_matching` when
+    run → verify → repair → retry failed on every algorithm down to the
+    sequential baseline.  The exception message carries the attempt
+    log; seeing this means the fault process outran every recovery
+    strategy, which the bounded-retry design makes possible by
+    construction (it never loops forever).
+    """
+
+
 class VerificationError(ReproError, AssertionError):
     """A verified artifact (matching, partition, coloring) is invalid.
 

@@ -26,10 +26,31 @@ fan-in — written for the instruction-level machine.
 """
 
 from .cost import CostModel, CostReport, PhaseCost
-from .machine import MachineReport, PRAM
+from .machine import LockstepExecution, MachineReport, PRAM
 from .memory import AccessMode, SharedMemory
 from .program import Halt, LocalBarrier, Read, Write
-from .algorithms import run_iterate_f, run_match1, run_match2, run_match3, run_match4
+from .faults import (
+    BitFlip,
+    DroppedWrite,
+    Fault,
+    FaultEvent,
+    FaultPlan,
+    ProcessorCrash,
+)
+from .checkpoint import (
+    Checkpoint,
+    CheckpointStore,
+    RecoveryOutcome,
+    run_with_recovery,
+)
+from .algorithms import (
+    run_iterate_f,
+    run_match1,
+    run_match2,
+    run_match3,
+    run_match4,
+    step_budget,
+)
 from .virtualize import run_virtualized, virtualize
 from .trace import memory_heat, processor_activity, utilization
 
@@ -39,6 +60,18 @@ __all__ = [
     "run_match2",
     "run_match3",
     "run_match4",
+    "step_budget",
+    "FaultPlan",
+    "Fault",
+    "FaultEvent",
+    "ProcessorCrash",
+    "BitFlip",
+    "DroppedWrite",
+    "Checkpoint",
+    "CheckpointStore",
+    "RecoveryOutcome",
+    "run_with_recovery",
+    "LockstepExecution",
     "virtualize",
     "run_virtualized",
     "processor_activity",

@@ -49,10 +49,93 @@ import numpy as np
 from .._util import ceil_div, require
 from ..bits.iterated_log import G
 from ..lists.linked_list import NIL, LinkedList
+from .faults import FaultPlan
 from .machine import PRAM, MachineReport
 from .program import LocalBarrier, Read, Write
 
-__all__ = ["run_iterate_f", "run_match1", "run_match2", "run_match3", "run_match4"]
+__all__ = [
+    "run_iterate_f",
+    "run_match1",
+    "run_match2",
+    "run_match3",
+    "run_match4",
+    "step_budget",
+]
+
+
+def step_budget(n: int, p: int) -> tuple[int, str]:
+    """Derive a lockstep budget for an ``n``-node run on ``p`` processors.
+
+    Every instruction-level pipeline here executes a fixed number of
+    yields per node served, and each processor serves ``ceil(n/p)``
+    nodes; the per-node constant is bounded by a small multiple of the
+    walk length and, for Match2, by ``S * O(log n)`` prefix/broadcast
+    steps with ``S = O(log n)`` — all comfortably below
+    ``256 * ceil(lg n)^2``.  The budget is therefore
+
+        ``max_steps = 256 * ceil(n/p) * ceil(lg n)^2 + 4096``
+
+    — generous enough that no correct run can hit it, tight enough
+    that a livelocked run dies in seconds rather than hours.  Returns
+    ``(budget, formula)`` so the formula can be included in the
+    :class:`repro.errors.DeadlockError` message.
+    """
+    require(n >= 1, f"n must be >= 1, got {n}")
+    require(p >= 1, f"p must be >= 1, got {p}")
+    chunk = ceil_div(n, p)
+    lg = max(1, int(n).bit_length())
+    budget = 256 * chunk * lg * lg + 4096
+    formula = (
+        f"256*ceil(n/p)*ceil(lg n)^2 + 4096 = 256*{chunk}*{lg}^2 + 4096 "
+        f"= {budget} (n={n}, p={p})"
+    )
+    return budget, formula
+
+
+def _run_program(
+    program,
+    nprocs: int,
+    *,
+    memory_size: int,
+    mode: str,
+    initial_memory: np.ndarray,
+    n: int,
+    trace: bool = False,
+    fault_plan: FaultPlan | None = None,
+    recover: bool = False,
+    checkpoint_interval: int = 64,
+) -> MachineReport:
+    """Launch ``nprocs`` copies of ``program``, with optional faults.
+
+    With ``recover=True`` (and a fault plan) the run goes through
+    :func:`repro.pram.checkpoint.run_with_recovery`: faults still fire
+    and are recorded, but the run rolls back to the last clean
+    checkpoint and resumes, so the returned report's memory is
+    bit-identical to a fault-free run's.
+    """
+    budget, formula = step_budget(n, nprocs)
+    if recover and fault_plan is not None:
+        from .checkpoint import run_with_recovery
+
+        outcome = run_with_recovery(
+            [program] * nprocs,
+            memory_size=memory_size,
+            mode=mode,
+            initial_memory=initial_memory,
+            fault_plan=fault_plan,
+            interval=checkpoint_interval,
+            max_steps=budget,
+            budget_note=formula,
+        )
+        return outcome.report
+    machine = PRAM(memory_size, mode=mode, initial_memory=initial_memory)
+    return machine.run(
+        [program] * nprocs,
+        max_steps=budget,
+        trace=trace,
+        fault_plan=fault_plan,
+        budget_note=formula,
+    )
 
 
 def _f_msb_local(a: int, b: int) -> int:
@@ -147,6 +230,9 @@ def run_match1(
     mode: str = "EREW",
     max_walk: int = 24,
     trace: bool = False,
+    fault_plan: FaultPlan | None = None,
+    recover: bool = False,
+    checkpoint_interval: int = 64,
 ) -> tuple[np.ndarray, MachineReport]:
     """The complete Match1 as an ``n``-processor EREW program.
 
@@ -277,8 +363,11 @@ def run_match1(
                 yield LocalBarrier()
         _ = lv
 
-    machine = PRAM(6 * n + 1, mode=mode, initial_memory=mem)
-    report = machine.run([program] * n, max_steps=5_000_000, trace=trace)
+    report = _run_program(
+        program, n, memory_size=6 * n + 1, mode=mode, initial_memory=mem,
+        n=n, trace=trace, fault_plan=fault_plan, recover=recover,
+        checkpoint_interval=checkpoint_interval,
+    )
     chosen = np.flatnonzero(report.memory[5 * n:6 * n] == 1)
     return chosen, report
 
@@ -294,6 +383,9 @@ def run_match4(
     mode: str = "EREW",
     max_walk: int = 24,
     trace: bool = False,
+    fault_plan: FaultPlan | None = None,
+    recover: bool = False,
+    checkpoint_interval: int = 64,
 ) -> tuple[np.ndarray, MachineReport]:
     """The complete Match4 as a ``y``-column-processor PRAM program.
 
@@ -551,8 +643,11 @@ def run_match4(
                 for _ in range(4):
                     yield LocalBarrier()
 
-    machine = PRAM(9 * n + 1, mode=mode, initial_memory=mem)
-    report = machine.run([program] * y, max_steps=10_000_000, trace=trace)
+    report = _run_program(
+        program, y, memory_size=9 * n + 1, mode=mode, initial_memory=mem,
+        n=n, trace=trace, fault_plan=fault_plan, recover=recover,
+        checkpoint_interval=checkpoint_interval,
+    )
     chosen = np.flatnonzero(report.memory[8 * n:9 * n] == 1)
     return chosen, report
 
@@ -566,6 +661,9 @@ def run_match2(
     *,
     partition_rounds: int = 2,
     mode: str = "EREW",
+    fault_plan: FaultPlan | None = None,
+    recover: bool = False,
+    checkpoint_interval: int = 64,
 ) -> tuple[np.ndarray, MachineReport]:
     """The complete Match2 as an EREW program on ``m = 2^ceil(lg n)``
     processors (the padding processors serve the prefix tree only).
@@ -703,8 +801,11 @@ def run_match2(
                 for _ in range(5):
                     yield LocalBarrier()
 
-    machine = PRAM(SENTINEL + 1, mode=mode, initial_memory=mem)
-    report = machine.run([program] * m, max_steps=20_000_000)
+    report = _run_program(
+        program, m, memory_size=SENTINEL + 1, mode=mode,
+        initial_memory=mem, n=n, fault_plan=fault_plan, recover=recover,
+        checkpoint_interval=checkpoint_interval,
+    )
     chosen = np.flatnonzero(report.memory[4 * n:5 * n] == 1)
     return chosen, report
 
@@ -721,6 +822,9 @@ def run_match3(
     mode: str = "EREW",
     table_copies: bool | None = None,
     max_walk: int = 24,
+    fault_plan: FaultPlan | None = None,
+    recover: bool = False,
+    checkpoint_interval: int = 64,
 ) -> tuple[np.ndarray, MachineReport]:
     """The complete Match3 as an ``n``-processor PRAM program.
 
@@ -862,7 +966,10 @@ def run_match3(
             for _ in range(3):
                 yield LocalBarrier()
 
-    machine = PRAM(SENT + 1, mode=mode, initial_memory=mem)
-    report = machine.run([program] * n, max_steps=10_000_000)
+    report = _run_program(
+        program, n, memory_size=SENT + 1, mode=mode, initial_memory=mem,
+        n=n, fault_plan=fault_plan, recover=recover,
+        checkpoint_interval=checkpoint_interval,
+    )
     chosen = np.flatnonzero(report.memory[5 * n:6 * n] == 1)
     return chosen, report

@@ -1,0 +1,267 @@
+"""Checkpointing and deterministic restart for instruction-level runs.
+
+A crashed or corrupted PRAM run should not mean starting over.  This
+module snapshots a :class:`repro.pram.machine.LockstepExecution` at a
+fixed step cadence and can *resume* from any snapshot:
+
+- A :class:`Checkpoint` stores the step number, a copy of shared
+  memory, each processor's *delivery log* (the sequence of values the
+  machine sent into its generator), and which processors had finished.
+- Resuming replays each delivery log against a fresh generator.  Local
+  computation between yields is deterministic, so the replay
+  reconstructs every processor's private registers and pending
+  instruction exactly as they were — without touching shared memory —
+  and execution then continues from the snapshot's memory image.
+
+:func:`run_with_recovery` builds the full recovery loop on top: run
+with a :class:`repro.pram.faults.FaultPlan`, and the moment a fault
+fires, roll back to the last checkpoint taken *before* it, suppress
+that fault (it was transient), and resume.  Each restart consumes at
+least one fault, so the loop terminates after at most ``len(plan)``
+restarts with a final state **bit-identical to the fault-free run** —
+deterministic replay is what makes that guarantee checkable, and the
+tests check it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import require
+from ..errors import DeadlockError, PRAMError
+from .faults import FaultEvent, FaultPlan
+from .machine import LockstepExecution, MachineReport, ProgramFactory
+from .memory import AccessMode, SharedMemory
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "RecoveryOutcome",
+    "run_with_recovery",
+]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One resumable snapshot of a lockstep execution.
+
+    Attributes
+    ----------
+    step:
+        The synchronous step count at snapshot time.
+    memory:
+        Copy of the shared-memory contents.
+    deliveries:
+        Per-processor tuple of the values delivered into its generator
+        so far (``None`` entries are plain ``next`` advances).
+    done:
+        Per-processor finished flags.
+    """
+
+    step: int
+    memory: np.ndarray
+    deliveries: tuple[tuple[int | None, ...], ...]
+    done: tuple[bool, ...]
+
+    @classmethod
+    def capture(cls, execution: LockstepExecution) -> "Checkpoint":
+        """Snapshot a running execution (which must record deliveries)."""
+        require(
+            execution.deliveries is not None,
+            "checkpointing needs record_deliveries=True on the execution",
+        )
+        return cls(
+            step=execution.steps,
+            memory=execution.memory.snapshot(),
+            deliveries=tuple(tuple(log) for log in execution.deliveries),
+            done=tuple(execution.done),
+        )
+
+
+class CheckpointStore:
+    """A bounded in-order collection of checkpoints.
+
+    Parameters
+    ----------
+    interval:
+        Snapshot cadence in synchronous steps.
+    keep:
+        How many snapshots to retain (older ones are discarded; the
+        recovery loop only ever resumes from the latest clean one).
+    """
+
+    def __init__(self, interval: int = 64, *, keep: int = 4) -> None:
+        require(interval >= 1, f"interval must be >= 1, got {interval}")
+        require(keep >= 1, f"keep must be >= 1, got {keep}")
+        self.interval = interval
+        self.keep = keep
+        self.checkpoints: list[Checkpoint] = []
+        self.taken = 0
+
+    def maybe_capture(self, execution: LockstepExecution) -> bool:
+        """Snapshot if the execution just completed a full interval."""
+        if execution.steps % self.interval != 0:
+            return False
+        self.checkpoints.append(Checkpoint.capture(execution))
+        self.taken += 1
+        if len(self.checkpoints) > self.keep:
+            del self.checkpoints[0]
+        return True
+
+    @property
+    def latest(self) -> Checkpoint | None:
+        return self.checkpoints[-1] if self.checkpoints else None
+
+
+def resume_from_checkpoint(
+    checkpoint: Checkpoint,
+    programs: list[ProgramFactory] | tuple[ProgramFactory, ...],
+    *,
+    mode: AccessMode | str,
+    fault_plan: FaultPlan | None = None,
+    trace: bool = False,
+    record_deliveries: bool = True,
+) -> LockstepExecution:
+    """Rebuild a live execution from a checkpoint (see module docs)."""
+    memory = SharedMemory(checkpoint.memory.size, mode, checkpoint.memory)
+    return LockstepExecution.resume(
+        memory,
+        programs,
+        steps=checkpoint.step,
+        deliveries=checkpoint.deliveries,
+        done=checkpoint.done,
+        fault_plan=fault_plan,
+        trace=trace,
+        record_deliveries=record_deliveries,
+    )
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """Result of :func:`run_with_recovery`.
+
+    Attributes
+    ----------
+    report:
+        The final (clean) run's :class:`MachineReport`, with the
+        ``faults`` field holding *every* event fired across all
+        attempts.
+    events:
+        All fired fault events, in firing order.
+    restarts:
+        Number of rollback-and-resume cycles performed.
+    resumed_from:
+        The checkpoint step each restart resumed from (0 means a full
+        restart from the initial state).
+    """
+
+    report: MachineReport
+    events: tuple[FaultEvent, ...]
+    restarts: int
+    resumed_from: tuple[int, ...]
+
+    @property
+    def recovered(self) -> bool:
+        """True iff at least one fault fired and was recovered from."""
+        return len(self.events) > 0
+
+
+def run_with_recovery(
+    programs: list[ProgramFactory] | tuple[ProgramFactory, ...],
+    *,
+    memory_size: int,
+    mode: AccessMode | str = AccessMode.CREW,
+    initial_memory: np.ndarray | list | None = None,
+    fault_plan: FaultPlan | None = None,
+    interval: int = 64,
+    max_steps: int = 1_000_000,
+    max_restarts: int | None = None,
+    budget_note: str | None = None,
+) -> RecoveryOutcome:
+    """Run to completion despite injected faults, via checkpoint-restart.
+
+    The execution checkpoints shared memory and the delivery logs every
+    ``interval`` steps.  The moment a fault fires (or a
+    :class:`PRAMError` surfaces after one fired), the attempt is
+    abandoned: the run rolls back to the latest checkpoint predating
+    the damage, removes the fired fault(s) from the plan (transient
+    faults do not repeat), and resumes.  Because the simulator is
+    deterministic, the recovered final memory is bit-identical to a
+    fault-free run's — the strongest possible recovery guarantee, and
+    the one the selfcheck asserts.
+
+    A :class:`PRAMError` raised when *no* fault has fired is a genuine
+    program bug and is re-raised unchanged.
+
+    Returns a :class:`RecoveryOutcome`.
+    """
+    if max_restarts is None:
+        max_restarts = (len(fault_plan) if fault_plan is not None else 0) + 2
+    plan = fault_plan
+    resume_ckpt: Checkpoint | None = None
+    all_events: list[FaultEvent] = []
+    resumed_from: list[int] = []
+    restarts = 0
+    while True:
+        if resume_ckpt is None:
+            memory = SharedMemory(memory_size, mode, initial_memory)
+            execution = LockstepExecution(
+                memory, programs, fault_plan=plan, record_deliveries=True,
+            )
+        else:
+            execution = resume_from_checkpoint(
+                resume_ckpt, programs, mode=mode, fault_plan=plan,
+            )
+        store = CheckpointStore(interval)
+        error: PRAMError | None = None
+        try:
+            while not execution.finished and not execution.fault_events:
+                if execution.steps >= max_steps:
+                    note = f" [budget: {budget_note}]" if budget_note else ""
+                    raise DeadlockError(
+                        f"run exceeded max_steps={max_steps} with "
+                        f"{execution.live} processors still live{note}"
+                    )
+                execution.step()
+                if not execution.fault_events:
+                    store.maybe_capture(execution)
+        except PRAMError as exc:
+            if not execution.fault_events:
+                raise
+            error = exc
+        if execution.finished and not execution.fault_events:
+            report = execution.build_report()
+            report = MachineReport(
+                steps=report.steps,
+                nprocs=report.nprocs,
+                memory=report.memory,
+                peak_step_footprint=report.peak_step_footprint,
+                trace=report.trace,
+                faults=tuple(all_events),
+            )
+            return RecoveryOutcome(
+                report=report,
+                events=tuple(all_events),
+                restarts=restarts,
+                resumed_from=tuple(resumed_from),
+            )
+        # A fault fired (and possibly broke the run): roll back.
+        _ = error
+        fired = list(execution.fault_events)
+        all_events.extend(fired)
+        if restarts >= max_restarts:
+            raise PRAMError(
+                f"recovery gave up after {restarts} restarts with "
+                f"{len(all_events)} faults fired"
+            )
+        assert plan is not None  # events can only come from a plan
+        plan = plan.without(e.fault for e in fired)
+        # Checkpoints captured this attempt predate the fault (capture
+        # stops at the first event), so the latest one is clean; fall
+        # back to the previous resume point, then to a full restart.
+        if store.latest is not None:
+            resume_ckpt = store.latest
+        resumed_from.append(resume_ckpt.step if resume_ckpt else 0)
+        restarts += 1

@@ -1,0 +1,248 @@
+"""Deterministic fault injection for the instruction-level simulator.
+
+A :class:`FaultPlan` is a seeded, fully deterministic schedule of
+faults to inject into a :meth:`repro.pram.machine.PRAM.run`: the same
+plan against the same programs produces a bit-identical
+:class:`repro.pram.machine.MachineReport` every time, which is what
+makes fault-injection experiments reproducible and recovery testable.
+
+Three fault species cover the classic transient-failure taxonomy:
+
+- :class:`ProcessorCrash` — crash-stop: the processor dies at the
+  *start* of step ``step``; its pending instruction for that step is
+  never executed and it yields nothing further.
+- :class:`BitFlip` — a single-event upset: one bit of one shared cell
+  is XOR-flipped at the *end* of step ``step`` (after the step's
+  writes commit), so the corruption is visible from step ``step + 1``.
+- :class:`DroppedWrite` — a lost store: the write issued by processor
+  ``pid`` at step ``step`` silently vanishes in the memory system (it
+  is neither conflict-checked nor committed); the processor proceeds
+  believing it succeeded.
+
+Every injected fault is recorded as a :class:`FaultEvent` in
+``MachineReport.faults`` — observability is the contract the recovery
+layers (:mod:`repro.pram.checkpoint`, :mod:`repro.resilience`) build
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Union
+
+import numpy as np
+
+from .._util import require
+
+__all__ = [
+    "ProcessorCrash",
+    "BitFlip",
+    "DroppedWrite",
+    "Fault",
+    "FaultEvent",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class ProcessorCrash:
+    """Crash-stop of processor ``pid`` at the start of step ``step``."""
+
+    step: int
+    pid: int
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """XOR-flip of ``bit`` of cell ``addr`` at the end of step ``step``."""
+
+    step: int
+    addr: int
+    bit: int
+
+
+@dataclass(frozen=True)
+class DroppedWrite:
+    """The write issued by ``pid`` at step ``step`` is silently lost."""
+
+    step: int
+    pid: int
+
+
+Fault = Union[ProcessorCrash, BitFlip, DroppedWrite]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as recorded in ``MachineReport.faults``.
+
+    Attributes
+    ----------
+    step:
+        The synchronous step at which the fault fired.
+    kind:
+        ``"crash"``, ``"bit_flip"``, or ``"dropped_write"``.
+    fault:
+        The plan entry that fired.
+    effective:
+        Whether the fault changed anything (a crash of an
+        already-finished processor or a dropped write on a step where
+        the processor was not writing is recorded but ineffective).
+    detail:
+        Human-readable description (old/new cell values for flips,
+        the lost ``(addr, value)`` for dropped writes).
+    """
+
+    step: int
+    kind: str
+    fault: Fault
+    effective: bool
+    detail: str = ""
+
+
+def _kind_of(fault: Fault) -> str:
+    if isinstance(fault, ProcessorCrash):
+        return "crash"
+    if isinstance(fault, BitFlip):
+        return "bit_flip"
+    if isinstance(fault, DroppedWrite):
+        return "dropped_write"
+    raise TypeError(f"not a fault: {fault!r}")
+
+
+class FaultPlan:
+    """An immutable, deterministic schedule of faults.
+
+    Parameters
+    ----------
+    faults:
+        The fault instances to inject.  Steps are 1-based (matching
+        ``MachineReport.steps``); faults scheduled past the end of the
+        run simply never fire.
+
+    Examples
+    --------
+    >>> plan = FaultPlan([ProcessorCrash(step=12, pid=3),
+    ...                   BitFlip(step=20, addr=5, bit=7)])
+    >>> len(plan)
+    2
+    >>> [f.step for f in plan.faults_at(12)]
+    [12]
+    """
+
+    __slots__ = ("_faults",)
+
+    def __init__(self, faults: Iterable[Fault]) -> None:
+        entries = tuple(faults)
+        for f in entries:
+            kind = _kind_of(f)  # raises TypeError on junk
+            require(f.step >= 1, f"fault steps are 1-based, got {f.step}")
+            if kind == "bit_flip":
+                require(0 <= f.bit < 64,
+                        f"bit must be in [0, 64), got {f.bit}")
+                require(f.addr >= 0, f"addr must be >= 0, got {f.addr}")
+            else:
+                require(f.pid >= 0, f"pid must be >= 0, got {f.pid}")
+        self._faults = tuple(sorted(
+            entries, key=lambda f: (f.step, _kind_of(f), repr(f))
+        ))
+
+    @property
+    def faults(self) -> tuple[Fault, ...]:
+        return self._faults
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self._faults)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self._faults == other._faults
+
+    def __hash__(self) -> int:
+        return hash(self._faults)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({list(self._faults)!r})"
+
+    @property
+    def max_step(self) -> int:
+        """Largest scheduled step (0 for an empty plan)."""
+        return max((f.step for f in self._faults), default=0)
+
+    def faults_at(self, step: int) -> tuple[Fault, ...]:
+        """The faults scheduled for synchronous step ``step``."""
+        return tuple(f for f in self._faults if f.step == step)
+
+    def without(self, fired: Iterable[Fault]) -> "FaultPlan":
+        """A new plan with the given (already handled) faults removed."""
+        gone = set(fired)
+        return FaultPlan(f for f in self._faults if f not in gone)
+
+    def validate_for(self, nprocs: int, memory_size: int) -> None:
+        """Check every fault targets an existing processor / cell."""
+        for f in self._faults:
+            if isinstance(f, BitFlip):
+                require(
+                    f.addr < memory_size,
+                    f"BitFlip addr {f.addr} out of bounds for memory of "
+                    f"size {memory_size}",
+                )
+            else:
+                require(
+                    f.pid < nprocs,
+                    f"{_kind_of(f)} pid {f.pid} out of range for "
+                    f"{nprocs} processors",
+                )
+
+    @classmethod
+    def random(
+        cls,
+        *,
+        seed: int,
+        nprocs: int,
+        memory_size: int,
+        max_step: int,
+        crashes: int = 1,
+        flips: int = 1,
+        drops: int = 0,
+    ) -> "FaultPlan":
+        """A seeded random plan — deterministic for a fixed seed.
+
+        Parameters
+        ----------
+        seed:
+            Seed for :func:`numpy.random.default_rng`.
+        nprocs, memory_size:
+            Targets are drawn uniformly below these bounds.
+        max_step:
+            Steps are drawn uniformly from ``[1, max_step]``.
+        crashes, flips, drops:
+            How many faults of each species to draw.
+        """
+        require(max_step >= 1, f"max_step must be >= 1, got {max_step}")
+        require(nprocs >= 1, f"nprocs must be >= 1, got {nprocs}")
+        require(memory_size >= 1,
+                f"memory_size must be >= 1, got {memory_size}")
+        rng = np.random.default_rng(seed)
+        faults: list[Fault] = []
+        for _ in range(crashes):
+            faults.append(ProcessorCrash(
+                step=int(rng.integers(1, max_step + 1)),
+                pid=int(rng.integers(0, nprocs)),
+            ))
+        for _ in range(flips):
+            faults.append(BitFlip(
+                step=int(rng.integers(1, max_step + 1)),
+                addr=int(rng.integers(0, memory_size)),
+                bit=int(rng.integers(0, 64)),
+            ))
+        for _ in range(drops):
+            faults.append(DroppedWrite(
+                step=int(rng.integers(1, max_step + 1)),
+                pid=int(rng.integers(0, nprocs)),
+            ))
+        return cls(faults)

@@ -11,6 +11,13 @@ A processor finishes by returning or yielding :class:`Halt`; the run
 finishes when every processor has finished.  Runs are bounded by
 ``max_steps`` to convert accidental livelock into a diagnosable
 :class:`repro.errors.DeadlockError`.
+
+Execution is factored into :class:`LockstepExecution`, a mutable state
+object advanced one synchronous step at a time.  :meth:`PRAM.run`
+drives it to completion; :mod:`repro.pram.checkpoint` drives it with
+periodic snapshots and can *resume* one from a snapshot.  Faults from
+a :class:`repro.pram.faults.FaultPlan` are injected at exact steps and
+recorded in the report — see :mod:`repro.pram.faults` for the model.
 """
 
 from __future__ import annotations
@@ -22,10 +29,11 @@ import numpy as np
 
 from .._util import require
 from ..errors import DeadlockError, ProgramError
+from .faults import BitFlip, DroppedWrite, FaultEvent, FaultPlan, ProcessorCrash
 from .memory import AccessMode, SharedMemory
 from .program import Halt, Instruction, LocalBarrier, Read, Write
 
-__all__ = ["PRAM", "MachineReport"]
+__all__ = ["PRAM", "MachineReport", "LockstepExecution"]
 
 #: A program factory: called with (pid, nprocs), returns the processor
 #: generator.
@@ -59,6 +67,11 @@ class MachineReport:
         Per-step memory traffic when the run was launched with
         ``trace=True`` (else ``None``); consumed by
         :mod:`repro.pram.trace`'s renderers.
+    faults:
+        Every injected fault that fired during the run, in step order
+        (empty for fault-free runs).  Recovery wrappers merge the
+        events of all attempts into the final report so no fault is
+        ever silently swallowed.
     """
 
     steps: int
@@ -66,11 +79,258 @@ class MachineReport:
     memory: np.ndarray
     peak_step_footprint: int
     trace: tuple[StepTrace, ...] | None = None
+    faults: tuple[FaultEvent, ...] = ()
 
     @property
     def cost(self) -> int:
         """Time-processor product."""
         return self.steps * self.nprocs
+
+
+class LockstepExecution:
+    """Mutable lockstep state, advanced one synchronous step at a time.
+
+    Parameters
+    ----------
+    memory:
+        The shared memory to execute against (mutated in place).
+    programs:
+        One factory per processor.
+    fault_plan:
+        Optional :class:`FaultPlan`; fired faults land in
+        :attr:`fault_events`.
+    trace:
+        Record per-step memory traffic.
+    record_deliveries:
+        Keep, per processor, the sequence of values sent into its
+        generator (``None`` for a plain ``next``).  This is the
+        *delivery log* that makes checkpoints resumable: replaying the
+        log against fresh generators deterministically reconstructs
+        every processor's private state (see
+        :mod:`repro.pram.checkpoint`).
+    """
+
+    def __init__(
+        self,
+        memory: SharedMemory,
+        programs: Sequence[ProgramFactory],
+        *,
+        fault_plan: FaultPlan | None = None,
+        trace: bool = False,
+        record_deliveries: bool = False,
+    ) -> None:
+        require(len(programs) >= 1, "need at least one processor")
+        if fault_plan is not None:
+            fault_plan.validate_for(len(programs), memory.size)
+        self.memory = memory
+        self.programs = tuple(programs)
+        self.nprocs = len(programs)
+        self.fault_plan = fault_plan
+        self.traces: list[StepTrace] | None = [] if trace else None
+        self.deliveries: list[list[int | None]] | None = (
+            [[] for _ in programs] if record_deliveries else None
+        )
+        self.fault_events: list[FaultEvent] = []
+        self.steps = 0
+        self.procs: list[Generator | None] = [
+            factory(pid, self.nprocs)
+            for pid, factory in enumerate(self.programs)
+        ]
+        #: True once a processor has finished (returned / Halted /
+        #: crashed) — distinguishes "no pending instruction because
+        #: done" in checkpoints.
+        self.done: list[bool] = [False] * self.nprocs
+        self.live = self.nprocs
+        self.pending: list[Instruction | None] = [None] * self.nprocs
+        # Prime: advance each generator to its first yield.
+        for pid in range(self.nprocs):
+            self.pending[pid] = self._advance(pid, None)
+            if self.pending[pid] is None:
+                self._finish(pid)
+
+    # -- alternate constructor: resume from a checkpoint ---------------
+
+    @classmethod
+    def resume(
+        cls,
+        memory: SharedMemory,
+        programs: Sequence[ProgramFactory],
+        *,
+        steps: int,
+        deliveries: Sequence[Sequence[int | None]],
+        done: Sequence[bool],
+        fault_plan: FaultPlan | None = None,
+        trace: bool = False,
+        record_deliveries: bool = True,
+    ) -> "LockstepExecution":
+        """Reconstruct an execution at a checkpointed step.
+
+        ``memory`` must already hold the checkpoint's snapshot.  Each
+        processor's generator is rebuilt by *replaying* its delivery
+        log: local computation between yields is deterministic, so
+        feeding the recorded read results back in restores the exact
+        private state (and pending instruction) the processor had when
+        the checkpoint was taken — without ever touching shared
+        memory.
+        """
+        require(len(deliveries) == len(programs) == len(done),
+                "deliveries/programs/done must align")
+        self = cls.__new__(cls)
+        self.memory = memory
+        self.programs = tuple(programs)
+        self.nprocs = len(programs)
+        if fault_plan is not None:
+            fault_plan.validate_for(self.nprocs, memory.size)
+        self.fault_plan = fault_plan
+        self.traces = [] if trace else None
+        self.deliveries = (
+            [list(log) for log in deliveries] if record_deliveries else None
+        )
+        self.fault_events = []
+        self.steps = steps
+        self.procs = []
+        self.done = list(done)
+        self.pending = []
+        for pid, factory in enumerate(self.programs):
+            gen: Generator | None = factory(pid, self.nprocs)
+            last: Instruction | None = None
+            try:
+                for send in deliveries[pid]:
+                    last = next(gen) if send is None else gen.send(send)
+            except StopIteration:
+                gen = None
+                last = None
+            if self.done[pid]:
+                if gen is not None:
+                    gen.close()
+                    gen = None
+                last = None
+            self.procs.append(gen)
+            self.pending.append(last)
+        self.live = sum(
+            1 for pid in range(self.nprocs)
+            if not self.done[pid] and self.procs[pid] is not None
+        )
+        return self
+
+    # -- stepping ------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """True when every processor has finished."""
+        return self.live <= 0
+
+    def step(self) -> None:
+        """Execute one synchronous step (all live processors at once)."""
+        self.steps += 1
+        step = self.steps
+        faults = (
+            self.fault_plan.faults_at(step)
+            if self.fault_plan is not None else ()
+        )
+        # Crash-stops fire first: the victim's pending instruction for
+        # this step is never executed.
+        for f in faults:
+            if isinstance(f, ProcessorCrash):
+                alive = self.procs[f.pid] is not None
+                if alive:
+                    self.procs[f.pid].close()
+                    self.procs[f.pid] = None
+                    self.pending[f.pid] = None
+                    self._finish(f.pid)
+                self.fault_events.append(FaultEvent(
+                    step, "crash", f, effective=alive,
+                    detail=(f"processor {f.pid} crash-stopped" if alive
+                            else f"processor {f.pid} already finished"),
+                ))
+        reads: dict[int, int] = {}
+        writes: dict[int, tuple[int, int]] = {}
+        for pid, instr in enumerate(self.pending):
+            if instr is None:
+                continue
+            if isinstance(instr, Read):
+                reads[pid] = instr.addr
+            elif isinstance(instr, Write):
+                writes[pid] = (instr.addr, int(instr.value))
+            elif isinstance(instr, LocalBarrier):
+                pass
+            elif isinstance(instr, Halt):
+                self.procs[pid].close()
+                self.procs[pid] = None
+                self.pending[pid] = None
+                self._finish(pid)
+            else:
+                raise ProgramError(
+                    f"processor {pid} yielded {instr!r}, which is not "
+                    f"an instruction"
+                )
+        dropped: set[int] = set()
+        for f in faults:
+            if isinstance(f, DroppedWrite):
+                writing = f.pid in writes
+                if writing:
+                    dropped.add(f.pid)
+                    addr, value = writes[f.pid]
+                    detail = (f"write of {value} to cell {addr} by "
+                              f"processor {f.pid} lost")
+                else:
+                    detail = f"processor {f.pid} was not writing"
+                self.fault_events.append(FaultEvent(
+                    step, "dropped_write", f, effective=writing,
+                    detail=detail,
+                ))
+        results = self.memory.apply_step(reads, writes, dropped=dropped)
+        if self.traces is not None:
+            self.traces.append(StepTrace(step, dict(reads), dict(writes)))
+        # Transient bit-flips commit after the step's writes: the
+        # corruption is what the *next* step reads.
+        for f in faults:
+            if isinstance(f, BitFlip):
+                old, new = self.memory.flip_bit(f.addr, f.bit)
+                self.fault_events.append(FaultEvent(
+                    step, "bit_flip", f, effective=True,
+                    detail=(f"cell {f.addr} bit {f.bit}: "
+                            f"{old} -> {new}"),
+                ))
+        for pid in list(reads) + list(writes) + [
+            i for i, ins in enumerate(self.pending)
+            if isinstance(ins, LocalBarrier)
+        ]:
+            self.pending[pid] = self._advance(pid, results.get(pid))
+            if self.pending[pid] is None:
+                self._finish(pid)
+
+    def build_report(self) -> MachineReport:
+        """Freeze the current state into a :class:`MachineReport`."""
+        return MachineReport(
+            steps=self.steps,
+            nprocs=self.nprocs,
+            memory=self.memory.snapshot(),
+            peak_step_footprint=self.memory.peak_step_footprint,
+            trace=tuple(self.traces) if self.traces is not None else None,
+            faults=tuple(self.fault_events),
+        )
+
+    # -- internals -----------------------------------------------------
+
+    def _finish(self, pid: int) -> None:
+        if not self.done[pid]:
+            self.done[pid] = True
+            self.live -= 1
+
+    def _advance(self, pid: int, send: int | None) -> Instruction | None:
+        gen = self.procs[pid]
+        if gen is None:
+            return None
+        if self.deliveries is not None:
+            self.deliveries[pid].append(send)
+        try:
+            if send is None:
+                return next(gen)
+            return gen.send(send)
+        except StopIteration:
+            self.procs[pid] = None
+            return None
 
 
 class PRAM:
@@ -115,6 +375,8 @@ class PRAM:
         *,
         max_steps: int = 1_000_000,
         trace: bool = False,
+        fault_plan: FaultPlan | None = None,
+        budget_note: str | None = None,
     ) -> MachineReport:
         """Execute the given programs to completion in lockstep.
 
@@ -129,81 +391,27 @@ class PRAM:
             Record every step's memory traffic into the report (for
             the space-time renderers; costs memory proportional to the
             run's total traffic).
+        fault_plan:
+            Optional deterministic fault schedule
+            (:class:`repro.pram.faults.FaultPlan`).  Faults fire at
+            their exact steps and are recorded in the report's
+            ``faults``; the run itself continues (crash-stop kills one
+            processor, not the machine).  For *recovery* — resuming a
+            faulted run from a checkpoint — see
+            :func:`repro.pram.checkpoint.run_with_recovery`.
+        budget_note:
+            Optional derivation of ``max_steps`` (e.g. the budget
+            formula), included in the :class:`DeadlockError` message.
         """
-        require(len(programs) >= 1, "need at least one processor")
-        traces: list[StepTrace] | None = [] if trace else None
-        nprocs = len(programs)
-        procs: list[Generator | None] = [
-            factory(pid, nprocs) for pid, factory in enumerate(programs)
-        ]
-        # Pending value to send into each generator (read results).
-        inbox: list[int | None] = [None] * nprocs
-        live = nprocs
-        steps = 0
-        # Prime: advance each generator to its first yield.
-        pending: list[Instruction | None] = [None] * nprocs
-        for pid in range(nprocs):
-            pending[pid] = self._advance(procs, pid, None)
-            if pending[pid] is None:
-                live -= 1
-        while live > 0:
-            if steps >= max_steps:
-                raise DeadlockError(
-                    f"run exceeded max_steps={max_steps} with {live} "
-                    f"processors still live"
-                )
-            steps += 1
-            reads: dict[int, int] = {}
-            writes: dict[int, tuple[int, int]] = {}
-            for pid, instr in enumerate(pending):
-                if instr is None:
-                    continue
-                if isinstance(instr, Read):
-                    reads[pid] = instr.addr
-                elif isinstance(instr, Write):
-                    writes[pid] = (instr.addr, int(instr.value))
-                elif isinstance(instr, LocalBarrier):
-                    pass
-                elif isinstance(instr, Halt):
-                    procs[pid].close()
-                    procs[pid] = None
-                    pending[pid] = None
-                    live -= 1
-                else:
-                    raise ProgramError(
-                        f"processor {pid} yielded {instr!r}, which is not "
-                        f"an instruction"
-                    )
-            results = self.memory.apply_step(reads, writes)
-            if traces is not None:
-                traces.append(StepTrace(steps, dict(reads), dict(writes)))
-            for pid in list(reads) + list(writes) + [
-                i for i, ins in enumerate(pending)
-                if isinstance(ins, LocalBarrier)
-            ]:
-                send = results.get(pid)
-                pending[pid] = self._advance(procs, pid, send)
-                if pending[pid] is None:
-                    live -= 1
-        return MachineReport(
-            steps=steps,
-            nprocs=nprocs,
-            memory=self.memory.snapshot(),
-            peak_step_footprint=self.memory.peak_step_footprint,
-            trace=tuple(traces) if traces is not None else None,
+        execution = LockstepExecution(
+            self.memory, programs, fault_plan=fault_plan, trace=trace,
         )
-
-    @staticmethod
-    def _advance(
-        procs: list[Generator | None], pid: int, send: int | None
-    ) -> Instruction | None:
-        gen = procs[pid]
-        if gen is None:
-            return None
-        try:
-            if send is None:
-                return next(gen)
-            return gen.send(send)
-        except StopIteration:
-            procs[pid] = None
-            return None
+        while not execution.finished:
+            if execution.steps >= max_steps:
+                note = f" [budget: {budget_note}]" if budget_note else ""
+                raise DeadlockError(
+                    f"run exceeded max_steps={max_steps} with "
+                    f"{execution.live} processors still live{note}"
+                )
+            execution.step()
+        return execution.build_report()

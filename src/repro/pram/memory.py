@@ -108,10 +108,29 @@ class SharedMemory:
                 f"address {addr} out of bounds for memory of size {self.size}"
             )
 
+    def flip_bit(self, addr: int, bit: int) -> tuple[int, int]:
+        """XOR-flip one bit of one cell (fault injection only).
+
+        This is *not* a PRAM operation: it models a single-event upset
+        in the memory system, injected by the machine between steps
+        when a :class:`repro.pram.faults.BitFlip` fires.  Returns
+        ``(old_value, new_value)`` so the event can be recorded.
+        """
+        self._bounds(addr)
+        require(0 <= bit < 64, f"bit must be in [0, 64), got {bit}")
+        old = int(self._cells[addr])
+        # XOR through a uint64 view: shifting into bit 63 of an int64
+        # would overflow, but the flip is well-defined on the raw word.
+        cell = self._cells[addr:addr + 1].view(np.uint64)
+        cell ^= np.uint64(1) << np.uint64(bit)
+        return old, int(self._cells[addr])
+
     def apply_step(
         self,
         reads: Mapping[int, int],
         writes: Mapping[int, tuple[int, int]],
+        *,
+        dropped: frozenset[int] | set[int] = frozenset(),
     ) -> dict[int, int]:
         """Execute one synchronous step of accesses.
 
@@ -121,6 +140,11 @@ class SharedMemory:
             ``{pid: addr}`` for every processor reading this step.
         writes:
             ``{pid: (addr, value)}`` for every processor writing.
+        dropped:
+            Pids whose writes this step are lost in the memory system
+            (fault injection): a dropped write is bounds-checked but
+            neither conflict-checked nor committed — the store never
+            reached the memory, so it cannot collide with anything.
 
         Returns
         -------
@@ -140,6 +164,8 @@ class SharedMemory:
         write_cells: dict[int, list[tuple[int, int]]] = defaultdict(list)
         for pid, (addr, value) in writes.items():
             self._bounds(addr)
+            if pid in dropped:
+                continue
             write_cells[addr].append((pid, value))
 
         footprint = len(set(read_cells) | set(write_cells))

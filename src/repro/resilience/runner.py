@@ -1,0 +1,306 @@
+"""``resilient_matching()``: run → verify → repair → retry → degrade.
+
+The runner wraps the vectorized matching algorithms in a recovery
+loop.  Each *attempt* runs one algorithm and verifies its output with
+:func:`repro.core.matching.verify_maximal_matching`.  On a
+:class:`~repro.errors.VerificationError` or
+:class:`~repro.errors.PRAMError` it first tries the cheap exit — the
+self-stabilizing :func:`repro.resilience.repair.repair_matching` pass
+on whatever (corrupted) tails the attempt produced — and only if that
+also fails does it burn a retry, backing off with bounded exponential
+delays, and eventually *degrades* down the ladder
+
+    match4  →  match2  →  match1  →  sequential
+
+trading parallel optimality for simplicity until something verifies.
+The sequential greedy baseline is the floor: a single dependent walk
+with nothing left to corrupt in scheduling.
+
+Every attempt is recorded in a structured :class:`AttemptLog`, so a
+production caller can see exactly which rungs failed, why, how long
+the backoff waited, and whether repair (rather than a rerun) saved the
+day.  Failures are injected via the ``perturb`` hook (tests, CLI
+demos) or arise from real faults when the instruction-level tier runs
+under a :class:`repro.pram.faults.FaultPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..core.matching import Matching, verify_maximal_matching
+from ..errors import PRAMError, ResilienceExhaustedError, VerificationError
+from ..lists.linked_list import LinkedList
+from .repair import RepairStats, repair_matching
+
+__all__ = [
+    "DEFAULT_LADDER",
+    "Attempt",
+    "AttemptLog",
+    "ResilienceResult",
+    "resilient_matching",
+]
+
+#: The degradation ladder, fastest/most-fragile first.
+DEFAULT_LADDER: tuple[str, ...] = ("match4", "match2", "match1", "sequential")
+
+#: Hook mutating an attempt's raw tails before verification; receives
+#: ``(tails, attempt_index)``.  Used to inject corruption in tests and
+#: demos.
+PerturbHook = Callable[[np.ndarray, int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One run-and-verify attempt in the recovery loop.
+
+    Attributes
+    ----------
+    index:
+        Global attempt counter (0-based).
+    rung / algorithm:
+        Position in, and name from, the ladder.
+    try_index:
+        Which retry on this rung (0-based).
+    outcome:
+        ``"ok"`` (verified first time), ``"repaired"`` (verified after
+        the local-repair pass), or ``"failed"``.
+    error:
+        ``"ExcType: message"`` for failed/repaired attempts.
+    backoff:
+        Seconds of (simulated or real) backoff charged *after* this
+        attempt failed.
+    repair:
+        Stats of the successful repair pass, when ``outcome ==
+        "repaired"``.
+    """
+
+    index: int
+    rung: int
+    algorithm: str
+    try_index: int
+    outcome: str
+    error: str = ""
+    backoff: float = 0.0
+    repair: RepairStats | None = None
+
+
+@dataclass
+class AttemptLog:
+    """Structured history of one :func:`resilient_matching` call."""
+
+    attempts: list[Attempt] = field(default_factory=list)
+    #: Result of the partition-engine probe fired after the first
+    #: failure (``None`` when no attempt ever failed).
+    engine_probe: bool | None = None
+
+    @property
+    def total(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for a in self.attempts if a.outcome == "failed")
+
+    @property
+    def rungs_visited(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for a in self.attempts:
+            if a.algorithm not in seen:
+                seen.append(a.algorithm)
+        return tuple(seen)
+
+    @property
+    def total_backoff(self) -> float:
+        return sum(a.backoff for a in self.attempts)
+
+    @property
+    def summary(self) -> str:
+        """One line per attempt plus a verdict — CLI/log friendly."""
+        lines = []
+        for a in self.attempts:
+            line = (f"[{a.index}] {a.algorithm} (rung {a.rung}, "
+                    f"try {a.try_index}): {a.outcome}")
+            if a.error:
+                line += f" — {a.error}"
+            if a.backoff:
+                line += f" — backed off {a.backoff:.3f}s"
+            lines.append(line)
+        if self.engine_probe is not None:
+            lines.append(
+                "partition engine probe: "
+                + ("healthy" if self.engine_probe else "BROKEN")
+            )
+        ok = any(a.outcome in ("ok", "repaired") for a in self.attempts)
+        lines.append(
+            f"{'recovered' if ok else 'exhausted'} after "
+            f"{self.total} attempt(s) across "
+            f"{len(self.rungs_visited)} rung(s)"
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ResilienceResult:
+    """Verified matching plus the recovery history that produced it."""
+
+    matching: Matching
+    log: AttemptLog
+
+    @property
+    def tails(self) -> np.ndarray:
+        return self.matching.tails
+
+    @property
+    def degraded(self) -> bool:
+        """True iff the successful rung was not the first one."""
+        last = self.log.attempts[-1]
+        return last.rung > 0
+
+    @property
+    def repaired(self) -> bool:
+        return self.log.attempts[-1].outcome == "repaired"
+
+
+def _backoff_delay(failures: int, base: float, cap: float) -> float:
+    """Bounded exponential backoff: ``min(base * 2^failures, cap)``."""
+    return min(base * (2.0 ** failures), cap)
+
+
+def partition_engine_healthy(lst: LinkedList) -> bool:
+    """Probe the matching-partition engine underneath every rung.
+
+    Runs one round of the partition function and checks the result
+    with :func:`repro.core.partition.verify_matching_partition`
+    (Lemma 1: one application of ``f`` is a matching partition).  The
+    runner fires this after a first failure to tell "one algorithm
+    produced a bad artifact" apart from "the shared engine is broken"
+    — in the latter case degrading the ladder cannot help and the log
+    says so.
+    """
+    from ..core.functions import iterate_f
+    from ..core.partition import NO_POINTER, verify_matching_partition
+
+    try:
+        labels = iterate_f(lst, 1).copy()
+        labels[lst.tail] = NO_POINTER
+        verify_matching_partition(lst, labels)
+    except Exception:  # noqa: BLE001 - any failure means "unhealthy"
+        return False
+    return True
+
+
+def resilient_matching(
+    lst: LinkedList,
+    *,
+    ladder: Sequence[str] = DEFAULT_LADDER,
+    tries_per_rung: int = 2,
+    repair: bool = True,
+    base_backoff: float = 0.01,
+    max_backoff: float = 1.0,
+    sleep: Callable[[float], None] | None = None,
+    perturb: PerturbHook | None = None,
+    p: int = 1,
+    algorithm_kwargs: dict[str, dict[str, Any]] | None = None,
+) -> ResilienceResult:
+    """Compute a verified maximal matching, surviving faulty attempts.
+
+    Parameters
+    ----------
+    lst:
+        The list to match.
+    ladder:
+        Algorithm names (from
+        :data:`repro.core.maximal_matching.ALGORITHMS`) to degrade
+        through, most capable first.
+    tries_per_rung:
+        Retries before stepping down a rung.
+    repair:
+        Try the self-stabilizing local-repair pass on a failed
+        attempt's tails before burning a retry.
+    base_backoff / max_backoff:
+        Bounded exponential backoff parameters (seconds).  Delays are
+        always *recorded* in the log; they are only *slept* when a
+        ``sleep`` callable is supplied, so tests and simulations stay
+        instant while production callers pass ``time.sleep``.
+    sleep:
+        Optional ``sleep(seconds)`` to actually wait out backoffs.
+    perturb:
+        Test/demo hook corrupting an attempt's tails before
+        verification (see :data:`PerturbHook`).
+    p:
+        Processor count forwarded to the algorithms' cost accounting.
+    algorithm_kwargs:
+        Optional per-algorithm keyword overrides, e.g.
+        ``{"match4": {"i": 3}}``.
+
+    Returns
+    -------
+    ResilienceResult
+        The verified matching and the full :class:`AttemptLog`.
+
+    Raises
+    ------
+    ResilienceExhaustedError
+        If every try of every rung failed (only possible when the
+        fault process — ``perturb`` — outlasts
+        ``len(ladder) * tries_per_rung`` attempts *and* defeats
+        repair each time).
+    """
+    from ..core.maximal_matching import maximal_matching
+    import repro.baselines  # noqa: F401  (registers "sequential" et al.)
+
+    if not ladder:
+        raise ResilienceExhaustedError("empty degradation ladder")
+    kwargs = algorithm_kwargs or {}
+    log = AttemptLog()
+    index = 0
+    failures = 0
+    for rung, algorithm in enumerate(ladder):
+        for try_index in range(tries_per_rung):
+            tails: np.ndarray | None = None
+            try:
+                m, _, _ = maximal_matching(
+                    lst, algorithm=algorithm, p=p,
+                    **kwargs.get(algorithm, {}),
+                )
+                tails = np.asarray(m.tails)
+                if perturb is not None:
+                    tails = np.asarray(perturb(tails.copy(), index))
+                verify_maximal_matching(lst, tails)
+                log.attempts.append(Attempt(
+                    index=index, rung=rung, algorithm=algorithm,
+                    try_index=try_index, outcome="ok",
+                ))
+                return ResilienceResult(Matching(lst, tails), log)
+            except (VerificationError, PRAMError) as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                if repair and tails is not None:
+                    try:
+                        fixed, stats = repair_matching(lst, tails)
+                        log.attempts.append(Attempt(
+                            index=index, rung=rung, algorithm=algorithm,
+                            try_index=try_index, outcome="repaired",
+                            error=error, repair=stats,
+                        ))
+                        return ResilienceResult(Matching(lst, fixed), log)
+                    except VerificationError:
+                        pass
+                delay = _backoff_delay(failures, base_backoff, max_backoff)
+                log.attempts.append(Attempt(
+                    index=index, rung=rung, algorithm=algorithm,
+                    try_index=try_index, outcome="failed",
+                    error=error, backoff=delay,
+                ))
+                if failures == 0:
+                    log.engine_probe = partition_engine_healthy(lst)
+                failures += 1
+                if sleep is not None:
+                    sleep(delay)
+            index += 1
+    raise ResilienceExhaustedError(
+        "all rungs of the degradation ladder failed:\n" + log.summary
+    )

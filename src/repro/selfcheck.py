@@ -2,8 +2,9 @@
 
 ``run_selfcheck()`` exercises every major subsystem on deterministic
 workloads — matching algorithms (both tiers), ranking, coloring, MIS,
-rings, forests, and the PRAM memory discipline — and reports each
-check's outcome instead of stopping at the first failure.  The CLI
+rings, forests, the PRAM memory discipline, and fault-injection
+recovery — and reports each check's outcome instead of stopping at
+the first failure.  The CLI
 exposes it as ``python -m repro selfcheck``; it is also what a
 downstream user should run after installing into a new environment.
 """
@@ -153,6 +154,32 @@ def run_selfcheck(*, n: int = 2048, seed: int = 0) -> SelfCheckReport:
         assert np.array_equal(out[order], np.cumsum(values[order]))
         return "prefix matches cumsum"
 
+    def check_fault_recovery() -> str:
+        from repro.pram.faults import BitFlip, FaultPlan, ProcessorCrash
+        from repro.resilience import repair_matching
+
+        small = repro.random_list(64, rng=seed + 4)
+        clean, _ = run_match1(small, mode="EREW")
+        # a crash mid-walk and a flipped chosen-flag bit, recovered by
+        # checkpoint-restart: the result must be bit-identical to the
+        # fault-free run.
+        plan = FaultPlan([
+            ProcessorCrash(step=40, pid=3),
+            BitFlip(step=60, addr=5 * 64 + 10, bit=0),
+        ])
+        tails, rep = run_match1(
+            small, mode="EREW", fault_plan=plan, recover=True,
+            checkpoint_interval=16,
+        )
+        assert len(rep.faults) == 2, "faults not recorded"
+        assert np.array_equal(tails, clean), "restart diverged"
+        verify_maximal_matching(small, tails)
+        # and the self-stabilizing repair pass survives raw corruption.
+        repaired, stats = repair_matching(small, clean[1:])
+        verify_maximal_matching(small, repaired)
+        return (f"crash+flip recovered, repair re-matched "
+                f"{stats.n_added} pointer(s)")
+
     _check(report, "matching algorithms (6) maximal", check_algorithms)
     _check(report, "instruction-level tier identical", check_instruction_tier)
     _check(report, "list ranking agreement", check_ranking)
@@ -162,4 +189,5 @@ def run_selfcheck(*, n: int = 2048, seed: int = 0) -> SelfCheckReport:
     _check(report, "forest pipeline", check_forest)
     _check(report, "PRAM memory discipline", check_memory_discipline)
     _check(report, "list prefix sums", check_prefix)
+    _check(report, "fault injection + recovery", check_fault_recovery)
     return report

@@ -1,0 +1,243 @@
+"""Tests for repro.pram.faults + checkpoint: deterministic injection,
+observability, and checkpoint-restart recovery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError, InvalidParameterError
+from repro.lists import random_list
+from repro.pram import PRAM, LocalBarrier, Read, Write
+from repro.pram.algorithms import run_match1, run_match4, step_budget
+from repro.pram.checkpoint import (
+    Checkpoint,
+    CheckpointStore,
+    resume_from_checkpoint,
+    run_with_recovery,
+)
+from repro.pram.faults import (
+    BitFlip,
+    DroppedWrite,
+    FaultPlan,
+    ProcessorCrash,
+)
+from repro.pram.machine import LockstepExecution
+from repro.pram.memory import SharedMemory
+
+
+def counter_prog(pid, nprocs):
+    # each processor increments its own cell ten times
+    for _ in range(10):
+        v = yield Read(pid)
+        yield Write(pid, v + 1)
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            FaultPlan([ProcessorCrash(step=0, pid=1)])  # steps 1-based
+        with pytest.raises(InvalidParameterError):
+            FaultPlan([BitFlip(step=1, addr=0, bit=64)])
+        with pytest.raises(TypeError):
+            FaultPlan(["not a fault"])
+
+    def test_validate_for_targets(self):
+        plan = FaultPlan([ProcessorCrash(step=1, pid=9)])
+        with pytest.raises(InvalidParameterError):
+            PRAM(4).run([counter_prog] * 2, fault_plan=plan)
+
+    def test_without_and_lookup(self):
+        crash = ProcessorCrash(step=3, pid=0)
+        flip = BitFlip(step=5, addr=1, bit=2)
+        plan = FaultPlan([crash, flip])
+        assert plan.faults_at(3) == (crash,)
+        assert len(plan.without([crash])) == 1
+        assert plan.max_step == 5
+
+    def test_random_plan_is_seed_deterministic(self):
+        kw = dict(nprocs=8, memory_size=64, max_step=100,
+                  crashes=2, flips=2, drops=2)
+        assert FaultPlan.random(seed=7, **kw) == FaultPlan.random(seed=7, **kw)
+        assert FaultPlan.random(seed=7, **kw) != FaultPlan.random(seed=8, **kw)
+
+
+class TestFaultObservability:
+    """Acceptance (a): every fault species shows up in MachineReport."""
+
+    def test_crash_recorded_and_effective(self):
+        plan = FaultPlan([ProcessorCrash(step=3, pid=1)])
+        report = PRAM(2).run([counter_prog] * 2, fault_plan=plan)
+        (event,) = report.faults
+        assert event.kind == "crash" and event.effective
+        assert report.memory[0] == 10
+        assert report.memory[1] == 1  # died after one full increment
+
+    def test_bit_flip_recorded_with_values(self):
+        plan = FaultPlan([BitFlip(step=2, addr=0, bit=4)])
+        report = PRAM(1).run([counter_prog], fault_plan=plan)
+        (event,) = report.faults
+        assert event.kind == "bit_flip" and event.effective
+        assert "->" in event.detail
+        # flipped +16 after the first increment, then 9 more increments
+        assert report.memory[0] == 1 + 16 + 9
+
+    def test_dropped_write_recorded(self):
+        plan = FaultPlan([DroppedWrite(step=2, pid=0)])
+        report = PRAM(1).run([counter_prog], fault_plan=plan)
+        (event,) = report.faults
+        assert event.kind == "dropped_write" and event.effective
+        assert report.memory[0] == 9  # one increment lost
+
+    def test_ineffective_faults_still_recorded(self):
+        # crash of a finished processor, drop on a read step
+        plan = FaultPlan([
+            DroppedWrite(step=1, pid=0),       # step 1 is a Read
+            ProcessorCrash(step=25, pid=0),    # done at step 20
+        ])
+        def idler(pid, nprocs):
+            for _ in range(30):
+                yield LocalBarrier()
+        report = PRAM(1).run([counter_prog, idler], fault_plan=plan)
+        kinds = {(e.kind, e.effective) for e in report.faults}
+        assert kinds == {("dropped_write", False), ("crash", False)}
+
+    def test_bit_flip_on_sign_bit(self):
+        plan = FaultPlan([BitFlip(step=1, addr=0, bit=63)])
+        def one(pid, nprocs):
+            yield LocalBarrier()
+        report = PRAM(1).run([one], fault_plan=plan)
+        assert report.memory[0] == np.iinfo(np.int64).min
+
+
+class TestDeterminism:
+    """Satellite: same seed + plan -> bit-identical MachineReport."""
+
+    def _reports_identical(self, a, b):
+        assert a.steps == b.steps
+        assert a.nprocs == b.nprocs
+        assert a.peak_step_footprint == b.peak_step_footprint
+        assert np.array_equal(a.memory, b.memory)
+        assert a.faults == b.faults
+
+    def test_faulted_match1_bit_identical_across_runs(self):
+        lst = random_list(64, rng=0)
+        plan = FaultPlan.random(seed=13, nprocs=64, memory_size=6 * 64 + 1,
+                                max_step=100, crashes=1, flips=2, drops=1)
+        _, r1 = run_match1(lst, fault_plan=plan)
+        _, r2 = run_match1(lst, fault_plan=plan)
+        self._reports_identical(r1, r2)
+        assert len(r1.faults) == 4
+
+    def test_faulted_match4_bit_identical_across_runs(self):
+        lst = random_list(96, rng=1)
+        plan = FaultPlan([ProcessorCrash(step=50, pid=2),
+                          BitFlip(step=80, addr=30, bit=3)])
+        _, r1 = run_match4(lst, i=2, fault_plan=plan)
+        _, r2 = run_match4(lst, i=2, fault_plan=plan)
+        self._reports_identical(r1, r2)
+
+    def test_fault_free_run_unchanged_by_fault_machinery(self):
+        # fault_plan=None and an empty plan must both be byte-identical
+        # to the plain run (pre-change behavior).
+        lst = random_list(64, rng=2)
+        t0, r0 = run_match1(lst)
+        t1, r1 = run_match1(lst, fault_plan=FaultPlan([]))
+        assert np.array_equal(t0, t1)
+        self._reports_identical(r0, r1)
+        assert r0.faults == ()
+
+
+class TestCheckpointResume:
+    def test_checkpoint_resume_reproduces_suffix(self):
+        # run 20 steps, checkpoint at 10, resume, and match final state
+        memory = SharedMemory(2)
+        execution = LockstepExecution(
+            memory, [counter_prog], record_deliveries=True
+        )
+        ckpt = None
+        while not execution.finished:
+            execution.step()
+            if execution.steps == 10:
+                ckpt = Checkpoint.capture(execution)
+        final = execution.memory.snapshot()
+        resumed = resume_from_checkpoint(ckpt, [counter_prog], mode="CREW")
+        assert resumed.steps == 10
+        while not resumed.finished:
+            resumed.step()
+        assert np.array_equal(resumed.memory.snapshot(), final)
+
+    def test_capture_requires_delivery_log(self):
+        memory = SharedMemory(2)
+        execution = LockstepExecution(memory, [counter_prog])
+        with pytest.raises(InvalidParameterError):
+            Checkpoint.capture(execution)
+
+    def test_store_interval_and_retention(self):
+        memory = SharedMemory(2)
+        execution = LockstepExecution(
+            memory, [counter_prog], record_deliveries=True
+        )
+        store = CheckpointStore(4, keep=2)
+        while not execution.finished:
+            execution.step()
+            store.maybe_capture(execution)
+        assert store.taken == 5            # steps 4, 8, 12, 16, 20
+        assert [c.step for c in store.checkpoints] == [16, 20]
+
+    def test_recovery_resumes_rather_than_restarts(self):
+        lst = random_list(64, rng=3)
+        clean, _ = run_match1(lst)
+        # fault far enough in that a checkpoint exists before it
+        plan = FaultPlan([ProcessorCrash(step=100, pid=5)])
+        tails, report = run_match1(
+            lst, fault_plan=plan, recover=True, checkpoint_interval=16
+        )
+        assert np.array_equal(tails, clean)
+        assert len(report.faults) == 1
+
+    def test_run_with_recovery_outcome_fields(self):
+        plan = FaultPlan([BitFlip(step=12, addr=0, bit=1)])
+        outcome = run_with_recovery(
+            [counter_prog], memory_size=2,
+            fault_plan=plan, interval=4, max_steps=1000,
+        )
+        assert outcome.recovered
+        assert outcome.restarts == 1
+        # capture stops at the fault, so the latest clean snapshot is
+        # the one at step 8, not 12
+        assert outcome.resumed_from == (8,)
+        assert outcome.report.memory[0] == 10  # clean final state
+        assert len(outcome.events) == 1
+
+    def test_genuine_bug_reraised_not_masked(self):
+        # a deadlock with no faults fired must escape recovery
+        def stuck(pid, nprocs):
+            while True:
+                yield LocalBarrier()
+        with pytest.raises(DeadlockError):
+            run_with_recovery([stuck], memory_size=1, max_steps=50)
+
+
+class TestStepBudget:
+    """Satellite: budgets derived from (n, p), formula in the error."""
+
+    def test_budget_scales_with_n_over_p(self):
+        b_full, _ = step_budget(1024, 1024)
+        b_half, _ = step_budget(1024, 512)
+        assert b_half > b_full
+
+    def test_budget_covers_real_runs(self):
+        lst = random_list(128, rng=5)
+        _, r1 = run_match1(lst)
+        budget, _ = step_budget(128, 128)
+        assert r1.steps < budget
+        _, r4 = run_match4(lst, i=2)
+        budget4, _ = step_budget(128, r4.nprocs)
+        assert r4.steps < budget4
+
+    def test_deadlock_message_carries_formula(self):
+        def stuck(pid, nprocs):
+            while True:
+                yield LocalBarrier()
+        with pytest.raises(DeadlockError, match=r"ceil\(lg n\)\^2"):
+            PRAM(1).run([stuck], max_steps=10,
+                        budget_note=step_budget(1, 1)[1])

@@ -126,7 +126,7 @@ class TestSelfCheck:
         rc = main(["selfcheck", "--n", "512"])
         out = capsys.readouterr().out
         assert rc == 0
-        assert "9/9 checks passed" in out
+        assert "10/10 checks passed" in out
         assert "FAIL" not in out
 
     def test_report_api(self):
@@ -134,7 +134,7 @@ class TestSelfCheck:
 
         report = run_selfcheck(n=256, seed=1)
         assert report.passed
-        assert len(report.results) == 9
+        assert len(report.results) == 10
         names = [r.name for r in report.results]
         assert "PRAM memory discipline" in names
 

@@ -177,3 +177,197 @@ class TestVerifierSensitivity:
         ranks = ranks.copy()
         ranks[0] += 1
         assert not np.array_equal(ranks, sequential_ranks(lst))
+
+
+class TestInjectedMachineFaults:
+    """Every fault species must be observable in the MachineReport."""
+
+    def _faulted_report(self, plan):
+        from repro.pram.algorithms import run_match1
+
+        lst = random_list(64, rng=8)
+        _, report = run_match1(lst, fault_plan=plan)
+        return report
+
+    def test_all_three_species_observable(self):
+        from repro.pram.faults import (
+            BitFlip, DroppedWrite, FaultPlan, ProcessorCrash,
+        )
+
+        plan = FaultPlan([
+            ProcessorCrash(step=30, pid=3),
+            BitFlip(step=50, addr=10, bit=2),
+            DroppedWrite(step=4, pid=0),
+        ])
+        report = self._faulted_report(plan)
+        kinds = [e.kind for e in report.faults]
+        assert sorted(kinds) == ["bit_flip", "crash", "dropped_write"]
+        for event in report.faults:
+            assert event.fault in plan.faults
+            assert event.detail
+
+    def test_fault_free_report_has_no_events(self):
+        from repro.pram.algorithms import run_match1
+
+        lst = random_list(64, rng=8)
+        _, report = run_match1(lst)
+        assert report.faults == ()
+
+    def test_crash_can_break_the_matching(self):
+        # a crash mid-walk leaves work undone; without recovery the
+        # verifier (not silence) is what reports it
+        from repro.core.matching import verify_maximal_matching
+        from repro.pram.algorithms import run_match1
+        from repro.pram.faults import FaultPlan, ProcessorCrash
+
+        lst = random_list(64, rng=9)
+        clean, _ = run_match1(lst)
+        plan = FaultPlan([ProcessorCrash(step=20, pid=int(clean[0]))])
+        tails, report = run_match1(lst, fault_plan=plan)
+        assert report.faults[0].effective
+        if not np.array_equal(tails, clean):
+            with pytest.raises(VerificationError):
+                verify_maximal_matching(lst, tails)
+
+
+class TestDegradationLadder:
+    """resilient_matching() must degrade rung by rung, not give up."""
+
+    def _failing_perturb(self, fail_first):
+        # drop one matched pointer on the first `fail_first` attempts:
+        # maximality fails, so verification raises every time
+        def perturb(tails, index):
+            return tails[1:] if index < fail_first else tails
+        return perturb
+
+    def test_degrades_exactly_one_rung_per_exhausted_tries(self):
+        from repro.resilience import resilient_matching
+
+        lst = random_list(96, rng=10)
+        result = resilient_matching(
+            lst, tries_per_rung=2, repair=False,
+            perturb=self._failing_perturb(3),
+        )
+        log = result.log
+        # attempts 0,1 fail on match4; attempt 2 fails on match2;
+        # attempt 3 succeeds on match2
+        assert [a.algorithm for a in log.attempts] == [
+            "match4", "match4", "match2", "match2",
+        ]
+        assert [a.outcome for a in log.attempts] == [
+            "failed", "failed", "failed", "ok",
+        ]
+        assert result.degraded
+        assert log.rungs_visited == ("match4", "match2")
+
+    def test_reaches_sequential_floor(self):
+        from repro.resilience import resilient_matching
+
+        lst = random_list(96, rng=11)
+        result = resilient_matching(
+            lst, tries_per_rung=1, repair=False,
+            perturb=self._failing_perturb(3),
+        )
+        assert result.log.attempts[-1].algorithm == "sequential"
+        assert result.log.rungs_visited == (
+            "match4", "match2", "match1", "sequential",
+        )
+
+    def test_backoff_is_bounded_and_monotone(self):
+        from repro.resilience import resilient_matching
+
+        lst = random_list(96, rng=12)
+        result = resilient_matching(
+            lst, tries_per_rung=2, repair=False,
+            base_backoff=0.5, max_backoff=1.0,
+            perturb=self._failing_perturb(3),
+        )
+        delays = [a.backoff for a in result.log.attempts
+                  if a.outcome == "failed"]
+        assert delays == [0.5, 1.0, 1.0]  # capped at max_backoff
+
+    def test_exhaustion_raises_with_history(self):
+        from repro.errors import ResilienceExhaustedError
+        from repro.resilience import resilient_matching
+
+        lst = random_list(96, rng=13)
+        with pytest.raises(ResilienceExhaustedError, match="sequential"):
+            resilient_matching(
+                lst, tries_per_rung=1, repair=False,
+                perturb=self._failing_perturb(10**9),
+            )
+
+    def test_repair_short_circuits_the_ladder(self):
+        from repro.resilience import resilient_matching
+
+        lst = random_list(96, rng=14)
+        result = resilient_matching(
+            lst, tries_per_rung=2, repair=True,
+            perturb=self._failing_perturb(3),
+        )
+        # with repair on, the very first corrupted attempt is fixed
+        # locally instead of burning retries
+        assert result.repaired
+        assert result.log.total == 1
+        assert not result.degraded
+
+
+class TestSelfStabilizingRepair:
+    """repair_matching() must converge from arbitrary corruption."""
+
+    def _certify(self, lst, corrupted):
+        from repro.core.matching import verify_maximal_matching
+        from repro.resilience import repair_matching
+
+        repaired, stats = repair_matching(lst, corrupted)
+        verify_maximal_matching(lst, repaired)
+        return repaired, stats
+
+    def test_pattern_removed_pointers(self):
+        from repro.baselines.sequential import sequential_matching
+
+        lst = random_list(128, rng=15)
+        m, _, _ = sequential_matching(lst)
+        _, stats = self._certify(lst, m.tails[:: 2])
+        assert stats.n_added > 0
+
+    def test_pattern_adjacent_conflicts(self):
+        lst = random_list(128, rng=16)
+        # choose *every* pointer: maximal conflict density
+        every = np.flatnonzero(lst.next != -1)
+        _, stats = self._certify(lst, every)
+        assert stats.n_dropped > 0
+
+    def test_pattern_junk_addresses(self):
+        lst = random_list(128, rng=17)
+        junk = np.array([-5, 3, 3, 10**6, lst.tail, 7])
+        _, stats = self._certify(lst, junk)
+        assert stats.n_sanitized >= 3  # -5, 10**6, tail, one dup
+
+    def test_pattern_empty(self):
+        lst = random_list(128, rng=18)
+        repaired, stats = self._certify(lst, np.array([], dtype=np.int64))
+        assert repaired.size > 0 and stats.n_added == repaired.size
+
+    def test_pattern_random_garbage(self):
+        rng = np.random.default_rng(19)
+        lst = random_list(128, rng=19)
+        garbage = rng.integers(-50, 500, size=64)
+        self._certify(lst, garbage)
+
+    def test_pattern_bitflipped_real_matching(self):
+        from repro.baselines.sequential import sequential_matching
+
+        lst = random_list(128, rng=20)
+        m, _, _ = sequential_matching(lst)
+        tails = m.tails.copy()
+        tails[: 8] ^= 1 << 3  # simulate memory corruption of 8 entries
+        self._certify(lst, tails)
+
+    def test_stats_account_for_all_changes(self):
+        lst = random_list(64, rng=21)
+        every = np.flatnonzero(lst.next != -1)
+        _, stats = self._certify(lst, every)
+        assert stats.rounds == 1  # one round provably suffices
+        assert stats.changed == stats.n_sanitized + stats.n_dropped \
+            + stats.n_added
