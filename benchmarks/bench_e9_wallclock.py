@@ -7,7 +7,15 @@ common size.  The shape claim here is modest — all vectorized
 algorithms complete within a small constant of the sequential walk's
 wall time despite doing the full PRAM choreography — and the numbers
 feed EXPERIMENTS.md's E9 table.
+
+``REPRO_BENCH_N`` overrides the common size (CI smoke runs use a small
+one); the backend-parametrized benches compare the reference tier with
+the vectorized numpy engine through the same ``maximal_matching``
+calls (see also ``bench_backends.py`` for the standalone speedup
+measurement).
 """
+
+import os
 
 import pytest
 
@@ -19,9 +27,10 @@ from repro.core.match1 import match1
 from repro.core.match2 import match2
 from repro.core.match3 import match3, plan_match3
 from repro.core.match4 import match4
+from repro.core.maximal_matching import maximal_matching
 from repro.lists import random_list
 
-N = 1 << 16
+N = int(os.environ.get("REPRO_BENCH_N", 1 << 16))
 
 
 @pytest.fixture(scope="module")
@@ -82,6 +91,28 @@ def test_wallclock_wyllie_ranking(benchmark, lst):
 def test_wallclock_contraction_ranking(benchmark, lst):
     ranks = benchmark(lambda: contraction_ranks(lst)[0])
     assert ranks[lst.head] == N - 1
+
+
+# ---------------------------------------------------------------------------
+# Backend comparison: the same maximal_matching call on both backends.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", ["reference", "numpy"])
+def test_wallclock_backend_match1(benchmark, lst, backend):
+    m = benchmark(
+        lambda: maximal_matching(
+            lst, algorithm="match1", backend=backend, p=256).matching
+    )
+    assert m.is_maximal
+
+
+@pytest.mark.parametrize("backend", ["reference", "numpy"])
+def test_wallclock_backend_match4(benchmark, lst, backend):
+    m = benchmark(
+        lambda: maximal_matching(
+            lst, algorithm="match4", backend=backend, p=256).matching
+    )
+    assert m.is_maximal
 
 
 # ---------------------------------------------------------------------------

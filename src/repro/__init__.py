@@ -15,10 +15,17 @@ Quick start::
     import repro
 
     lst = repro.random_list(1 << 12, rng=0)
-    matching, report, stats = repro.maximal_matching(
-        lst, algorithm="match4", p=64, i=2
+    result = repro.maximal_matching(
+        lst, algorithm="match4", backend="numpy", p=64, iterations=2
     )
-    print(matching.size, report.time, report.cost)
+    print(result.matching.size, result.report.time, result.report.cost)
+    # or, unpacking the legacy 3-tuple:
+    matching, report, stats = result
+
+``backend="numpy"`` runs each PRAM round as one batch of vectorized
+array operations (bit-identical results, an order of magnitude faster
+on the host); ``backend="reference"`` (the default) runs the
+paper-faithful per-pointer implementations.
 
 See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
 the reproduced per-lemma/theorem experiments.
@@ -50,8 +57,10 @@ from .lists import (
 )
 from .core import (
     ALGORITHMS,
+    AlgorithmInfo,
     Matching,
     MatchingPartition,
+    MatchResult,
     f_lsb,
     f_msb,
     iterate_f,
@@ -60,6 +69,7 @@ from .core import (
     match3,
     match4,
     maximal_matching,
+    register_algorithm,
     verify_matching,
     verify_maximal_matching,
 )
@@ -74,12 +84,16 @@ from .apps import (
 from .baselines import random_mate_matching, sequential_matching, wyllie_ranks
 from .pram import PRAM, AccessMode, CostModel, CostReport
 from .bits import G, ilog2, log_G
+from . import backends
+from .backends import BACKENDS, Backend
+from .backends.batch import BatchMatchResult, batch_maximal_matching
 
 __version__ = "1.0.0"
 
 __all__ = [
     # subpackages
-    "analysis", "apps", "baselines", "bits", "core", "lists", "pram",
+    "analysis", "apps", "backends", "baselines", "bits", "core", "lists",
+    "pram",
     # errors
     "ReproError", "InvalidListError", "InvalidParameterError",
     "PRAMError", "MemoryConflictError", "VerificationError",
@@ -89,9 +103,13 @@ __all__ = [
     "bit_reversal_list", "gray_code_list", "interleaved_list",
     "random_ring", "sequential_ring",
     # core
-    "ALGORITHMS", "Matching", "MatchingPartition", "f_msb", "f_lsb",
+    "ALGORITHMS", "AlgorithmInfo", "Matching", "MatchingPartition",
+    "MatchResult", "f_msb", "f_lsb",
     "iterate_f", "match1", "match2", "match3", "match4",
-    "maximal_matching", "verify_matching", "verify_maximal_matching",
+    "maximal_matching", "register_algorithm",
+    "verify_matching", "verify_maximal_matching",
+    # backends
+    "BACKENDS", "Backend", "BatchMatchResult", "batch_maximal_matching",
     # apps
     "three_coloring", "mis_from_coloring", "mis_from_matching",
     "contraction_ranks", "list_ranks", "list_prefix_sums",

@@ -21,8 +21,16 @@ from .random_mate import random_mate_matching
 from .wyllie import wyllie_ranks
 
 if "sequential" not in ALGORITHMS:
-    register_algorithm("sequential", sequential_matching)
+    register_algorithm(
+        "sequential", sequential_matching,
+        paper_section="§1, the T_1 = Θ(n) bound in the optimality "
+                      "definition p·T = O(T_1)",
+    )
 if "random_mate" not in ALGORITHMS:
-    register_algorithm("random_mate", random_mate_matching)
+    register_algorithm(
+        "random_mate", random_mate_matching,
+        paper_section="§1, the randomized symmetry breaking of [13,16] "
+                      "the paper's deterministic algorithms replace",
+    )
 
 __all__ = ["sequential_matching", "random_mate_matching", "wyllie_ranks"]

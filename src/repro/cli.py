@@ -3,7 +3,9 @@
 Gives the library a shell-usable face:
 
 - ``match``  — run one maximal-matching algorithm, print the summary
-  and phase breakdown.
+  and phase breakdown (``--backend numpy`` for the vectorized engine).
+- ``algorithms`` — list the registered algorithms with their backends,
+  paper sections, and keyword parameters.
 - ``rank``   — list ranking by contraction / Wyllie / sequential.
 - ``color``  — 3-coloring summary.
 - ``curve``  — sweep the processor axis for one algorithm and print
@@ -12,7 +14,7 @@ Gives the library a shell-usable face:
   ``G(n)``, ``log G(n)``, Match4 row counts.
 - ``fold``   — data-dependent prefix/suffix folds (sum/max/min).
 - ``trace``  — space-time diagram of the instruction-level Match4.
-- ``selfcheck`` — the 10-check installation battery.
+- ``selfcheck`` — the 11-check installation battery.
 - ``fig1``   — render the paper's Fig. 1 (or any small list) as an
   ASCII arc diagram, optionally with Fig. 2's bisector.
 - ``resilience`` — inject processor crashes / memory bit-flips /
@@ -70,11 +72,13 @@ def _cmd_match(args: argparse.Namespace) -> int:
     lst = _make_list(args.n, args.layout, args.seed)
     kwargs = {}
     if args.algorithm == "match4":
-        kwargs["i"] = args.i
+        kwargs["iterations"] = args.i
     matching, report, _ = maximal_matching(
-        lst, algorithm=args.algorithm, p=args.p, **kwargs
+        lst, algorithm=args.algorithm, backend=args.backend,
+        p=args.p, **kwargs
     )
     print(f"algorithm : {args.algorithm}")
+    print(f"backend   : {args.backend}")
     print(f"n, p      : {args.n}, {args.p}")
     print(f"matched   : {matching.size} of {args.n - 1} pointers")
     print(f"maximal   : {matching.is_maximal}")
@@ -84,6 +88,25 @@ def _cmd_match(args: argparse.Namespace) -> int:
         print("phases    :")
         for ph in report.phases:
             print(f"  {ph.name:<12} {ph.time:>8}")
+    return 0
+
+
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    from .core.maximal_matching import ALGORITHMS
+    import repro.baselines  # noqa: F401  (registers baselines)
+
+    records = ALGORITHMS.describe()
+    if args.list:
+        for rec in records:
+            print(rec["name"])
+        return 0
+    for rec in records:
+        print(rec["name"] + (" (optimal)" if rec["optimal"] else ""))
+        print(f"  backends : {', '.join(rec['backends'])}")
+        if rec["paper_section"]:
+            print(f"  paper    : {rec['paper_section']}")
+        if rec["params"]:
+            print(f"  kwargs   : {', '.join(rec['params'])}")
     return 0
 
 
@@ -121,10 +144,11 @@ def _cmd_curve(args: argparse.Namespace) -> int:
 
     lst = _make_list(args.n, args.layout, args.seed)
     rows = []
-    kwargs = {"i": args.i} if args.algorithm == "match4" else {}
+    kwargs = {"iterations": args.i} if args.algorithm == "match4" else {}
     for p in powers_up_to(args.n, base=args.base):
         _, report, _ = maximal_matching(
-            lst, algorithm=args.algorithm, p=p, **kwargs
+            lst, algorithm=args.algorithm, backend=args.backend,
+            p=p, **kwargs
         )
         rows.append({
             "p": p,
@@ -239,6 +263,7 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         fail_first = args.fail_first
         result = resilient_matching(
             lst,
+            backend=args.backend,
             perturb=lambda tails, i: tails[1:] if i < fail_first else tails,
             repair=args.repair,
             tries_per_rung=args.tries_per_rung,
@@ -320,14 +345,25 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=LAYOUT_CHOICES)
         p.add_argument("--seed", type=int, default=0)
 
+    from .backends import backend_names
+
     m = sub.add_parser("match", help="run one matching algorithm")
     common(m)
     m.add_argument("--algorithm", default="match4",
                    choices=["match1", "match2", "match3", "match4",
                             "sequential", "random_mate"])
+    m.add_argument("--backend", default="reference",
+                   choices=backend_names(),
+                   help="execution backend (default reference)")
     m.add_argument("--i", type=int, default=2,
-                   help="Match4's adjustable parameter")
+                   help="Match4's iterations parameter")
     m.set_defaults(fn=_cmd_match)
+
+    al = sub.add_parser("algorithms",
+                        help="list registered algorithms + metadata")
+    al.add_argument("--list", action="store_true",
+                    help="names only, one per line")
+    al.set_defaults(fn=_cmd_algorithms)
 
     r = sub.add_parser("rank", help="list ranking")
     common(r)
@@ -343,6 +379,9 @@ def build_parser() -> argparse.ArgumentParser:
     common(cv)
     cv.add_argument("--algorithm", default="match4",
                     choices=["match1", "match2", "match3", "match4"])
+    cv.add_argument("--backend", default="reference",
+                    choices=backend_names(),
+                    help="execution backend (default reference)")
     cv.add_argument("--i", type=int, default=2)
     cv.add_argument("--base", type=int, default=4,
                     help="geometric step of the p sweep")
@@ -385,7 +424,10 @@ def build_parser() -> argparse.ArgumentParser:
     rz.add_argument("--algorithm", default="match4",
                     choices=["match1", "match4"])
     rz.add_argument("--i", type=int, default=2,
-                    help="Match4's adjustable parameter")
+                    help="Match4's iterations parameter")
+    rz.add_argument("--backend", default="reference",
+                    choices=backend_names(),
+                    help="first-attempt backend for the ladder strategy")
     rz.add_argument("--crash-at", action="append", default=[],
                     metavar="STEP:PID",
                     help="crash-stop processor PID at step STEP (repeatable)")

@@ -42,7 +42,15 @@ from .walkdown import (
     walkdown2_automaton,
     walkdown2_step_of,
 )
-from .maximal_matching import ALGORITHMS, maximal_matching
+from .maximal_matching import (
+    ALGORITHMS,
+    AlgorithmInfo,
+    AlgorithmRegistry,
+    maximal_matching,
+    normalize_algorithm_kwargs,
+    register_algorithm,
+)
+from .result import MatchResult
 from .rings import (
     ring_maximal_matching,
     ring_three_coloring,
@@ -83,5 +91,10 @@ __all__ = [
     "walkdown2_automaton",
     "walkdown2_step_of",
     "ALGORITHMS",
+    "AlgorithmInfo",
+    "AlgorithmRegistry",
+    "MatchResult",
     "maximal_matching",
+    "normalize_algorithm_kwargs",
+    "register_algorithm",
 ]

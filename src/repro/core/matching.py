@@ -16,7 +16,7 @@ Matchings are identified by the tails of the chosen pointers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import InitVar, dataclass
 
 import numpy as np
 
@@ -37,15 +37,23 @@ class Matching:
         The underlying list.
     tails:
         Sorted array of tail addresses of the chosen pointers.
+    pre_verified:
+        Construction-time flag (not stored): when true, ``tails`` is
+        trusted to be sorted, unique, and independent, and the
+        normalize-and-verify pass is skipped.  Reserved for producers
+        that already verified the invariant by construction (the
+        backend engines); arbitrary callers should leave it false.
     """
 
     lst: LinkedList
     tails: np.ndarray
+    pre_verified: InitVar[bool] = False
 
-    def __post_init__(self) -> None:
-        tails = np.unique(as_index_array(self.tails, name="tails"))
-        object.__setattr__(self, "tails", tails)
-        verify_matching(self.lst, tails)
+    def __post_init__(self, pre_verified: bool) -> None:
+        if not pre_verified:
+            tails = np.unique(as_index_array(self.tails, name="tails"))
+            object.__setattr__(self, "tails", tails)
+            verify_matching(self.lst, tails)
         self.tails.setflags(write=False)
 
     @property

@@ -1,0 +1,55 @@
+"""Typed result of a maximal-matching run.
+
+:func:`repro.maximal_matching` historically returned a bare
+``(matching, report, stats)`` tuple; :class:`MatchResult` names those
+fields and records *how* the run was produced (algorithm, backend)
+while still unpacking as the legacy 3-tuple, so existing call sites —
+``m, rep, stats = maximal_matching(...)`` — keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..pram.cost import CostReport
+from .matching import Matching
+
+__all__ = ["MatchResult"]
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """What one maximal-matching run produced, and how.
+
+    Attributes
+    ----------
+    matching:
+        The verified :class:`Matching`.
+    report:
+        The Brent :class:`CostReport` (identical across backends for
+        the same input — the cost-accounting contract).
+    stats:
+        Algorithm-specific diagnostics (e.g. ``Match4Stats``).
+    backend:
+        Name of the backend that executed the run.
+    algorithm:
+        Name of the algorithm that was dispatched.
+    """
+
+    matching: Matching
+    report: CostReport
+    stats: Any
+    backend: str = "reference"
+    algorithm: str = ""
+
+    # Legacy 3-tuple protocol: ``m, rep, stats = maximal_matching(...)``
+    # and ``result[0]`` keep working.
+    def __iter__(self) -> Iterator[Any]:
+        return iter((self.matching, self.report, self.stats))
+
+    def __len__(self) -> int:
+        return 3
+
+    def __getitem__(self, index: int) -> Any:
+        return (self.matching, self.report, self.stats)[index]

@@ -65,6 +65,11 @@ class Attempt:
         Position in, and name from, the ladder.
     try_index:
         Which retry on this rung (0-based).
+    backend:
+        Execution backend the attempt ran on.  Only the *first* try of
+        a rung uses a non-default requested backend; retries fall back
+        to ``"reference"`` so a backend-specific failure cannot pin a
+        rung.
     outcome:
         ``"ok"`` (verified first time), ``"repaired"`` (verified after
         the local-repair pass), or ``"failed"``.
@@ -83,6 +88,7 @@ class Attempt:
     algorithm: str
     try_index: int
     outcome: str
+    backend: str = "reference"
     error: str = ""
     backoff: float = 0.0
     repair: RepairStats | None = None
@@ -122,7 +128,8 @@ class AttemptLog:
         """One line per attempt plus a verdict — CLI/log friendly."""
         lines = []
         for a in self.attempts:
-            line = (f"[{a.index}] {a.algorithm} (rung {a.rung}, "
+            tag = f"[{a.backend}]" if a.backend != "reference" else ""
+            line = (f"[{a.index}] {a.algorithm}{tag} (rung {a.rung}, "
                     f"try {a.try_index}): {a.outcome}")
             if a.error:
                 line += f" — {a.error}"
@@ -204,6 +211,7 @@ def resilient_matching(
     sleep: Callable[[float], None] | None = None,
     perturb: PerturbHook | None = None,
     p: int = 1,
+    backend: str = "reference",
     algorithm_kwargs: dict[str, dict[str, Any]] | None = None,
 ) -> ResilienceResult:
     """Compute a verified maximal matching, surviving faulty attempts.
@@ -233,9 +241,14 @@ def resilient_matching(
         verification (see :data:`PerturbHook`).
     p:
         Processor count forwarded to the algorithms' cost accounting.
+    backend:
+        Execution backend (see :mod:`repro.backends`) for the *first*
+        try of each rung.  Retries, and rungs whose algorithm the
+        backend does not implement, fall back to ``"reference"``, so a
+        backend-specific fault cannot exhaust a rung's retry budget.
     algorithm_kwargs:
         Optional per-algorithm keyword overrides, e.g.
-        ``{"match4": {"i": 3}}``.
+        ``{"match4": {"iterations": 3}}``.
 
     Returns
     -------
@@ -250,21 +263,26 @@ def resilient_matching(
         ``len(ladder) * tries_per_rung`` attempts *and* defeats
         repair each time).
     """
+    from ..backends import get_backend
     from ..core.maximal_matching import maximal_matching
     import repro.baselines  # noqa: F401  (registers "sequential" et al.)
 
     if not ladder:
         raise ResilienceExhaustedError("empty degradation ladder")
+    requested = get_backend(backend)  # validate the name up front
     kwargs = algorithm_kwargs or {}
     log = AttemptLog()
     index = 0
     failures = 0
     for rung, algorithm in enumerate(ladder):
         for try_index in range(tries_per_rung):
+            use_backend = backend
+            if try_index > 0 or not requested.supports(algorithm):
+                use_backend = "reference"
             tails: np.ndarray | None = None
             try:
                 m, _, _ = maximal_matching(
-                    lst, algorithm=algorithm, p=p,
+                    lst, algorithm=algorithm, backend=use_backend, p=p,
                     **kwargs.get(algorithm, {}),
                 )
                 tails = np.asarray(m.tails)
@@ -274,6 +292,7 @@ def resilient_matching(
                 log.attempts.append(Attempt(
                     index=index, rung=rung, algorithm=algorithm,
                     try_index=try_index, outcome="ok",
+                    backend=use_backend,
                 ))
                 return ResilienceResult(Matching(lst, tails), log)
             except (VerificationError, PRAMError) as exc:
@@ -285,6 +304,7 @@ def resilient_matching(
                             index=index, rung=rung, algorithm=algorithm,
                             try_index=try_index, outcome="repaired",
                             error=error, repair=stats,
+                            backend=use_backend,
                         ))
                         return ResilienceResult(Matching(lst, fixed), log)
                     except VerificationError:
@@ -293,7 +313,7 @@ def resilient_matching(
                 log.attempts.append(Attempt(
                     index=index, rung=rung, algorithm=algorithm,
                     try_index=try_index, outcome="failed",
-                    error=error, backoff=delay,
+                    error=error, backoff=delay, backend=use_backend,
                 ))
                 if failures == 0:
                     log.engine_probe = partition_engine_healthy(lst)

@@ -1,10 +1,10 @@
 """End-to-end self-check: one call certifies the whole installation.
 
 ``run_selfcheck()`` exercises every major subsystem on deterministic
-workloads — matching algorithms (both tiers), ranking, coloring, MIS,
-rings, forests, the PRAM memory discipline, and fault-injection
-recovery — and reports each check's outcome instead of stopping at
-the first failure.  The CLI
+workloads — matching algorithms (both tiers), the vectorized numpy
+backend, ranking, coloring, MIS, rings, forests, the PRAM memory
+discipline, and fault-injection recovery — and reports each check's
+outcome instead of stopping at the first failure.  The CLI
 exposes it as ``python -m repro selfcheck``; it is also what a
 downstream user should run after installing into a new environment.
 """
@@ -106,6 +106,23 @@ def run_selfcheck(*, n: int = 2048, seed: int = 0) -> SelfCheckReport:
         assert np.array_equal(t4, m4.tails), "match4 tiers disagree"
         return "bit-identical"
 
+    def check_backends() -> str:
+        for alg, kw in (("match1", {}), ("match4", {"iterations": 2})):
+            ref = repro.maximal_matching(
+                lst, algorithm=alg, backend="reference", **kw)
+            vec = repro.maximal_matching(
+                lst, algorithm=alg, backend="numpy", **kw)
+            assert np.array_equal(vec.matching.tails, ref.matching.tails), \
+                f"{alg} backends disagree"
+            assert vec.report == ref.report, f"{alg} cost reports diverge"
+        lists = [repro.random_list(m, rng=seed + 5 + m)
+                 for m in (1, 2, 33, n // 4)]
+        batch = repro.batch_maximal_matching(lists, algorithm="match4")
+        for sub, bm in zip(lists, batch.matchings):
+            m, _, _ = repro.maximal_matching(sub, algorithm="match4")
+            assert np.array_equal(bm.tails, m.tails), "batch diverged"
+        return "numpy == reference (tails + cost), batch consistent"
+
     def check_ranking() -> str:
         oracle = sequential_ranks(lst)
         r1, _, _ = contraction_ranks(lst)
@@ -182,6 +199,7 @@ def run_selfcheck(*, n: int = 2048, seed: int = 0) -> SelfCheckReport:
 
     _check(report, "matching algorithms (6) maximal", check_algorithms)
     _check(report, "instruction-level tier identical", check_instruction_tier)
+    _check(report, "numpy backend equivalence", check_backends)
     _check(report, "list ranking agreement", check_ranking)
     _check(report, "3-coloring (both routes)", check_coloring)
     _check(report, "maximal independent set", check_mis)

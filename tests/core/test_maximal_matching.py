@@ -39,7 +39,13 @@ class TestDispatch:
 
     def test_kwargs_forwarded(self):
         lst = random_list(512, rng=2)
-        _, _, stats = maximal_matching(lst, algorithm="match4", i=3)
+        _, _, stats = maximal_matching(lst, algorithm="match4", iterations=3)
+        assert stats.i == 3
+
+    def test_deprecated_alias_still_forwarded(self):
+        lst = random_list(512, rng=2)
+        with pytest.warns(DeprecationWarning):
+            _, _, stats = maximal_matching(lst, algorithm="match4", i=3)
         assert stats.i == 3
 
     def test_registry_rejects_duplicates(self):

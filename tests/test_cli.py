@@ -37,6 +37,41 @@ class TestCommands:
         rc = main(["match", "--n", "256", "--layout", layout])
         assert rc == 0
 
+    @pytest.mark.parametrize("alg", ["match1", "match4"])
+    def test_match_numpy_backend(self, alg, capsys):
+        rc = main(["match", "--n", "512", "--algorithm", alg,
+                   "--backend", "numpy"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "backend   : numpy" in out
+        assert "maximal   : True" in out
+
+    def test_match_backend_identical_output(self, capsys):
+        main(["match", "--n", "512", "--backend", "reference"])
+        ref = capsys.readouterr().out
+        main(["match", "--n", "512", "--backend", "numpy"])
+        vec = capsys.readouterr().out
+        # everything but the backend line (matching size, PRAM time,
+        # work, phases) must agree
+        strip = lambda s: [l for l in s.splitlines()
+                           if not l.startswith("backend")]
+        assert strip(ref) == strip(vec)
+
+    def test_algorithms(self, capsys):
+        rc = main(["algorithms"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "match4 (optimal)" in out
+        assert "numpy" in out and "reference" in out
+        assert "iterations" in out
+
+    def test_algorithms_list(self, capsys):
+        rc = main(["algorithms", "--list"])
+        names = capsys.readouterr().out.split()
+        assert rc == 0
+        assert {"match1", "match2", "match3", "match4",
+                "sequential", "random_mate"} <= set(names)
+
     @pytest.mark.parametrize("alg", ["contraction", "wyllie", "sequential"])
     def test_rank(self, alg, capsys):
         rc = main(["rank", "--n", "300", "--p", "4", "--algorithm", alg])
@@ -126,7 +161,7 @@ class TestSelfCheck:
         rc = main(["selfcheck", "--n", "512"])
         out = capsys.readouterr().out
         assert rc == 0
-        assert "10/10 checks passed" in out
+        assert "11/11 checks passed" in out
         assert "FAIL" not in out
 
     def test_report_api(self):
@@ -134,7 +169,7 @@ class TestSelfCheck:
 
         report = run_selfcheck(n=256, seed=1)
         assert report.passed
-        assert len(report.results) == 10
+        assert len(report.results) == 11
         names = [r.name for r in report.results]
         assert "PRAM memory discipline" in names
 

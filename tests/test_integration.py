@@ -13,9 +13,11 @@ class TestPublicAPI:
 
     def test_quickstart_from_docstring(self):
         lst = repro.random_list(1 << 12, rng=0)
-        matching, report, stats = repro.maximal_matching(
-            lst, algorithm="match4", p=64, i=2
+        result = repro.maximal_matching(
+            lst, algorithm="match4", backend="numpy", p=64, iterations=2
         )
+        matching, report, stats = result  # legacy unpack still works
+        assert matching is result.matching
         assert matching.is_maximal
         assert report.cost >= report.time
 
