@@ -2,23 +2,112 @@
 
 Every bench computes its experiment table once (module- or
 session-cached), asserts the paper's shape claims, writes the table to
-``benchmarks/results/``, and hands pytest-benchmark a representative
-kernel so wall-clock numbers land in the benchmark report too.
+``benchmarks/results/`` — as the human-readable ``.txt`` and a
+machine-readable ``.json`` twin — and hands pytest-benchmark a
+representative kernel so wall-clock numbers land in the benchmark
+report too.
+
+Benches that time individual runs can also call :func:`record_run` to
+append a :class:`repro.telemetry.RunRecord` to the run manifest
+(``benchmarks/results/runs.jsonl`` by default, ``REPRO_RUN_LOG`` to
+override), which ``benchmarks/compare.py`` diffs against a committed
+baseline to gate regressions.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
+from typing import Any
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def parse_table(text: str) -> list[dict[str, Any]]:
+    """Parse :func:`repro.analysis.report.format_table` output back
+    into rows.
+
+    Column boundaries come from the dashed rule under the header, so
+    headers and cells containing spaces survive.  Multiple tables in
+    one blob (figure files) are concatenated; non-table lines are
+    ignored.  Cells parse as int, then float, with ``-`` -> ``None``.
+    """
+    rows: list[dict[str, Any]] = []
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        if i == 0 or not line.strip():
+            continue
+        if set(line) - set("- "):  # not a dashed rule
+            continue
+        # [start, end) spans of each dash run = column extents
+        spans: list[tuple[int, int]] = []
+        j = 0
+        while j < len(line):
+            if line[j] == "-":
+                k = j
+                while k < len(line) and line[k] == "-":
+                    k += 1
+                spans.append((j, k))
+                j = k
+            else:
+                j += 1
+        headers = [lines[i - 1][a:b].strip() for a, b in spans]
+        if not all(headers):
+            continue
+        for body_line in lines[i + 1:]:
+            if not body_line.strip() or not (set(body_line) - set("- ")):
+                break
+            cells = [body_line[a:b].strip() for a, b in spans]
+            rows.append(dict(zip(headers, (_parse_cell(c) for c in cells))))
+    return rows
+
+
+def _parse_cell(cell: str) -> Any:
+    if cell in ("", "-"):
+        return None
+    for conv in (int, float):
+        try:
+            return conv(cell)
+        except ValueError:
+            pass
+    return cell
+
+
 def write_result(name: str, text: str) -> Path:
-    """Write a reproduced table and return its path."""
+    """Write a reproduced table and return its path.
+
+    Besides the ``.txt``, a ``.json`` twin is written with the parsed
+    rows and the producing build, so downstream tooling never has to
+    scrape the monospace layout.
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / name
     path.write_text(text + "\n")
+    rows = parse_table(text)
+    if rows:
+        from repro._buildinfo import build_info
+
+        twin = path.with_suffix(".json")
+        twin.write_text(json.dumps(
+            {"name": name, **build_info(), "rows": rows}, indent=2,
+        ) + "\n")
     return path
+
+
+def run_log_path() -> Path:
+    """Where :func:`record_run` appends (``REPRO_RUN_LOG`` overrides)."""
+    override = os.environ.get("REPRO_RUN_LOG", "").strip()
+    return Path(override) if override else RESULTS_DIR / "runs.jsonl"
+
+
+def record_run(result, *, seed: int | None = None,
+               wall_s: float | None = None, **extra: Any) -> Path:
+    """Append one measured run to the run manifest as a RunRecord."""
+    from repro.telemetry.runrecord import RunRecord, append_record
+
+    record = RunRecord.from_result(result, seed=seed, wall_s=wall_s, **extra)
+    return append_record(run_log_path(), record)
 
 
 def pow2(lo: int, hi: int, step: int = 2) -> list[int]:

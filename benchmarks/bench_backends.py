@@ -59,6 +59,8 @@ def _time_min(fn, reps: int = REPS) -> float:
 
 def measure(n: int, reps: int = REPS) -> dict:
     """Time both backends on both engine-supported algorithms."""
+    from _common import record_run
+
     lst = random_list(n, rng=2024)
     out = {"n": n, "reps": reps, "results": {}}
     for algorithm in ("match1", "match4"):
@@ -78,6 +80,8 @@ def measure(n: int, reps: int = REPS) -> dict:
             lambda: maximal_matching(
                 lst, algorithm=algorithm, backend="numpy", p=256),
             reps)
+        record_run(ref, seed=2024, wall_s=t_ref, bench="bench_backends")
+        record_run(vec, seed=2024, wall_s=t_vec, bench="bench_backends")
         out["results"][algorithm] = {
             "reference_s": t_ref,
             "numpy_s": t_vec,

@@ -1,0 +1,230 @@
+"""Perf-regression gate: diff two run manifests and fail on regressions.
+
+Compares a *current* set of measurements against a committed *baseline*
+and exits non-zero when the current set got worse::
+
+    python benchmarks/compare.py benchmarks/baselines/runs_baseline.jsonl \
+        benchmarks/results/runs.jsonl --ignore-wallclock
+
+Two input formats are accepted (mixed freely):
+
+- RunRecord manifests (``.jsonl``) as written by ``repro match
+  --record`` and ``benchmarks/_common.py::record_run`` — one JSON
+  object per line, ``"type": "run"``.
+- ``bench_backends.py --json`` measurement files (``.json``).
+
+Records pair up by workload identity (kind, algorithm, backend, n, p,
+seed, extra).  Two rules, reflecting what the numbers *are*:
+
+- **Step counts are deterministic.**  ``time``, ``work``, and the
+  per-phase step counts are exact Brent-model quantities for a fixed
+  workload, so *any* increase is a regression (``--step-tol`` can
+  grant a fractional allowance when comparing across intentional
+  algorithm changes).
+- **Wall-clock is noisy.**  ``wall_s`` regresses only beyond
+  ``--wallclock-tol`` (default 10%); ``--ignore-wallclock`` drops it
+  entirely for cross-machine CI comparisons.
+
+A baseline workload missing from the current set fails the gate too
+(silent coverage loss looks exactly like a fixed regression), unless
+``--allow-missing``.  Workloads only in the current set are reported
+as new and pass.
+
+The gate needs only the standard library — no ``PYTHONPATH`` dance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+__all__ = ["load_metrics", "compare", "main"]
+
+Key = tuple
+
+
+def _record_key(rec: dict[str, Any]) -> Key:
+    extra = rec.get("extra") or {}
+    return (
+        rec.get("kind", "matching"), rec["algorithm"], rec["backend"],
+        rec.get("n"), rec.get("p"), rec.get("seed"),
+        tuple(sorted((k, str(v)) for k, v in extra.items())),
+    )
+
+
+def _metrics_from_record(rec: dict[str, Any]) -> dict[str, Any]:
+    ints: dict[str, int] = {"time": int(rec["time"]), "work": int(rec["work"])}
+    for ph in rec.get("phases") or ():
+        name, time, work = ph[0], int(ph[1]), int(ph[2])
+        ints[f"phase.{name}.time"] = time
+        ints[f"phase.{name}.work"] = work
+    floats: dict[str, float] = {}
+    if rec.get("wall_s") is not None:
+        floats["wall_s"] = float(rec["wall_s"])
+    return {"ints": ints, "floats": floats}
+
+
+def _load_bench_json(data: dict[str, Any]) -> dict[Key, dict[str, Any]]:
+    """Flatten a ``bench_backends.py --json`` file into keyed metrics."""
+    out: dict[Key, dict[str, Any]] = {}
+    n = data.get("n")
+    for algorithm, r in data.get("results", {}).items():
+        for backend, field in (("reference", "reference_s"),
+                               ("numpy", "numpy_s")):
+            if field not in r:
+                continue
+            key = ("bench", algorithm, backend, n, None, None, ())
+            out[key] = {"ints": {}, "floats": {"wall_s": float(r[field])}}
+    return out
+
+
+def load_metrics(path: str | Path) -> dict[Key, dict[str, Any]]:
+    """Load one manifest/measurement file into ``key -> metrics``."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    out: dict[Key, dict[str, Any]] = {}
+    stripped = text.lstrip()
+    if path.suffix == ".jsonl" or stripped.startswith('{"type"'):
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if data.get("type", "run") != "run":
+                continue
+            out[_record_key(data)] = _metrics_from_record(data)
+        return out
+    data = json.loads(text)
+    if "results" in data:
+        return _load_bench_json(data)
+    raise SystemExit(f"{path}: unrecognized format (want RunRecord "
+                     f"JSONL or a bench_backends JSON measurement)")
+
+
+def compare(
+    baseline: dict[Key, dict[str, Any]],
+    current: dict[Key, dict[str, Any]],
+    *,
+    step_tol: float = 0.0,
+    wallclock_tol: float = 0.10,
+    ignore_wallclock: bool = False,
+) -> list[dict[str, Any]]:
+    """Diff two metric sets; returns one finding dict per difference."""
+    findings: list[dict[str, Any]] = []
+
+    def note(kind: str, key: Key, metric: str = "",
+             base: Any = None, cur: Any = None) -> None:
+        findings.append({"kind": kind, "key": key, "metric": metric,
+                         "baseline": base, "current": cur})
+
+    for key in sorted(baseline, key=repr):
+        if key not in current:
+            note("missing", key)
+            continue
+        base, cur = baseline[key], current[key]
+        for metric, b in sorted(base["ints"].items()):
+            c = cur["ints"].get(metric)
+            if c is None:
+                continue
+            if c > b * (1.0 + step_tol):
+                note("regression", key, metric, b, c)
+            elif c < b:
+                note("improvement", key, metric, b, c)
+        if ignore_wallclock:
+            continue
+        for metric, b in sorted(base["floats"].items()):
+            c = cur["floats"].get(metric)
+            if c is None:
+                continue
+            if c > b * (1.0 + wallclock_tol):
+                note("regression", key, metric, b, c)
+            elif c < b * (1.0 - wallclock_tol):
+                note("improvement", key, metric, b, c)
+    for key in sorted(current, key=repr):
+        if key not in baseline:
+            note("new", key)
+    return findings
+
+
+def _fmt_key(key: Key) -> str:
+    kind, algorithm, backend, n, p, seed, extra = key
+    parts = [f"{algorithm}/{backend}", f"n={n}"]
+    if p is not None:
+        parts.append(f"p={p}")
+    if seed is not None:
+        parts.append(f"seed={seed}")
+    parts += [f"{k}={v}" for k, v in extra]
+    return " ".join(parts)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("baseline", help="committed baseline manifest")
+    parser.add_argument("current", help="freshly measured manifest")
+    parser.add_argument("--step-tol", type=float, default=0.0,
+                        help="fractional allowance on deterministic "
+                             "step/work counts (default 0: any increase "
+                             "fails)")
+    parser.add_argument("--wallclock-tol", type=float, default=0.10,
+                        help="fractional wall-clock allowance "
+                             "(default 0.10)")
+    parser.add_argument("--ignore-wallclock", action="store_true",
+                        help="skip wall-clock comparisons entirely")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="do not fail when a baseline workload is "
+                             "absent from the current set")
+    parser.add_argument("--report", default="",
+                        help="also write the findings as JSON to PATH")
+    args = parser.parse_args(argv)
+
+    baseline = load_metrics(args.baseline)
+    current = load_metrics(args.current)
+    findings = compare(
+        baseline, current, step_tol=args.step_tol,
+        wallclock_tol=args.wallclock_tol,
+        ignore_wallclock=args.ignore_wallclock,
+    )
+
+    regressions = [f for f in findings if f["kind"] == "regression"]
+    missing = [f for f in findings if f["kind"] == "missing"]
+    improvements = [f for f in findings if f["kind"] == "improvement"]
+    new = [f for f in findings if f["kind"] == "new"]
+
+    print(f"compared {len(baseline)} baseline workload(s) against "
+          f"{len(current)} current")
+    for f in regressions:
+        b, c = f["baseline"], f["current"]
+        pct = (c - b) / b * 100 if b else float("inf")
+        print(f"  REGRESSION {_fmt_key(f['key'])}: {f['metric']} "
+              f"{b} -> {c} (+{pct:.1f}%)")
+    for f in missing:
+        print(f"  MISSING    {_fmt_key(f['key'])}: not in current set")
+    for f in improvements:
+        print(f"  improved   {_fmt_key(f['key'])}: {f['metric']} "
+              f"{f['baseline']} -> {f['current']}")
+    for f in new:
+        print(f"  new        {_fmt_key(f['key'])}")
+
+    failed = bool(regressions) or (bool(missing) and not args.allow_missing)
+    if args.report:
+        Path(args.report).write_text(json.dumps({
+            "baseline": str(args.baseline),
+            "current": str(args.current),
+            "passed": not failed,
+            "findings": [{**f, "key": _fmt_key(f["key"])}
+                         for f in findings],
+        }, indent=2) + "\n")
+    if failed:
+        print("FAIL: performance gate")
+        return 1
+    print("OK: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

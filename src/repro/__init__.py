@@ -31,7 +31,7 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
 the reproduced per-lemma/theorem experiments.
 """
 
-from . import analysis, apps, baselines, bits, core, lists, pram
+from . import analysis, apps, baselines, bits, core, lists, pram, telemetry
 from .errors import (
     InvalidListError,
     InvalidParameterError,
@@ -87,13 +87,15 @@ from .bits import G, ilog2, log_G
 from . import backends
 from .backends import BACKENDS, Backend
 from .backends.batch import BatchMatchResult, batch_maximal_matching
+from ._buildinfo import build_info, version_string
+from .telemetry import METRICS, RunRecord
 
 __version__ = "1.0.0"
 
 __all__ = [
     # subpackages
     "analysis", "apps", "backends", "baselines", "bits", "core", "lists",
-    "pram",
+    "pram", "telemetry",
     # errors
     "ReproError", "InvalidListError", "InvalidParameterError",
     "PRAMError", "MemoryConflictError", "VerificationError",
@@ -119,5 +121,7 @@ __all__ = [
     "PRAM", "AccessMode", "CostModel", "CostReport",
     # bits
     "G", "log_G", "ilog2",
+    # telemetry + build provenance
+    "METRICS", "RunRecord", "build_info", "version_string",
     "__version__",
 ]

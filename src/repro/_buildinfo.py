@@ -1,0 +1,59 @@
+"""Package version and git revision, for run provenance.
+
+Every persisted :class:`repro.telemetry.RunRecord` (and the selfcheck
+header) stamps the producing build so regression comparisons can tell
+*which* code produced a number.  The version comes from the installed
+package metadata (falling back to the source tree's ``__version__``);
+the git revision is read from the enclosing repository when there is
+one and degrades to ``"unknown"`` in plain installs.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from functools import lru_cache
+from pathlib import Path
+
+__all__ = ["package_version", "git_revision", "build_info", "version_string"]
+
+
+@lru_cache(maxsize=1)
+def package_version() -> str:
+    """The installed ``repro`` version (metadata first, source fallback)."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # noqa: BLE001 - any metadata failure falls through
+        pass
+    try:
+        from repro import __version__
+
+        return __version__
+    except Exception:  # noqa: BLE001 - partial import during bootstrap
+        return "0.unknown"
+
+
+@lru_cache(maxsize=1)
+def git_revision() -> str:
+    """Short git revision of the source checkout, or ``"unknown"``."""
+    root = Path(__file__).resolve().parents[2]
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(root), "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+        )
+    except Exception:  # noqa: BLE001 - no git, no repo, sandboxed, ...
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def build_info() -> dict[str, str]:
+    """``{"version": ..., "git_rev": ...}`` — the provenance stamp."""
+    return {"version": package_version(), "git_rev": git_revision()}
+
+
+def version_string() -> str:
+    """Human-readable one-liner, e.g. ``repro 1.0.0 (abc1234)``."""
+    return f"repro {package_version()} ({git_revision()})"

@@ -39,6 +39,8 @@ from ..pram.cost import CostModel, CostReport
 from ..core.functions import max_label_after
 from ..core.match1 import CONSTANT_LABEL_BOUND
 from ..core.matching import Matching
+from ..telemetry.metrics import METRICS
+from ..telemetry.spans import enabled as telemetry_enabled, span as telemetry_span
 from .engine import (
     _cut_and_walk_flat,
     _f_table_round,
@@ -338,32 +340,39 @@ def batch_maximal_matching(
     lls = [lst if isinstance(lst, LinkedList) else LinkedList(lst)
            for lst in lists]
 
-    if backend == "numpy":
-        driver = _BATCH_DRIVERS.get(algorithm)
-        if driver is None:
-            raise InvalidParameterError(
-                f"batch on the numpy backend implements "
-                f"{sorted(_BATCH_DRIVERS)}, not {algorithm!r}; use "
-                f"backend='reference' for the per-list loop"
-            )
-        if not lls:
-            matchings: tuple[Matching, ...] = ()
-            report = CostModel(p).report()
+    if telemetry_enabled():
+        METRICS.histogram("batch.size").observe(len(lls))
+
+    with telemetry_span(
+        "batch.maximal_matching", algorithm=algorithm, backend=backend,
+        num_lists=len(lls), total_nodes=int(sum(l.n for l in lls)), p=p,
+    ):
+        if backend == "numpy":
+            driver = _BATCH_DRIVERS.get(algorithm)
+            if driver is None:
+                raise InvalidParameterError(
+                    f"batch on the numpy backend implements "
+                    f"{sorted(_BATCH_DRIVERS)}, not {algorithm!r}; use "
+                    f"backend='reference' for the per-list loop"
+                )
+            if not lls:
+                matchings: tuple[Matching, ...] = ()
+                report = CostModel(p).report()
+            else:
+                _require_supported(int(max(l.n for l in lls)))
+                bp = _BatchPrep(lls)
+                matchings, report = driver(lls, bp, p=p, **kwargs)
         else:
-            _require_supported(int(max(l.n for l in lls)))
-            bp = _BatchPrep(lls)
-            matchings, report = driver(lls, bp, p=p, **kwargs)
-    else:
-        cost = CostModel(p)
-        collected = []
-        for lst in lls:
-            res = maximal_matching(
-                lst, algorithm=algorithm, backend=backend, p=p, **kwargs
-            )
-            collected.append(res.matching)
-            cost.absorb(res.report)
-        matchings = tuple(collected)
-        report = cost.report()
+            cost = CostModel(p)
+            collected = []
+            for lst in lls:
+                res = maximal_matching(
+                    lst, algorithm=algorithm, backend=backend, p=p, **kwargs
+                )
+                collected.append(res.matching)
+                cost.absorb(res.report)
+            matchings = tuple(collected)
+            report = cost.report()
 
     stats = BatchStats(
         num_lists=len(lls),

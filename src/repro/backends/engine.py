@@ -45,6 +45,8 @@ from ..core.functions import max_label_after
 from ..core.match1 import CONSTANT_LABEL_BOUND
 from ..core.match4 import Match4Stats
 from ..core.matching import Matching
+from ..telemetry.metrics import METRICS
+from ..telemetry.spans import enabled as telemetry_enabled, span as telemetry_span
 
 __all__ = [
     "ENGINE_LIMIT",
@@ -221,6 +223,8 @@ def _iterate_labels(prep: _ListPrep, rounds: int, kind: str,
                     cost: CostModel | None) -> np.ndarray:
     """``rounds`` f-rounds from addresses; ``int8`` labels (``rounds >= 1``)."""
     n = prep.n
+    if telemetry_enabled():
+        METRICS.counter("engine.f_rounds").inc(rounds)
     if kind == "msb" and n <= (1 << 16):
         labels = TWO_MSB16[prep.xor1] + prep.gt1
     else:
@@ -631,7 +635,9 @@ def match4(lst: LinkedList, *, p: int = 1, iterations: int = 2,
             cost.parallel(y, depth=x)
     num_inter = (n - 1) - num_intra
 
-    l6e, max_inter, max_intra = _sweep_labels6(prep, labels, row, intra, x)
+    with telemetry_span("engine.sweep", n=n, x=x, y=y) as sp:
+        l6e, max_inter, max_intra = _sweep_labels6(prep, labels, row, intra, x)
+        sp.set(max_inter=max_inter, max_intra=max_intra)
     with cost.phase("walkdown1"):
         if num_inter:
             cost.parallel(y, depth=max(1, max_inter + 1))

@@ -14,7 +14,7 @@ Gives the library a shell-usable face:
   ``G(n)``, ``log G(n)``, Match4 row counts.
 - ``fold``   — data-dependent prefix/suffix folds (sum/max/min).
 - ``trace``  — space-time diagram of the instruction-level Match4.
-- ``selfcheck`` — the 11-check installation battery.
+- ``selfcheck`` — the 12-check installation battery.
 - ``fig1``   — render the paper's Fig. 1 (or any small list) as an
   ASCII arc diagram, optionally with Fig. 2's bisector.
 - ``resilience`` — inject processor crashes / memory bit-flips /
@@ -66,6 +66,8 @@ def _make_list(n: int, layout: str, seed: int):
 
 
 def _cmd_match(args: argparse.Namespace) -> int:
+    import time
+
     from .core.maximal_matching import maximal_matching
     import repro.baselines  # noqa: F401  (registers baselines)
 
@@ -73,10 +75,13 @@ def _cmd_match(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.algorithm == "match4":
         kwargs["iterations"] = args.i
-    matching, report, _ = maximal_matching(
+    t0 = time.perf_counter()
+    result = maximal_matching(
         lst, algorithm=args.algorithm, backend=args.backend,
         p=args.p, **kwargs
     )
+    wall_s = time.perf_counter() - t0
+    matching, report = result.matching, result.report
     print(f"algorithm : {args.algorithm}")
     print(f"backend   : {args.backend}")
     print(f"n, p      : {args.n}, {args.p}")
@@ -88,6 +93,14 @@ def _cmd_match(args: argparse.Namespace) -> int:
         print("phases    :")
         for ph in report.phases:
             print(f"  {ph.name:<12} {ph.time:>8}")
+    if args.record:
+        from .telemetry.runrecord import RunRecord, append_record
+
+        record = RunRecord.from_result(
+            result, seed=args.seed, wall_s=wall_s, layout=args.layout,
+        )
+        path = append_record(args.record, record)
+        print(f"recorded  : {path}")
     return 0
 
 
@@ -213,8 +226,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from ._buildinfo import version_string
     from .selfcheck import run_selfcheck
 
+    print(version_string())
     report = run_selfcheck(n=args.n, seed=args.seed)
     print(report.summary)
     return 0 if report.passed else 1
@@ -327,12 +342,21 @@ def _cmd_fig1(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI parser (exposed for tests and docs)."""
+    from ._buildinfo import version_string
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Maximal matching of linked lists on a simulated PRAM "
             "(Han, SPAA 1989)."
         ),
+    )
+    parser.add_argument("--version", action="version",
+                        version=version_string())
+    parser.add_argument(
+        "--telemetry", default=None, metavar="MODE",
+        help="telemetry sink: off, log/stderr, or jsonl:PATH "
+             "(default: the REPRO_TELEMETRY environment variable)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -357,6 +381,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="execution backend (default reference)")
     m.add_argument("--i", type=int, default=2,
                    help="Match4's iterations parameter")
+    m.add_argument("--record", default="", metavar="PATH",
+                   help="append a RunRecord JSON line to PATH")
     m.set_defaults(fn=_cmd_match)
 
     al = sub.add_parser("algorithms",
@@ -461,8 +487,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from .telemetry import configure_from_env
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_from_env(spec=args.telemetry)
     return int(args.fn(args))
 
 

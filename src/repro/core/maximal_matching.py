@@ -33,6 +33,8 @@ import numpy as np
 from ..errors import InvalidParameterError
 from ..lists.linked_list import LinkedList
 from ..pram.cost import CostReport
+from ..telemetry.metrics import METRICS
+from ..telemetry.spans import enabled as telemetry_enabled, span as telemetry_span
 from .match1 import match1
 from .match2 import match2
 from .match3 import match3
@@ -314,7 +316,17 @@ def maximal_matching(
         )
     if not backend_obj.canonical_kwargs:
         kwargs = {info.renames.get(k, k): v for k, v in kwargs.items()}
-    matching, report, stats = fn(lst, p=p, **kwargs)
+    with telemetry_span(
+        "maximal_matching", algorithm=algorithm, backend=backend,
+        n=lst.n, p=p,
+    ) as sp:
+        matching, report, stats = fn(lst, p=p, **kwargs)
+        if telemetry_enabled():
+            sp.set(time=report.time, work=report.work,
+                   matched=matching.size)
+            METRICS.counter("matching.runs").inc()
+            METRICS.counter("pram.steps").inc(report.time)
+            METRICS.counter("pram.work").inc(report.work)
     return MatchResult(
         matching=matching, report=report, stats=stats,
         backend=backend, algorithm=algorithm,

@@ -31,6 +31,8 @@ import numpy as np
 
 from .._util import require
 from ..errors import DeadlockError, PRAMError
+from ..telemetry.metrics import METRICS
+from ..telemetry.spans import enabled as telemetry_enabled, event as telemetry_event
 from .faults import FaultEvent, FaultPlan
 from .machine import LockstepExecution, MachineReport, ProgramFactory
 from .memory import AccessMode, SharedMemory
@@ -241,6 +243,13 @@ def run_with_recovery(
                 trace=report.trace,
                 faults=tuple(all_events),
             )
+            if telemetry_enabled():
+                METRICS.counter("pram.rollbacks").inc(restarts)
+                METRICS.counter("pram.faults.recovered").inc(len(all_events))
+                telemetry_event(
+                    "pram.recovery", steps=report.steps,
+                    restarts=restarts, faults=len(all_events),
+                )
             return RecoveryOutcome(
                 report=report,
                 events=tuple(all_events),

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from .._util import ceil_div, require
+from ..telemetry.spans import span as _telemetry_span
 
 __all__ = ["CostModel", "CostReport", "PhaseCost"]
 
@@ -164,14 +165,22 @@ class CostModel:
     def phase(self, name: str) -> Iterator[PhaseCost]:
         """Group subsequent charges under ``name`` (non-reentrant nesting:
         charges inside a nested phase count toward the *innermost* phase
-        only, and toward the run total exactly once)."""
+        only, and toward the run total exactly once).
+
+        When telemetry is enabled, each phase is also a ``phase.<name>``
+        span carrying the accumulated time/work/steps — this is the one
+        place the whole algorithm tier (reference and numpy backends
+        alike) reports its phase structure and per-phase wall-clock.
+        """
         ph = PhaseCost(name)
         self._phases.append(ph)
         self._stack.append(ph)
-        try:
-            yield ph
-        finally:
-            self._stack.pop()
+        with _telemetry_span("phase." + name) as sp:
+            try:
+                yield ph
+            finally:
+                self._stack.pop()
+                sp.set(time=ph.time, work=ph.work, steps=ph.steps)
 
     def absorb(self, report: CostReport) -> None:
         """Fold a finished sub-run's report into this model.

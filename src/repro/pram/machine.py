@@ -29,6 +29,8 @@ import numpy as np
 
 from .._util import require
 from ..errors import DeadlockError, ProgramError
+from ..telemetry.metrics import METRICS
+from ..telemetry.spans import enabled as telemetry_enabled, span as telemetry_span
 from .faults import BitFlip, DroppedWrite, FaultEvent, FaultPlan, ProcessorCrash
 from .memory import AccessMode, SharedMemory
 from .program import Halt, Instruction, LocalBarrier, Read, Write
@@ -403,15 +405,23 @@ class PRAM:
             Optional derivation of ``max_steps`` (e.g. the budget
             formula), included in the :class:`DeadlockError` message.
         """
-        execution = LockstepExecution(
-            self.memory, programs, fault_plan=fault_plan, trace=trace,
-        )
-        while not execution.finished:
-            if execution.steps >= max_steps:
-                note = f" [budget: {budget_note}]" if budget_note else ""
-                raise DeadlockError(
-                    f"run exceeded max_steps={max_steps} with "
-                    f"{execution.live} processors still live{note}"
-                )
-            execution.step()
-        return execution.build_report()
+        with telemetry_span(
+            "pram.run", nprocs=len(programs), mode=self.mode.name,
+        ) as sp:
+            execution = LockstepExecution(
+                self.memory, programs, fault_plan=fault_plan, trace=trace,
+            )
+            while not execution.finished:
+                if execution.steps >= max_steps:
+                    note = f" [budget: {budget_note}]" if budget_note else ""
+                    raise DeadlockError(
+                        f"run exceeded max_steps={max_steps} with "
+                        f"{execution.live} processors still live{note}"
+                    )
+                execution.step()
+            report = execution.build_report()
+            if telemetry_enabled():
+                sp.set(steps=report.steps, faults=len(report.faults))
+                METRICS.counter("pram.lockstep.steps").inc(report.steps)
+                METRICS.counter("pram.faults.fired").inc(len(report.faults))
+        return report

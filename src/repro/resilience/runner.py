@@ -34,6 +34,12 @@ import numpy as np
 from ..core.matching import Matching, verify_maximal_matching
 from ..errors import PRAMError, ResilienceExhaustedError, VerificationError
 from ..lists.linked_list import LinkedList
+from ..telemetry.metrics import METRICS
+from ..telemetry.spans import (
+    enabled as telemetry_enabled,
+    event as telemetry_event,
+    span as telemetry_span,
+)
 from .repair import RepairStats, repair_matching
 
 __all__ = [
@@ -177,6 +183,23 @@ def _backoff_delay(failures: int, base: float, cap: float) -> float:
     return min(base * (2.0 ** failures), cap)
 
 
+def _note_attempt(attempt: Attempt) -> None:
+    """One telemetry event + counter bump per recovery attempt."""
+    if not telemetry_enabled():
+        return
+    telemetry_event(
+        "resilience.attempt", algorithm=attempt.algorithm,
+        rung=attempt.rung, try_index=attempt.try_index,
+        backend=attempt.backend, outcome=attempt.outcome,
+        error=attempt.error,
+    )
+    METRICS.counter("resilience.attempts").inc()
+    if attempt.outcome == "failed":
+        METRICS.counter("resilience.failures").inc()
+    elif attempt.outcome == "repaired":
+        METRICS.counter("resilience.repairs").inc()
+
+
 def partition_engine_healthy(lst: LinkedList) -> bool:
     """Probe the matching-partition engine underneath every rung.
 
@@ -274,53 +297,64 @@ def resilient_matching(
     log = AttemptLog()
     index = 0
     failures = 0
-    for rung, algorithm in enumerate(ladder):
-        for try_index in range(tries_per_rung):
-            use_backend = backend
-            if try_index > 0 or not requested.supports(algorithm):
-                use_backend = "reference"
-            tails: np.ndarray | None = None
-            try:
-                m, _, _ = maximal_matching(
-                    lst, algorithm=algorithm, backend=use_backend, p=p,
-                    **kwargs.get(algorithm, {}),
-                )
-                tails = np.asarray(m.tails)
-                if perturb is not None:
-                    tails = np.asarray(perturb(tails.copy(), index))
-                verify_maximal_matching(lst, tails)
-                log.attempts.append(Attempt(
-                    index=index, rung=rung, algorithm=algorithm,
-                    try_index=try_index, outcome="ok",
-                    backend=use_backend,
-                ))
-                return ResilienceResult(Matching(lst, tails), log)
-            except (VerificationError, PRAMError) as exc:
-                error = f"{type(exc).__name__}: {exc}"
-                if repair and tails is not None:
-                    try:
-                        fixed, stats = repair_matching(lst, tails)
-                        log.attempts.append(Attempt(
-                            index=index, rung=rung, algorithm=algorithm,
-                            try_index=try_index, outcome="repaired",
-                            error=error, repair=stats,
-                            backend=use_backend,
-                        ))
-                        return ResilienceResult(Matching(lst, fixed), log)
-                    except VerificationError:
-                        pass
-                delay = _backoff_delay(failures, base_backoff, max_backoff)
-                log.attempts.append(Attempt(
-                    index=index, rung=rung, algorithm=algorithm,
-                    try_index=try_index, outcome="failed",
-                    error=error, backoff=delay, backend=use_backend,
-                ))
-                if failures == 0:
-                    log.engine_probe = partition_engine_healthy(lst)
-                failures += 1
-                if sleep is not None:
-                    sleep(delay)
-            index += 1
-    raise ResilienceExhaustedError(
-        "all rungs of the degradation ladder failed:\n" + log.summary
-    )
+    with telemetry_span(
+        "resilience.run", n=lst.n, backend=backend,
+        ladder=",".join(ladder),
+    ) as sp:
+        for rung, algorithm in enumerate(ladder):
+            for try_index in range(tries_per_rung):
+                use_backend = backend
+                if try_index > 0 or not requested.supports(algorithm):
+                    use_backend = "reference"
+                tails: np.ndarray | None = None
+                try:
+                    m, _, _ = maximal_matching(
+                        lst, algorithm=algorithm, backend=use_backend, p=p,
+                        **kwargs.get(algorithm, {}),
+                    )
+                    tails = np.asarray(m.tails)
+                    if perturb is not None:
+                        tails = np.asarray(perturb(tails.copy(), index))
+                    verify_maximal_matching(lst, tails)
+                    log.attempts.append(Attempt(
+                        index=index, rung=rung, algorithm=algorithm,
+                        try_index=try_index, outcome="ok",
+                        backend=use_backend,
+                    ))
+                    _note_attempt(log.attempts[-1])
+                    sp.set(outcome="ok", attempts=log.total, rung=rung)
+                    return ResilienceResult(Matching(lst, tails), log)
+                except (VerificationError, PRAMError) as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                    if repair and tails is not None:
+                        try:
+                            fixed, stats = repair_matching(lst, tails)
+                            log.attempts.append(Attempt(
+                                index=index, rung=rung, algorithm=algorithm,
+                                try_index=try_index, outcome="repaired",
+                                error=error, repair=stats,
+                                backend=use_backend,
+                            ))
+                            _note_attempt(log.attempts[-1])
+                            sp.set(outcome="repaired", attempts=log.total,
+                                   rung=rung)
+                            return ResilienceResult(Matching(lst, fixed), log)
+                        except VerificationError:
+                            pass
+                    delay = _backoff_delay(failures, base_backoff, max_backoff)
+                    log.attempts.append(Attempt(
+                        index=index, rung=rung, algorithm=algorithm,
+                        try_index=try_index, outcome="failed",
+                        error=error, backoff=delay, backend=use_backend,
+                    ))
+                    _note_attempt(log.attempts[-1])
+                    if failures == 0:
+                        log.engine_probe = partition_engine_healthy(lst)
+                    failures += 1
+                    if sleep is not None:
+                        sleep(delay)
+                index += 1
+        sp.set(outcome="exhausted", attempts=log.total)
+        raise ResilienceExhaustedError(
+            "all rungs of the degradation ladder failed:\n" + log.summary
+        )

@@ -3,7 +3,8 @@
 ``run_selfcheck()`` exercises every major subsystem on deterministic
 workloads — matching algorithms (both tiers), the vectorized numpy
 backend, ranking, coloring, MIS, rings, forests, the PRAM memory
-discipline, and fault-injection recovery — and reports each check's
+discipline, fault-injection recovery, and the telemetry
+span/RunRecord round-trip — and reports each check's
 outcome instead of stopping at the first failure.  The CLI
 exposes it as ``python -m repro selfcheck``; it is also what a
 downstream user should run after installing into a new environment.
@@ -197,6 +198,40 @@ def run_selfcheck(*, n: int = 2048, seed: int = 0) -> SelfCheckReport:
         return (f"crash+flip recovered, repair re-matched "
                 f"{stats.n_added} pointer(s)")
 
+    def check_telemetry() -> str:
+        import json
+        import os
+        import tempfile
+
+        from repro.telemetry import capture
+        from repro.telemetry.runrecord import (
+            RunRecord, read_records, write_records,
+        )
+
+        with capture() as sink:
+            res = repro.maximal_matching(
+                lst, algorithm="match4", backend="numpy", iterations=2)
+        names = set(sink.span_names())
+        assert "maximal_matching" in names, "root span missing"
+        assert any(nm.startswith("phase.") for nm in names), \
+            "no phase spans recorded"
+        rec = RunRecord.from_result(res, seed=seed, wall_s=0.0)
+        fd, path = tempfile.mkstemp(suffix=".jsonl")
+        os.close(fd)
+        try:
+            write_records(path, [rec])
+            loaded = read_records(path)
+            assert len(loaded) == 1, "round-trip lost the record"
+            assert loaded[0].cost_report() == res.report, \
+                "reloaded record's cost diverges from the live report"
+            assert loaded[0].key() == rec.key(), "identity key changed"
+            with open(path, encoding="utf-8") as fh:
+                json.loads(fh.readline())
+        finally:
+            os.unlink(path)
+        spans = len(sink.spans)
+        return f"{spans} spans captured, JSONL round-trip exact"
+
     _check(report, "matching algorithms (6) maximal", check_algorithms)
     _check(report, "instruction-level tier identical", check_instruction_tier)
     _check(report, "numpy backend equivalence", check_backends)
@@ -208,4 +243,5 @@ def run_selfcheck(*, n: int = 2048, seed: int = 0) -> SelfCheckReport:
     _check(report, "PRAM memory discipline", check_memory_discipline)
     _check(report, "list prefix sums", check_prefix)
     _check(report, "fault injection + recovery", check_fault_recovery)
+    _check(report, "telemetry round-trip", check_telemetry)
     return report

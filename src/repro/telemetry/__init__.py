@@ -1,0 +1,93 @@
+"""Unified telemetry: spans, metrics, sinks, and persisted run records.
+
+Every layer of the system reports into this package:
+
+- :func:`repro.maximal_matching` opens a ``maximal_matching`` span and
+  bumps the run/step/work counters;
+- the cost model (:mod:`repro.pram.cost`) opens a ``phase.<name>``
+  span per algorithm phase, so both the reference tier and the numpy
+  engine emit their phase structure (and wall-clock per phase) with no
+  per-backend plumbing;
+- the PRAM machine's lockstep loop emits ``pram.run`` spans and
+  step/fault counters; checkpoint recovery counts rollbacks;
+- the resilience ladder emits one ``resilience.attempt`` event per
+  attempt and a ``resilience.run`` span around the whole call;
+- the batch driver records batch sizes.
+
+Telemetry is **disabled by default and free when disabled**: the
+instrumented call sites cost one global-flag check.  Enable it with
+:func:`configure` (choosing a sink), the ``REPRO_TELEMETRY``
+environment variable (``log`` or ``jsonl:PATH``), or the CLI's
+``--telemetry`` option.  :func:`capture` is the test-friendly scoped
+form.  See ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .runrecord import (
+    SCHEMA_VERSION,
+    RunRecord,
+    append_record,
+    read_records,
+    write_records,
+)
+from .sinks import InMemorySink, JsonlSink, LogSink, NullSink, Sink, TeeSink
+from .spans import (
+    Span,
+    Tracer,
+    configure,
+    configure_from_env,
+    current_span,
+    disable,
+    enabled,
+    event,
+    get_tracer,
+    span,
+)
+
+__all__ = [
+    # spans
+    "Span", "Tracer", "span", "event", "enabled", "configure", "disable",
+    "configure_from_env", "current_span", "get_tracer", "capture",
+    # metrics
+    "METRICS", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    # sinks
+    "Sink", "NullSink", "InMemorySink", "JsonlSink", "LogSink", "TeeSink",
+    # run records
+    "SCHEMA_VERSION", "RunRecord", "append_record", "write_records",
+    "read_records",
+]
+
+
+@contextmanager
+def capture(*, reset_metrics: bool = True) -> Iterator[InMemorySink]:
+    """Record telemetry into a fresh in-memory sink for one block.
+
+    Enables telemetry for the duration, restoring the previous
+    enabled/sink state afterwards.  With ``reset_metrics`` (default)
+    the global registry is cleared on entry so the block observes only
+    its own metrics.
+
+    >>> import repro, repro.telemetry as telemetry
+    >>> with telemetry.capture() as sink:
+    ...     _ = repro.maximal_matching(repro.random_list(64, rng=0))
+    >>> "maximal_matching" in sink.span_names()
+    True
+    """
+    from . import spans as _spans
+
+    prev_enabled = _spans._enabled
+    prev_tracer = _spans._tracer
+    sink = InMemorySink()
+    if reset_metrics:
+        METRICS.reset()
+    configure(sink)
+    try:
+        yield sink
+    finally:
+        _spans._enabled = prev_enabled
+        _spans._tracer = prev_tracer

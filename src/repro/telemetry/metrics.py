@@ -1,0 +1,142 @@
+"""Process-local metrics: counters, gauges, and summary histograms.
+
+The registry is a flat name -> metric map shared by the whole process
+(one per interpreter, like the tracer).  Instrumented code holds no
+metric objects of its own; it asks the registry by name, so a metric
+exists exactly when something incremented it and ``snapshot()`` shows
+only what actually ran.
+
+Histograms keep summary statistics (count / total / min / max), not
+samples: enough for "wall-clock per phase" and "batch sizes" without
+unbounded memory.  Everything here is deliberately dependency-free and
+cheap; the *zero*-overhead guarantee for disabled telemetry lives in
+:mod:`repro.telemetry.spans` (instrumented call sites check the global
+enabled flag before touching the registry).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS"]
+
+
+class Counter:
+    """Monotonically increasing count (runs, steps, faults, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value (current ladder rung, live processors, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: int | float | None = None
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Summary statistics of an observed distribution."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def observe(self, value: int | float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+_METRIC_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Flat name -> metric registry with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, name: str, kind: str):
+        metric = self._metrics.get(name)
+        cls = _METRIC_TYPES[kind]
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, "gauge")
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, "histogram")
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """All metrics as plain JSON-ready dicts, sorted by name."""
+        return {
+            name: self._metrics[name].to_dict()
+            for name in sorted(self._metrics)
+        }
+
+    def reset(self) -> None:
+        """Drop every metric (tests and fresh capture windows)."""
+        self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._metrics
+
+
+#: The process-wide registry all instrumented code reports into.
+METRICS = MetricsRegistry()

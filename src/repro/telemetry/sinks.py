@@ -1,0 +1,156 @@
+"""Where finished spans and run records go.
+
+A sink receives every *finished* span (and any explicitly emitted run
+record) from the process tracer.  Four implementations cover the
+intended deployments:
+
+- :class:`NullSink` — the disabled default; drops everything.
+- :class:`InMemorySink` — collects spans/records in lists; what tests
+  and the selfcheck assert against.
+- :class:`JsonlSink` — appends one JSON object per line to a file
+  (``{"type": "span", ...}`` / ``{"type": "run", ...}``); the format
+  ``benchmarks/compare.py`` and the CI artifact use.
+- :class:`LogSink` — human-readable lines through the stdlib
+  ``logging`` machinery (logger ``repro.telemetry``), for watching a
+  run live on stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spans imports us)
+    from .spans import Span
+
+__all__ = [
+    "Sink",
+    "NullSink",
+    "InMemorySink",
+    "JsonlSink",
+    "LogSink",
+    "TeeSink",
+    "json_default",
+]
+
+
+def json_default(obj: Any):
+    """JSON fallback coercing numpy scalars (and anything int/float-like)."""
+    for cast in (int, float):
+        try:
+            return cast(obj)
+        except (TypeError, ValueError):
+            continue
+    return str(obj)
+
+
+class Sink:
+    """Base sink: ignores everything.  Subclass what you need."""
+
+    def emit_span(self, span: "Span") -> None:  # noqa: B027 - optional hook
+        pass
+
+    def emit_record(self, record: dict[str, Any]) -> None:  # noqa: B027
+        pass
+
+    def close(self) -> None:  # noqa: B027 - optional hook
+        pass
+
+
+class NullSink(Sink):
+    """The disabled-telemetry sink (explicitly named for readability)."""
+
+
+class InMemorySink(Sink):
+    """Collects spans and records in order; for tests and selfchecks."""
+
+    def __init__(self) -> None:
+        self.spans: list["Span"] = []
+        self.records: list[dict[str, Any]] = []
+
+    def emit_span(self, span: "Span") -> None:
+        self.spans.append(span)
+
+    def emit_record(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def span_names(self) -> list[str]:
+        return [s.name for s in self.spans]
+
+
+class JsonlSink(Sink):
+    """Appends spans and records as JSON lines to ``path``."""
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self._fh: IO[str] | None = None
+
+    def _file(self) -> IO[str]:
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def _write(self, obj: dict[str, Any]) -> None:
+        fh = self._file()
+        fh.write(json.dumps(obj, default=json_default) + "\n")
+        fh.flush()
+
+    def emit_span(self, span: "Span") -> None:
+        self._write({"type": "span", **span.to_dict()})
+
+    def emit_record(self, record: dict[str, Any]) -> None:
+        self._write({"type": "run", **record})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class LogSink(Sink):
+    """Human-readable spans through ``logging`` (stderr by default)."""
+
+    def __init__(self, *, level: int = logging.INFO,
+                 stream: IO[str] | None = None) -> None:
+        self.logger = logging.getLogger("repro.telemetry")
+        self.logger.setLevel(level)
+        if not self.logger.handlers:
+            handler = logging.StreamHandler(stream or sys.stderr)
+            handler.setFormatter(
+                logging.Formatter("%(name)s %(levelname)s %(message)s")
+            )
+            self.logger.addHandler(handler)
+        self.level = level
+
+    def emit_span(self, span: "Span") -> None:
+        attrs = " ".join(f"{k}={v}" for k, v in span.attributes.items())
+        self.logger.log(
+            self.level,
+            "span %-28s %8.3f ms  %s",
+            span.name, span.duration * 1e3, attrs,
+        )
+
+    def emit_record(self, record: dict[str, Any]) -> None:
+        self.logger.log(self.level, "run %s",
+                        json.dumps(record, default=json_default))
+
+
+class TeeSink(Sink):
+    """Fans every emission out to several sinks."""
+
+    def __init__(self, *sinks: Sink) -> None:
+        self.sinks = tuple(sinks)
+
+    def emit_span(self, span: "Span") -> None:
+        for sink in self.sinks:
+            sink.emit_span(span)
+
+    def emit_record(self, record: dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.emit_record(record)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

@@ -1,0 +1,232 @@
+"""Structured, nested spans and the process tracer.
+
+A *span* is one timed region of a run — ``maximal_matching`` at the
+top, the engine/cost phases underneath it, the PRAM lockstep loop and
+resilience attempts below those — carrying arbitrary key/value
+attributes (cost totals, fault counts, outcomes).  Spans nest through
+a process-local stack: a span opened while another is active records
+that span as its parent, so a sink sees the full tree.
+
+**Disabled is free.**  Telemetry is off by default; :func:`span` then
+returns a shared no-op context manager and instrumented code performs
+exactly one global-flag check.  The instrumentation in the algorithm
+tiers is therefore unconditional ``with span(...)`` blocks — there are
+a handful per run, never one per pointer or per lockstep step.
+
+Every finished span also feeds the ``span.<name>.seconds`` summary
+histogram in :data:`repro.telemetry.metrics.METRICS`, which is how
+"wall-clock per phase" exists as a metric without separate plumbing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from typing import Any
+
+from .metrics import METRICS
+from .sinks import JsonlSink, LogSink, NullSink, Sink
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "event",
+    "enabled",
+    "configure",
+    "disable",
+    "configure_from_env",
+    "get_tracer",
+    "current_span",
+]
+
+
+class Span:
+    """One timed, attributed region; also its own context manager."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start", "end",
+                 "attributes", "status", "_tracer")
+
+    def __init__(self, name: str, span_id: int, parent_id: int | None,
+                 start: float, attributes: dict[str, Any],
+                 tracer: "Tracer") -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: float | None = None
+        self.attributes = attributes
+        self.status = "ok"
+        self._tracer = tracer
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes (chainable)."""
+        self.attributes.update(attributes)
+        return self
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to finish (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration_s": self.duration,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.status = "error"
+            self.attributes.setdefault(
+                "error", f"{exc_type.__name__}: {exc}")
+        self._tracer._finish(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, id={self.span_id}, "
+                f"parent={self.parent_id}, status={self.status})")
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attributes: Any) -> "_NoopSpan":
+        return self
+
+
+_NOOP = _NoopSpan()
+
+
+class Tracer:
+    """Owns the span stack and forwards finished spans to its sink."""
+
+    def __init__(self, sink: Sink) -> None:
+        self.sink = sink
+        self._stack: list[Span] = []
+        self._ids = itertools.count(1)
+
+    def start_span(self, name: str, attributes: dict[str, Any]) -> Span:
+        parent = self._stack[-1].span_id if self._stack else None
+        sp = Span(name, next(self._ids), parent, time.perf_counter(),
+                  attributes, self)
+        self._stack.append(sp)
+        return sp
+
+    def event(self, name: str, attributes: dict[str, Any]) -> Span:
+        """Emit an instantaneous (zero-duration) span."""
+        parent = self._stack[-1].span_id if self._stack else None
+        now = time.perf_counter()
+        sp = Span(name, next(self._ids), parent, now, attributes, self)
+        sp.end = now
+        self.sink.emit_span(sp)
+        return sp
+
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def _finish(self, sp: Span) -> None:
+        sp.end = time.perf_counter()
+        # Pop through abandoned children (an exception can unwind several
+        # spans before the outermost __exit__ runs).
+        while self._stack:
+            if self._stack.pop() is sp:
+                break
+        METRICS.histogram(f"span.{sp.name}.seconds").observe(sp.duration)
+        self.sink.emit_span(sp)
+
+
+_enabled = False
+_tracer = Tracer(NullSink())
+
+
+def enabled() -> bool:
+    """Whether telemetry is currently recording."""
+    return _enabled
+
+
+def span(name: str, **attributes: Any):
+    """Open a span (no-op context manager while telemetry is disabled)."""
+    if not _enabled:
+        return _NOOP
+    return _tracer.start_span(name, attributes)
+
+
+def event(name: str, **attributes: Any) -> None:
+    """Emit an instantaneous span (dropped while disabled)."""
+    if _enabled:
+        _tracer.event(name, attributes)
+
+
+def current_span() -> Span | None:
+    """The innermost open span, or ``None``."""
+    return _tracer.current() if _enabled else None
+
+
+def get_tracer() -> Tracer:
+    """The process tracer (its sink changes via :func:`configure`)."""
+    return _tracer
+
+
+def configure(sink: Sink | None = None, *, enabled: bool = True) -> Tracer:
+    """Enable (or re-point) telemetry; returns the active tracer.
+
+    Passing ``sink=None`` keeps the current sink (useful to re-enable
+    after :func:`disable`).  The span stack is reset: configuration is
+    a between-runs operation.
+    """
+    global _enabled, _tracer
+    if sink is not None:
+        _tracer = Tracer(sink)
+    else:
+        _tracer = Tracer(_tracer.sink)
+    _enabled = bool(enabled)
+    return _tracer
+
+
+def disable() -> None:
+    """Stop recording (the configured sink is kept but not fed)."""
+    global _enabled
+    _enabled = False
+
+
+def configure_from_env(
+    env: str = "REPRO_TELEMETRY", *, spec: str | None = None
+) -> bool:
+    """Configure from ``$REPRO_TELEMETRY``; returns True if it did.
+
+    Accepted values: ``log`` / ``stderr`` (human-readable stderr
+    lines), ``jsonl:PATH`` (append JSON lines to PATH), ``off`` / empty
+    (leave disabled).  An explicit ``spec`` (the CLI's ``--telemetry``)
+    takes precedence over the environment variable.
+    """
+    if spec is None:
+        spec = os.environ.get(env, "").strip()
+    if not spec or spec == "off":
+        return False
+    if spec in ("log", "stderr"):
+        configure(LogSink())
+        return True
+    if spec.startswith("jsonl:"):
+        configure(JsonlSink(spec[len("jsonl:"):]))
+        return True
+    raise ValueError(
+        f"unrecognized {env}={spec!r}; use 'off', 'log', or 'jsonl:PATH'"
+    )

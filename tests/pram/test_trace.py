@@ -46,10 +46,13 @@ class TestRenderers:
         assert lines[0].endswith("wr...")
         assert lines[3].endswith("...wr")
 
-    def test_activity_requires_trace(self):
+    @pytest.mark.parametrize("renderer", [
+        processor_activity, memory_heat, utilization,
+    ])
+    def test_renderers_require_trace(self, renderer):
         rep = PRAM(2).run(staircase(2))
-        with pytest.raises(ValueError, match="trace"):
-            processor_activity(rep)
+        with pytest.raises(ValueError, match="trace=True"):
+            renderer(rep)
 
     def test_activity_clipping(self):
         rep = PRAM(8).run(staircase(8), trace=True)
@@ -62,12 +65,51 @@ class TestRenderers:
         text = processor_activity(rep, step_range=(3, 5))
         assert "steps 3..5" in text
 
+    def test_step_range_clips_to_run_length(self):
+        rep = PRAM(4).run(staircase(4), trace=True)
+        # hi far past the end: renders what exists, no error
+        text = processor_activity(rep, step_range=(2, 10_000))
+        assert f"steps 2..{rep.steps}" in text
+        row = text.splitlines()[1]
+        assert len(row.split("|")[1]) == rep.steps - 1
+
+    def test_step_range_clips_to_max_steps(self):
+        rep = PRAM(6).run(staircase(6), trace=True)
+        text = processor_activity(rep, step_range=(1, 7), max_steps=3)
+        row = text.splitlines()[1]
+        assert len(row.split("|")[1]) == 3
+        assert "steps 1..3" in text
+
+    @pytest.mark.parametrize("bad", [(0, 3), (5, 2), (-1, 4)])
+    def test_step_range_rejects_invalid(self, bad):
+        rep = PRAM(4).run(staircase(4), trace=True)
+        with pytest.raises(Exception, match="step range"):
+            processor_activity(rep, step_range=bad)
+
+    def test_step_range_past_end_renders_empty_grid(self):
+        rep = PRAM(4).run(staircase(4), trace=True)
+        text = processor_activity(rep, step_range=(rep.steps + 5,
+                                                   rep.steps + 9))
+        lines = text.splitlines()
+        assert f"steps {rep.steps + 5}..{rep.steps + 5}" in lines[0]
+        assert all(line.endswith("|") for line in lines[1:])
+
     def test_memory_heat(self):
         rep = PRAM(4).run(staircase(4), trace=True)
         text = memory_heat(rep, buckets=4)
         assert "peak" in text
         # every cell touched twice (one write + one read)
         assert text.count(" 2") >= 4
+
+    def test_memory_heat_more_buckets_than_cells(self):
+        rep = PRAM(2).run(staircase(2), trace=True)
+        text = memory_heat(rep, buckets=64)
+        assert "2 cells in 2 buckets" in text
+
+    def test_memory_heat_rejects_zero_buckets(self):
+        rep = PRAM(2).run(staircase(2), trace=True)
+        with pytest.raises(Exception, match="bucket"):
+            memory_heat(rep, buckets=0)
 
     def test_utilization_bounds(self):
         rep = PRAM(4).run(staircase(4), trace=True)

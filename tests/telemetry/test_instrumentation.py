@@ -1,0 +1,165 @@
+"""The layers actually report: spans/metrics from real runs."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.telemetry import METRICS, capture, disable, enabled
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    disable()
+    yield
+    disable()
+
+
+class TestMatchingInstrumentation:
+    @pytest.mark.parametrize("backend", ["reference", "numpy"])
+    def test_root_span_and_phases(self, backend):
+        lst = repro.random_list(512, rng=1)
+        with capture() as sink:
+            res = repro.maximal_matching(
+                lst, algorithm="match4", backend=backend, p=32,
+                iterations=2)
+        names = sink.span_names()
+        assert names.count("maximal_matching") == 1
+        root = [s for s in sink.spans if s.name == "maximal_matching"][0]
+        assert root.attributes["algorithm"] == "match4"
+        assert root.attributes["backend"] == backend
+        assert root.attributes["n"] == 512
+        assert root.attributes["time"] == res.report.time
+        # one phase.<name> span per cost-model phase, nested under root
+        phase_spans = [s for s in sink.spans if s.name.startswith("phase.")]
+        assert {s.name for s in phase_spans} == \
+            {f"phase.{ph.name}" for ph in res.report.phases}
+        assert all(s.parent_id == root.span_id for s in phase_spans)
+
+    def test_phase_spans_carry_cost(self):
+        lst = repro.random_list(256, rng=2)
+        with capture() as sink:
+            res = repro.maximal_matching(
+                lst, algorithm="match4", backend="numpy", iterations=2)
+        for ph in res.report.phases:
+            sp = [s for s in sink.spans if s.name == f"phase.{ph.name}"][0]
+            assert sp.attributes == {
+                "time": ph.time, "work": ph.work, "steps": ph.steps}
+
+    def test_counters(self):
+        lst = repro.random_list(256, rng=3)
+        with capture():
+            res = repro.maximal_matching(lst, backend="numpy")
+            snap = METRICS.snapshot()
+        assert snap["matching.runs"]["value"] == 1
+        assert snap["pram.steps"]["value"] == res.report.time
+        assert snap["pram.work"]["value"] == res.report.work
+        assert snap["engine.f_rounds"]["value"] >= 1
+        # every span fed its wall-clock histogram
+        assert snap["span.maximal_matching.seconds"]["count"] == 1
+
+    def test_disabled_records_nothing(self):
+        from repro.telemetry import InMemorySink, configure
+
+        sink = InMemorySink()
+        configure(sink)
+        disable()
+        METRICS.reset()
+        lst = repro.random_list(256, rng=4)
+        repro.maximal_matching(lst, backend="numpy")
+        assert sink.spans == []
+        assert len(METRICS) == 0
+
+    def test_results_identical_with_and_without_telemetry(self):
+        lst = repro.random_list(1024, rng=5)
+        plain = repro.maximal_matching(lst, backend="numpy")
+        with capture():
+            traced = repro.maximal_matching(lst, backend="numpy")
+        assert np.array_equal(plain.matching.tails, traced.matching.tails)
+        assert plain.report == traced.report
+
+
+class TestBatchInstrumentation:
+    def test_batch_span_and_size_histogram(self):
+        lists = [repro.random_list(64, rng=i) for i in range(5)]
+        with capture() as sink:
+            repro.batch_maximal_matching(lists, algorithm="match4")
+            snap = METRICS.snapshot()
+        batch = [s for s in sink.spans
+                 if s.name == "batch.maximal_matching"][0]
+        assert batch.attributes["num_lists"] == 5
+        assert batch.attributes["total_nodes"] == 5 * 64
+        assert snap["batch.size"]["count"] == 1
+        assert snap["batch.size"]["max"] == 5.0
+
+
+class TestPramInstrumentation:
+    def test_lockstep_run_span_and_counters(self):
+        from repro.pram import PRAM, Read, Write
+
+        def prog(pid, nprocs):
+            v = yield Read(pid)
+            yield Write(pid, v + 1)
+
+        with capture() as sink:
+            PRAM(4, mode="EREW").run([prog, prog])
+            snap = METRICS.snapshot()
+        run = [s for s in sink.spans if s.name == "pram.run"][0]
+        assert run.attributes["nprocs"] == 2
+        assert run.attributes["steps"] >= 1
+        assert snap["pram.lockstep.steps"]["value"] == \
+            run.attributes["steps"]
+
+    def test_recovery_rollback_counters(self):
+        from repro.lists import random_list
+        from repro.pram.algorithms import run_match1
+        from repro.pram.faults import FaultPlan, ProcessorCrash
+
+        small = random_list(64, rng=11)
+        plan = FaultPlan([ProcessorCrash(step=40, pid=3)])
+        with capture() as sink:
+            run_match1(small, mode="EREW", fault_plan=plan, recover=True,
+                       checkpoint_interval=16)
+            snap = METRICS.snapshot()
+        assert snap["pram.faults.recovered"]["value"] == 1
+        assert snap["pram.rollbacks"]["value"] >= 1
+        events = [s for s in sink.spans if s.name == "pram.recovery"]
+        assert len(events) == 1
+        assert events[0].attributes["faults"] == 1
+
+
+class TestResilienceInstrumentation:
+    def test_attempt_events_and_outcome(self):
+        from repro.resilience import resilient_matching
+
+        lst = repro.random_list(128, rng=6)
+        with capture() as sink:
+            result = resilient_matching(
+                lst,
+                perturb=lambda tails, i: tails[1:] if i < 2 else tails,
+            )
+            snap = METRICS.snapshot()
+        run = [s for s in sink.spans if s.name == "resilience.run"][0]
+        assert run.attributes["outcome"] in ("ok", "repaired")
+        attempts = [s for s in sink.spans if s.name == "resilience.attempt"]
+        assert len(attempts) == result.log.total
+        assert snap["resilience.attempts"]["value"] == result.log.total
+        repaired = sum(1 for a in result.log.attempts
+                       if a.outcome == "repaired")
+        assert snap.get("resilience.repairs", {"value": 0})["value"] == \
+            repaired
+        assert snap.get("resilience.failures", {"value": 0})["value"] == \
+            result.log.failures
+        assert {s.attributes["outcome"] for s in attempts} == \
+            {a.outcome for a in result.log.attempts}
+
+
+class TestSelfcheckTelemetry:
+    def test_twelfth_check_passes(self):
+        from repro.selfcheck import run_selfcheck
+
+        report = run_selfcheck(n=256, seed=3)
+        by_name = {r.name: r for r in report.results}
+        check = by_name["telemetry round-trip"]
+        assert check.passed, check.detail
+        # the selfcheck's capture window must not leak an enabled tracer
+        assert not enabled()

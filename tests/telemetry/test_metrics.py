@@ -1,0 +1,96 @@
+"""Tests for the counters/gauges/histograms registry."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("x").inc(-1)
+
+    def test_to_dict(self):
+        c = Counter("x")
+        c.inc(2)
+        assert c.to_dict() == {"type": "counter", "value": 2}
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("x")
+        assert g.value is None
+        g.set(3)
+        g.set(1)
+        assert g.value == 1
+        assert g.to_dict() == {"type": "gauge", "value": 1}
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("x")
+        for v in (2, 8, 5):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 15.0
+        assert h.minimum == 2.0
+        assert h.maximum == 8.0
+        assert h.mean == 5.0
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("x").mean == 0.0
+
+    def test_to_dict(self):
+        h = Histogram("x")
+        h.observe(4)
+        assert h.to_dict() == {
+            "type": "histogram", "count": 1, "total": 4.0,
+            "min": 4.0, "max": 4.0, "mean": 4.0,
+        }
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+
+    def test_snapshot_sorted_and_json_ready(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.gauge("a").set(1)
+        reg.histogram("m").observe(2)
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "m", "z"]
+        json.dumps(snap)  # must serialize
+
+    def test_reset_and_contains(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        assert "a" in reg
+        reg.reset()
+        assert "a" not in reg
+        assert len(reg) == 0
+
+    def test_snapshot_shows_only_what_ran(self):
+        reg = MetricsRegistry()
+        assert reg.snapshot() == {}

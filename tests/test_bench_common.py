@@ -1,0 +1,119 @@
+"""Tests for benchmarks/_common.py: table parsing and the .json twins."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_COMMON = Path(__file__).parent.parent / "benchmarks" / "_common.py"
+RESULTS = _COMMON.parent / "results"
+
+
+@pytest.fixture(scope="module")
+def common():
+    spec = importlib.util.spec_from_file_location("_bench_common", _COMMON)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules["_bench_common"] = mod
+    spec.loader.exec_module(mod)
+    yield mod
+    sys.modules.pop("_bench_common", None)
+
+
+class TestParseTable:
+    def test_roundtrips_format_table(self, common):
+        from repro.analysis.report import format_table
+
+        rows = [
+            {"p": 1, "time": 6219, "eff": 0.25},
+            {"p": 16, "time": 411, "eff": 0.853},
+        ]
+        text = format_table(rows, ["p", "time", ("eff", "n/(time*p)")],
+                            title="demo")
+        parsed = common.parse_table(text)
+        assert parsed == [
+            {"p": 1, "time": 6219, "n/(time*p)": 0.25},
+            {"p": 16, "time": 411, "n/(time*p)": 0.853},
+        ]
+
+    def test_spaced_headers_and_string_cells(self, common):
+        from repro.analysis.report import format_table
+
+        rows = [{"layout": "bit reversal", "work per node": 4.5}]
+        text = format_table(rows, ["layout", "work per node"])
+        assert common.parse_table(text) == [
+            {"layout": "bit reversal", "work per node": 4.5}]
+
+    def test_dash_cell_is_none(self, common):
+        from repro.analysis.report import format_table
+
+        text = format_table([{"a": 1}], ["a", "b"])
+        assert common.parse_table(text) == [{"a": 1, "b": None}]
+
+    def test_non_table_text_yields_nothing(self, common):
+        assert common.parse_table("just\nprose\nlines") == []
+        fig = (RESULTS / "fig_e6_time_vs_p.txt").read_text()
+        assert common.parse_table(fig) == []
+
+    def test_multiple_tables_concatenate(self, common):
+        from repro.analysis.report import format_table
+
+        t1 = format_table([{"a": 1}], ["a"], title="one")
+        t2 = format_table([{"b": 2}], ["b"], title="two")
+        assert common.parse_table(t1 + "\n\n" + t2) == \
+            [{"a": 1}, {"b": 2}]
+
+    def test_every_committed_table_parses(self, common):
+        for path in sorted(RESULTS.glob("*.txt")):
+            if path.name.startswith("fig_"):
+                continue
+            assert common.parse_table(path.read_text()), path.name
+
+
+class TestJsonTwins:
+    def test_write_result_emits_twin(self, common, monkeypatch, tmp_path):
+        from repro.analysis.report import format_table
+
+        monkeypatch.setattr(common, "RESULTS_DIR", tmp_path)
+        text = format_table([{"n": 4, "time": 2}], ["n", "time"])
+        path = common.write_result("demo.txt", text)
+        assert path.read_text() == text + "\n"
+        twin = json.loads((tmp_path / "demo.json").read_text())
+        assert twin["name"] == "demo.txt"
+        assert twin["rows"] == [{"n": 4, "time": 2}]
+        assert twin["version"] and twin["git_rev"]
+
+    def test_no_twin_for_non_tables(self, common, monkeypatch, tmp_path):
+        monkeypatch.setattr(common, "RESULTS_DIR", tmp_path)
+        common.write_result("fig.txt", "ascii art\nno table here")
+        assert not (tmp_path / "fig.json").exists()
+
+    def test_committed_twins_match_tables(self, common):
+        """Each checked-in .json twin equals a fresh parse of its .txt."""
+        twins = sorted(RESULTS.glob("*.json"))
+        assert twins, "no committed twins found"
+        for twin_path in twins:
+            twin = json.loads(twin_path.read_text())
+            text = twin_path.with_suffix(".txt").read_text()
+            assert twin["rows"] == common.parse_table(text), twin_path.name
+
+
+class TestRecordRun:
+    def test_record_run_appends_runrecord(self, common, monkeypatch, tmp_path):
+        import repro
+        from repro.telemetry.runrecord import read_records
+
+        target = tmp_path / "runs.jsonl"
+        monkeypatch.setenv("REPRO_RUN_LOG", str(target))
+        lst = repro.random_list(128, rng=0)
+        res = repro.maximal_matching(lst, backend="numpy")
+        common.record_run(res, seed=0, wall_s=0.001, bench="unit")
+        recs = read_records(target)
+        assert len(recs) == 1
+        assert recs[0].extra["bench"] == "unit"
+        assert recs[0].cost_report() == res.report
+
+    def test_default_log_path(self, common, monkeypatch):
+        monkeypatch.delenv("REPRO_RUN_LOG", raising=False)
+        assert common.run_log_path() == RESULTS / "runs.jsonl"

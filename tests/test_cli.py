@@ -112,6 +112,35 @@ class TestCommands:
         assert "n=3" in out
         assert "c" in out.splitlines()[-1]
 
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+
+    def test_match_record(self, capsys, tmp_path):
+        from repro.telemetry.runrecord import read_records
+
+        manifest = tmp_path / "runs.jsonl"
+        rc = main(["match", "--n", "512", "--backend", "numpy",
+                   "--record", str(manifest)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert f"recorded  : {manifest}" in out
+        records = read_records(manifest)
+        assert len(records) == 1
+        rec = records[0]
+        assert (rec.algorithm, rec.backend, rec.n) == ("match4", "numpy", 512)
+        assert rec.wall_s is not None and rec.wall_s > 0
+        assert rec.extra["layout"] == "random"
+        assert rec.version and rec.git_rev
+        # a second run appends
+        main(["match", "--n", "512", "--backend", "numpy",
+              "--record", str(manifest)])
+        capsys.readouterr()
+        assert len(read_records(manifest)) == 2
+
     def test_deterministic(self, capsys):
         main(["match", "--n", "512", "--seed", "3"])
         first = capsys.readouterr().out
@@ -161,17 +190,20 @@ class TestSelfCheck:
         rc = main(["selfcheck", "--n", "512"])
         out = capsys.readouterr().out
         assert rc == 0
-        assert "11/11 checks passed" in out
+        assert "12/12 checks passed" in out
         assert "FAIL" not in out
+        # the header states the producing build
+        assert out.startswith("repro ")
 
     def test_report_api(self):
         from repro.selfcheck import run_selfcheck
 
         report = run_selfcheck(n=256, seed=1)
         assert report.passed
-        assert len(report.results) == 11
+        assert len(report.results) == 12
         names = [r.name for r in report.results]
         assert "PRAM memory discipline" in names
+        assert "telemetry round-trip" in names
 
     def test_failures_are_collected_not_raised(self, monkeypatch):
         # sabotage one subsystem: the report must record a FAIL and

@@ -1,0 +1,177 @@
+"""Tests for benchmarks/compare.py, the perf-regression gate."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_COMPARE = Path(__file__).parent.parent / "benchmarks" / "compare.py"
+
+
+@pytest.fixture(scope="module")
+def compare_mod():
+    spec = importlib.util.spec_from_file_location("compare", _COMPARE)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules["compare"] = mod
+    spec.loader.exec_module(mod)
+    yield mod
+    sys.modules.pop("compare", None)
+
+
+def _record(algorithm="match4", backend="numpy", n=4096, p=256, seed=0,
+            time=141, work=31689, wall_s=0.004, phases=(), extra=None):
+    return {
+        "type": "run", "schema": 1, "kind": "matching",
+        "algorithm": algorithm, "backend": backend, "n": n, "p": p,
+        "seed": seed, "time": time, "work": work, "wall_s": wall_s,
+        "phases": [list(ph) for ph in phases], "version": "1.0.0",
+        "git_rev": "deadbee", "extra": extra or {},
+    }
+
+
+def _manifest(tmp_path, name, records):
+    path = tmp_path / name
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return str(path)
+
+
+class TestGate:
+    def test_synthetic_2x_step_regression_fails(self, compare_mod, tmp_path):
+        """The acceptance case: doubled step count -> non-zero exit."""
+        base = _manifest(tmp_path, "base.jsonl", [_record(time=141)])
+        cur = _manifest(tmp_path, "cur.jsonl", [_record(time=282)])
+        rc = compare_mod.main([base, cur, "--ignore-wallclock"])
+        assert rc == 1
+
+    def test_identical_manifests_pass(self, compare_mod, tmp_path):
+        base = _manifest(tmp_path, "base.jsonl", [_record()])
+        cur = _manifest(tmp_path, "cur.jsonl", [_record()])
+        assert compare_mod.main([base, cur]) == 0
+
+    def test_any_step_increase_fails(self, compare_mod, tmp_path):
+        """Step counts are deterministic: +1 is already a regression."""
+        base = _manifest(tmp_path, "base.jsonl", [_record(time=141)])
+        cur = _manifest(tmp_path, "cur.jsonl", [_record(time=142)])
+        assert compare_mod.main([base, cur, "--ignore-wallclock"]) == 1
+
+    def test_step_tol_grants_allowance(self, compare_mod, tmp_path):
+        base = _manifest(tmp_path, "base.jsonl", [_record(time=100)])
+        cur = _manifest(tmp_path, "cur.jsonl", [_record(time=104)])
+        assert compare_mod.main([base, cur, "--ignore-wallclock"]) == 1
+        assert compare_mod.main(
+            [base, cur, "--ignore-wallclock", "--step-tol", "0.05"]) == 0
+
+    def test_step_improvement_passes(self, compare_mod, tmp_path):
+        base = _manifest(tmp_path, "base.jsonl", [_record(time=141)])
+        cur = _manifest(tmp_path, "cur.jsonl", [_record(time=100)])
+        assert compare_mod.main([base, cur, "--ignore-wallclock"]) == 0
+
+    def test_phase_regression_detected(self, compare_mod, tmp_path):
+        base = _manifest(tmp_path, "base.jsonl",
+                         [_record(phases=[("sort", 10, 100, 10)])])
+        cur = _manifest(tmp_path, "cur.jsonl",
+                        [_record(phases=[("sort", 20, 100, 10)])])
+        assert compare_mod.main([base, cur, "--ignore-wallclock"]) == 1
+
+
+class TestWallclock:
+    def test_within_tolerance_passes(self, compare_mod, tmp_path):
+        base = _manifest(tmp_path, "base.jsonl", [_record(wall_s=0.100)])
+        cur = _manifest(tmp_path, "cur.jsonl", [_record(wall_s=0.105)])
+        assert compare_mod.main([base, cur]) == 0
+
+    def test_beyond_tolerance_fails(self, compare_mod, tmp_path):
+        base = _manifest(tmp_path, "base.jsonl", [_record(wall_s=0.100)])
+        cur = _manifest(tmp_path, "cur.jsonl", [_record(wall_s=0.150)])
+        assert compare_mod.main([base, cur]) == 1
+
+    def test_custom_tolerance(self, compare_mod, tmp_path):
+        base = _manifest(tmp_path, "base.jsonl", [_record(wall_s=0.100)])
+        cur = _manifest(tmp_path, "cur.jsonl", [_record(wall_s=0.150)])
+        assert compare_mod.main([base, cur, "--wallclock-tol", "0.6"]) == 0
+
+    def test_ignore_wallclock(self, compare_mod, tmp_path):
+        base = _manifest(tmp_path, "base.jsonl", [_record(wall_s=0.001)])
+        cur = _manifest(tmp_path, "cur.jsonl", [_record(wall_s=9.0)])
+        assert compare_mod.main([base, cur, "--ignore-wallclock"]) == 0
+
+
+class TestPairing:
+    def test_missing_workload_fails(self, compare_mod, tmp_path):
+        base = _manifest(tmp_path, "base.jsonl",
+                         [_record(), _record(algorithm="match1", time=99)])
+        cur = _manifest(tmp_path, "cur.jsonl", [_record()])
+        assert compare_mod.main([base, cur]) == 1
+        assert compare_mod.main([base, cur, "--allow-missing"]) == 0
+
+    def test_new_workload_passes(self, compare_mod, tmp_path):
+        base = _manifest(tmp_path, "base.jsonl", [_record()])
+        cur = _manifest(tmp_path, "cur.jsonl",
+                        [_record(), _record(algorithm="match1", time=99)])
+        assert compare_mod.main([base, cur]) == 0
+
+    def test_different_extra_does_not_pair(self, compare_mod, tmp_path):
+        base = _manifest(tmp_path, "base.jsonl",
+                         [_record(extra={"layout": "random"})])
+        cur = _manifest(tmp_path, "cur.jsonl",
+                        [_record(time=999, extra={"layout": "sawtooth"})])
+        # unrelated workloads: baseline one is missing -> still gated
+        assert compare_mod.main([base, cur]) == 1
+
+
+class TestFormats:
+    def test_bench_json_format(self, compare_mod, tmp_path):
+        def bench(v):
+            return {"n": 4096, "reps": 7, "results": {
+                "match4": {"reference_s": 0.5, "numpy_s": v,
+                           "speedup": 0.5 / v}}}
+
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(bench(0.010)))
+        cur = tmp_path / "cur.json"
+        cur.write_text(json.dumps(bench(0.013)))
+        assert compare_mod.main([str(base), str(cur)]) == 1
+        assert compare_mod.main(
+            [str(base), str(cur), "--wallclock-tol", "0.5"]) == 0
+
+    def test_unrecognized_format_rejected(self, compare_mod, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"hello": "world"}))
+        ok = _manifest(tmp_path, "ok.jsonl", [_record()])
+        with pytest.raises(SystemExit):
+            compare_mod.main([str(bad), ok])
+
+    def test_span_lines_skipped(self, compare_mod, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            json.dumps({"type": "span", "name": "phase.sort"}) + "\n"
+            + json.dumps(_record()) + "\n")
+        base = _manifest(tmp_path, "base.jsonl", [_record()])
+        assert compare_mod.main([base, str(path)]) == 0
+
+    def test_report_written(self, compare_mod, tmp_path):
+        base = _manifest(tmp_path, "base.jsonl", [_record(time=100)])
+        cur = _manifest(tmp_path, "cur.jsonl", [_record(time=200)])
+        report = tmp_path / "report.json"
+        rc = compare_mod.main([base, cur, "--ignore-wallclock",
+                               "--report", str(report)])
+        assert rc == 1
+        data = json.loads(report.read_text())
+        assert data["passed"] is False
+        assert any(f["kind"] == "regression" for f in data["findings"])
+
+    def test_committed_baselines_parse(self, compare_mod):
+        """The checked-in baseline files stay loadable."""
+        basedir = _COMPARE.parent / "baselines"
+        runs = compare_mod.load_metrics(basedir / "runs_baseline.jsonl")
+        assert len(runs) == 3
+        pre = compare_mod.load_metrics(
+            basedir / "wallclock_pre_telemetry.json")
+        post = compare_mod.load_metrics(
+            basedir / "wallclock_post_telemetry.json")
+        assert set(pre) == set(post)
+        # the committed overhead demonstration still passes its gate
+        findings = compare_mod.compare(pre, post, wallclock_tol=0.05)
+        assert not [f for f in findings if f["kind"] == "regression"]
