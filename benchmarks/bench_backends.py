@@ -98,6 +98,10 @@ def main(argv=None) -> int:
                         help="also write the measurement to this file")
     parser.add_argument("--require", type=float, default=0.0,
                         help="fail unless match4's speedup meets this bar")
+    parser.add_argument("--profile", default="", metavar="DIR",
+                        help="also profile one match4/numpy run at this n "
+                             "(Perfetto trace, profile JSON, metrics, "
+                             "RunRecord) into DIR")
     args = parser.parse_args(argv)
 
     out = measure(args.n, args.reps)
@@ -115,6 +119,13 @@ def main(argv=None) -> int:
         if got < args.require:
             print(f"FAIL: match4 speedup {got:.2f}x < {args.require}x")
             return 1
+    if args.profile:
+        from repro.cli import main as repro_cli
+
+        rc = repro_cli(["profile", "match4", "--n", str(args.n),
+                        "--backend", "numpy", "--out", args.profile])
+        if rc:
+            return rc
     return 0
 
 

@@ -14,7 +14,13 @@ Gives the library a shell-usable face:
   ``G(n)``, ``log G(n)``, Match4 row counts.
 - ``fold``   — data-dependent prefix/suffix folds (sum/max/min).
 - ``trace``  — space-time diagram of the instruction-level Match4.
-- ``selfcheck`` — the 12-check installation battery.
+- ``selfcheck`` — the installation check battery.
+- ``profile`` — one-shot profiler: run an algorithm under telemetry
+  capture (plus an instruction-level machine twin), write a Perfetto
+  trace, a ProfileReport JSON, a Prometheus exposition, and a
+  RunRecord manifest.
+- ``report`` — render RunRecord JSONL manifests into a self-contained
+  static HTML dashboard (no external resources).
 - ``fig1``   — render the paper's Fig. 1 (or any small list) as an
   ASCII arc diagram, optionally with Fig. 2's bisector.
 - ``resilience`` — inject processor crashes / memory bit-flips /
@@ -235,6 +241,84 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .telemetry import (
+        RunRecord,
+        append_record,
+        chrome_trace_events,
+        machine_trace_events,
+        profile_matching,
+        write_chrome_trace,
+        write_prometheus,
+    )
+    from .telemetry.sinks import json_default
+    import repro.baselines  # noqa: F401  (registers baselines)
+    import json
+
+    lst = _make_list(args.n, args.layout, args.seed)
+    kwargs = {}
+    if args.algorithm == "match4":
+        kwargs["iterations"] = args.i
+    machine_trace = (args.machine_n > 0
+                     and args.algorithm in ("match1", "match4"))
+    machine_list = None
+    if machine_trace and args.machine_n < args.n:
+        machine_list = _make_list(args.machine_n, args.layout, args.seed)
+
+    run = profile_matching(
+        lst, algorithm=args.algorithm, backend=args.backend, p=args.p,
+        machine_trace=machine_trace, machine_list=machine_list, **kwargs,
+    )
+    profile = run.profile.validate()
+    print(profile.summary())
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    events = chrome_trace_events(run.spans)
+    if run.machine_report is not None:
+        events += machine_trace_events(run.machine_report)
+    trace_path = write_chrome_trace(
+        out / "trace.json", events,
+        metadata={"algorithm": args.algorithm, "backend": args.backend,
+                  "n": args.n, "p": args.p, "seed": args.seed},
+    )
+    profile_path = out / "profile.json"
+    profile_path.write_text(
+        json.dumps(profile.to_dict(), indent=2, default=json_default) + "\n",
+        encoding="utf-8")
+    prom_path = write_prometheus(out / "metrics.prom")
+    record = RunRecord.from_result(
+        run.result, seed=args.seed, wall_s=profile.wall_s,
+        layout=args.layout,
+        utilization=profile.utilization,
+        occupancy=[list(row) for row in profile.occupancy]
+        if profile.occupancy is not None else None,
+    )
+    manifest_path = append_record(out / "runs.jsonl", record)
+    print("written   :")
+    for p in (trace_path, profile_path, prom_path, manifest_path):
+        print(f"  {p}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .telemetry import read_records, write_report
+
+    records = read_records(args.manifests[-1])
+    baseline = None
+    if len(args.manifests) > 1:
+        baseline = []
+        for path in args.manifests[:-1]:
+            baseline.extend(read_records(path))
+    path = write_report(args.out, records, baseline=baseline,
+                        title=args.title)
+    print(f"report    : {path} ({len(records)} record(s))")
+    return 0
+
+
 def _parse_fault_specs(args: argparse.Namespace):
     """Build a FaultPlan from --crash-at / --flip / --drop-write specs."""
     from .pram.faults import BitFlip, DroppedWrite, FaultPlan, ProcessorCrash
@@ -438,6 +522,42 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--n", type=int, default=2048)
     sc.add_argument("--seed", type=int, default=0)
     sc.set_defaults(fn=_cmd_selfcheck)
+
+    pf = sub.add_parser(
+        "profile",
+        help="profile one run: Perfetto trace + profile JSON + "
+             "Prometheus metrics + RunRecord manifest",
+    )
+    pf.add_argument("algorithm", nargs="?", default="match4",
+                    choices=["match1", "match2", "match3", "match4",
+                             "sequential", "random_mate"])
+    pf.add_argument("--n", type=int, default=1 << 12,
+                    help="list size (default 4096)")
+    pf.add_argument("--p", type=int, default=256)
+    pf.add_argument("--layout", default="random", choices=LAYOUT_CHOICES)
+    pf.add_argument("--seed", type=int, default=0)
+    pf.add_argument("--backend", default="reference",
+                    choices=backend_names())
+    pf.add_argument("--i", type=int, default=2,
+                    help="Match4's iterations parameter")
+    pf.add_argument("--machine-n", type=int, default=96, metavar="N",
+                    help="size of the traced instruction-level twin "
+                         "(0 disables; only match1/match4 have one)")
+    pf.add_argument("--out", default="prof", metavar="DIR",
+                    help="output directory (default prof/)")
+    pf.set_defaults(fn=_cmd_profile)
+
+    rp = sub.add_parser(
+        "report",
+        help="render RunRecord JSONL manifest(s) to a static HTML "
+             "dashboard",
+    )
+    rp.add_argument("manifests", nargs="+", metavar="MANIFEST",
+                    help="RunRecord JSONL file(s); with several, the "
+                         "last is current and the rest are the baseline")
+    rp.add_argument("--out", default="report.html", metavar="PATH")
+    rp.add_argument("--title", default="repro run report")
+    rp.set_defaults(fn=_cmd_report)
 
     rz = sub.add_parser(
         "resilience",

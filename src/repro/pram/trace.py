@@ -11,14 +11,19 @@ this module turns that record into ASCII diagrams:
   per-cell total ("which cells are hot").
 - :func:`utilization` — the fraction of processor-steps doing memory
   work, the simplest one-number summary of a schedule's quality.
+
+All three renderers take the same ``step_range``/``max_steps`` window,
+so a profiler can ask each of them about the *same* slice of a run
+(``repro.telemetry.profiling`` relies on this).
 """
 
 from __future__ import annotations
 
 from .._util import require
-from .machine import MachineReport
+from .machine import MachineReport, StepTrace
 
-__all__ = ["processor_activity", "memory_heat", "utilization"]
+__all__ = ["processor_activity", "memory_heat", "utilization",
+           "select_steps"]
 
 
 def _require_trace(report: MachineReport) -> None:
@@ -26,6 +31,30 @@ def _require_trace(report: MachineReport) -> None:
         raise ValueError(
             "this report has no trace; launch the run with trace=True"
         )
+
+
+def select_steps(
+    report: MachineReport,
+    *,
+    step_range: tuple[int, int] | None = None,
+    max_steps: int | None = None,
+) -> list[StepTrace]:
+    """The traced steps inside the requested window.
+
+    ``step_range`` is inclusive 1-based ``(lo, hi)`` (default: the
+    whole run); ``max_steps`` additionally clips the window to its
+    first ``max_steps`` steps.  Every renderer in this module — and
+    the profiler's occupancy grid — windows through this one helper,
+    so their notions of "the same slice" agree.
+    """
+    _require_trace(report)
+    assert report.trace is not None
+    lo, hi = step_range if step_range else (1, max(report.steps, 1))
+    require(1 <= lo <= hi, "invalid step range")
+    if max_steps is not None:
+        require(max_steps >= 1, "max_steps must be >= 1")
+        hi = min(hi, lo + max_steps - 1)
+    return [t for t in report.trace if lo <= t.step <= hi]
 
 
 def processor_activity(
@@ -41,11 +70,8 @@ def processor_activity(
     write, ``.`` idle.  Clipped to ``max_procs`` rows and ``max_steps``
     columns (or the explicit ``step_range``).
     """
-    _require_trace(report)
-    assert report.trace is not None
-    lo, hi = step_range if step_range else (1, report.steps)
-    require(1 <= lo <= hi, "invalid step range")
-    steps = [t for t in report.trace if lo <= t.step <= min(hi, lo + max_steps - 1)]
+    steps = select_steps(report, step_range=step_range, max_steps=max_steps)
+    lo = step_range[0] if step_range else 1
     nproc = min(report.nprocs, max_procs)
     rows = []
     header = f"processor activity, steps {lo}..{steps[-1].step if steps else lo}"
@@ -65,16 +91,26 @@ def processor_activity(
     return "\n".join(rows)
 
 
-def memory_heat(report: MachineReport, *, buckets: int = 64) -> str:
+def memory_heat(
+    report: MachineReport,
+    *,
+    buckets: int = 64,
+    step_range: tuple[int, int] | None = None,
+    max_steps: int | None = None,
+) -> str:
     """Per-cell access totals folded into ``buckets`` address buckets,
-    rendered as a bar chart."""
-    _require_trace(report)
-    assert report.trace is not None
+    rendered as a bar chart.
+
+    The optional ``step_range``/``max_steps`` window restricts the
+    count to those steps (same semantics as
+    :func:`processor_activity`); the default covers the whole run.
+    """
+    steps = select_steps(report, step_range=step_range, max_steps=max_steps)
     size = report.memory.size
     require(buckets >= 1, "need at least one bucket")
     buckets = min(buckets, size)
     counts = [0] * buckets
-    for t in report.trace:
+    for t in steps:
         for addr in t.reads.values():
             counts[addr * buckets // size] += 1
         for addr, _ in t.writes.values():
@@ -90,16 +126,23 @@ def memory_heat(report: MachineReport, *, buckets: int = 64) -> str:
     return "\n".join(lines)
 
 
-def utilization(report: MachineReport) -> float:
+def utilization(
+    report: MachineReport,
+    *,
+    step_range: tuple[int, int] | None = None,
+    max_steps: int | None = None,
+) -> float:
     """Fraction of processor-steps that touched memory.
 
     1.0 would mean every processor did useful memory work every step;
-    idle padding (lockstep alignment, pipeline ramps) lowers it.
+    idle padding (lockstep alignment, pipeline ramps) lowers it.  With
+    a ``step_range``/``max_steps`` window the fraction is computed over
+    the windowed steps only (same semantics as
+    :func:`processor_activity`).
     """
-    _require_trace(report)
-    assert report.trace is not None
-    total = report.steps * report.nprocs
+    steps = select_steps(report, step_range=step_range, max_steps=max_steps)
+    total = len(steps) * report.nprocs
     if total == 0:
         return 0.0
-    busy = sum(len(t.reads) + len(t.writes) for t in report.trace)
+    busy = sum(len(t.reads) + len(t.writes) for t in steps)
     return busy / total

@@ -3,8 +3,9 @@
 ``run_selfcheck()`` exercises every major subsystem on deterministic
 workloads — matching algorithms (both tiers), the vectorized numpy
 backend, ranking, coloring, MIS, rings, forests, the PRAM memory
-discipline, fault-injection recovery, and the telemetry
-span/RunRecord round-trip — and reports each check's
+discipline, fault-injection recovery, the telemetry span/RunRecord
+round-trip, and the profiler's structural invariants — and reports
+each check's
 outcome instead of stopping at the first failure.  The CLI
 exposes it as ``python -m repro selfcheck``; it is also what a
 downstream user should run after installing into a new environment.
@@ -232,6 +233,24 @@ def run_selfcheck(*, n: int = 2048, seed: int = 0) -> SelfCheckReport:
         spans = len(sink.spans)
         return f"{spans} spans captured, JSONL round-trip exact"
 
+    def check_profiling() -> str:
+        from repro.telemetry import profile_matching
+
+        tiny = repro.random_list(96, rng=seed + 6)
+        run = profile_matching(tiny, algorithm="match4",
+                               machine_trace=True)
+        prof = run.profile.validate()
+        assert prof.wall_s is not None and prof.wall_s > 0, \
+            "no root span captured"
+        assert prof.phases, "no phases profiled"
+        assert prof.phase_wall_s <= prof.wall_s * (1 + 1e-6), \
+            "phase wall-clock exceeds the root span"
+        assert prof.utilization is not None \
+            and 0.0 <= prof.utilization <= 1.0, "utilization out of range"
+        assert prof.occupancy, "no occupancy grid"
+        return (f"{len(prof.phases)} phases correlated, "
+                f"utilization {prof.utilization:.3f}")
+
     _check(report, "matching algorithms (6) maximal", check_algorithms)
     _check(report, "instruction-level tier identical", check_instruction_tier)
     _check(report, "numpy backend equivalence", check_backends)
@@ -244,4 +263,5 @@ def run_selfcheck(*, n: int = 2048, seed: int = 0) -> SelfCheckReport:
     _check(report, "list prefix sums", check_prefix)
     _check(report, "fault injection + recovery", check_fault_recovery)
     _check(report, "telemetry round-trip", check_telemetry)
+    _check(report, "profiler invariants", check_profiling)
     return report

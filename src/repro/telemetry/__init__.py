@@ -49,6 +49,25 @@ from .spans import (
     span,
 )
 
+# Imported after the core modules: profiling/export/report_html build on
+# everything above (and reach into repro.pram lazily, inside functions).
+from .export import (  # noqa: E402
+    chrome_trace_events,
+    machine_trace_events,
+    prometheus_exposition,
+    write_chrome_trace,
+    write_prometheus,
+)
+from .profiling import (  # noqa: E402
+    PhaseProfile,
+    ProfileReport,
+    ProfiledRun,
+    build_profile,
+    occupancy_grid,
+    profile_matching,
+)
+from .report_html import diff_records, render_report, write_report  # noqa: E402
+
 __all__ = [
     # spans
     "Span", "Tracer", "span", "event", "enabled", "configure", "disable",
@@ -60,6 +79,14 @@ __all__ = [
     # run records
     "SCHEMA_VERSION", "RunRecord", "append_record", "write_records",
     "read_records",
+    # profiler
+    "PhaseProfile", "ProfileReport", "ProfiledRun", "build_profile",
+    "occupancy_grid", "profile_matching",
+    # exporters
+    "chrome_trace_events", "machine_trace_events", "write_chrome_trace",
+    "prometheus_exposition", "write_prometheus",
+    # HTML report
+    "render_report", "write_report", "diff_records",
 ]
 
 

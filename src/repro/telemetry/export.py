@@ -1,0 +1,310 @@
+"""Standard-format exporters: Chrome Trace Event JSON and Prometheus.
+
+Two interchange formats on top of the in-process telemetry:
+
+- **Chrome Trace Event JSON** (``chrome://tracing`` / Perfetto):
+  :func:`chrome_trace_events` renders a captured span tree as complete
+  (``"ph": "X"``) events — one track (``tid``) per nesting level, so
+  the phase structure reads as a flame chart — and
+  :func:`machine_trace_events` renders an instruction-level PRAM
+  memory trace as one track per processor with per-step read/write
+  slices and merged idle slices (Lemma 7's pipelined diagonal is
+  directly visible in Perfetto).  :func:`write_chrome_trace` wraps
+  any event collection in the JSON object container format.
+
+- **Prometheus text exposition**: :func:`prometheus_exposition`
+  renders the :class:`~repro.telemetry.metrics.MetricsRegistry` in the
+  text format scrapers ingest — counters as ``*_total``, gauges as-is,
+  histograms as summaries with ``quantile`` labels (p50/p95/p99) plus
+  ``_sum``/``_count``.
+
+Timestamps in trace events are microseconds (the Trace Event schema's
+unit), relative to the earliest span so traces from different runs
+align at zero.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .sinks import json_default
+from .spans import Span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from ..pram.machine import MachineReport
+
+__all__ = [
+    "chrome_trace_events",
+    "machine_trace_events",
+    "write_chrome_trace",
+    "prometheus_exposition",
+    "write_prometheus",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce one attribute value into a JSON-native type."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return json_default(value)
+
+
+# -- Chrome Trace Event JSON ------------------------------------------------
+
+#: ``pid`` of the span-tree tracks in exported traces.
+SPAN_PID = 1
+#: ``pid`` of the PRAM machine tracks in exported traces.
+MACHINE_PID = 2
+
+
+def chrome_trace_events(
+    spans: Sequence[Span],
+    *,
+    pid: int = SPAN_PID,
+    origin: float | None = None,
+) -> list[dict[str, Any]]:
+    """Render captured spans as Trace Event dicts (one track per depth).
+
+    Spans with a duration become complete events (``"ph": "X"``);
+    zero-duration spans (:func:`repro.telemetry.event`) become instant
+    events (``"ph": "i"``).  ``tid`` is the span's nesting depth, so
+    ``chrome://tracing`` lays the tree out as a flame chart.  ``args``
+    carries the span's attributes, status, and ids.
+
+    ``origin`` overrides the timestamp zero (default: earliest span
+    start), letting span and machine tracks share one timeline.
+    """
+    spans = [s for s in spans if s.end is not None]
+    if not spans:
+        return []
+    if origin is None:
+        origin = min(s.start for s in spans)
+    by_id = {s.span_id: s for s in spans}
+
+    def depth_of(s: Span) -> int:
+        d = 0
+        cur = s
+        while cur.parent_id is not None and cur.parent_id in by_id:
+            cur = by_id[cur.parent_id]
+            d += 1
+        return d
+
+    events: list[dict[str, Any]] = []
+    max_depth = 0
+    for s in sorted(spans, key=lambda s: (s.start, s.span_id)):
+        depth = depth_of(s)
+        max_depth = max(max_depth, depth)
+        args = {
+            "span_id": s.span_id,
+            "parent_id": s.parent_id,
+            "status": s.status,
+        }
+        args.update({k: _jsonable(v) for k, v in s.attributes.items()})
+        base = {
+            "name": s.name,
+            "cat": "span",
+            "ts": round((s.start - origin) * 1e6, 3),
+            "pid": pid,
+            "tid": depth,
+            "args": args,
+        }
+        if s.duration == 0.0:
+            events.append({**base, "ph": "i", "s": "t"})
+        else:
+            events.append({
+                **base, "ph": "X", "dur": round(s.duration * 1e6, 3),
+            })
+    events.append(_meta("process_name", pid, 0, name="repro spans"))
+    for depth in range(max_depth + 1):
+        events.append(_meta("thread_name", pid, depth,
+                            name=f"span depth {depth}"))
+    return events
+
+
+def machine_trace_events(
+    report: "MachineReport",
+    *,
+    pid: int = MACHINE_PID,
+    max_procs: int = 64,
+    step_range: tuple[int, int] | None = None,
+    max_steps: int | None = None,
+    step_us: float = 1.0,
+) -> list[dict[str, Any]]:
+    """Render a PRAM memory trace as one Trace Event track per processor.
+
+    Each traced step becomes a ``step_us``-wide slice on the issuing
+    processor's track — ``read`` / ``write`` slices carry the address
+    (and written value) in ``args``; runs of consecutive idle steps
+    merge into single ``idle`` slices so the schedule's pipeline
+    bubbles stay visible without bloating the file.  Windowing
+    (``step_range`` / ``max_steps``) matches the
+    :mod:`repro.pram.trace` renderers.
+    """
+    from ..pram.trace import select_steps
+
+    steps = select_steps(report, step_range=step_range, max_steps=max_steps)
+    nproc = min(report.nprocs, max_procs)
+    events: list[dict[str, Any]] = [
+        _meta("process_name", pid, 0, name="pram machine"),
+    ]
+    for proc in range(nproc):
+        events.append(_meta("thread_name", pid, proc, name=f"P{proc}"))
+    for proc in range(nproc):
+        idle_from: int | None = None
+
+        def flush_idle(upto: int) -> None:
+            nonlocal idle_from
+            if idle_from is None:
+                return
+            events.append({
+                "name": "idle",
+                "cat": "pram",
+                "ph": "X",
+                "ts": round(idle_from * step_us, 3),
+                "dur": round((upto - idle_from) * step_us, 3),
+                "pid": pid,
+                "tid": proc,
+                "args": {},
+            })
+            idle_from = None
+
+        for idx, t in enumerate(steps):
+            if proc in t.writes:
+                flush_idle(idx)
+                addr, value = t.writes[proc]
+                events.append({
+                    "name": "write", "cat": "pram", "ph": "X",
+                    "ts": round(idx * step_us, 3),
+                    "dur": round(step_us, 3),
+                    "pid": pid, "tid": proc,
+                    "args": {"step": t.step, "addr": addr, "value": value},
+                })
+            elif proc in t.reads:
+                flush_idle(idx)
+                events.append({
+                    "name": "read", "cat": "pram", "ph": "X",
+                    "ts": round(idx * step_us, 3),
+                    "dur": round(step_us, 3),
+                    "pid": pid, "tid": proc,
+                    "args": {"step": t.step, "addr": t.reads[proc]},
+                })
+            elif idle_from is None:
+                idle_from = idx
+        flush_idle(len(steps))
+    if report.nprocs > nproc:
+        events.append(_meta(
+            "process_labels", pid, 0,
+            labels=f"{report.nprocs - nproc} more processors clipped"))
+    return events
+
+
+def _meta(event_name: str, pid: int, tid: int, **args: Any) -> dict[str, Any]:
+    return {"name": event_name, "ph": "M", "pid": pid, "tid": tid,
+            "args": args}
+
+
+def write_chrome_trace(
+    path,
+    events: Iterable[dict[str, Any]],
+    *,
+    metadata: Mapping[str, Any] | None = None,
+) -> Path:
+    """Write events in the JSON *object* container format.
+
+    The container (``{"traceEvents": [...], ...}``) is what
+    ``chrome://tracing`` and Perfetto both accept; ``metadata`` lands
+    in ``otherData``.
+    """
+    from .._buildinfo import build_info
+
+    payload = {
+        "traceEvents": list(events),
+        "displayTimeUnit": "ms",
+        "otherData": {**build_info(), **(metadata or {})},
+    }
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(payload, default=json_default) + "\n",
+                 encoding="utf-8")
+    return p
+
+
+# -- Prometheus text exposition ---------------------------------------------
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    out = prefix + _NAME_RE.sub("_", name)
+    if out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_value(value: Any) -> str:
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_exposition(
+    registry: MetricsRegistry = METRICS,
+    *,
+    prefix: str = "repro_",
+) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4).
+
+    Counters are exported as ``<name>_total``, gauges as-is (unset
+    gauges are skipped — Prometheus has no "never written" value),
+    histograms as summaries: ``quantile`` labels for p50/p95/p99 plus
+    ``_sum`` and ``_count`` children.  Metric names are sanitized to
+    the ``[a-zA-Z0-9_:]`` alphabet and prefixed.
+    """
+    lines: list[str] = []
+    for name, metric in registry.items():
+        if isinstance(metric, Counter):
+            base = _prom_name(name, prefix) + "_total"
+            lines.append(f"# HELP {base} repro counter {name}")
+            lines.append(f"# TYPE {base} counter")
+            lines.append(f"{base} {_prom_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            if metric.value is None:
+                continue
+            base = _prom_name(name, prefix)
+            lines.append(f"# HELP {base} repro gauge {name}")
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {_prom_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            base = _prom_name(name, prefix)
+            lines.append(f"# HELP {base} repro summary {name}")
+            lines.append(f"# TYPE {base} summary")
+            for label, q in (("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)):
+                value = metric.quantile(q)
+                if value is not None:
+                    lines.append(
+                        f'{base}{{quantile="{label}"}} {_prom_value(value)}')
+            lines.append(f"{base}_sum {_prom_value(metric.total)}")
+            lines.append(f"{base}_count {_prom_value(metric.count)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(
+    path,
+    registry: MetricsRegistry = METRICS,
+    *,
+    prefix: str = "repro_",
+) -> Path:
+    """Write the exposition to ``path`` (e.g. for node_exporter's
+    textfile collector)."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(prometheus_exposition(registry, prefix=prefix),
+                 encoding="utf-8")
+    return p

@@ -6,9 +6,12 @@ metric objects of its own; it asks the registry by name, so a metric
 exists exactly when something incremented it and ``snapshot()`` shows
 only what actually ran.
 
-Histograms keep summary statistics (count / total / min / max), not
-samples: enough for "wall-clock per phase" and "batch sizes" without
-unbounded memory.  Everything here is deliberately dependency-free and
+Histograms keep summary statistics (count / total / min / max) plus a
+*bounded* sample reservoir for quantiles (p50/p95/p99): enough for
+"wall-clock per phase" and "batch sizes" without unbounded memory.
+The reservoir is deterministic — replacement uses a per-histogram
+seeded PRNG — so snapshots of identical observation sequences are
+identical.  Everything here is deliberately dependency-free and
 cheap; the *zero*-overhead guarantee for disabled telemetry lives in
 :mod:`repro.telemetry.spans` (instrumented call sites check the global
 enabled flag before touching the registry).
@@ -16,6 +19,7 @@ enabled flag before touching the registry).
 
 from __future__ import annotations
 
+import random
 from typing import Any, Dict
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS"]
@@ -56,9 +60,19 @@ class Gauge:
 
 
 class Histogram:
-    """Summary statistics of an observed distribution."""
+    """Summary statistics + bounded quantile reservoir of a distribution.
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum")
+    Up to :data:`SAMPLE_CAP` observations are kept verbatim (quantiles
+    are then exact); beyond that, classic reservoir sampling with a
+    per-histogram seeded PRNG keeps a uniform — and deterministic —
+    sample of everything seen.
+    """
+
+    #: Reservoir size: quantiles are exact up to this many observations.
+    SAMPLE_CAP = 2048
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum",
+                 "_samples", "_rng")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -66,6 +80,8 @@ class Histogram:
         self.total = 0.0
         self.minimum: float | None = None
         self.maximum: float | None = None
+        self._samples: list[float] = []
+        self._rng = random.Random(0)
 
     def observe(self, value: int | float) -> None:
         value = float(value)
@@ -73,10 +89,39 @@ class Histogram:
         self.total += value
         self.minimum = value if self.minimum is None else min(self.minimum, value)
         self.maximum = value if self.maximum is None else max(self.maximum, value)
+        if len(self._samples) < self.SAMPLE_CAP:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.SAMPLE_CAP:
+                self._samples[slot] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float | None:
+        """Nearest-rank quantile over the reservoir (``None`` if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered) + 0.5) - 1))
+        return ordered[rank]
+
+    def quantiles(self) -> dict[str, float | None]:
+        """The standard p50/p95/p99 summary (``None`` values if empty)."""
+        ordered = sorted(self._samples)
+
+        def at(q: float) -> float | None:
+            if not ordered:
+                return None
+            rank = min(len(ordered) - 1,
+                       max(0, int(q * len(ordered) + 0.5) - 1))
+            return ordered[rank]
+
+        return {"p50": at(0.50), "p95": at(0.95), "p99": at(0.99)}
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -86,6 +131,7 @@ class Histogram:
             "min": self.minimum,
             "max": self.maximum,
             "mean": self.mean,
+            **self.quantiles(),
         }
 
 
@@ -126,6 +172,10 @@ class MetricsRegistry:
             name: self._metrics[name].to_dict()
             for name in sorted(self._metrics)
         }
+
+    def items(self) -> list[tuple[str, Any]]:
+        """``(name, metric)`` pairs sorted by name (exporter access)."""
+        return [(name, self._metrics[name]) for name in sorted(self._metrics)]
 
     def reset(self) -> None:
         """Drop every metric (tests and fresh capture windows)."""

@@ -1,0 +1,431 @@
+"""The PRAM profiler: abstract Brent cost correlated with wall-clock.
+
+A :class:`ProfileReport` answers the three questions a schedule tuner
+asks, in one structured object:
+
+1. **Where does the abstract cost go?**  The exact Brent
+   :class:`~repro.pram.cost.CostReport` phases (time / work / steps),
+   with each phase's share of total PRAM time.
+2. **Where does the wall-clock go?**  Every cost-model phase is also a
+   ``phase.<name>`` span when telemetry is on, so the profiler pairs
+   each :class:`~repro.pram.cost.PhaseCost` with its measured span
+   duration and its share of the root ``maximal_matching`` span.  A
+   phase that is cheap in Brent steps but hot in wall-clock (or vice
+   versa) is exactly the kind of asymmetry this view exposes —
+   Match2's sort dominating, Match4 deleting it.
+3. **How busy is the machine?**  From an instruction-level run's
+   memory trace (``trace=True``), overall utilization plus a
+   processors × step-window *occupancy grid* (fraction of busy
+   processor-steps per cell) — the data behind the HTML report's
+   utilization heatmap and the Perfetto per-processor tracks.
+
+:func:`profile_matching` is the one-shot entry point (used by
+``repro profile`` and the selfcheck): run an algorithm under a scoped
+telemetry capture, optionally run its instruction-level twin traced,
+and correlate everything into a :class:`ProfileReport`.
+
+``ProfileReport.validate()`` asserts the structural invariants the
+thirteenth selfcheck relies on: phase wall-clock sums bounded by the
+root span, utilization and occupancy in ``[0, 1]``, phase Brent times
+bounded by the total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+from .metrics import METRICS
+from .spans import Span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycles)
+    from ..core.result import MatchResult
+    from ..pram.machine import MachineReport
+
+__all__ = [
+    "PhaseProfile",
+    "ProfileReport",
+    "ProfiledRun",
+    "build_profile",
+    "occupancy_grid",
+    "profile_matching",
+]
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """One algorithm phase: exact Brent cost paired with wall-clock.
+
+    ``wall_s`` is ``None`` when no span was captured for the phase
+    (telemetry disabled, or a phase absorbed from a sub-run's report).
+    """
+
+    name: str
+    time: int
+    work: int
+    steps: int
+    brent_share: float
+    wall_s: float | None = None
+    wall_share: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "time": self.time,
+            "work": self.work,
+            "steps": self.steps,
+            "brent_share": self.brent_share,
+            "wall_s": self.wall_s,
+            "wall_share": self.wall_share,
+        }
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Structured profile of one run (see module docstring).
+
+    Attributes
+    ----------
+    algorithm / backend / n / p:
+        Workload identity.
+    time / work:
+        Brent totals from the :class:`CostReport`.
+    wall_s:
+        Root-span (``maximal_matching``) wall-clock, ``None`` if no
+        root span was captured.
+    phases:
+        Per-phase Brent cost + wall-clock correlation, in order.
+    phase_wall_s:
+        Wall-clock summed over *top-level* phase spans (nested phases
+        excluded, so the sum is comparable to ``wall_s``).
+    utilization / machine_steps / machine_procs / occupancy:
+        Instruction-level machine statistics when a traced machine run
+        was profiled (else ``None``); ``occupancy`` is the
+        processors × step-window busy-fraction grid.
+    span_quantiles:
+        ``span.<name>.seconds`` p50/p95/p99 from the metrics registry,
+        keyed by span name.
+    """
+
+    algorithm: str
+    backend: str
+    n: int
+    p: int
+    time: int
+    work: int
+    wall_s: float | None
+    phases: tuple[PhaseProfile, ...]
+    phase_wall_s: float | None = None
+    utilization: float | None = None
+    machine_steps: int | None = None
+    machine_procs: int | None = None
+    occupancy: tuple[tuple[float, ...], ...] | None = None
+    span_quantiles: Mapping[str, Mapping[str, float | None]] = \
+        field(default_factory=dict)
+
+    # -- invariants ----------------------------------------------------
+
+    def validate(self) -> "ProfileReport":
+        """Check structural invariants; returns ``self`` if they hold.
+
+        Raises ``ValueError`` on the first violation.  Invariants:
+
+        - phase Brent times sum to at most the total Brent time;
+        - top-level phase wall-clock sums to at most the root span's
+          wall-clock (within float tolerance);
+        - utilization and every occupancy cell lie in ``[0, 1]``;
+        - every share lies in ``[0, 1]``.
+        """
+        def check(ok: bool, what: str) -> None:
+            if not ok:
+                raise ValueError(f"profile invariant violated: {what}")
+
+        check(sum(ph.time for ph in self.phases) <= self.time,
+              "phase Brent times exceed the run total")
+        check(sum(ph.work for ph in self.phases) <= self.work,
+              "phase Brent work exceeds the run total")
+        for ph in self.phases:
+            check(0.0 <= ph.brent_share <= 1.0,
+                  f"phase {ph.name!r} brent_share outside [0, 1]")
+            if ph.wall_share is not None:
+                check(0.0 <= ph.wall_share <= 1.0 + 1e-9,
+                      f"phase {ph.name!r} wall_share outside [0, 1]")
+        if self.wall_s is not None and self.phase_wall_s is not None:
+            check(self.phase_wall_s <= self.wall_s * (1.0 + 1e-6) + 1e-9,
+                  "phase wall-clock sum exceeds the root span")
+        if self.utilization is not None:
+            check(0.0 <= self.utilization <= 1.0,
+                  "utilization outside [0, 1]")
+        for row in self.occupancy or ():
+            for cell in row:
+                check(0.0 <= cell <= 1.0, "occupancy cell outside [0, 1]")
+        return self
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "backend": self.backend,
+            "n": self.n,
+            "p": self.p,
+            "time": self.time,
+            "work": self.work,
+            "wall_s": self.wall_s,
+            "phase_wall_s": self.phase_wall_s,
+            "phases": [ph.to_dict() for ph in self.phases],
+            "utilization": self.utilization,
+            "machine_steps": self.machine_steps,
+            "machine_procs": self.machine_procs,
+            "occupancy": [list(row) for row in self.occupancy]
+            if self.occupancy is not None else None,
+            "span_quantiles": {k: dict(v)
+                               for k, v in self.span_quantiles.items()},
+        }
+
+    def summary(self) -> str:
+        """Human-readable profile table (what ``repro profile`` prints)."""
+        def ms(v: float | None) -> str:
+            return "      -" if v is None else f"{v * 1e3:7.3f}"
+
+        def pct(v: float | None) -> str:
+            return "    -" if v is None else f"{v * 100:4.1f}%"
+
+        lines = [
+            f"profile   : {self.algorithm}/{self.backend} "
+            f"n={self.n} p={self.p}",
+            f"Brent     : time={self.time} work={self.work} "
+            f"({self.work / max(self.n, 1):.2f}/node)",
+            f"wall      : {ms(self.wall_s)} ms root span",
+        ]
+        if self.phases:
+            lines.append(
+                f"  {'phase':<14} {'time':>8} {'share':>6} "
+                f"{'wall_ms':>8} {'share':>6}"
+            )
+            for ph in self.phases:
+                lines.append(
+                    f"  {ph.name:<14} {ph.time:>8} {pct(ph.brent_share):>6} "
+                    f"{ms(ph.wall_s):>8} {pct(ph.wall_share):>6}"
+                )
+        if self.utilization is not None:
+            lines.append(
+                f"machine   : {self.machine_procs} procs x "
+                f"{self.machine_steps} EREW steps, "
+                f"utilization {self.utilization:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def occupancy_grid(
+    report: "MachineReport",
+    *,
+    max_procs: int = 64,
+    step_buckets: int = 32,
+    step_range: tuple[int, int] | None = None,
+) -> tuple[tuple[float, ...], ...]:
+    """Processors × step-window busy fractions from a machine trace.
+
+    Each cell is the fraction of that processor's steps inside the
+    window bucket that issued a read or write — the data behind the
+    utilization heatmap.  Windowing matches the
+    :mod:`repro.pram.trace` renderers (``step_range`` semantics are
+    shared via :func:`repro.pram.trace.select_steps`).
+    """
+    from ..pram.trace import select_steps
+
+    steps = select_steps(report, step_range=step_range)
+    nproc = min(report.nprocs, max_procs)
+    if not steps or nproc == 0:
+        return ()
+    buckets = min(step_buckets, len(steps))
+    busy = [[0] * buckets for _ in range(nproc)]
+    width = [0] * buckets
+    for idx, t in enumerate(steps):
+        b = idx * buckets // len(steps)
+        width[b] += 1
+        for pid in t.reads:
+            if pid < nproc:
+                busy[pid][b] += 1
+        for pid in t.writes:
+            if pid < nproc:
+                busy[pid][b] += 1
+    return tuple(
+        tuple(round(busy[pid][b] / width[b], 4) if width[b] else 0.0
+              for b in range(buckets))
+        for pid in range(nproc)
+    )
+
+
+def _span_quantiles(names: Iterable[str]) -> dict[str, dict[str, float | None]]:
+    """p50/p95/p99 of each ``span.<name>.seconds`` histogram present."""
+    out: dict[str, dict[str, float | None]] = {}
+    for name in sorted(set(names)):
+        metric = f"span.{name}.seconds"
+        if metric in METRICS:
+            out[name] = METRICS.histogram(metric).quantiles()
+    return out
+
+
+def build_profile(
+    result: "MatchResult",
+    spans: Sequence[Span],
+    *,
+    machine_report: "MachineReport | None" = None,
+) -> ProfileReport:
+    """Correlate a run's :class:`CostReport` with its captured spans.
+
+    ``spans`` is what a :class:`~repro.telemetry.InMemorySink` collected
+    around the run (finish order).  Phases pair with ``phase.<name>``
+    spans positionally per name — the cost model emits them in
+    execution order, so the k-th ``phase.sort`` span is the k-th
+    ``sort`` phase.  Phases absorbed from sub-runs may outnumber the
+    spans; they simply get no wall-clock.
+    """
+    report = result.report
+    n = int(result.matching.lst.n)
+
+    root = next((s for s in spans if s.name == "maximal_matching"), None)
+    wall_s = root.duration if root is not None else None
+
+    phase_spans: dict[str, list[Span]] = {}
+    phase_ids = set()
+    for s in spans:
+        if s.name.startswith("phase."):
+            phase_spans.setdefault(s.name[len("phase."):], []).append(s)
+            phase_ids.add(s.span_id)
+    # Top-level phase spans only (a nested phase's wall-clock is
+    # already inside its parent's), so the sum is comparable to the
+    # root span.
+    top_wall = sum(
+        s.duration
+        for lst in phase_spans.values()
+        for s in lst
+        if s.parent_id not in phase_ids
+    )
+    phase_wall_s = top_wall if phase_spans else None
+
+    taken: dict[str, int] = {}
+    phases = []
+    for ph in report.phases:
+        k = taken.get(ph.name, 0)
+        taken[ph.name] = k + 1
+        sp = None
+        if ph.name in phase_spans and k < len(phase_spans[ph.name]):
+            sp = phase_spans[ph.name][k]
+        ph_wall = sp.duration if sp is not None else None
+        phases.append(PhaseProfile(
+            name=ph.name,
+            time=int(ph.time),
+            work=int(ph.work),
+            steps=int(ph.steps),
+            brent_share=ph.time / report.time if report.time else 0.0,
+            wall_s=ph_wall,
+            wall_share=(ph_wall / wall_s
+                        if ph_wall is not None and wall_s else None),
+        ))
+
+    util = steps = procs = grid = None
+    if machine_report is not None and machine_report.trace is not None:
+        from ..pram.trace import utilization as machine_utilization
+
+        util = machine_utilization(machine_report)
+        steps = machine_report.steps
+        procs = machine_report.nprocs
+        grid = occupancy_grid(machine_report)
+
+    return ProfileReport(
+        algorithm=result.algorithm,
+        backend=result.backend,
+        n=n,
+        p=int(report.p),
+        time=int(report.time),
+        work=int(report.work),
+        wall_s=wall_s,
+        phases=tuple(phases),
+        phase_wall_s=phase_wall_s,
+        utilization=util,
+        machine_steps=steps,
+        machine_procs=procs,
+        occupancy=grid,
+        span_quantiles=_span_quantiles(
+            s.name for s in spans if s.end is not None),
+    )
+
+
+@dataclass(frozen=True)
+class ProfiledRun:
+    """Everything one :func:`profile_matching` call produced."""
+
+    profile: ProfileReport
+    result: "MatchResult"
+    spans: tuple[Span, ...]
+    metrics: Mapping[str, Mapping[str, Any]]
+    machine_report: "MachineReport | None" = None
+
+
+def profile_matching(
+    lst,
+    *,
+    algorithm: str = "match4",
+    backend: str = "reference",
+    p: int = 256,
+    machine_trace: bool = False,
+    machine_list=None,
+    **kwargs: Any,
+) -> ProfiledRun:
+    """Profile one maximal-matching run end-to-end.
+
+    Runs :func:`repro.maximal_matching` under a scoped telemetry
+    capture (phase spans + metrics), and — with ``machine_trace`` —
+    additionally runs the *instruction-level* twin (``run_match1`` /
+    ``run_match4``, EREW, ``trace=True``) to measure real machine
+    utilization and the occupancy grid.  ``machine_list`` substitutes a
+    smaller list for the machine run (the lockstep simulator is
+    orders of magnitude slower than the vectorized tiers, so profiling
+    a large ``lst`` with a small machine twin is the normal mode).
+
+    Returns a :class:`ProfiledRun`; its ``profile`` has been built but
+    **not** validated — call ``profile.validate()`` to assert the
+    invariants.
+    """
+    from . import capture
+    from ..core.maximal_matching import maximal_matching
+
+    machine_report = None
+    with capture() as sink:
+        result = maximal_matching(
+            lst, algorithm=algorithm, backend=backend, p=p, **kwargs)
+        if machine_trace:
+            machine_report = _run_machine_twin(
+                machine_list if machine_list is not None else lst,
+                algorithm, kwargs)
+        spans = tuple(sink.spans)
+        metrics = METRICS.snapshot()
+        profile = build_profile(
+            result, spans, machine_report=machine_report)
+    return ProfiledRun(
+        profile=profile,
+        result=result,
+        spans=spans,
+        metrics=metrics,
+        machine_report=machine_report,
+    )
+
+
+def _run_machine_twin(lst, algorithm: str, kwargs: Mapping[str, Any]):
+    """Traced instruction-level run of ``algorithm`` (match1/match4)."""
+    from ..pram.algorithms import run_match1, run_match4
+
+    if algorithm == "match4":
+        _, report = run_match4(
+            lst, i=int(kwargs.get("iterations", 2)), mode="EREW",
+            trace=True)
+    elif algorithm == "match1":
+        _, report = run_match1(lst, mode="EREW", trace=True)
+    else:
+        raise ValueError(
+            f"machine_trace is only available for the instruction-level "
+            f"algorithms ('match1', 'match4'), not {algorithm!r}"
+        )
+    return report

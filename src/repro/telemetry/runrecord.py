@@ -17,6 +17,7 @@ The cost fields round-trip exactly — ``RunRecord.from_result(r)
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, TYPE_CHECKING
@@ -197,19 +198,36 @@ def write_records(path, records, *, append: bool = False) -> Path:
     return p
 
 
-def read_records(path) -> list[RunRecord]:
+def read_records(path, *, strict: bool = False) -> list[RunRecord]:
     """Load every run record from a JSONL file.
 
     Lines of other types (spans from a :class:`JsonlSink` writing to
     the same file) are skipped, so one telemetry file can hold both.
+
+    Malformed lines — the truncated trailing line a killed writer
+    leaves behind — are *skipped with a* :class:`RuntimeWarning`
+    rather than raised, so an interrupted run's manifest stays
+    readable.  Pass ``strict=True`` to get the old raising behavior
+    (tests that must notice corruption).
     """
     records: list[RunRecord] = []
     with open(path, encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
-            data = json.loads(line)
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if strict:
+                    raise
+                warnings.warn(
+                    f"{path}:{lineno}: skipping malformed/truncated "
+                    f"JSONL line ({exc})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
             if data.get("type", "run") != "run":
                 continue
             records.append(RunRecord.from_dict(data))

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.pram import PRAM, LocalBarrier, Read, Write
-from repro.pram.trace import memory_heat, processor_activity, utilization
+from repro.pram.trace import (
+    memory_heat,
+    processor_activity,
+    select_steps,
+    utilization,
+)
 
 
 def staircase(nprocs):
@@ -117,6 +122,61 @@ class TestRenderers:
         assert 0.0 < u <= 1.0
         # staircase: 8 ops over 5 steps * 4 procs
         assert u == pytest.approx(8 / 20)
+
+
+class TestWindowingSymmetry:
+    """memory_heat and utilization accept the same windows as
+    processor_activity (all three share select_steps)."""
+
+    def test_select_steps_default_is_full_run(self):
+        rep = PRAM(4).run(staircase(4), trace=True)
+        assert select_steps(rep) == list(rep.trace)
+
+    def test_select_steps_range(self):
+        rep = PRAM(6).run(staircase(6), trace=True)
+        steps = select_steps(rep, step_range=(3, 5))
+        assert [t.step for t in steps] == [3, 4, 5]
+
+    def test_select_steps_max_steps_clips(self):
+        rep = PRAM(6).run(staircase(6), trace=True)
+        steps = select_steps(rep, step_range=(2, 7), max_steps=3)
+        assert [t.step for t in steps] == [2, 3, 4]
+
+    @pytest.mark.parametrize("bad", [(0, 3), (5, 2)])
+    def test_select_steps_rejects_invalid(self, bad):
+        rep = PRAM(4).run(staircase(4), trace=True)
+        with pytest.raises(Exception, match="step range"):
+            select_steps(rep, step_range=bad)
+
+    def test_select_steps_requires_trace(self):
+        rep = PRAM(2).run(staircase(2))
+        with pytest.raises(ValueError, match="trace=True"):
+            select_steps(rep)
+
+    def test_utilization_window(self):
+        rep = PRAM(4).run(staircase(4), trace=True)
+        # step 1 of the staircase: only P0 issues (a write)
+        assert utilization(rep, step_range=(1, 1)) == pytest.approx(1 / 4)
+        # full-run value unchanged by the default window
+        assert utilization(rep) == pytest.approx(8 / 20)
+
+    def test_utilization_max_steps(self):
+        rep = PRAM(4).run(staircase(4), trace=True)
+        # first two steps: P0 writes+reads, P1 writes -> 3 ops / 8 slots
+        assert utilization(rep, max_steps=2) == pytest.approx(3 / 8)
+
+    def test_memory_heat_window(self):
+        rep = PRAM(4).run(staircase(4), trace=True)
+        # full run: every cell is touched twice (one write + one read)
+        assert "peak 2" in memory_heat(rep, buckets=4)
+        # last step only: just the last processor's read remains
+        text = memory_heat(rep, buckets=4, step_range=(rep.steps, rep.steps))
+        assert "peak 1" in text
+
+    def test_memory_heat_max_steps_matches_range(self):
+        rep = PRAM(6).run(staircase(6), trace=True)
+        assert memory_heat(rep, buckets=4, max_steps=3) == \
+            memory_heat(rep, buckets=4, step_range=(1, 3))
 
 
 class TestAlgorithmTraces:

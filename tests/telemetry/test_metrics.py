@@ -57,7 +57,43 @@ class TestHistogram:
         assert h.to_dict() == {
             "type": "histogram", "count": 1, "total": 4.0,
             "min": 4.0, "max": 4.0, "mean": 4.0,
+            "p50": 4.0, "p95": 4.0, "p99": 4.0,
         }
+
+    def test_quantiles_exact_below_cap(self):
+        h = Histogram("x")
+        for v in range(1, 101):       # 1..100
+            h.observe(v)
+        q = h.quantiles()
+        assert q == {"p50": 50.0, "p95": 95.0, "p99": 99.0}
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_quantiles_empty(self):
+        h = Histogram("x")
+        assert h.quantiles() == {"p50": None, "p95": None, "p99": None}
+        assert h.quantile(0.5) is None
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="quantile"):
+            Histogram("x").quantile(1.5)
+
+    def test_reservoir_bounded_and_deterministic(self):
+        def fill():
+            h = Histogram("x")
+            for v in range(10 * Histogram.SAMPLE_CAP):
+                h.observe(v)
+            return h
+
+        a, b = fill(), fill()
+        assert len(a._samples) == Histogram.SAMPLE_CAP
+        assert a._samples == b._samples          # seeded reservoir
+        assert a.count == 10 * Histogram.SAMPLE_CAP
+        # quantiles stay plausible estimates of the uniform stream
+        q = a.quantiles()
+        lo, hi = 0, 10 * Histogram.SAMPLE_CAP - 1
+        assert lo <= q["p50"] <= hi
+        assert q["p50"] < q["p95"] <= q["p99"]
 
 
 class TestRegistry:

@@ -1,0 +1,166 @@
+"""Tests for the PRAM profiler: correlation, invariants, occupancy."""
+
+import json
+
+import pytest
+
+import repro
+from repro.telemetry import (
+    METRICS,
+    ProfileReport,
+    PhaseProfile,
+    disable,
+    occupancy_grid,
+    profile_matching,
+)
+from repro.telemetry.sinks import json_default
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    disable()
+    METRICS.reset()
+    yield
+    disable()
+    METRICS.reset()
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    lst = repro.random_list(256, rng=3)
+    return profile_matching(lst, algorithm="match4", machine_trace=True,
+                            machine_list=repro.random_list(64, rng=3))
+
+
+class TestProfileMatching:
+    def test_identity_and_cost_match_result(self, profiled):
+        prof = profiled.profile
+        assert prof.algorithm == "match4"
+        assert prof.backend == "reference"
+        assert prof.n == 256
+        assert prof.time == profiled.result.report.time
+        assert prof.work == profiled.result.report.work
+
+    def test_validates(self, profiled):
+        assert profiled.profile.validate() is profiled.profile
+
+    def test_every_phase_has_wall_clock(self, profiled):
+        prof = profiled.profile
+        assert prof.wall_s is not None and prof.wall_s > 0
+        assert [ph.name for ph in prof.phases] == \
+            [ph.name for ph in profiled.result.report.phases]
+        for ph in prof.phases:
+            assert ph.wall_s is not None and ph.wall_s > 0
+            assert 0.0 <= ph.wall_share <= 1.0
+
+    def test_phase_wall_bounded_by_root(self, profiled):
+        prof = profiled.profile
+        assert prof.phase_wall_s <= prof.wall_s * (1 + 1e-6)
+
+    def test_brent_shares_sum_to_one(self, profiled):
+        prof = profiled.profile
+        assert sum(ph.brent_share for ph in prof.phases) == \
+            pytest.approx(1.0)
+
+    def test_machine_stats_present(self, profiled):
+        prof = profiled.profile
+        assert 0.0 < prof.utilization <= 1.0
+        assert prof.machine_steps > 0
+        assert prof.machine_procs > 0
+        assert prof.occupancy
+        assert all(0.0 <= c <= 1.0 for row in prof.occupancy for c in row)
+
+    def test_span_quantiles_cover_phases(self, profiled):
+        q = profiled.profile.span_quantiles
+        assert "maximal_matching" in q
+        assert "phase.sort" in q
+        assert q["phase.sort"]["p50"] is not None
+
+    def test_no_machine_trace_leaves_machine_fields_none(self):
+        run = profile_matching(repro.random_list(128, rng=0))
+        prof = run.profile.validate()
+        assert prof.utilization is None
+        assert prof.occupancy is None
+        assert run.machine_report is None
+
+    def test_machine_trace_rejects_unsupported_algorithm(self):
+        with pytest.raises(ValueError, match="machine_trace"):
+            profile_matching(repro.random_list(64, rng=0),
+                             algorithm="sequential", machine_trace=True)
+
+    def test_telemetry_left_disabled(self):
+        from repro.telemetry import enabled
+
+        profile_matching(repro.random_list(64, rng=0))
+        assert not enabled()
+
+    def test_to_dict_is_json_ready(self, profiled):
+        text = json.dumps(profiled.profile.to_dict(), default=json_default)
+        data = json.loads(text)
+        assert data["algorithm"] == "match4"
+        assert len(data["phases"]) == len(profiled.profile.phases)
+        assert data["occupancy"]
+
+    def test_summary_mentions_phases_and_machine(self, profiled):
+        text = profiled.profile.summary()
+        assert "match4/reference" in text
+        assert "walkdown1" in text
+        assert "utilization" in text
+
+
+class TestValidateInvariants:
+    def _report(self, **over):
+        base = dict(
+            algorithm="match4", backend="reference", n=8, p=4,
+            time=10, work=20, wall_s=1.0,
+            phases=(PhaseProfile("a", 6, 12, 3, 0.6, 0.4, 0.4),),
+            phase_wall_s=0.4,
+        )
+        base.update(over)
+        return ProfileReport(**base)
+
+    def test_accepts_consistent(self):
+        self._report().validate()
+
+    def test_rejects_phase_time_overflow(self):
+        with pytest.raises(ValueError, match="Brent times"):
+            self._report(time=5).validate()
+
+    def test_rejects_phase_wall_overflow(self):
+        with pytest.raises(ValueError, match="root span"):
+            self._report(phase_wall_s=2.0).validate()
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ValueError, match="utilization"):
+            self._report(utilization=1.5).validate()
+
+    def test_rejects_bad_occupancy_cell(self):
+        with pytest.raises(ValueError, match="occupancy"):
+            self._report(occupancy=((0.5, 2.0),)).validate()
+
+
+class TestOccupancyGrid:
+    def test_staircase_grid(self):
+        from repro.pram import PRAM, LocalBarrier, Read, Write
+
+        def prog(pid, n):
+            for _ in range(pid):
+                yield LocalBarrier()
+            yield Write(pid, 1)
+            yield Read(pid)
+
+        rep = PRAM(4).run([prog] * 4, trace=True)
+        grid = occupancy_grid(rep, step_buckets=rep.steps)
+        assert len(grid) == 4
+        # each processor is busy exactly twice (one write, one read)
+        assert all(sum(row) == pytest.approx(2.0) for row in grid)
+
+    def test_bucket_count_bounded_by_steps(self):
+        from repro.pram import PRAM, Write
+
+        def prog(pid, n):
+            yield Write(pid, 1)
+
+        rep = PRAM(2).run([prog] * 2, trace=True)
+        grid = occupancy_grid(rep, step_buckets=32)
+        assert len(grid[0]) <= rep.steps

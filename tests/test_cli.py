@@ -149,6 +149,65 @@ class TestCommands:
         assert first == second
 
 
+class TestProfileAndReport:
+    def test_profile_writes_all_artifacts(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "prof"
+        rc = main(["profile", "match4", "--n", "512",
+                   "--machine-n", "64", "--out", str(out)])
+        text = capsys.readouterr().out
+        assert rc == 0
+        assert "utilization" in text
+        assert "walkdown1" in text
+        data = json.loads((out / "trace.json").read_text())
+        assert {e["pid"] for e in data["traceEvents"]} == {1, 2}
+        profile = json.loads((out / "profile.json").read_text())
+        assert profile["algorithm"] == "match4"
+        assert profile["phases"]
+        assert "repro_matching_runs_total 1" in \
+            (out / "metrics.prom").read_text()
+        from repro.telemetry import read_records
+
+        records = read_records(out / "runs.jsonl")
+        assert len(records) == 1
+        assert records[0].extra["occupancy"]
+
+    def test_profile_without_machine_twin(self, capsys, tmp_path):
+        out = tmp_path / "prof"
+        rc = main(["profile", "match2", "--n", "256",
+                   "--out", str(out)])
+        assert rc == 0
+        assert (out / "trace.json").exists()
+
+    def test_report_single_manifest(self, capsys, tmp_path):
+        out = tmp_path / "prof"
+        main(["profile", "match4", "--n", "256", "--machine-n", "48",
+              "--out", str(out)])
+        capsys.readouterr()
+        html_path = tmp_path / "report.html"
+        rc = main(["report", str(out / "runs.jsonl"),
+                   "--out", str(html_path)])
+        text = capsys.readouterr().out
+        assert rc == 0
+        assert "1 record(s)" in text
+        html = html_path.read_text(encoding="utf-8")
+        assert "<script" not in html
+        assert "Machine occupancy" in html
+
+    def test_report_baseline_vs_current(self, capsys, tmp_path):
+        base = tmp_path / "base.jsonl"
+        cur = tmp_path / "cur.jsonl"
+        main(["match", "--n", "256", "--record", str(base)])
+        main(["match", "--n", "256", "--record", str(cur)])
+        capsys.readouterr()
+        html_path = tmp_path / "report.html"
+        rc = main(["report", str(base), str(cur),
+                   "--out", str(html_path)])
+        assert rc == 0
+        assert "Run-over-run deltas" in html_path.read_text()
+
+
 class TestArcDiagram:
     def test_every_pointer_drawn(self):
         from repro.lists import LinkedList
@@ -190,7 +249,7 @@ class TestSelfCheck:
         rc = main(["selfcheck", "--n", "512"])
         out = capsys.readouterr().out
         assert rc == 0
-        assert "12/12 checks passed" in out
+        assert "13/13 checks passed" in out
         assert "FAIL" not in out
         # the header states the producing build
         assert out.startswith("repro ")
@@ -200,10 +259,11 @@ class TestSelfCheck:
 
         report = run_selfcheck(n=256, seed=1)
         assert report.passed
-        assert len(report.results) == 12
+        assert len(report.results) == 13
         names = [r.name for r in report.results]
         assert "PRAM memory discipline" in names
         assert "telemetry round-trip" in names
+        assert "profiler invariants" in names
 
     def test_failures_are_collected_not_raised(self, monkeypatch):
         # sabotage one subsystem: the report must record a FAIL and
