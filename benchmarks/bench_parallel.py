@@ -1,0 +1,157 @@
+"""Multiprocess scaling curve: sharded batch vs serial numpy.
+
+Times the same ``batch_maximal_matching`` call on one process and on
+the ``repro.parallel`` sharded executor at several worker counts,
+checking first that every configuration produces bit-identical
+matchings.  This is the acceptance measurement for the parallel tier:
+at 64 lists of ``n = 2**14`` the 4-worker batch must beat the serial
+numpy batch by >= 2x.
+
+Run standalone (prints the scaling table, appends RunRecords)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py \\
+        [--lists 64] [--n 16384] [--workers 1,2,4,8] [--require 2.0]
+
+or under pytest-benchmark::
+
+    pytest benchmarks/bench_parallel.py --benchmark-json=out.json
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends.batch import batch_maximal_matching
+from repro.lists import random_list
+
+NUM_LISTS = int(os.environ.get("REPRO_BENCH_LISTS", 64))
+N = int(os.environ.get("REPRO_BENCH_N", 1 << 14))
+WORKERS = (1, 2, 4, 8)
+REPS = 5
+SEED = 2024
+
+
+def _make_lists(num_lists: int, n: int):
+    return [random_list(n, rng=SEED + i) for i in range(num_lists)]
+
+
+@pytest.fixture(scope="module")
+def lists():
+    return _make_lists(min(NUM_LISTS, 16), min(N, 1 << 12))
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_batch_wallclock(benchmark, lists, workers):
+    res = benchmark(
+        lambda: batch_maximal_matching(lists, algorithm="match4",
+                                       workers=workers))
+    assert len(res.matchings) == len(lists)
+
+
+def _time_min(fn, reps: int = REPS) -> float:
+    """Best-of-``reps`` wall time in seconds (min filters scheduler
+    noise, the standard practice for microbenchmarks)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _record(result, *, wall_s: float, workers: int) -> None:
+    """Append one scaling point to the run manifest.
+
+    The batch driver returns a :class:`BatchMatchResult`, not a
+    ``MatchResult``, so the record is built field-by-field: ``n`` is
+    the total node count and ``workers`` rides in ``extra`` (part of
+    the comparison key, so worker counts never diff against each
+    other).
+    """
+    from _common import run_log_path
+
+    from repro.telemetry.runrecord import RunRecord, append_record
+
+    record = RunRecord(
+        algorithm=result.algorithm,
+        backend=result.backend,
+        n=int(result.stats.total_nodes),
+        p=int(result.report.p),
+        time=int(result.report.time),
+        work=int(result.report.work),
+        seed=SEED,
+        wall_s=wall_s,
+        phases=tuple((ph.name, int(ph.time), int(ph.work), int(ph.steps))
+                     for ph in result.report.phases),
+        extra={"bench": "bench_parallel", "workers": workers,
+               "num_lists": result.stats.num_lists},
+    )
+    append_record(run_log_path(), record)
+
+
+def measure(num_lists: int, n: int, workers: tuple, reps: int = REPS) -> dict:
+    """Time the serial batch and each sharded configuration."""
+    lls = _make_lists(num_lists, n)
+    serial = batch_maximal_matching(lls, algorithm="match4")
+    t_serial = _time_min(
+        lambda: batch_maximal_matching(lls, algorithm="match4"), reps)
+    _record(serial, wall_s=t_serial, workers=0)
+
+    out = {"num_lists": num_lists, "n": n, "reps": reps,
+           "serial_s": t_serial, "results": {}}
+    for w in workers:
+        got = batch_maximal_matching(lls, algorithm="match4", workers=w)
+        for i, (sm, pm) in enumerate(zip(serial.matchings, got.matchings)):
+            if not np.array_equal(sm.tails, pm.tails):
+                raise AssertionError(
+                    f"workers={w}: list {i} diverged from serial")
+        t_w = _time_min(
+            lambda: batch_maximal_matching(lls, algorithm="match4",
+                                           workers=w), reps)
+        _record(got, wall_s=t_w, workers=w)
+        out["results"][w] = {"wall_s": t_w, "speedup": t_serial / t_w}
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--lists", type=int, default=NUM_LISTS)
+    parser.add_argument("--n", type=int, default=N)
+    parser.add_argument("--workers", default=",".join(map(str, WORKERS)),
+                        help="comma-separated worker counts to sweep")
+    parser.add_argument("--reps", type=int, default=REPS)
+    parser.add_argument("--json", default="",
+                        help="also write the measurement to this file")
+    parser.add_argument("--require", type=float, default=0.0,
+                        help="fail unless the best sharded speedup "
+                             "meets this bar")
+    args = parser.parse_args(argv)
+    workers = tuple(int(w) for w in args.workers.split(","))
+
+    out = measure(args.lists, args.n, workers, args.reps)
+    print(f"{out['num_lists']} lists x n={out['n']}, "
+          f"best of {out['reps']}")
+    print(f"  serial    : {out['serial_s'] * 1e3:8.3f} ms")
+    for w, r in out["results"].items():
+        print(f"  workers={w:>2}: {r['wall_s'] * 1e3:8.3f} ms   "
+              f"speedup {r['speedup']:6.2f}x")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(out, fh, indent=2)
+        print(f"wrote {args.json}")
+    if args.require:
+        best = max(r["speedup"] for r in out["results"].values())
+        if best < args.require:
+            print(f"FAIL: best speedup {best:.2f}x < {args.require}x")
+            return 1
+        print(f"OK: best speedup {best:.2f}x >= {args.require}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

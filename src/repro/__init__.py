@@ -87,6 +87,8 @@ from .bits import G, ilog2, log_G
 from . import backends
 from .backends import BACKENDS, Backend
 from .backends.batch import BatchMatchResult, batch_maximal_matching
+from . import parallel
+from .parallel import ParallelConfig, using_config
 from ._buildinfo import build_info, version_string
 from .telemetry import METRICS, RunRecord
 
@@ -95,7 +97,7 @@ __version__ = "1.0.0"
 __all__ = [
     # subpackages
     "analysis", "apps", "backends", "baselines", "bits", "core", "lists",
-    "pram", "telemetry",
+    "parallel", "pram", "telemetry",
     # errors
     "ReproError", "InvalidListError", "InvalidParameterError",
     "PRAMError", "MemoryConflictError", "VerificationError",
@@ -112,6 +114,8 @@ __all__ = [
     "verify_matching", "verify_maximal_matching",
     # backends
     "BACKENDS", "Backend", "BatchMatchResult", "batch_maximal_matching",
+    # parallel
+    "ParallelConfig", "using_config",
     # apps
     "three_coloring", "mis_from_coloring", "mis_from_matching",
     "contraction_ranks", "list_ranks", "list_prefix_sums",

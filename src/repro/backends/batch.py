@@ -296,12 +296,32 @@ _BATCH_DRIVERS = {
 }
 
 
+def _resolve_batch_workers(backend: str, workers: int | None) -> int:
+    """Effective worker count for one batch call, validated config-time.
+
+    An explicit ``workers`` is validated through
+    :class:`~repro.parallel.config.ParallelConfig` (``workers < 1``
+    raises :class:`InvalidParameterError` — a ``ValueError`` — before
+    any pool exists).  ``workers=None`` means serial, except on the
+    ``numpy-mp`` backend, which resolves the process-default config
+    (and thereby ``REPRO_WORKERS``).
+    """
+    from ..parallel.config import ParallelConfig, get_default_config
+
+    if workers is not None:
+        return ParallelConfig(workers=workers).resolve_workers()
+    if backend == "numpy-mp":
+        return get_default_config().resolve_workers()
+    return 1
+
+
 def batch_maximal_matching(
     lists: Sequence[LinkedList | np.ndarray | list],
     *,
     algorithm: str = "match4",
     backend: str = "numpy",
     p: int = 1,
+    workers: int | None = None,
     **kwargs: Any,
 ) -> BatchMatchResult:
     """Maximally match many independent lists in one call.
@@ -313,6 +333,26 @@ def batch_maximal_matching(
     Implemented for ``match1`` and ``match4``.  With
     ``backend="reference"`` the lists are dispatched one by one and the
     per-call reports absorbed into one aggregate (any algorithm).
+
+    ``workers`` engages :mod:`repro.parallel`: the batch is sharded by
+    node-balanced contiguous ranges across that many worker processes,
+    each running this function serially on its shard.  ``workers=None``
+    (default) is serial, except with ``backend="numpy-mp"``, which
+    resolves the process-default
+    :class:`~repro.parallel.config.ParallelConfig` (and the
+    ``REPRO_WORKERS`` environment variable).  ``workers < 1`` raises
+    :class:`InvalidParameterError` (a ``ValueError``) at config time.
+
+    **Order guarantee**: ``matchings[i]`` always corresponds to
+    ``lists[i]`` — results are reassembled by shard index, never by
+    worker completion order.  Matchings are bit-identical to the serial
+    call's for every input.  The aggregate report at ``workers > 1`` is
+    the shard-order absorb of per-shard reports: equal to the serial
+    report on the per-list backends (``reference``), a differently
+    grouped (same-total) account on the fused numpy arena — see
+    ``docs/parallel.md``.  If the pool infrastructure fails, the batch
+    falls back to serial execution (``parallel.fallback`` telemetry
+    event) rather than erroring.
 
     Kwargs are normalized exactly as in :func:`repro.maximal_matching`
     (canonical names, deprecated aliases warned, unknown rejected).
@@ -327,6 +367,7 @@ def batch_maximal_matching(
         normalize_algorithm_kwargs,
     )
     from . import get_backend
+    from ..parallel.executor import run_sharded_batch
 
     if algorithm not in ALGORITHMS:
         raise InvalidParameterError(
@@ -336,9 +377,13 @@ def batch_maximal_matching(
     get_backend(backend)  # validate the name even for the loop path
     if p < 1:
         raise InvalidParameterError(f"p must be >= 1, got {p}")
+    eff_workers = _resolve_batch_workers(backend, workers)
     kwargs = normalize_algorithm_kwargs(algorithm, kwargs)
     lls = [lst if isinstance(lst, LinkedList) else LinkedList(lst)
            for lst in lists]
+    # Inside a worker (and in every serial path) numpy-mp's batch form
+    # *is* the numpy arena; the parallelism lives in the sharding.
+    serial_backend = "numpy" if backend == "numpy-mp" else backend
 
     if telemetry_enabled():
         METRICS.histogram("batch.size").observe(len(lls))
@@ -346,8 +391,26 @@ def batch_maximal_matching(
     with telemetry_span(
         "batch.maximal_matching", algorithm=algorithm, backend=backend,
         num_lists=len(lls), total_nodes=int(sum(l.n for l in lls)), p=p,
+        workers=eff_workers,
     ):
-        if backend == "numpy":
+        sharded = None
+        if eff_workers > 1 and len(lls) > 1:
+            if serial_backend == "numpy":
+                # Fail fast (and identically to serial) before forking.
+                _require_supported(int(max(l.n for l in lls)))
+                if algorithm not in _BATCH_DRIVERS:
+                    raise InvalidParameterError(
+                        f"batch on the numpy backend implements "
+                        f"{sorted(_BATCH_DRIVERS)}, not {algorithm!r}; use "
+                        f"backend='reference' for the per-list loop"
+                    )
+            sharded = run_sharded_batch(
+                lls, algorithm=algorithm, p=p, kwargs=kwargs,
+                workers=eff_workers, backend=serial_backend,
+            )
+        if sharded is not None:
+            matchings, report = sharded
+        elif serial_backend == "numpy":
             driver = _BATCH_DRIVERS.get(algorithm)
             if driver is None:
                 raise InvalidParameterError(
@@ -356,7 +419,7 @@ def batch_maximal_matching(
                     f"backend='reference' for the per-list loop"
                 )
             if not lls:
-                matchings: tuple[Matching, ...] = ()
+                matchings = ()
                 report = CostModel(p).report()
             else:
                 _require_supported(int(max(l.n for l in lls)))
@@ -367,7 +430,8 @@ def batch_maximal_matching(
             collected = []
             for lst in lls:
                 res = maximal_matching(
-                    lst, algorithm=algorithm, backend=backend, p=p, **kwargs
+                    lst, algorithm=algorithm, backend=serial_backend, p=p,
+                    **kwargs
                 )
                 collected.append(res.matching)
                 cost.absorb(res.report)

@@ -81,6 +81,13 @@ def _cmd_match(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.algorithm == "match4":
         kwargs["iterations"] = args.i
+    workers = args.workers
+    if workers is not None:
+        from .parallel import config_with_workers, set_default_config
+
+        # Validated at config time (workers < 1 raises a ValueError
+        # before any pool exists); the numpy-mp backend reads this.
+        set_default_config(config_with_workers(workers))
     t0 = time.perf_counter()
     result = maximal_matching(
         lst, algorithm=args.algorithm, backend=args.backend,
@@ -90,6 +97,8 @@ def _cmd_match(args: argparse.Namespace) -> int:
     matching, report = result.matching, result.report
     print(f"algorithm : {args.algorithm}")
     print(f"backend   : {args.backend}")
+    if workers is not None:
+        print(f"workers   : {workers}")
     print(f"n, p      : {args.n}, {args.p}")
     print(f"matched   : {matching.size} of {args.n - 1} pointers")
     print(f"maximal   : {matching.is_maximal}")
@@ -102,8 +111,10 @@ def _cmd_match(args: argparse.Namespace) -> int:
     if args.record:
         from .telemetry.runrecord import RunRecord, append_record
 
+        extra = {"workers": workers} if workers is not None else {}
         record = RunRecord.from_result(
             result, seed=args.seed, wall_s=wall_s, layout=args.layout,
+            **extra,
         )
         path = append_record(args.record, record)
         print(f"recorded  : {path}")
@@ -465,6 +476,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="execution backend (default reference)")
     m.add_argument("--i", type=int, default=2,
                    help="Match4's iterations parameter")
+    m.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="worker processes for the multiprocess tier "
+                        "(sets repro.parallel's default config; pair "
+                        "with --backend numpy-mp)")
     m.add_argument("--record", default="", metavar="PATH",
                    help="append a RunRecord JSON line to PATH")
     m.set_defaults(fn=_cmd_match)

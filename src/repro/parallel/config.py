@@ -1,0 +1,136 @@
+"""Configuration of the multiprocess execution layer.
+
+One frozen :class:`ParallelConfig` answers every "how parallel?"
+question the executor and the chunked engine ask: how many worker
+processes, and how many nodes one worker block must carry before a
+process hop is worth paying.  Validation happens at *config time* —
+``ParallelConfig(workers=0)`` raises immediately, long before a pool
+exists — so misconfiguration never surfaces as a mid-run worker error.
+
+The worker count inherits the ``REPRO_WORKERS`` environment variable
+when not set explicitly, and falls back to the host CPU count (capped
+at :data:`MAX_DEFAULT_WORKERS`) when neither is given.  A process-wide
+default config backs the ``numpy-mp`` backend, which
+:func:`repro.maximal_matching` calls without a way to pass knobs
+through; the CLI's ``--workers`` and the :func:`using_config` context
+manager both retarget it.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "MAX_DEFAULT_WORKERS",
+    "ParallelConfig",
+    "get_default_config",
+    "set_default_config",
+    "using_config",
+]
+
+#: Cap on the implicit (CPU-count) worker default; an explicit
+#: ``workers=`` or ``REPRO_WORKERS`` goes as high as the caller likes.
+MAX_DEFAULT_WORKERS = 8
+
+#: Environment variable the worker count inherits from.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How the process-pool layer splits and dispatches work.
+
+    Attributes
+    ----------
+    workers:
+        Worker-process count.  ``None`` means "inherit": the
+        ``REPRO_WORKERS`` environment variable if set, else the host
+        CPU count capped at :data:`MAX_DEFAULT_WORKERS`.  Values below
+        1 are rejected at construction time.
+    chunk_size:
+        Minimum nodes per worker block in the chunked (``numpy-mp``)
+        single-list mode; a list shorter than ``2 * chunk_size`` runs
+        its segment walk in-process.  The batch executor shards by
+        whole lists and does not consult this.
+    """
+
+    workers: int | None = None
+    chunk_size: int = 1 << 15
+
+    def __post_init__(self) -> None:
+        if self.workers is not None:
+            if not isinstance(self.workers, int) or isinstance(
+                    self.workers, bool):
+                raise InvalidParameterError(
+                    f"workers must be an int >= 1 or None, got "
+                    f"{self.workers!r}"
+                )
+            if self.workers < 1:
+                raise InvalidParameterError(
+                    f"workers must be >= 1, got {self.workers}"
+                )
+        if self.chunk_size < 1:
+            raise InvalidParameterError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+
+    def resolve_workers(self) -> int:
+        """The effective worker count (explicit, env, or CPU-derived)."""
+        if self.workers is not None:
+            return self.workers
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if env:
+            try:
+                value = int(env)
+            except ValueError:
+                raise InvalidParameterError(
+                    f"{WORKERS_ENV}={env!r} is not an integer"
+                ) from None
+            if value < 1:
+                raise InvalidParameterError(
+                    f"{WORKERS_ENV} must be >= 1, got {value}"
+                )
+            return value
+        return min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS)
+
+
+_default_config = ParallelConfig()
+
+
+def get_default_config() -> ParallelConfig:
+    """The process-wide config the ``numpy-mp`` backend runs under."""
+    return _default_config
+
+
+def set_default_config(config: ParallelConfig) -> ParallelConfig:
+    """Replace the process-wide config; returns the previous one."""
+    global _default_config
+    previous = _default_config
+    _default_config = config
+    return previous
+
+
+@contextmanager
+def using_config(config: ParallelConfig) -> Iterator[ParallelConfig]:
+    """Scoped default-config override (tests, selfcheck, demos)."""
+    previous = set_default_config(config)
+    try:
+        yield config
+    finally:
+        set_default_config(previous)
+
+
+def config_with_workers(workers: int | None,
+                        base: ParallelConfig | None = None) -> ParallelConfig:
+    """A config like ``base`` (default: the process default) but with an
+    explicit worker count — validation included, so ``workers=0`` fails
+    here, at config time."""
+    cfg = base if base is not None else get_default_config()
+    if workers is None:
+        return cfg
+    return replace(cfg, workers=workers)

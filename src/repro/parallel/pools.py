@@ -1,0 +1,47 @@
+"""Cached worker pools.
+
+Spawning a :class:`~concurrent.futures.ProcessPoolExecutor` costs
+fork + import per worker — far more than one small matching — so the
+executor layer reuses pools across calls, one per worker count.  A
+pool that breaks (a worker died, the OS refused a fork) is dropped
+from the cache by :func:`drop_pool` so the next request builds a fresh
+one; :func:`shutdown_pools` tears everything down and is registered at
+interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = ["get_pool", "drop_pool", "shutdown_pools"]
+
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def get_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared pool with ``workers`` processes (created on demand)."""
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def drop_pool(workers: int) -> None:
+    """Forget (and shut down) the cached pool for ``workers``, if any."""
+    pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+
+def shutdown_pools() -> None:
+    """Shut down every cached pool (idempotent; runs at exit)."""
+    for workers in list(_POOLS):
+        drop_pool(workers)
+
+
+atexit.register(shutdown_pools)

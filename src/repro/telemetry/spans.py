@@ -142,6 +142,25 @@ class Tracer:
     def current(self) -> Span | None:
         return self._stack[-1] if self._stack else None
 
+    def next_id(self) -> int:
+        """Allocate a fresh span id.
+
+        Used when merging externally produced spans (a worker process's
+        captured trace) into this tracer's id space without colliding
+        with locally started spans.
+        """
+        return next(self._ids)
+
+    def emit_foreign(self, sp: Span) -> None:
+        """Emit an already-finished span built outside ``start_span``.
+
+        The span must carry ids from :meth:`next_id` and a set ``end``;
+        it is fed to the sink and the duration histogram exactly like a
+        locally finished span, but never touches the live span stack.
+        """
+        METRICS.histogram(f"span.{sp.name}.seconds").observe(sp.duration)
+        self.sink.emit_span(sp)
+
     def _finish(self, sp: Span) -> None:
         sp.end = time.perf_counter()
         # Pop through abandoned children (an exception can unwind several

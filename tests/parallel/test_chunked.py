@@ -1,0 +1,94 @@
+"""Chunked single-list mode: ParallelWalker vs the serial walk kernel."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backends import engine
+from repro.errors import VerificationError
+from repro.parallel import ParallelConfig, ParallelWalker
+
+
+class TestDispatchDecision:
+    def test_serial_below_chunk_threshold(self):
+        # Default chunk size (32768) dwarfs this list: no process hop.
+        walker = ParallelWalker(ParallelConfig(workers=4))
+        lst = repro.random_list(500, rng=0)
+        base = engine.match4(lst, iterations=2)
+        got = engine.match4(lst, iterations=2, _walker=walker)
+        assert walker.last_blocks == 0
+        assert np.array_equal(got[0].tails, base[0].tails)
+
+    def test_dispatches_when_worth_it(self):
+        walker = ParallelWalker(ParallelConfig(workers=2, chunk_size=32))
+        lst = repro.random_list(600, rng=1)
+        base = engine.match4(lst, iterations=2)
+        got = engine.match4(lst, iterations=2, _walker=walker)
+        assert walker.last_blocks == 2
+        assert np.array_equal(got[0].tails, base[0].tails)
+        assert got[1] == base[1]  # CostReport
+        assert got[2] == base[2]  # Match4Stats
+
+    def test_single_segment_stays_serial(self):
+        # One segment start cannot be split across blocks.
+        walker = ParallelWalker(ParallelConfig(workers=4, chunk_size=1))
+        nxt = np.arange(1, 9, dtype=np.int64)
+        nxt = np.append(nxt, np.int64(-1))
+        live = np.ones(9, dtype=bool)
+        live[-1] = False  # the tail has no pointer; walks stop there
+        starts = np.array([0], dtype=np.int64)
+        idx, rounds = walker(nxt, live, starts, 100)
+        assert walker.last_blocks == 0
+        ref_idx, ref_rounds = engine.walk_segments(nxt, live, starts, 100)
+        assert np.array_equal(idx, ref_idx) and rounds == ref_rounds
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("workers", [2, 3, 4])
+    @pytest.mark.parametrize("n", [128, 129, 257, 1024])
+    def test_match4_all_layouts(self, make_list, workers, n):
+        lst = make_list(n)
+        walker = ParallelWalker(ParallelConfig(workers=workers,
+                                               chunk_size=16))
+        base = engine.match4(lst, iterations=2)
+        got = engine.match4(lst, iterations=2, _walker=walker)
+        assert np.array_equal(got[0].tails, base[0].tails)
+        assert got[1] == base[1]
+        assert got[2] == base[2]
+
+    @pytest.mark.parametrize("n", [255, 256, 513])
+    def test_match1_random(self, n):
+        lst = repro.random_list(n, rng=n)
+        walker = ParallelWalker(ParallelConfig(workers=2, chunk_size=16))
+        base = engine.match1(lst)
+        got = engine.match1(lst, _walker=walker)
+        assert np.array_equal(got[0].tails, base[0].tails)
+        assert got[1] == base[1]
+        assert got[2] == base[2]
+
+    def test_rounds_is_max_over_blocks(self):
+        # Two segments of very different lengths in separate blocks:
+        # the merged round count must equal the serial (global max).
+        lst = repro.random_list(300, rng=7)
+        walker = ParallelWalker(ParallelConfig(workers=2, chunk_size=16))
+        base = engine.match4(lst, iterations=1)
+        got = engine.match4(lst, iterations=1, _walker=walker)
+        assert walker.last_blocks == 2
+        assert got[2].cutwalk.walk_rounds == base[2].cutwalk.walk_rounds
+
+
+class TestLimitEnforcement:
+    def test_verification_error_propagates_from_worker(self):
+        # A long chain with a tiny round limit: the serial kernel and
+        # the distributed one must fail identically.
+        n = 64
+        nxt = np.append(np.arange(1, n, dtype=np.int64), np.int64(-1))
+        live = np.ones(n, dtype=bool)
+        live[-1] = False  # the tail has no pointer; walks stop there
+        starts = np.array([0, n // 2], dtype=np.int64)
+        with pytest.raises(VerificationError):
+            engine.walk_segments(nxt, live, starts, 3)
+        walker = ParallelWalker(ParallelConfig(workers=2, chunk_size=8))
+        with pytest.raises(VerificationError):
+            walker(nxt, live, starts, 3)
+        assert walker.last_blocks == 0  # the failed call dispatched, no merge

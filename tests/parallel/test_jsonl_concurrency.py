@@ -1,0 +1,56 @@
+"""Multi-process appends to one JsonlSink file: no torn or mixed lines.
+
+PR 4 hardened :class:`repro.telemetry.sinks.JsonlSink` to serialize
+each record first and write it as **one** ``os.write`` on an
+``O_APPEND`` descriptor — on POSIX that makes concurrent appends
+atomic.  This test is the concurrency half of that contract: several
+worker processes hammer one file and every single line must parse,
+carry an intact payload, and each writer's full sequence must be
+present.
+"""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import repro  # noqa: F401  (ensures src/ is importable in the workers)
+from repro.telemetry.sinks import JsonlSink
+
+WRITERS = 4
+RECORDS_PER_WRITER = 250
+#: Payload bulk pushes each line to ~300+ bytes so a torn write would
+#: be visible as truncation, not hidden inside a tiny record.
+FILLER = "x" * 280
+
+
+def _hammer(args: tuple) -> int:
+    path, writer = args
+    sink = JsonlSink(path)
+    for seq in range(RECORDS_PER_WRITER):
+        sink.emit_record({
+            "writer": writer,
+            "seq": seq,
+            "filler": FILLER,
+        })
+    sink.close()
+    return writer
+
+
+def test_concurrent_appends_yield_whole_lines(tmp_path):
+    path = str(tmp_path / "concurrent.jsonl")
+    with ProcessPoolExecutor(max_workers=WRITERS) as pool:
+        done = list(pool.map(_hammer, [(path, w) for w in range(WRITERS)]))
+    assert sorted(done) == list(range(WRITERS))
+
+    seen: dict[int, set] = {w: set() for w in range(WRITERS)}
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.readlines()
+    assert len(lines) == WRITERS * RECORDS_PER_WRITER
+    for line in lines:
+        assert line.endswith("\n"), "torn (unterminated) line"
+        obj = json.loads(line)  # interleaved writes would break parsing
+        assert obj["type"] == "run"
+        assert obj["filler"] == FILLER, "payload corrupted mid-line"
+        seen[obj["writer"]].add(obj["seq"])
+    for writer, seqs in seen.items():
+        assert seqs == set(range(RECORDS_PER_WRITER)), \
+            f"writer {writer} lost records"

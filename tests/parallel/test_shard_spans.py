@@ -1,0 +1,80 @@
+"""Telemetry shard-span merging: worker traces inside the parent trace."""
+
+import numpy as np
+import pytest
+
+import repro
+import repro.telemetry as telemetry
+from repro.backends.batch import batch_maximal_matching
+
+WORKERS = 2
+
+
+@pytest.fixture
+def captured_batch():
+    lists = [repro.random_list(n, rng=n) for n in (33, 65, 120, 40, 77, 19)]
+    with telemetry.capture() as sink:
+        result = batch_maximal_matching(lists, algorithm="match4",
+                                        workers=WORKERS)
+    return lists, result, sink
+
+
+def _shard_spans(sink):
+    return [s for s in sink.spans if s.name.startswith("shard.")]
+
+
+def test_one_shard_span_per_worker_covering_input(captured_batch):
+    lists, _, sink = captured_batch
+    shards = _shard_spans(sink)
+    assert len(shards) == WORKERS
+    ranges = sorted(
+        (s.attributes["lo"], s.attributes["hi"]) for s in shards)
+    # disjoint, contiguous, covering [0, len(lists))
+    assert ranges[0][0] == 0 and ranges[-1][1] == len(lists)
+    for (_, ahi), (blo, _) in zip(ranges, ranges[1:]):
+        assert ahi == blo
+    for s in shards:
+        lo, hi = s.attributes["lo"], s.attributes["hi"]
+        assert s.attributes["num_lists"] == hi - lo
+        assert s.attributes["nodes"] == sum(l.n for l in lists[lo:hi])
+        assert s.name == f"shard.{s.attributes['shard']}"
+
+
+def test_shard_spans_parented_under_batch_span(captured_batch):
+    _, _, sink = captured_batch
+    batch_spans = [s for s in sink.spans
+                   if s.name == "batch.maximal_matching"
+                   and "shard" not in s.attributes]
+    assert len(batch_spans) == 1
+    root = batch_spans[0]
+    assert root.attributes["workers"] == WORKERS
+    for s in _shard_spans(sink):
+        assert s.parent_id == root.span_id
+
+
+def test_worker_spans_replayed_with_shard_attribute(captured_batch):
+    _, _, sink = captured_batch
+    by_id = {s.span_id: s for s in sink.spans}
+    assert len(by_id) == len(sink.spans), "replayed span ids collide"
+    shard_ids = {s.attributes["shard"]: s.span_id for s in _shard_spans(sink)}
+    replayed = [s for s in sink.spans
+                if "shard" in s.attributes and not s.name.startswith("shard.")]
+    # each worker ran its own batch call under capture: at least the
+    # batch span and its phase spans come back per shard
+    for shard, span_id in shard_ids.items():
+        mine = [s for s in replayed if s.attributes["shard"] == shard]
+        assert any(s.name == "batch.maximal_matching" for s in mine)
+        assert any(s.name.startswith("phase.") for s in mine)
+        for s in mine:
+            # walk up: every replayed span hangs off its shard span
+            cur = s
+            while cur.parent_id in by_id and not cur.name.startswith("shard."):
+                cur = by_id[cur.parent_id]
+            assert cur.span_id == span_id or cur.name.startswith("shard.")
+
+
+def test_results_unaffected_by_telemetry(captured_batch):
+    lists, result, _ = captured_batch
+    serial = batch_maximal_matching(lists, algorithm="match4")
+    for sm, pm in zip(serial.matchings, result.matchings):
+        assert np.array_equal(sm.tails, pm.tails)
