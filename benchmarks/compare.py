@@ -46,17 +46,36 @@ __all__ = ["load_metrics", "compare", "main"]
 Key = tuple
 
 
+def _canon(value: Any) -> str:
+    """Canonical string for one ``extra`` value.
+
+    Service-shaped records carry containers (shed ledgers, cache
+    stats) in ``extra``; ``json.dumps(sort_keys=True)`` makes their
+    identity stable across dict insertion orders, where ``str()``
+    would not be.
+    """
+    if isinstance(value, (dict, list, tuple)):
+        return json.dumps(value, sort_keys=True, default=str)
+    return str(value)
+
+
 def _record_key(rec: dict[str, Any]) -> Key:
     extra = rec.get("extra") or {}
     return (
         rec.get("kind", "matching"), rec["algorithm"], rec["backend"],
         rec.get("n"), rec.get("p"), rec.get("seed"),
-        tuple(sorted((k, str(v)) for k, v in extra.items())),
+        tuple(sorted((k, _canon(v)) for k, v in extra.items())),
     )
 
 
 def _metrics_from_record(rec: dict[str, Any]) -> dict[str, Any]:
-    ints: dict[str, int] = {"time": int(rec["time"]), "work": int(rec["work"])}
+    # Operational records (e.g. ``kind: service`` drain manifests) may
+    # omit the deterministic step counts — compare whatever is there
+    # rather than refusing the whole manifest.
+    ints: dict[str, int] = {}
+    for name in ("time", "work"):
+        if rec.get(name) is not None:
+            ints[name] = int(rec[name])
     for ph in rec.get("phases") or ():
         name, time, work = ph[0], int(ph[1]), int(ph[2])
         ints[f"phase.{name}.time"] = time

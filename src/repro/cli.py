@@ -27,6 +27,9 @@ Gives the library a shell-usable face:
   dropped writes into an instruction-level run and recover via
   checkpoint-restart, the self-stabilizing repair pass, or the
   degradation ladder (see ``docs/resilience.md``).
+- ``serve`` — the matching-as-a-service HTTP server: bounded
+  admission, micro-batching, deadlines, response cache, graceful
+  drain (see ``docs/service.md``).
 
 Everything prints deterministic output for a fixed ``--seed``.
 """
@@ -420,6 +423,29 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0 if verified else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import MatchingService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        algorithm=args.algorithm,
+        backend=args.backend,
+        workers=args.workers,
+        max_queue_depth=args.max_queue,
+        max_inflight_bytes=int(args.max_inflight_mb * (1 << 20)),
+        max_batch_items=args.max_batch_items,
+        max_batch_delay_ms=args.max_batch_delay_ms,
+        default_deadline_ms=args.deadline_ms,
+        cache_size=args.cache_size,
+        drain_deadline_s=args.drain_deadline_s,
+        retry_after_s=args.retry_after_s,
+        manifest_path=args.record,
+        seed=args.seed,
+    )
+    return MatchingService(config).run()
+
+
 def _cmd_fig1(args: argparse.Namespace) -> int:
     from .lists import LinkedList
     from .lists.diagram import arc_diagram
@@ -609,6 +635,43 @@ def build_parser() -> argparse.ArgumentParser:
     rz.add_argument("--repair", action="store_true",
                     help="ladder: try local repair before degrading")
     rz.set_defaults(fn=_cmd_resilience)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the matching-as-a-service HTTP server "
+             "(see docs/service.md)",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8080,
+                    help="bind port (0: OS-assigned, printed on start)")
+    sv.add_argument("--algorithm", default="match4",
+                    choices=["match1", "match4"],
+                    help="default algorithm for requests that name none")
+    sv.add_argument("--backend", default="numpy", choices=backend_names(),
+                    help="default backend for requests that name none")
+    sv.add_argument("--workers", type=int, default=None,
+                    help="shard batches across this many worker processes")
+    sv.add_argument("--max-queue", type=int, default=64,
+                    help="admission queue depth before shedding (429)")
+    sv.add_argument("--max-inflight-mb", type=float, default=64.0,
+                    help="in-flight workload bytes before shedding (429)")
+    sv.add_argument("--max-batch-items", type=int, default=16,
+                    help="micro-batch size trigger")
+    sv.add_argument("--max-batch-delay-ms", type=float, default=5.0,
+                    help="micro-batch time trigger")
+    sv.add_argument("--deadline-ms", type=float, default=1000.0,
+                    help="default per-request deadline")
+    sv.add_argument("--cache-size", type=int, default=128,
+                    help="LRU response-cache entries (0 disables)")
+    sv.add_argument("--drain-deadline-s", type=float, default=5.0,
+                    help="SIGTERM flush budget before hard stop")
+    sv.add_argument("--retry-after-s", type=float, default=1.0,
+                    help="Retry-After hint on 429/503 responses")
+    sv.add_argument("--record", default="",
+                    help="append the final service RunRecord manifest here")
+    sv.add_argument("--seed", type=int, default=0,
+                    help="seeds the retry-backoff jitter")
+    sv.set_defaults(fn=_cmd_serve)
 
     f = sub.add_parser("fig1", help="render the paper's Fig. 1")
     f.add_argument("--order", default="",

@@ -9,8 +9,8 @@ while still unpacking as the legacy 3-tuple, so existing call sites —
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Iterator
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
 
 from ..pram.cost import CostReport
 from .matching import Matching
@@ -35,6 +35,11 @@ class MatchResult:
         Name of the backend that executed the run.
     algorithm:
         Name of the algorithm that was dispatched.
+    extras:
+        Optional provenance a wrapper attached on the way out — e.g.
+        the resilience runner records which ladder rung actually
+        served the result (``served_by``, ``rung``, ``attempts``).
+        Empty for a plain :func:`repro.maximal_matching` call.
     """
 
     matching: Matching
@@ -42,6 +47,7 @@ class MatchResult:
     stats: Any
     backend: str = "reference"
     algorithm: str = ""
+    extras: Mapping[str, Any] = field(default_factory=dict)
 
     # Legacy 3-tuple protocol: ``m, rep, stats = maximal_matching(...)``
     # and ``result[0]`` keep working.

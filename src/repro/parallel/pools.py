@@ -1,27 +1,84 @@
-"""Cached worker pools.
+"""Cached worker pools with health checks.
 
 Spawning a :class:`~concurrent.futures.ProcessPoolExecutor` costs
 fork + import per worker — far more than one small matching — so the
-executor layer reuses pools across calls, one per worker count.  A
-pool that breaks (a worker died, the OS refused a fork) is dropped
-from the cache by :func:`drop_pool` so the next request builds a fresh
-one; :func:`shutdown_pools` tears everything down and is registered at
+executor layer reuses pools across calls, one per worker count.  The
+cache can go stale: a worker that died (OOM kill, ``os._exit`` in a
+task, a SIGKILL'd child) permanently breaks its executor, and handing
+that corpse back to a caller guarantees a :class:`BrokenExecutor` on
+the next submit.  :func:`get_pool` therefore health-checks the cached
+pool before returning it — passively (the executor's broken flag)
+always, actively (a round-trip probe task) on request — and rebuilds a
+broken pool once, emitting a ``parallel.pool_rebuilt`` telemetry event
+and counter so operators can see churn.
+
+A pool that breaks *mid-call* is still dropped by the caller via
+:func:`drop_pool` so the next request builds a fresh one;
+:func:`shutdown_pools` tears everything down and is registered at
 interpreter exit.
 """
 
 from __future__ import annotations
 
 import atexit
+import os
 from concurrent.futures import ProcessPoolExecutor
 
-__all__ = ["get_pool", "drop_pool", "shutdown_pools"]
+from ..telemetry.metrics import METRICS
+from ..telemetry.spans import event as telemetry_event
+
+__all__ = ["get_pool", "drop_pool", "pool_is_healthy", "shutdown_pools"]
 
 _POOLS: dict[int, ProcessPoolExecutor] = {}
 
+#: Wall-clock budget for one active probe round-trip.  Generous: the
+#: probe only pays this on a pool that is wedged, not merely busy.
+PROBE_TIMEOUT_S = 10.0
 
-def get_pool(workers: int) -> ProcessPoolExecutor:
-    """The shared pool with ``workers`` processes (created on demand)."""
+
+def _probe_task() -> int:  # pragma: no cover - runs in the worker
+    """Trivial round-trip payload for the active health probe."""
+    return os.getpid()
+
+
+def pool_is_healthy(
+    pool: ProcessPoolExecutor, *, probe: bool = False,
+) -> bool:
+    """Whether ``pool`` can still accept and complete work.
+
+    The passive check reads the executor's broken/shutdown flags —
+    free, but only sees failures the executor has already noticed.
+    With ``probe=True`` a trivial task is round-tripped through a
+    worker, which additionally catches pools whose children died
+    silently since the last submit.
+    """
+    if getattr(pool, "_broken", False):
+        return False
+    if getattr(pool, "_shutdown_thread", False):
+        return False
+    if probe:
+        try:
+            pool.submit(_probe_task).result(timeout=PROBE_TIMEOUT_S)
+        except Exception:  # noqa: BLE001 - any failure means unhealthy
+            return False
+    return True
+
+
+def get_pool(
+    workers: int, *, probe: bool = False,
+) -> ProcessPoolExecutor:
+    """The shared pool with ``workers`` processes (created on demand).
+
+    A cached pool that fails its health check is shut down and rebuilt
+    once, with a ``parallel.pool_rebuilt`` event/counter recording the
+    eviction; the returned executor is always freshly verified-or-new.
+    """
     pool = _POOLS.get(workers)
+    if pool is not None and not pool_is_healthy(pool, probe=probe):
+        drop_pool(workers)
+        pool = None
+        METRICS.counter("parallel.pool_rebuilt").inc()
+        telemetry_event("parallel.pool_rebuilt", workers=workers)
     if pool is None:
         pool = ProcessPoolExecutor(max_workers=workers)
         _POOLS[workers] = pool

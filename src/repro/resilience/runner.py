@@ -26,12 +26,13 @@ under a :class:`repro.pram.faults.FaultPlan`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from ..core.matching import Matching, verify_maximal_matching
+from ..core.result import MatchResult
 from ..errors import PRAMError, ResilienceExhaustedError, VerificationError
 from ..lists.linked_list import LinkedList
 from ..telemetry.metrics import METRICS
@@ -162,6 +163,11 @@ class ResilienceResult:
 
     matching: Matching
     log: AttemptLog
+    #: Full :class:`MatchResult` of the successful attempt, with
+    #: ``extras`` recording ``served_by`` / ``rung`` / ``attempts`` —
+    #: so downstream consumers (manifests, the service layer) can say
+    #: which ladder rung actually produced the answer.
+    result: MatchResult | None = None
 
     @property
     def tails(self) -> np.ndarray:
@@ -177,10 +183,47 @@ class ResilienceResult:
     def repaired(self) -> bool:
         return self.log.attempts[-1].outcome == "repaired"
 
+    @property
+    def served_by(self) -> str:
+        """Which ladder rung produced the answer — the algorithm name,
+        with a ``+repair`` suffix when the local-repair pass (not a
+        clean run) made it verify."""
+        last = self.log.attempts[-1]
+        return last.algorithm + ("+repair" if last.outcome == "repaired"
+                                 else "")
+
+    @property
+    def attempts(self) -> int:
+        """Total run-and-verify attempts, successful one included."""
+        return self.log.total
+
 
 def _backoff_delay(failures: int, base: float, cap: float) -> float:
     """Bounded exponential backoff: ``min(base * 2^failures, cap)``."""
     return min(base * (2.0 ** failures), cap)
+
+
+def _serve(
+    res: MatchResult,
+    matching: Matching,
+    log: AttemptLog,
+    *,
+    served_by: str,
+    rung: int,
+) -> ResilienceResult:
+    """Stamp the winning attempt's provenance and count the rung."""
+    METRICS.counter(f"resilience.served_by.{served_by}").inc()
+    final = replace(
+        res,
+        matching=matching,
+        extras={
+            **dict(res.extras),
+            "served_by": served_by,
+            "rung": rung,
+            "attempts": log.total,
+        },
+    )
+    return ResilienceResult(matching, log, final)
 
 
 def _note_attempt(attempt: Attempt) -> None:
@@ -308,11 +351,11 @@ def resilient_matching(
                     use_backend = "reference"
                 tails: np.ndarray | None = None
                 try:
-                    m, _, _ = maximal_matching(
+                    res = maximal_matching(
                         lst, algorithm=algorithm, backend=use_backend, p=p,
                         **kwargs.get(algorithm, {}),
                     )
-                    tails = np.asarray(m.tails)
+                    tails = np.asarray(res.matching.tails)
                     if perturb is not None:
                         tails = np.asarray(perturb(tails.copy(), index))
                     verify_maximal_matching(lst, tails)
@@ -322,8 +365,10 @@ def resilient_matching(
                         backend=use_backend,
                     ))
                     _note_attempt(log.attempts[-1])
-                    sp.set(outcome="ok", attempts=log.total, rung=rung)
-                    return ResilienceResult(Matching(lst, tails), log)
+                    sp.set(outcome="ok", attempts=log.total, rung=rung,
+                           served_by=algorithm)
+                    return _serve(res, Matching(lst, tails), log,
+                                  served_by=algorithm, rung=rung)
                 except (VerificationError, PRAMError) as exc:
                     error = f"{type(exc).__name__}: {exc}"
                     if repair and tails is not None:
@@ -336,9 +381,11 @@ def resilient_matching(
                                 backend=use_backend,
                             ))
                             _note_attempt(log.attempts[-1])
+                            served = f"{algorithm}+repair"
                             sp.set(outcome="repaired", attempts=log.total,
-                                   rung=rung)
-                            return ResilienceResult(Matching(lst, fixed), log)
+                                   rung=rung, served_by=served)
+                            return _serve(res, Matching(lst, fixed), log,
+                                          served_by=served, rung=rung)
                         except VerificationError:
                             pass
                     delay = _backoff_delay(failures, base_backoff, max_backoff)

@@ -1,0 +1,516 @@
+"""Admission control and the micro-batcher.
+
+Two cooperating pieces, both owned by the event loop:
+
+:class:`AdmissionQueue`
+    The only buffer in the service, and a *bounded* one: a request is
+    either admitted (queue depth and in-flight bytes both under their
+    configured limits) or shed immediately with a reason that maps to
+    429 + ``Retry-After`` — the server never buffers unboundedly, so
+    overload degrades into fast rejections instead of memory growth.
+
+:class:`MicroBatcher`
+    A single background task that pulls admitted requests and
+    coalesces them for up to ``max_batch_delay_ms`` or
+    ``max_batch_items``, then dispatches each (algorithm, backend)
+    group through one
+    :func:`~repro.backends.batch.batch_maximal_matching` call in a
+    worker thread — many small client lists become one arena-fused
+    batch, the throughput form the paper's batch-of-lists framing
+    suggests.  Around that call sit the robustness layers, outermost
+    first:
+
+    - **deadlines** — requests expired while queued are answered 504
+      *without computing*; an in-flight batch that outlives every
+      member's deadline is abandoned (the thread finishes into the
+      void) and its requests answered 504;
+    - **retry** — pool-infrastructure failures
+      (:data:`~repro.parallel.executor.POOL_ERRORS`) escaping the
+      executor's own serial fallback are retried with seeded-jitter
+      exponential backoff, at most ``max_retries`` times;
+    - **degrade** — an engine error (or exhausted retries) falls back
+      *per request* through
+      :func:`repro.resilience.resilient_matching` on the reference
+      tier, so one poisoned workload degrades its own answer instead
+      of failing the batch: accepted requests answer 200 or 504,
+      never 500, unless even the sequential floor fails.
+
+Every decision is counted in ``service.*`` metrics (always on — the
+process's own metrics are its operational surface; span emission
+still honors the global telemetry flag).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Callable
+
+from ..errors import ReproError
+from ..parallel.executor import POOL_ERRORS
+from ..pram.cost import CostModel
+from ..telemetry.metrics import METRICS
+from ..telemetry.spans import (
+    enabled as telemetry_enabled,
+    event as telemetry_event,
+    span as telemetry_span,
+)
+from .config import ServiceConfig
+from .workload import Workload
+
+__all__ = ["Entry", "PendingRequest", "AdmissionQueue", "MicroBatcher"]
+
+#: Shed reasons (429) an :meth:`AdmissionQueue.try_admit` can return.
+SHED_QUEUE_FULL = "queue_full"
+SHED_BYTES = "inflight_bytes"
+SHED_DRAINING = "draining"
+
+
+@dataclass
+class Entry:
+    """One workload inside a request, filled as it is served."""
+
+    workload: Workload
+    #: Response payload once served (from cache, compute, or fallback).
+    payload: dict[str, Any] | None = None
+    #: ``"hit"`` / ``"miss"`` / ``"off"`` — how the cache saw it.
+    cache: str = "off"
+    #: Set instead of ``payload`` when this entry failed terminally.
+    error: str = ""
+    #: True when the failure was a deadline (504), not an error (500).
+    timed_out: bool = False
+
+
+@dataclass(eq=False)  # identity semantics: requests live in sets
+class PendingRequest:
+    """One admitted HTTP request traveling queue → batch → response."""
+
+    entries: list[Entry]
+    deadline: float  # event-loop clock
+    enqueued_at: float
+    future: "asyncio.Future[tuple[int, dict[str, Any]]]"
+    single: bool  # /v1/match (unwrap the one entry) vs /v1/batch
+    use_cache: bool
+    #: Byte budget charged at admission (snapshotted: entries fill in
+    #: as they are served, so ``nbytes`` shrinks over time).
+    admitted_bytes: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return sum(e.workload.nbytes for e in self.entries if e.payload is None)
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(e.workload.n for e in self.entries)
+
+
+class AdmissionQueue:
+    """Bounded request queue with explicit load shedding.
+
+    ``depth`` counts requests admitted but not yet picked up by the
+    batcher; ``inflight_bytes`` counts the pointer-arena bytes of
+    every admitted-and-unanswered request (queued *or* computing), so
+    the two limits together bound resident workload memory.
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.depth = 0
+        self.inflight_bytes = 0
+        self.draining = False
+        self.admitted = 0
+        self.shed_counts: dict[str, int] = {}
+        self._queue: asyncio.Queue[PendingRequest] = asyncio.Queue()
+
+    def try_admit(self, request: PendingRequest) -> str | None:
+        """Admit ``request`` or return the shed reason (never blocks)."""
+        if self.draining:
+            reason = SHED_DRAINING
+        elif self.depth >= self.config.max_queue_depth:
+            reason = SHED_QUEUE_FULL
+        elif (self.inflight_bytes + request.nbytes
+                > self.config.max_inflight_bytes):
+            reason = SHED_BYTES
+        else:
+            reason = None
+        if reason is not None:
+            self.shed_counts[reason] = self.shed_counts.get(reason, 0) + 1
+            METRICS.counter(f"service.shed.{reason}").inc()
+            return reason
+        request.admitted_bytes = request.nbytes
+        self.depth += 1
+        self.inflight_bytes += request.admitted_bytes
+        self._queue.put_nowait(request)
+        self.admitted += 1
+        METRICS.counter("service.accepted").inc()
+        METRICS.gauge("service.queue_depth").set(self.depth)
+        METRICS.gauge("service.inflight_bytes").set(self.inflight_bytes)
+        return None
+
+    def release(self, nbytes: int) -> None:
+        """Return an answered request's byte budget to the admitter."""
+        self.inflight_bytes = max(0, self.inflight_bytes - nbytes)
+        METRICS.gauge("service.inflight_bytes").set(self.inflight_bytes)
+
+    def picked(self) -> None:
+        self.depth = max(0, self.depth - 1)
+        METRICS.gauge("service.queue_depth").set(self.depth)
+
+    async def get(self) -> PendingRequest:
+        request = await self._queue.get()
+        self.picked()
+        return request
+
+    def get_nowait(self) -> PendingRequest | None:
+        try:
+            request = self._queue.get_nowait()
+        except asyncio.QueueEmpty:
+            return None
+        self.picked()
+        return request
+
+    def empty(self) -> bool:
+        return self._queue.empty()
+
+
+class MicroBatcher:
+    """The single consumer task between the queue and the engine.
+
+    ``batch_fn`` defaults to
+    :func:`~repro.backends.batch.batch_maximal_matching`; tests inject
+    wrappers that fail on schedule to drive the retry and fallback
+    paths deterministically.  ``fallback_fn`` likewise defaults to
+    :func:`repro.resilience.resilient_matching`.
+    """
+
+    def __init__(
+        self,
+        admission: AdmissionQueue,
+        config: ServiceConfig,
+        *,
+        batch_fn: Callable[..., Any] | None = None,
+        fallback_fn: Callable[..., Any] | None = None,
+        cache=None,
+    ) -> None:
+        from ..backends.batch import batch_maximal_matching
+        from ..resilience import resilient_matching
+
+        self.admission = admission
+        self.config = config
+        self.cache = cache
+        self._batch_fn = batch_fn or batch_maximal_matching
+        self._fallback_fn = fallback_fn or resilient_matching
+        self._stopping = asyncio.Event()
+        self._rng = random.Random(config.seed)
+        self._executor = None  # created lazily on the running loop
+        #: Aggregate Brent account of everything computed, for the
+        #: final manifest.
+        self.cost = CostModel(1)
+        self.batches = 0
+        self.nodes_served = 0
+        # Per-instance lifetime counts for this server's manifest (the
+        # global METRICS registry accumulates across instances).
+        self.served = 0
+        self.timeouts = 0
+        self.errors = 0
+        self.retries = 0
+        self.engine_faults = 0
+        self.degraded = 0
+        self.deadline_shed = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def stop(self) -> None:
+        """Ask :meth:`run` to exit once the queue is flushed."""
+        self._stopping.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stopping.is_set()
+
+    def _pool(self):
+        if self._executor is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.config.compute_threads,
+                thread_name_prefix="repro-service-compute",
+            )
+        return self._executor
+
+    def shutdown_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # -- main loop ---------------------------------------------------------
+
+    async def run(self) -> None:
+        """Consume the queue until :meth:`stop` *and* the queue drains."""
+        while True:
+            first = await self._next_request()
+            if first is None:
+                return
+            batch = await self._gather(first)
+            await self._dispatch(batch)
+
+    async def _next_request(self) -> PendingRequest | None:
+        """Next queued request; ``None`` when stopping with an empty
+        queue (drain complete)."""
+        while True:
+            request = self.admission.get_nowait()
+            if request is not None:
+                return request
+            if self.stopping:
+                return None
+            get_task = asyncio.ensure_future(self.admission.get())
+            stop_task = asyncio.ensure_future(self._stopping.wait())
+            done, _ = await asyncio.wait(
+                {get_task, stop_task},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            stop_task.cancel()
+            if get_task in done:
+                return get_task.result()
+            # Stop was requested.  The get may have raced a final
+            # enqueue to completion — never drop an admitted request.
+            get_task.cancel()
+            try:
+                return await get_task
+            except asyncio.CancelledError:
+                pass
+            # Loop once more: get_nowait flushes whatever is queued.
+
+    async def _gather(self, first: PendingRequest) -> list[PendingRequest]:
+        """Coalesce queued requests behind ``first`` for the batch window."""
+        loop = asyncio.get_running_loop()
+        batch = [first]
+        window_end = loop.time() + self.config.max_batch_delay_ms / 1000.0
+        while len(batch) < self.config.max_batch_items:
+            request = self.admission.get_nowait()
+            if request is None:
+                if self.stopping:
+                    break
+                timeout = window_end - loop.time()
+                if timeout <= 0:
+                    break
+                try:
+                    request = await asyncio.wait_for(
+                        self.admission.get(), timeout)
+                except (asyncio.TimeoutError, TimeoutError):
+                    break
+            batch.append(request)
+        return batch
+
+    # -- responding --------------------------------------------------------
+
+    def _finish(self, request: PendingRequest, status: int,
+                payload: dict[str, Any]) -> None:
+        """Resolve a request's future exactly once and release budget."""
+        if request.future.done():
+            return
+        loop = asyncio.get_running_loop()
+        latency_ms = (loop.time() - request.enqueued_at) * 1000.0
+        payload = {**payload, "latency_ms": round(latency_ms, 3)}
+        METRICS.histogram("service.latency_ms").observe(latency_ms)
+        if status == 200:
+            self.served += 1
+            METRICS.counter("service.served").inc()
+        elif status in (503, 504):
+            self.timeouts += 1
+            METRICS.counter("service.timeouts").inc()
+        else:
+            self.errors += 1
+            METRICS.counter("service.errors").inc()
+        self.admission.release(request.admitted_bytes)
+        request.future.set_result((status, payload))
+
+    def _respond(self, request: PendingRequest) -> None:
+        """Shape the final response from the request's filled entries."""
+        payloads = []
+        worst_timeout = False
+        worst_error = ""
+        for entry in request.entries:
+            if entry.payload is not None:
+                payloads.append({**entry.payload, "cache": entry.cache})
+            elif entry.timed_out:
+                worst_timeout = True
+            else:
+                worst_error = entry.error or "internal error"
+        if worst_error:
+            self._finish(request, 500, {"error": worst_error})
+        elif worst_timeout:
+            self._finish(request, 504, {"error": "deadline exceeded"})
+        elif request.single:
+            self._finish(request, 200, payloads[0])
+        else:
+            self._finish(request, 200, {"results": payloads})
+
+    def _shed_expired(self, request: PendingRequest) -> None:
+        self.deadline_shed += 1
+        METRICS.counter("service.deadline.queued").inc()
+        self._finish(request, 504, {
+            "error": "deadline expired while queued (not computed)",
+        })
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch(self, batch: list[PendingRequest]) -> None:
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        live: list[PendingRequest] = []
+        for request in batch:
+            if request.deadline <= now:
+                self._shed_expired(request)
+            else:
+                live.append(request)
+        if not live:
+            return
+        self.batches += 1
+        METRICS.counter("service.batches").inc()
+        METRICS.histogram("service.batch.requests").observe(len(live))
+        groups: dict[tuple[str, str], list[tuple[PendingRequest, Entry]]] = {}
+        for request in live:
+            for entry in request.entries:
+                if entry.payload is not None:
+                    continue  # cache hit riding along in a batch request
+                key = (entry.workload.algorithm, entry.workload.backend)
+                groups.setdefault(key, []).append((request, entry))
+        for (algorithm, backend), pairs in groups.items():
+            await self._compute_group(algorithm, backend, pairs)
+        for request in live:
+            self._respond(request)
+
+    async def _compute_group(
+        self,
+        algorithm: str,
+        backend: str,
+        pairs: list[tuple[PendingRequest, Entry]],
+    ) -> None:
+        """One fused batch call (+ retry/fallback) for one group."""
+        loop = asyncio.get_running_loop()
+        budget_end = max(request.deadline for request, _ in pairs)
+        lists = [entry.workload.lst for _, entry in pairs]
+        METRICS.histogram("service.batch.lists").observe(len(lists))
+        attempt = 0
+        while True:
+            remaining = budget_end - loop.time()
+            if remaining <= 0:
+                self._mark_timeout(pairs, stage="pre-dispatch")
+                return
+            fn = partial(
+                self._batch_fn, lists, algorithm=algorithm, backend=backend,
+                workers=self.config.workers, p=1,
+            )
+            try:
+                if telemetry_enabled():
+                    with telemetry_span(
+                        "service.batch", algorithm=algorithm,
+                        backend=backend, lists=len(lists), attempt=attempt,
+                    ):
+                        result = await asyncio.wait_for(
+                            loop.run_in_executor(self._pool(), fn), remaining)
+                else:
+                    result = await asyncio.wait_for(
+                        loop.run_in_executor(self._pool(), fn), remaining)
+            except (asyncio.TimeoutError, TimeoutError):
+                # The worker thread is abandoned (a thread cannot be
+                # killed); its result is discarded on arrival.
+                METRICS.counter("service.deadline.inflight").inc()
+                self._mark_timeout(pairs, stage="in-flight")
+                return
+            except POOL_ERRORS as exc:
+                attempt += 1
+                self.retries += 1
+                METRICS.counter("service.retries").inc()
+                if telemetry_enabled():
+                    telemetry_event(
+                        "service.retry", attempt=attempt,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                if attempt > self.config.max_retries:
+                    await self._fallback(
+                        pairs, f"pool retries exhausted: {exc}")
+                    return
+                delay = min(
+                    self.config.base_backoff_s * (2.0 ** (attempt - 1)),
+                    self.config.max_backoff_s,
+                ) * (0.5 + self._rng.random())
+                await asyncio.sleep(
+                    min(delay, max(0.0, budget_end - loop.time())))
+                continue
+            except ReproError as exc:
+                self.engine_faults += 1
+                METRICS.counter("service.engine_faults").inc()
+                if telemetry_enabled():
+                    telemetry_event(
+                        "service.engine_fault", algorithm=algorithm,
+                        backend=backend,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                await self._fallback(pairs, f"{type(exc).__name__}: {exc}")
+                return
+            break
+        self.cost.absorb(result.report)
+        for (request, entry), matching in zip(pairs, result.matchings):
+            self.nodes_served += entry.workload.n
+            self._fill(entry, matching, served_by=algorithm, degraded=False)
+
+    async def _fallback(self, pairs, error: str) -> None:
+        """Per-request degradation: reference-tier resilience ladder."""
+        loop = asyncio.get_running_loop()
+        for request, entry in pairs:
+            remaining = request.deadline - loop.time()
+            if remaining <= 0:
+                entry.timed_out = True
+                continue
+            fn = partial(
+                self._fallback_fn, entry.workload.lst, backend="reference",
+                p=1,
+            )
+            try:
+                res = await asyncio.wait_for(
+                    loop.run_in_executor(self._pool(), fn), remaining)
+            except (asyncio.TimeoutError, TimeoutError):
+                METRICS.counter("service.deadline.inflight").inc()
+                entry.timed_out = True
+                continue
+            except Exception as exc:  # noqa: BLE001 - the ladder's floor
+                entry.error = (
+                    f"degraded path failed after {error}: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                continue
+            self.degraded += 1
+            METRICS.counter("service.degraded").inc()
+            served_by = getattr(res, "served_by", "reference-ladder")
+            self.nodes_served += entry.workload.n
+            self._fill(entry, res.matching, served_by=served_by,
+                       degraded=True)
+            if telemetry_enabled():
+                telemetry_event(
+                    "service.degraded", served_by=served_by, cause=error,
+                )
+
+    def _mark_timeout(self, pairs, *, stage: str) -> None:
+        for _, entry in pairs:
+            entry.timed_out = True
+        _ = stage
+
+    def _fill(self, entry: Entry, matching, *, served_by: str,
+              degraded: bool) -> None:
+        workload = entry.workload
+        payload = {
+            "n": workload.n,
+            "algorithm": workload.algorithm,
+            "backend": workload.backend,
+            "tails": [int(t) for t in matching.tails],
+            "matched": int(matching.size),
+            "served_by": served_by,
+            "degraded": degraded,
+        }
+        entry.payload = payload
+        if self.cache is not None and entry.cache == "miss":
+            self.cache.put(workload.cache_key(), dict(payload))

@@ -1,0 +1,84 @@
+"""LRU response cache keyed by canonical workload identity.
+
+The key is :meth:`Workload.cache_key` — the
+:meth:`~repro.telemetry.runrecord.RunRecord.key` of the workload's
+service record — so two requests hit the same entry exactly when the
+perf gate would pair their manifests: same algorithm, backend, and
+list identity (spec ``(n, layout, seed)`` or content digest).  Values
+are finished response payloads (plain dicts), so a hit skips
+admission, queueing, and compute entirely.
+
+Hits, misses, and evictions are counted in the process
+:data:`~repro.telemetry.metrics.METRICS` registry
+(``service.cache.*``) — the service's metrics are its operational
+surface and are recorded regardless of the span-telemetry flag.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from ..telemetry.metrics import METRICS
+
+__all__ = ["ResponseCache"]
+
+
+class ResponseCache:
+    """Bounded LRU of ``cache_key -> response payload`` dicts.
+
+    ``capacity=0`` disables the cache (every lookup misses, nothing is
+    stored).  Not thread-safe by design: the service only touches it
+    from the event loop.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        # Per-instance counts feed this server's manifest; the global
+        # METRICS bumps feed /metrics (and accumulate process-wide).
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[tuple, dict[str, Any]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def get(self, key: tuple) -> dict[str, Any] | None:
+        """The cached payload for ``key`` (refreshed to most-recent), or
+        ``None`` on a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            METRICS.counter("service.cache.misses").inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        METRICS.counter("service.cache.hits").inc()
+        return entry
+
+    def put(self, key: tuple, payload: dict[str, Any]) -> None:
+        """Insert/refresh ``key``, evicting the least-recent overflow."""
+        if self.capacity == 0:
+            return
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            METRICS.counter("service.cache.evictions").inc()
+
+    def stats(self) -> dict[str, int]:
+        """This instance's lifetime counters (manifest material)."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,170 @@
+"""Unit tests: config validation, workload identity, cache, admission."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import InvalidParameterError
+from repro.service import (
+    AdmissionQueue,
+    Entry,
+    PendingRequest,
+    ResponseCache,
+    ServiceConfig,
+    WorkloadError,
+    parse_workload,
+)
+
+PARSE = dict(default_algorithm="match4", default_backend="numpy")
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        cfg = ServiceConfig()
+        assert cfg.max_queue_depth > 0
+        assert "max_queue_depth" in cfg.to_dict()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_queue_depth": 0},
+        {"max_batch_items": 0},
+        {"max_batch_delay_ms": -1.0},
+        {"default_deadline_ms": 0.0},
+        {"cache_size": -1},
+        {"max_retries": -1},
+        {"compute_threads": 0},
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            ServiceConfig(**kwargs)
+
+
+class TestWorkload:
+    def test_spec_identity(self):
+        w = parse_workload({"n": 64, "layout": "random", "seed": 3}, **PARSE)
+        assert w.identity == ("spec", 64, "random", 3)
+        assert w.n == 64
+        assert w.nbytes == 64 * 8
+
+    def test_same_spec_same_cache_key(self):
+        a = parse_workload({"n": 64, "seed": 1}, **PARSE)
+        b = parse_workload({"seed": 1, "n": 64}, **PARSE)
+        assert a.cache_key() == b.cache_key()
+
+    def test_different_algorithm_different_key(self):
+        a = parse_workload({"n": 64}, **PARSE)
+        b = parse_workload({"n": 64, "algorithm": "match2"}, **PARSE)
+        assert a.cache_key() != b.cache_key()
+
+    def test_explicit_list_digest_identity(self):
+        lst = repro.random_list(32, rng=0)
+        w = parse_workload({"next": lst.next.tolist()}, **PARSE)
+        assert w.identity[0] == "digest"
+        again = parse_workload({"next": lst.next.tolist()}, **PARSE)
+        assert w.cache_key() == again.cache_key()
+        assert np.array_equal(w.lst.next, lst.next)
+
+    @pytest.mark.parametrize("body,msg", [
+        ({}, "either 'next' or 'n'"),
+        ({"n": 0}, "'n' must be in"),
+        ({"n": 64, "layout": "nope"}, "unknown layout"),
+        ({"n": 64, "algorithm": "nope"}, "unknown algorithm"),
+        ({"n": 64, "backend": "nope"}, "unknown backend"),
+        ({"next": []}, "non-empty"),
+        ({"next": [0, 0, 1]}, "invalid linked list"),
+        ("not a dict", "JSON object"),
+    ])
+    def test_malformed_rejected(self, body, msg):
+        with pytest.raises(WorkloadError):
+            parse_workload(body, **PARSE)
+
+
+class TestResponseCache:
+    def test_lru_eviction_order(self):
+        cache = ResponseCache(2)
+        cache.put(("a",), {"v": 1})
+        cache.put(("b",), {"v": 2})
+        assert cache.get(("a",)) == {"v": 1}  # refresh: b is now LRU
+        cache.put(("c",), {"v": 3})
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) is not None
+        assert cache.evictions == 1
+
+    def test_counters(self):
+        cache = ResponseCache(4)
+        cache.get(("x",))
+        cache.put(("x",), {})
+        cache.get(("x",))
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+
+    def test_capacity_zero_disables(self):
+        cache = ResponseCache(0)
+        cache.put(("x",), {})
+        assert len(cache) == 0
+        assert cache.get(("x",)) is None
+
+
+def _request(loop, workloads, deadline_s=60.0):
+    return PendingRequest(
+        entries=[Entry(workload=w) for w in workloads],
+        deadline=loop.time() + deadline_s,
+        enqueued_at=loop.time(),
+        future=loop.create_future(),
+        single=len(workloads) == 1,
+        use_cache=False,
+    )
+
+
+class TestAdmission:
+    def test_depth_and_bytes_limits(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            config = ServiceConfig(max_queue_depth=2,
+                                   max_inflight_bytes=64 * 8 * 3)
+            admission = AdmissionQueue(config)
+            w = parse_workload({"n": 64}, **PARSE)
+            big = parse_workload({"n": 64, "seed": 9}, **PARSE)
+
+            assert admission.try_admit(_request(loop, [w])) is None
+            assert admission.try_admit(_request(loop, [w, big])) is None
+            # depth limit reached
+            assert admission.try_admit(
+                _request(loop, [w])) == "queue_full"
+            # draining beats everything
+            admission.draining = True
+            assert admission.try_admit(_request(loop, [w])) == "draining"
+            admission.draining = False
+            # byte budget: 3 lists in flight of a 3-list budget
+            admission.picked()  # depth frees up, bytes do not
+            admission.picked()
+            assert admission.try_admit(
+                _request(loop, [w])) == "inflight_bytes"
+            admission.release(64 * 8)
+            assert admission.try_admit(_request(loop, [w])) is None
+            assert admission.admitted == 3
+            assert admission.shed_counts == {
+                "queue_full": 1, "draining": 1, "inflight_bytes": 1,
+            }
+
+        asyncio.run(scenario())
+
+    def test_admitted_bytes_snapshot(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            admission = AdmissionQueue(ServiceConfig())
+            w = parse_workload({"n": 64}, **PARSE)
+            request = _request(loop, [w])
+            assert admission.try_admit(request) is None
+            assert request.admitted_bytes == 64 * 8
+            # serving the entry zeroes nbytes but not the admitted
+            # snapshot — release() must return the full charge
+            request.entries[0].payload = {"served": True}
+            assert request.nbytes == 0
+            admission.release(request.admitted_bytes)
+            assert admission.inflight_bytes == 0
+
+        asyncio.run(scenario())

@@ -175,3 +175,56 @@ class TestFormats:
         # the committed overhead demonstration still passes its gate
         findings = compare_mod.compare(pre, post, wallclock_tol=0.05)
         assert not [f for f in findings if f["kind"] == "regression"]
+
+
+class TestServiceRecords:
+    """Service-shaped manifests must not break the gate (robustness
+    hardening: operational records carry container-valued ``extra``
+    entries and may omit step counts)."""
+
+    def _service_record(self, served=10, shed=None):
+        rec = _record(n=served, p=1, time=100, work=1000)
+        rec["kind"] = "service"
+        rec["extra"] = {
+            "drain": "clean", "drain_reason": "SIGTERM",
+            "served": served,
+            "shed": shed or {"queue_full": 3},
+            "cache": {"hits": 4, "misses": 6, "evictions": 0},
+        }
+        return rec
+
+    def test_service_manifest_loads(self, compare_mod, tmp_path):
+        path = _manifest(tmp_path, "svc.jsonl", [self._service_record()])
+        metrics = compare_mod.load_metrics(path)
+        assert len(metrics) == 1
+        (key,) = metrics
+        assert key[0] == "service"
+
+    def test_container_extras_pair_across_dict_order(
+            self, compare_mod, tmp_path):
+        """Identity must be stable under dict insertion order."""
+        a = self._service_record()
+        b = self._service_record()
+        b["extra"]["cache"] = {"evictions": 0, "misses": 6, "hits": 4}
+        base = _manifest(tmp_path, "base.jsonl", [a])
+        cur = _manifest(tmp_path, "cur.jsonl", [b])
+        assert compare_mod.main([base, cur, "--ignore-wallclock"]) == 0
+
+    def test_missing_step_counts_tolerated(self, compare_mod, tmp_path):
+        rec = self._service_record()
+        rec["time"] = None
+        rec["work"] = None
+        path = _manifest(tmp_path, "svc.jsonl", [rec])
+        metrics = compare_mod.load_metrics(path)
+        (key,) = metrics
+        assert metrics[key]["ints"] == {}
+
+    def test_mixed_manifest_still_gates_matching_records(
+            self, compare_mod, tmp_path):
+        """A service record sharing the manifest must not mask a real
+        regression in the matching records."""
+        base = _manifest(tmp_path, "base.jsonl",
+                         [_record(time=141), self._service_record()])
+        cur = _manifest(tmp_path, "cur.jsonl",
+                        [_record(time=282), self._service_record()])
+        assert compare_mod.main([base, cur, "--ignore-wallclock"]) == 1
