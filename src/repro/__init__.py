@@ -89,6 +89,9 @@ from .backends import BACKENDS, Backend
 from .backends.batch import BatchMatchResult, batch_maximal_matching
 from . import parallel
 from .parallel import ParallelConfig, using_config
+from . import planner
+from .planner import ExecutionPolicy, Planner
+from .resilience import resilient_matching
 from ._buildinfo import build_info, version_string
 from .telemetry import METRICS, RunRecord
 
@@ -97,7 +100,7 @@ __version__ = "1.0.0"
 __all__ = [
     # subpackages
     "analysis", "apps", "backends", "baselines", "bits", "core", "lists",
-    "parallel", "pram", "telemetry",
+    "parallel", "planner", "pram", "telemetry",
     # errors
     "ReproError", "InvalidListError", "InvalidParameterError",
     "PRAMError", "MemoryConflictError", "VerificationError",
@@ -116,6 +119,8 @@ __all__ = [
     "BACKENDS", "Backend", "BatchMatchResult", "batch_maximal_matching",
     # parallel
     "ParallelConfig", "using_config",
+    # planner
+    "ExecutionPolicy", "Planner", "resilient_matching",
     # apps
     "three_coloring", "mis_from_coloring", "mis_from_matching",
     "contraction_ranks", "list_ranks", "list_prefix_sums",

@@ -42,9 +42,11 @@ __all__ = [
     "Backend",
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "AUTO",
     "register_backend",
     "get_backend",
     "backend_names",
+    "backend_choices",
     "backends_for",
     "engine",
     "ENGINE_LIMIT",
@@ -52,6 +54,12 @@ __all__ = [
 
 #: Backend used when ``backend=`` is not given anywhere in the API.
 DEFAULT_BACKEND = "reference"
+
+#: Sentinel backend name: let :mod:`repro.planner` pick the backend
+#: from run history.  Accepted wherever ``backend=`` is — it is not a
+#: registered :class:`Backend` and always resolves to one before any
+#: algorithm runs.
+AUTO = "auto"
 
 
 class _ReferenceAlgorithms(Mapping[str, Callable[..., Any]]):
@@ -142,6 +150,11 @@ def get_backend(name: str) -> Backend:
 def backend_names() -> list[str]:
     """Sorted names of all registered backends."""
     return sorted(BACKENDS)
+
+
+def backend_choices() -> list[str]:
+    """Valid ``backend=`` values: registered names plus ``"auto"``."""
+    return sorted([*BACKENDS, AUTO])
 
 
 def backends_for(algorithm: str) -> list[str]:

@@ -27,8 +27,8 @@ per-list cost splits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -64,13 +64,19 @@ class BatchStats:
 
 @dataclass(frozen=True)
 class BatchMatchResult:
-    """What one batch run produced: per-list matchings + aggregate cost."""
+    """What one batch run produced: per-list matchings + aggregate cost.
+
+    ``extras`` carries execution provenance that is not part of the
+    result proper — notably ``extras["planner"]`` when the batch ran
+    with ``backend="auto"`` (mirrors ``MatchResult.extras``).
+    """
 
     matchings: tuple[Matching, ...]
     report: CostReport
     stats: BatchStats
     backend: str = "numpy"
     algorithm: str = "match4"
+    extras: Mapping[str, Any] = field(default_factory=dict)
 
     def __iter__(self) -> Iterator[Matching]:
         return iter(self.matchings)
@@ -318,10 +324,11 @@ def _resolve_batch_workers(backend: str, workers: int | None) -> int:
 def batch_maximal_matching(
     lists: Sequence[LinkedList | np.ndarray | list],
     *,
-    algorithm: str = "match4",
-    backend: str = "numpy",
+    algorithm: str | None = None,
+    backend: str | None = None,
     p: int = 1,
     workers: int | None = None,
+    policy: Any = None,
     **kwargs: Any,
 ) -> BatchMatchResult:
     """Maximally match many independent lists in one call.
@@ -354,6 +361,14 @@ def batch_maximal_matching(
     falls back to serial execution (``parallel.fallback`` telemetry
     event) rather than erroring.
 
+    ``backend="auto"`` routes the whole batch through
+    :mod:`repro.planner` with the ``"batch"`` profile (one decision per
+    call, not per list — fused execution needs one backend); the
+    decision lands in ``result.extras["planner"]``.  An
+    :class:`~repro.planner.ExecutionPolicy` is accepted as ``policy=``
+    and merged with the kwargs above, exactly as in
+    :func:`repro.maximal_matching`.
+
     Kwargs are normalized exactly as in :func:`repro.maximal_matching`
     (canonical names, deprecated aliases warned, unknown rejected).
 
@@ -366,21 +381,45 @@ def batch_maximal_matching(
         maximal_matching,
         normalize_algorithm_kwargs,
     )
-    from . import get_backend
+    from . import AUTO, get_backend
+    from ..planner.policy import resolve_policy
     from ..parallel.executor import run_sharded_batch
+
+    pol = resolve_policy(
+        policy, algorithm=algorithm, backend=backend, workers=workers,
+        defaults={"algorithm": "match4", "backend": "numpy"},
+    )
+    algorithm = pol.algorithm
+    backend = pol.backend
+    workers = pol.workers
 
     if algorithm not in ALGORITHMS:
         raise InvalidParameterError(
             f"unknown algorithm {algorithm!r}; choose from "
             f"{sorted(ALGORITHMS)}"
         )
-    get_backend(backend)  # validate the name even for the loop path
     if p < 1:
         raise InvalidParameterError(f"p must be >= 1, got {p}")
-    eff_workers = _resolve_batch_workers(backend, workers)
-    kwargs = normalize_algorithm_kwargs(algorithm, kwargs)
     lls = [lst if isinstance(lst, LinkedList) else LinkedList(lst)
            for lst in lists]
+
+    extras: dict[str, Any] = {}
+    if backend == AUTO:
+        from ..planner import decide_for
+
+        decision = decide_for(
+            pol, algorithm=algorithm,
+            n=int(max((l.n for l in lls), default=1)), p=p,
+            profile="batch", num_lists=len(lls),
+        )
+        extras["planner"] = decision.to_extra()
+        backend = decision.backend
+        if workers is None:
+            workers = decision.workers
+
+    get_backend(backend)  # validate the name even for the loop path
+    eff_workers = _resolve_batch_workers(backend, workers)
+    kwargs = normalize_algorithm_kwargs(algorithm, kwargs)
     # Inside a worker (and in every serial path) numpy-mp's batch form
     # *is* the numpy arena; the parallelism lives in the sharding.
     serial_backend = "numpy" if backend == "numpy-mp" else backend
@@ -446,5 +485,5 @@ def batch_maximal_matching(
     )
     return BatchMatchResult(
         matchings=matchings, report=report, stats=stats,
-        backend=backend, algorithm=algorithm,
+        backend=backend, algorithm=algorithm, extras=extras,
     )

@@ -80,6 +80,8 @@ def _cmd_match(args: argparse.Namespace) -> int:
     from .core.maximal_matching import maximal_matching
     import repro.baselines  # noqa: F401  (registers baselines)
 
+    from .planner import ExecutionPolicy
+
     lst = _make_list(args.n, args.layout, args.seed)
     kwargs = {}
     if args.algorithm == "match4":
@@ -91,15 +93,28 @@ def _cmd_match(args: argparse.Namespace) -> int:
         # Validated at config time (workers < 1 raises a ValueError
         # before any pool exists); the numpy-mp backend reads this.
         set_default_config(config_with_workers(workers))
+    policy = ExecutionPolicy(
+        history=args.history or None,
+        layout=args.layout,
+        mode="race" if args.race else "rules",
+    )
     t0 = time.perf_counter()
     result = maximal_matching(
         lst, algorithm=args.algorithm, backend=args.backend,
-        p=args.p, **kwargs
+        p=args.p, policy=policy, **kwargs
     )
     wall_s = time.perf_counter() - t0
     matching, report = result.matching, result.report
+    planner_extra = result.extras.get("planner")
     print(f"algorithm : {args.algorithm}")
-    print(f"backend   : {args.backend}")
+    print(f"backend   : {result.backend}")
+    if planner_extra is not None:
+        line = (f"planned   : {planner_extra['backend']} "
+                f"(rule={planner_extra['rule']}, "
+                f"source={planner_extra['source']}")
+        if planner_extra.get("raced"):
+            line += ", raced"
+        print(line + ")")
     if workers is not None:
         print(f"workers   : {workers}")
     print(f"n, p      : {args.n}, {args.p}")
@@ -115,6 +130,8 @@ def _cmd_match(args: argparse.Namespace) -> int:
         from .telemetry.runrecord import RunRecord, append_record
 
         extra = {"workers": workers} if workers is not None else {}
+        if planner_extra is not None:
+            extra["planner"] = planner_extra
         record = RunRecord.from_result(
             result, seed=args.seed, wall_s=wall_s, layout=args.layout,
             **extra,
@@ -128,11 +145,20 @@ def _cmd_algorithms(args: argparse.Namespace) -> int:
     from .core.maximal_matching import ALGORITHMS
     import repro.baselines  # noqa: F401  (registers baselines)
 
-    records = ALGORITHMS.describe()
+    plan_for = None
+    if args.plan:
+        plan_for = {"n": args.n, "layout": args.layout, "p": args.p}
+        if args.history:
+            plan_for["history"] = args.history
+    records = ALGORITHMS.describe(plan_for=plan_for)
     if args.list:
         for rec in records:
             print(rec["name"])
         return 0
+    if plan_for is not None:
+        print(f"plan view : backend=\"auto\" at n={args.n}, "
+              f"layout={args.layout}"
+              + (f", history={args.history}" if args.history else ""))
     for rec in records:
         print(rec["name"] + (" (optimal)" if rec["optimal"] else ""))
         print(f"  backends : {', '.join(rec['backends'])}")
@@ -140,6 +166,12 @@ def _cmd_algorithms(args: argparse.Namespace) -> int:
             print(f"  paper    : {rec['paper_section']}")
         if rec["params"]:
             print(f"  kwargs   : {', '.join(rec['params'])}")
+        plan = rec.get("plan")
+        if plan is not None:
+            workers = (f", workers={plan['workers']}"
+                       if plan.get("workers") else "")
+            print(f"  plan     : {plan['backend']}{workers} "
+                  f"(rule={plan['rule']}, source={plan['source']})")
     return 0
 
 
@@ -442,6 +474,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retry_after_s=args.retry_after_s,
         manifest_path=args.record,
         seed=args.seed,
+        planner_history=args.planner_history,
     )
     return MatchingService(config).run()
 
@@ -490,7 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=LAYOUT_CHOICES)
         p.add_argument("--seed", type=int, default=0)
 
-    from .backends import backend_names
+    from .backends import backend_choices, backend_names
 
     m = sub.add_parser("match", help="run one matching algorithm")
     common(m)
@@ -498,14 +531,21 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["match1", "match2", "match3", "match4",
                             "sequential", "random_mate"])
     m.add_argument("--backend", default="reference",
-                   choices=backend_names(),
-                   help="execution backend (default reference)")
+                   choices=backend_choices(),
+                   help="execution backend (default reference; 'auto' "
+                        "lets the planner pick from run history)")
     m.add_argument("--i", type=int, default=2,
                    help="Match4's iterations parameter")
     m.add_argument("--workers", type=int, default=None, metavar="N",
                    help="worker processes for the multiprocess tier "
                         "(sets repro.parallel's default config; pair "
                         "with --backend numpy-mp)")
+    m.add_argument("--history", default="", metavar="PATH",
+                   help="runs.jsonl manifest feeding the planner's "
+                        "performance model (pair with --backend auto)")
+    m.add_argument("--race", action="store_true",
+                   help="with --backend auto: race reference vs numpy "
+                        "on unknown regimes, keep the winner")
     m.add_argument("--record", default="", metavar="PATH",
                    help="append a RunRecord JSON line to PATH")
     m.set_defaults(fn=_cmd_match)
@@ -514,6 +554,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="list registered algorithms + metadata")
     al.add_argument("--list", action="store_true",
                     help="names only, one per line")
+    al.add_argument("--plan", action="store_true",
+                    help="show what backend=\"auto\" would pick per "
+                         "algorithm (and which rule fired)")
+    al.add_argument("--n", type=int, default=1 << 14,
+                    help="plan view: workload size (default 16384)")
+    al.add_argument("--p", type=int, default=1,
+                    help="plan view: processor count")
+    al.add_argument("--layout", default="random", choices=LAYOUT_CHOICES,
+                    help="plan view: workload layout hint")
+    al.add_argument("--history", default="", metavar="PATH",
+                    help="plan view: runs.jsonl manifest to plan from")
     al.set_defaults(fn=_cmd_algorithms)
 
     r = sub.add_parser("rank", help="list ranking")
@@ -613,8 +664,9 @@ def build_parser() -> argparse.ArgumentParser:
     rz.add_argument("--i", type=int, default=2,
                     help="Match4's iterations parameter")
     rz.add_argument("--backend", default="reference",
-                    choices=backend_names(),
-                    help="first-attempt backend for the ladder strategy")
+                    choices=backend_choices(),
+                    help="first-attempt backend for the ladder strategy "
+                         "('auto': planner picks from history)")
     rz.add_argument("--crash-at", action="append", default=[],
                     metavar="STEP:PID",
                     help="crash-stop processor PID at step STEP (repeatable)")
@@ -647,8 +699,9 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--algorithm", default="match4",
                     choices=["match1", "match4"],
                     help="default algorithm for requests that name none")
-    sv.add_argument("--backend", default="numpy", choices=backend_names(),
-                    help="default backend for requests that name none")
+    sv.add_argument("--backend", default="numpy", choices=backend_choices(),
+                    help="default backend for requests that name none "
+                         "('auto': planner picks per request)")
     sv.add_argument("--workers", type=int, default=None,
                     help="shard batches across this many worker processes")
     sv.add_argument("--max-queue", type=int, default=64,
@@ -669,6 +722,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="Retry-After hint on 429/503 responses")
     sv.add_argument("--record", default="",
                     help="append the final service RunRecord manifest here")
+    sv.add_argument("--planner-history", default="", metavar="PATH",
+                    help="runs.jsonl manifest seeding the planner for "
+                         "backend=\"auto\" requests")
     sv.add_argument("--seed", type=int, default=0,
                     help="seeds the retry-backoff jitter")
     sv.set_defaults(fn=_cmd_serve)

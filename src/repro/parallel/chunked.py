@@ -79,11 +79,26 @@ class ParallelWalker:
     serial kernel in-process.  ``last_blocks`` records how many blocks
     the most recent call dispatched (0 = ran serial), for tests and
     diagnostics.
+
+    A walker built without an explicit config resolves the
+    process-default :class:`ParallelConfig` **per call**, not at
+    construction — a long-lived walker therefore honors
+    :func:`~repro.parallel.config.using_config` scopes (and planner
+    worker overrides) active at call time.  Passing ``config=`` pins
+    the walker to that config for its lifetime.
     """
 
     def __init__(self, config: ParallelConfig | None = None) -> None:
-        self.config = config if config is not None else get_default_config()
+        self._config = config
         self.last_blocks = 0
+
+    @property
+    def config(self) -> ParallelConfig:
+        """The config this call would use: the pinned one if given,
+        else the live process default."""
+        if self._config is not None:
+            return self._config
+        return get_default_config()
 
     def __call__(self, nxt: np.ndarray, live: np.ndarray,
                  starts: np.ndarray, limit: int,

@@ -1,0 +1,65 @@
+"""Cost-model-driven execution planning: ``backend="auto"``.
+
+The planner closes the telemetry loop (ROADMAP item 4): the run
+manifests the system already writes become the training data for
+choosing how the next call should execute.  Pass ``backend="auto"`` to
+:func:`repro.maximal_matching`, :func:`repro.batch_maximal_matching`,
+:func:`repro.resilient_matching`, or ``repro serve`` and the planner
+
+1. loads accumulated :class:`~repro.telemetry.runrecord.RunRecord`
+   history into a :class:`PerformanceModel` keyed by
+   (algorithm, batch profile, layout, n-bucket);
+2. runs the pluggable rule pipeline (:mod:`repro.planner.rules`) to
+   score candidate (backend, workers) plans — measured history first,
+   Brent-cost cold-start priors where history is silent;
+3. optionally races reference vs numpy on unknown regimes
+   (:mod:`repro.planner.race`), keeping the winner and recording the
+   loss so the regime is known next time;
+4. stamps the full decision into ``MatchResult.extras["planner"]`` and
+   the ``planner.*`` telemetry family.
+
+:class:`ExecutionPolicy` is the uniform way to say all of this at
+once — see :mod:`repro.planner.policy` — and ``docs/planner.md`` walks
+through the whole subsystem.
+"""
+
+from .core import (
+    Planner,
+    PlannerDecision,
+    decide_for,
+    get_default_planner,
+    planner_for_policy,
+    set_default_planner,
+    using_planner,
+)
+from .model import PerformanceModel, n_bucket
+from .policy import PLANNER_MODES, ExecutionPolicy, resolve_policy
+from .race import run_race
+from .rules import (
+    PlanContext,
+    ScoredPlan,
+    planner_rules,
+    register_planner_rule,
+    unregister_planner_rule,
+)
+
+__all__ = [
+    "ExecutionPolicy",
+    "PLANNER_MODES",
+    "resolve_policy",
+    "Planner",
+    "PlannerDecision",
+    "PerformanceModel",
+    "PlanContext",
+    "ScoredPlan",
+    "decide_for",
+    "get_default_planner",
+    "set_default_planner",
+    "using_planner",
+    "planner_for_policy",
+    "planner_rules",
+    "register_planner_rule",
+    "unregister_planner_rule",
+    "run_race",
+    "n_bucket",
+]

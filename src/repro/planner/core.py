@@ -1,0 +1,280 @@
+"""The planner: rank candidate plans, decide, remember the decision.
+
+:class:`Planner` ties the pieces together — a
+:class:`~repro.planner.model.PerformanceModel` (history), the rule
+pipeline (:mod:`repro.planner.rules`), and race mode
+(:mod:`repro.planner.race`).  ``backend="auto"`` anywhere in the API
+routes through :meth:`Planner.decide`, which returns a
+:class:`PlannerDecision`: the chosen plan, the rule that priced it,
+every candidate considered, and whether a race is warranted.  The
+decision is stamped into ``MatchResult.extras["planner"]`` by the
+caller and emitted as a ``planner.decision`` telemetry event with
+``planner.*`` counters.
+
+A process-default planner (seeded from ``$REPRO_PLANNER_HISTORY`` when
+set) serves callers that do not pass their own history; scope a
+different one with :func:`using_planner`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Iterator, Sequence
+
+from ..errors import InvalidParameterError
+from ..telemetry.metrics import METRICS
+from ..telemetry.spans import enabled as telemetry_enabled, event as telemetry_event
+from .model import PerformanceModel
+from .policy import PLANNER_MODES, ExecutionPolicy
+from .rules import PlanContext, PlannerRule, ScoredPlan, planner_rules
+
+__all__ = [
+    "Planner",
+    "PlannerDecision",
+    "get_default_planner",
+    "set_default_planner",
+    "using_planner",
+    "planner_for_policy",
+    "decide_for",
+]
+
+#: Env var naming a ``runs.jsonl`` manifest the default planner loads.
+HISTORY_ENV = "REPRO_PLANNER_HISTORY"
+
+#: Deterministic tie-break order when two plans score identically.
+_BACKEND_PREFERENCE = {"reference": 0, "numpy": 1, "numpy-mp": 2}
+
+
+class PlannerDecision:
+    """One resolved ``backend="auto"`` decision, fully accounted."""
+
+    def __init__(
+        self,
+        *,
+        plan: ScoredPlan,
+        candidates: Sequence[ScoredPlan],
+        context: PlanContext,
+        mode: str,
+        raced: bool = False,
+        race_backends: tuple[str, ...] = (),
+        race_info: dict[str, Any] | None = None,
+    ) -> None:
+        self.plan = plan
+        self.candidates = list(candidates)
+        self.context = context
+        self.mode = mode
+        self.raced = raced
+        self.race_backends = race_backends
+        self.race_info = race_info
+
+    @property
+    def backend(self) -> str:
+        return self.plan.backend
+
+    @property
+    def workers(self) -> int | None:
+        return self.plan.workers
+
+    @property
+    def rule(self) -> str:
+        return self.plan.rule
+
+    @property
+    def source(self) -> str:
+        return self.plan.source
+
+    def to_extra(self) -> dict[str, Any]:
+        """JSON-able form for ``MatchResult.extras`` / RunRecords."""
+        out: dict[str, Any] = {
+            "backend": self.plan.backend,
+            "workers": self.plan.workers,
+            "chunk_size": self.plan.chunk_size,
+            "rule": self.plan.rule,
+            "source": self.plan.source,
+            "mode": self.mode,
+            "raced": self.raced,
+            "candidates": [c.to_dict() for c in self.candidates],
+            "context": self.context.to_dict(),
+        }
+        if self.race_info:
+            out["race"] = dict(self.race_info)
+        return out
+
+
+class Planner:
+    """Ranks execution plans for a workload from history + rules."""
+
+    def __init__(
+        self,
+        model: PerformanceModel | None = None,
+        *,
+        history: str | os.PathLike | None = None,
+        rules: Sequence[tuple[str, PlannerRule]] | None = None,
+        mode: str = "rules",
+    ) -> None:
+        if mode not in PLANNER_MODES:
+            raise InvalidParameterError(
+                f"unknown planner mode {mode!r}; choose from "
+                f"{list(PLANNER_MODES)}"
+            )
+        self.model = model if model is not None else PerformanceModel()
+        self.history_path = os.fspath(history) if history else None
+        if self.history_path:
+            self.model.load(self.history_path)
+        self._rules = list(rules) if rules is not None else None
+        self.mode = mode
+
+    @property
+    def rules(self) -> list[tuple[str, PlannerRule]]:
+        """This planner's pipeline (the live registry unless overridden)."""
+        return list(self._rules) if self._rules is not None \
+            else planner_rules()
+
+    def decide(self, ctx: PlanContext, *,
+               mode: str | None = None) -> PlannerDecision:
+        """Run the rule pipeline and commit to the best-scored plan."""
+        if ctx.model is None:
+            ctx = PlanContext(
+                algorithm=ctx.algorithm, n=ctx.n, p=ctx.p,
+                layout=ctx.layout, profile=ctx.profile,
+                num_lists=ctx.num_lists, model=self.model,
+                policy=ctx.policy,
+            )
+        effective_mode = mode or self.mode
+        if effective_mode not in PLANNER_MODES:
+            raise InvalidParameterError(
+                f"unknown planner mode {effective_mode!r}; choose from "
+                f"{list(PLANNER_MODES)}"
+            )
+        plans: list[ScoredPlan] = []
+        for name, rule in self.rules:
+            out = rule(ctx, plans)
+            if out is not None:
+                plans = out
+        scored = [p for p in plans if p.score is not None]
+        if not scored:
+            raise InvalidParameterError(
+                f"planner found no executable backend for algorithm "
+                f"{ctx.algorithm!r} at n={ctx.n}"
+            )
+        scored.sort(key=lambda p: (
+            p.score, _BACKEND_PREFERENCE.get(p.backend, 99), p.backend,
+        ))
+        chosen = scored[0]
+
+        raced = False
+        race_backends: tuple[str, ...] = ()
+        if effective_mode == "race" and chosen.source == "prior":
+            # Unknown regime: race the oracle against the engine when
+            # both are candidates, keep the winner, remember the loss.
+            available = {p.backend for p in scored}
+            if {"reference", "numpy"} <= available:
+                raced = True
+                race_backends = ("reference", "numpy")
+
+        decision = PlannerDecision(
+            plan=chosen, candidates=scored, context=ctx,
+            mode=effective_mode, raced=raced,
+            race_backends=race_backends,
+        )
+        if telemetry_enabled():
+            METRICS.counter("planner.decisions").inc()
+            METRICS.counter(f"planner.rule.{chosen.rule}").inc()
+            if raced:
+                METRICS.counter("planner.race.planned").inc()
+            telemetry_event(
+                "planner.decision",
+                algorithm=ctx.algorithm, n=ctx.n, profile=ctx.profile,
+                layout=ctx.layout, backend=chosen.backend,
+                workers=chosen.workers, rule=chosen.rule,
+                source=chosen.source, mode=effective_mode, raced=raced,
+                candidates=len(scored),
+            )
+        return decision
+
+    def observe_result(
+        self,
+        *,
+        algorithm: str,
+        backend: str,
+        n: int,
+        wall_s: float,
+        workers: int | None = None,
+        layout: str | None = None,
+        profile: str = "single",
+        lost: bool = False,
+    ) -> None:
+        """Feed a live measurement back into the model (race mode)."""
+        self.model.observe(
+            algorithm=algorithm, backend=backend, n=n, wall_s=wall_s,
+            workers=workers, layout=layout, profile=profile, lost=lost,
+        )
+
+
+_DEFAULT_PLANNER: Planner | None = None
+
+
+def get_default_planner() -> Planner:
+    """The process-default planner (created lazily).
+
+    On first use it loads ``$REPRO_PLANNER_HISTORY`` when that is set;
+    a missing or unreadable manifest leaves the model empty (priors).
+    """
+    global _DEFAULT_PLANNER
+    if _DEFAULT_PLANNER is None:
+        _DEFAULT_PLANNER = Planner(history=os.environ.get(HISTORY_ENV))
+    return _DEFAULT_PLANNER
+
+
+def set_default_planner(planner: Planner | None) -> None:
+    """Replace the process-default planner (``None`` = reset to lazy)."""
+    global _DEFAULT_PLANNER
+    _DEFAULT_PLANNER = planner
+
+
+@contextmanager
+def using_planner(planner: Planner) -> Iterator[Planner]:
+    """Scope the process-default planner, restoring on exit."""
+    global _DEFAULT_PLANNER
+    previous = _DEFAULT_PLANNER
+    _DEFAULT_PLANNER = planner
+    try:
+        yield planner
+    finally:
+        _DEFAULT_PLANNER = previous
+
+
+def decide_for(
+    policy: ExecutionPolicy | None,
+    *,
+    algorithm: str,
+    n: int,
+    p: int = 1,
+    profile: str = "single",
+    num_lists: int = 1,
+) -> PlannerDecision:
+    """One-call ``backend="auto"`` resolution for the entry points."""
+    planner = planner_for_policy(policy)
+    ctx = PlanContext(
+        algorithm=algorithm, n=n, p=p,
+        layout=policy.layout if policy is not None else None,
+        profile=profile, num_lists=num_lists,
+        model=planner.model, policy=policy,
+    )
+    mode = policy.mode if policy is not None else None
+    return planner.decide(ctx, mode=mode)
+
+
+def planner_for_policy(policy: ExecutionPolicy | None) -> Planner:
+    """The planner a call should use: its own history or the default."""
+    if policy is not None and policy.history:
+        return Planner(history=policy.history,
+                       mode=policy.mode or "rules")
+    planner = get_default_planner()
+    if policy is not None and policy.mode and policy.mode != planner.mode:
+        # Same model, caller's mode: cheap shim, shares the history.
+        shim = Planner(planner.model, mode=policy.mode)
+        shim.history_path = planner.history_path
+        return shim
+    return planner

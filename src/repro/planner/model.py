@@ -1,0 +1,230 @@
+"""In-memory performance model built from ``runs.jsonl`` manifests.
+
+The telemetry layer already persists, for every measured run, the
+workload identity and the host wall-clock (:class:`~repro.telemetry
+.runrecord.RunRecord`).  This module folds those records into the
+lookup structure the planner ranks candidate plans against:
+
+    (algorithm, profile, layout, n-bucket)  ->  {(backend, workers): stat}
+
+- **n-bucket** is ``n.bit_length()``: runs at 4000 and 5000 nodes land
+  in the same bucket, 4000 and 40000 do not — wall-clock within a
+  power-of-two band is comparable, across bands it is not.
+- **layout** is the workload-shape tag recorded by the CLI/benchmarks
+  (``"random"``, ``"ring"``, ...); library callers usually do not know
+  it, so lookups accept ``layout=None`` and aggregate across shapes.
+- **profile** separates single-list runs (``"single"``) from fused
+  batch runs (``"batch"``) — the regimes have different constants.
+
+Robustness contract: a missing, empty, or corrupted manifest must
+yield an *empty* model, never an exception — the planner then falls
+back to its cold-start priors.  ``read_records`` already skips
+malformed lines with a :class:`RuntimeWarning`; :meth:`PerformanceModel
+.load` additionally swallows I/O errors and records that are not
+usable observations (no wall-clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..telemetry.runrecord import RunRecord, read_records
+
+__all__ = [
+    "PlanStat",
+    "PerformanceModel",
+    "n_bucket",
+]
+
+#: How far (in powers of two) a nearest-bucket lookup may stray.
+MAX_BUCKET_DISTANCE = 3
+
+
+def n_bucket(n: int) -> int:
+    """Bucket index for a list size: ``n.bit_length()``."""
+    return int(n).bit_length()
+
+
+@dataclass
+class PlanStat:
+    """Aggregated observations for one (backend, workers) candidate."""
+
+    backend: str
+    workers: int | None = None
+    best_wall_s: float = float("inf")
+    total_wall_s: float = 0.0
+    count: int = 0
+    losses: int = 0  #: times this plan lost a race
+
+    def observe(self, wall_s: float, *, lost: bool = False) -> None:
+        self.best_wall_s = min(self.best_wall_s, float(wall_s))
+        self.total_wall_s += float(wall_s)
+        self.count += 1
+        if lost:
+            self.losses += 1
+
+    @property
+    def mean_wall_s(self) -> float:
+        return self.total_wall_s / self.count if self.count else float("inf")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "best_wall_s": self.best_wall_s,
+            "mean_wall_s": self.mean_wall_s,
+            "count": self.count,
+            "losses": self.losses,
+        }
+
+
+def _record_workers(record: RunRecord) -> int | None:
+    raw = record.extra.get("workers")
+    if raw is None:
+        return None
+    try:
+        workers = int(raw)
+    except (TypeError, ValueError):
+        return None
+    return workers if workers >= 1 else None
+
+
+def _record_layout(record: RunRecord) -> str | None:
+    layout = record.extra.get("layout")
+    return str(layout) if layout is not None else None
+
+
+def _record_profile(record: RunRecord) -> str:
+    return "batch" if record.extra.get("profile") == "batch" else "single"
+
+
+class PerformanceModel:
+    """The planner's memory: measured wall-clock per regime and plan."""
+
+    def __init__(self) -> None:
+        self._stats: dict[tuple, dict[tuple, PlanStat]] = {}
+        self.observations = 0
+        self.sources: list[str] = []
+
+    @staticmethod
+    def _regime(algorithm: str, profile: str, layout: str | None,
+                bucket: int) -> tuple:
+        return (algorithm, profile, layout, bucket)
+
+    def observe(
+        self,
+        *,
+        algorithm: str,
+        backend: str,
+        n: int,
+        wall_s: float,
+        workers: int | None = None,
+        layout: str | None = None,
+        profile: str = "single",
+        lost: bool = False,
+    ) -> None:
+        """Record one measurement (also used live by race mode)."""
+        if wall_s is None or wall_s < 0:
+            return
+        regime = self._regime(algorithm, profile, layout, n_bucket(n))
+        plans = self._stats.setdefault(regime, {})
+        plan_key = (backend, workers)
+        stat = plans.get(plan_key)
+        if stat is None:
+            stat = plans[plan_key] = PlanStat(backend=backend,
+                                              workers=workers)
+        stat.observe(wall_s, lost=lost)
+        self.observations += 1
+
+    def ingest(self, records: Iterable[RunRecord]) -> int:
+        """Fold records into the model; returns how many were usable."""
+        used = 0
+        for record in records:
+            if record.wall_s is None:
+                continue
+            if record.kind not in ("matching", "bench"):
+                continue
+            self.observe(
+                algorithm=record.algorithm,
+                backend=record.backend,
+                n=record.n,
+                wall_s=record.wall_s,
+                workers=_record_workers(record),
+                layout=_record_layout(record),
+                profile=_record_profile(record),
+            )
+            used += 1
+        return used
+
+    def load(self, path) -> int:
+        """Ingest a ``runs.jsonl`` manifest; never raises.
+
+        Missing files, I/O errors, and wholesale corruption all leave
+        the model as-is (the planner falls back to priors); partially
+        corrupt files contribute their parseable lines.
+        """
+        try:
+            records = read_records(path)
+        except (OSError, ValueError, KeyError, TypeError):
+            return 0
+        self.sources.append(str(path))
+        return self.ingest(records)
+
+    def lookup(
+        self,
+        *,
+        algorithm: str,
+        n: int,
+        layout: str | None = None,
+        profile: str = "single",
+    ) -> tuple[dict[tuple, PlanStat], int]:
+        """Best-matching stats for a regime, with the bucket distance.
+
+        Tries, in order: the exact (layout, bucket); nearby buckets for
+        the same layout (distance 1..:data:`MAX_BUCKET_DISTANCE`); then
+        the same ladder aggregated across layouts when a specific
+        layout found nothing.  Returns ``({}, -1)`` on a total miss.
+        """
+        bucket = n_bucket(n)
+        for want_layout in ((layout,) if layout is None
+                            else (layout, None)):
+            for distance in range(MAX_BUCKET_DISTANCE + 1):
+                for b in ({bucket} if distance == 0
+                          else (bucket - distance, bucket + distance)):
+                    if b < 1:
+                        continue
+                    found = self._collect(algorithm, profile,
+                                          want_layout, b)
+                    if found:
+                        return found, distance
+        return {}, -1
+
+    def _collect(self, algorithm: str, profile: str,
+                 layout: str | None, bucket: int) -> dict[tuple, PlanStat]:
+        """Stats for one (layout, bucket); ``layout=None`` aggregates."""
+        if layout is not None:
+            regime = self._regime(algorithm, profile, layout, bucket)
+            return dict(self._stats.get(regime, {}))
+        merged: dict[tuple, PlanStat] = {}
+        for (algo, prof, _lay, buck), plans in self._stats.items():
+            if algo != algorithm or prof != profile or buck != bucket:
+                continue
+            for plan_key, stat in plans.items():
+                agg = merged.get(plan_key)
+                if agg is None:
+                    agg = merged[plan_key] = PlanStat(
+                        backend=stat.backend, workers=stat.workers)
+                agg.best_wall_s = min(agg.best_wall_s, stat.best_wall_s)
+                agg.total_wall_s += stat.total_wall_s
+                agg.count += stat.count
+                agg.losses += stat.losses
+        return merged
+
+    def summary(self) -> dict[str, Any]:
+        """Counts for diagnostics (``repro algorithms --plan``)."""
+        return {
+            "observations": self.observations,
+            "regimes": len(self._stats),
+            "sources": list(self.sources),
+        }

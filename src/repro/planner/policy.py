@@ -1,0 +1,209 @@
+"""The unified :class:`ExecutionPolicy` every entry point accepts.
+
+Before the planner, each entry point grew its own scattered execution
+kwargs — ``backend=`` everywhere, ``workers=`` on the batch driver,
+chunk size only reachable through :func:`repro.parallel.using_config`.
+``ExecutionPolicy`` folds them into one frozen record that
+:func:`repro.maximal_matching`, :func:`repro.batch_maximal_matching`,
+:func:`repro.resilient_matching`, and ``repro serve`` all take as
+``policy=``.  The scattered kwargs keep working; they are merged with
+the policy by :func:`resolve_policy`, the one normalization path, which
+rejects contradictions instead of silently picking a winner.
+
+Deprecated spellings are translated here with a
+:class:`DeprecationWarning`, mirroring the ``i=`` → ``iterations=``
+precedent in :func:`repro.core.maximal_matching
+.normalize_algorithm_kwargs`: ``planner_mode=`` is the deprecated alias
+of ``mode=``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
+
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "PLANNER_MODES",
+    "ExecutionPolicy",
+    "resolve_policy",
+]
+
+#: Valid planner modes: ``"rules"`` ranks candidates and commits to the
+#: winner; ``"race"`` additionally races reference vs numpy when the
+#: winning score came from a cold-start prior (unknown regime).
+PLANNER_MODES = ("rules", "race")
+
+#: Deprecated policy-kwarg spellings -> canonical field name.  One
+#: translation table so there is exactly one deprecation-warning path.
+_POLICY_ALIASES = {"planner_mode": "mode"}
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a matching call should execute, in one frozen record.
+
+    Every field defaults to "unset" (``None``); entry points fill their
+    own defaults after :func:`resolve_policy` merges the policy with any
+    scattered kwargs.  ``mode`` defaults to ``"rules"`` since it only
+    matters once the planner runs.
+
+    Attributes
+    ----------
+    algorithm:
+        Algorithm tier (``"match1"`` ... ``"match4"``, baselines).
+    backend:
+        Execution backend name, or ``"auto"`` to let the planner pick.
+    workers:
+        Worker-process count for the parallel tiers (scopes the default
+        :class:`~repro.parallel.config.ParallelConfig` for the call).
+    chunk_size:
+        Minimum nodes per worker block for the chunked walker.
+    mode:
+        Planner mode, one of :data:`PLANNER_MODES`; only consulted when
+        ``backend == "auto"``.
+    history:
+        Path of a ``runs.jsonl`` manifest seeding the planner's
+        performance model (``None`` = the process-default planner).
+    layout:
+        Workload-shape hint (``"random"``, ``"ring"``, ...) sharpening
+        the planner's history lookup; purely advisory.
+    """
+
+    algorithm: str | None = None
+    backend: str | None = None
+    workers: int | None = None
+    chunk_size: int | None = None
+    mode: str = "rules"
+    history: str | None = None
+    layout: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None:
+            if not isinstance(self.workers, int) or isinstance(self.workers, bool):
+                raise InvalidParameterError(
+                    f"workers must be an int, got {self.workers!r}"
+                )
+            if self.workers < 1:
+                raise InvalidParameterError(
+                    f"workers must be >= 1, got {self.workers}"
+                )
+        if self.chunk_size is not None:
+            if (not isinstance(self.chunk_size, int)
+                    or isinstance(self.chunk_size, bool)):
+                raise InvalidParameterError(
+                    f"chunk_size must be an int, got {self.chunk_size!r}"
+                )
+            if self.chunk_size < 1:
+                raise InvalidParameterError(
+                    f"chunk_size must be >= 1, got {self.chunk_size}"
+                )
+        if self.mode not in PLANNER_MODES:
+            raise InvalidParameterError(
+                f"unknown planner mode {self.mode!r}; choose from "
+                f"{list(PLANNER_MODES)}"
+            )
+
+    def merged(self, **overrides: Any) -> "ExecutionPolicy":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **overrides)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form (only the set fields, for manifests/extras)."""
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value is not None and not (f.name == "mode"
+                                          and value == "rules"):
+                out[f.name] = value
+        return out
+
+
+def resolve_policy(
+    policy: ExecutionPolicy | Mapping[str, Any] | None = None,
+    *,
+    defaults: Mapping[str, Any] | None = None,
+    **kwargs: Any,
+) -> ExecutionPolicy:
+    """Merge a policy with scattered per-call kwargs — the one path.
+
+    ``kwargs`` are the entry point's own execution kwargs (``backend=``,
+    ``workers=``, ...), passed through verbatim; ``None`` means "not
+    given".  Rules, in order:
+
+    1. deprecated spellings (``planner_mode=``) are translated to the
+       canonical field with a :class:`DeprecationWarning`;
+    2. a kwarg given *and* set on the policy must agree, otherwise
+       :class:`InvalidParameterError` — no silent precedence;
+    3. remaining unset fields are filled from ``defaults``.
+
+    A mapping is accepted in place of an :class:`ExecutionPolicy` (the
+    service's JSON bodies); unknown keys are rejected.
+    """
+    canonical: dict[str, Any] = {}
+    for key, value in kwargs.items():
+        name = _POLICY_ALIASES.get(key, key)
+        if name != key:
+            warnings.warn(
+                f"policy kwarg {key!r} is deprecated; use {name!r}",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        if name in canonical and canonical[name] is not None:
+            raise InvalidParameterError(
+                f"policy field {name!r} given twice (directly and via "
+                f"its deprecated alias)"
+            )
+        canonical[name] = value
+
+    field_names = {f.name for f in fields(ExecutionPolicy)}
+    unknown = sorted(set(canonical) - field_names)
+    if unknown:
+        raise InvalidParameterError(
+            f"unknown policy field(s) {unknown}; valid fields: "
+            f"{sorted(field_names)}"
+        )
+
+    if policy is None:
+        pol = ExecutionPolicy()
+    elif isinstance(policy, ExecutionPolicy):
+        pol = policy
+    elif isinstance(policy, Mapping):
+        bad = sorted(set(policy) - field_names)
+        if bad:
+            raise InvalidParameterError(
+                f"unknown policy field(s) {bad}; valid fields: "
+                f"{sorted(field_names)}"
+            )
+        pol = ExecutionPolicy(**dict(policy))
+    else:
+        raise InvalidParameterError(
+            f"policy must be an ExecutionPolicy or a mapping, got "
+            f"{type(policy).__name__}"
+        )
+
+    updates: dict[str, Any] = {}
+    for name, value in canonical.items():
+        if value is None:
+            continue
+        current = getattr(pol, name)
+        default_mode = name == "mode" and current == "rules"
+        if current is not None and not default_mode and current != value:
+            raise InvalidParameterError(
+                f"conflicting {name!r}: policy says {current!r} but the "
+                f"call says {value!r} — set it in one place"
+            )
+        updates[name] = value
+    if updates:
+        pol = pol.merged(**updates)
+
+    if defaults:
+        fill = {
+            name: value for name, value in defaults.items()
+            if getattr(pol, name) is None
+        }
+        if fill:
+            pol = pol.merged(**fill)
+    return pol

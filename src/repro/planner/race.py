@@ -1,0 +1,172 @@
+"""Race mode: run two backends speculatively, keep the winner.
+
+For a regime the model has never seen, the cheapest way to learn is to
+measure: launch the reference oracle and the numpy engine concurrently
+on the *same* input (the ``hybrid_ensemble_match`` shape from
+SNIPPETS.md), keep whichever finishes first, and record both
+wall-clocks — the loss included — so the planner's model knows the
+regime next time.  This is only sound because of the backend
+cost-accounting contract: both backends return bit-identical matchings,
+stats, and CostReports, so "keep the winner" changes latency, never
+the answer.  :func:`run_race` re-verifies that identity and raises
+:class:`~repro.errors.VerificationError` on any divergence rather than
+returning a result the loser disagrees with.
+
+Measured wall-clocks are contended (two threads share the host; the
+pure-Python reference tier also holds the GIL), which biases *both*
+lanes the same way — good enough to learn a regime, and the recorded
+observations are marked ``raced`` so later analysis can tell.
+
+``handicap=`` adds seconds to a named backend's measured wall before
+choosing the winner; it exists for deterministic tests ("seed a loser")
+and A/B experiments, and is recorded in the race info when used.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+from ..errors import VerificationError
+from ..telemetry.metrics import METRICS
+from ..telemetry.spans import enabled as telemetry_enabled, span as telemetry_span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.result import MatchResult
+    from .core import Planner
+    from .rules import PlanContext
+
+__all__ = ["run_race"]
+
+#: Module-level default handicap (backend -> added seconds).  Tests
+#: monkeypatch this to seed a deterministic loser through the public
+#: ``backend="auto"`` path.
+DEFAULT_HANDICAP: dict[str, float] = {}
+
+
+def _identical(a: "MatchResult", b: "MatchResult") -> bool:
+    return (
+        np.array_equal(a.matching.tails, b.matching.tails)
+        and a.report == b.report
+        and a.stats == b.stats
+    )
+
+
+def run_race(
+    lst,
+    *,
+    backends: tuple[str, ...],
+    algorithm: str,
+    p: int = 1,
+    kwargs: Mapping[str, Any] | None = None,
+    planner: "Planner | None" = None,
+    ctx: "PlanContext | None" = None,
+    handicap: Mapping[str, float] | None = None,
+) -> tuple["MatchResult", dict[str, Any]]:
+    """Run ``backends`` concurrently on ``lst``; return (winner, info).
+
+    Every lane runs to completion (speculative execution, not
+    cancellation — the engine has no preemption points), all lanes are
+    checked bit-identical, both observations are fed back into
+    ``planner``'s model (the losers flagged as losses), and the winning
+    :class:`MatchResult` is returned unchanged along with a JSON-able
+    race summary for ``extras``.
+    """
+    from ..core.maximal_matching import maximal_matching
+
+    if len(backends) < 2:
+        raise VerificationError(
+            f"a race needs at least two backends, got {list(backends)}"
+        )
+    kwargs = dict(kwargs or {})
+    if handicap is None:
+        handicap = dict(DEFAULT_HANDICAP)
+
+    def lane(backend: str) -> tuple[str, "MatchResult", float]:
+        start = time.perf_counter()
+        result = maximal_matching(
+            lst, algorithm=algorithm, backend=backend, p=p, **kwargs,
+        )
+        return backend, result, time.perf_counter() - start
+
+    with telemetry_span("planner.race", algorithm=algorithm,
+                        backends=",".join(backends)):
+        with ThreadPoolExecutor(max_workers=len(backends)) as pool:
+            lanes = list(pool.map(lane, backends))
+
+    by_backend = {backend: (result, wall)
+                  for backend, result, wall in lanes}
+    reference_backend, (reference_result, _) = next(iter(by_backend.items()))
+    for backend, (result, _) in by_backend.items():
+        if not _identical(reference_result, result):
+            raise VerificationError(
+                f"raced backends disagree: {reference_backend!r} vs "
+                f"{backend!r} returned different matchings/costs"
+            )
+
+    def effective(item: tuple[str, tuple["MatchResult", float]]) -> float:
+        backend, (_, wall) = item
+        return wall + float(handicap.get(backend, 0.0))
+
+    winner_backend, (winner_result, winner_wall) = min(
+        by_backend.items(), key=effective,
+    )
+
+    n = int(winner_result.matching.lst.n)
+    layout = ctx.layout if ctx is not None else None
+    profile = ctx.profile if ctx is not None else "single"
+    if planner is not None:
+        for backend, (_, wall) in by_backend.items():
+            planner.observe_result(
+                algorithm=algorithm, backend=backend, n=n, wall_s=wall,
+                layout=layout, profile=profile,
+                lost=backend != winner_backend,
+            )
+        if planner.history_path:
+            _append_race_records(
+                planner.history_path, by_backend, winner_backend,
+                layout=layout, profile=profile,
+            )
+
+    if telemetry_enabled():
+        METRICS.counter("planner.race.runs").inc()
+        METRICS.counter("planner.race.losses").inc(len(by_backend) - 1)
+
+    info: dict[str, Any] = {
+        "backends": list(backends),
+        "winner": winner_backend,
+        "walls_s": {backend: wall
+                    for backend, (_, wall) in by_backend.items()},
+    }
+    if handicap:
+        info["handicap_s"] = {k: float(v) for k, v in handicap.items()}
+    return winner_result, info
+
+
+def _append_race_records(path, by_backend, winner_backend, *,
+                         layout, profile) -> None:
+    """Persist both race lanes so the regime is known across processes.
+
+    Best-effort: an unwritable history file must not fail the matching
+    call that raced successfully.
+    """
+    from ..telemetry.runrecord import RunRecord, append_record
+
+    try:
+        for backend, (result, wall) in by_backend.items():
+            extra: dict[str, Any] = {
+                "planner_race": ("winner" if backend == winner_backend
+                                 else "loser"),
+            }
+            if layout is not None:
+                extra["layout"] = layout
+            if profile == "batch":
+                extra["profile"] = "batch"
+            append_record(path, RunRecord.from_result(
+                result, wall_s=wall, **extra,
+            ))
+    except OSError:
+        pass

@@ -1,0 +1,287 @@
+"""Pluggable plan-scoring rules: one function per heuristic.
+
+The planner does not hard-code a decision tree.  It runs an ordered
+pipeline of *rules* (the rule-runner shape from SNIPPETS.md Snippet 2):
+each rule is one function ``rule(ctx, plans) -> plans`` that inspects
+the :class:`PlanContext` and the candidate list built so far, and
+returns the (possibly extended or rescored) list for the next rule.
+Adding a selection heuristic is one function plus one
+:func:`register_planner_rule` call.
+
+Default pipeline, in order:
+
+``seed``
+    One candidate per registered backend that implements the algorithm
+    and accepts the input size (``Backend.limit``), unscored.
+``history``
+    Nearest-bucket lookup in the :class:`~repro.planner.model
+    .PerformanceModel`; scores candidates with measured best wall-clock
+    (scaled up the further the bucket match strayed).
+``prior``
+    Cold-start scores for anything history did not cover, estimated
+    from the Brent cost account: the paper's machine charges ``work``
+    operations; each backend turns an operation into host-seconds at a
+    characteristic rate (per-pointer Python vs. one vectorized batch
+    per round vs. batch + process-pool dispatch).  The constants are
+    deliberately coarse — they only need to rank tiers sensibly until
+    real history exists.
+``worker_cap``
+    Clamps worker counts to what the process-default
+    :class:`~repro.parallel.config.ParallelConfig` will actually
+    resolve — a plan learned on an 8-core host must not demand 8
+    workers on a 2-core one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
+
+from ..errors import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .model import PerformanceModel
+    from .policy import ExecutionPolicy
+
+__all__ = [
+    "PlanContext",
+    "ScoredPlan",
+    "PlannerRule",
+    "planner_rules",
+    "register_planner_rule",
+    "unregister_planner_rule",
+]
+
+
+@dataclass(frozen=True)
+class PlanContext:
+    """Everything a rule may look at when scoring candidates."""
+
+    algorithm: str
+    n: int
+    p: int = 1
+    layout: str | None = None
+    profile: str = "single"  #: ``"single"`` or ``"batch"``
+    num_lists: int = 1
+    model: Optional["PerformanceModel"] = None
+    policy: Optional["ExecutionPolicy"] = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "p": self.p,
+            "layout": self.layout,
+            "profile": self.profile,
+            "num_lists": self.num_lists,
+        }
+
+
+@dataclass
+class ScoredPlan:
+    """One candidate execution plan and its estimated wall-clock.
+
+    ``score`` is estimated seconds (lower wins); ``None`` means not yet
+    scored.  ``rule``/``source`` say which rule priced it and whether
+    the price is measured (``"history"``) or estimated (``"prior"``).
+    """
+
+    backend: str
+    workers: int | None = None
+    chunk_size: int | None = None
+    score: float | None = None
+    rule: str = ""
+    source: str = ""
+    reason: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+            "score": self.score,
+            "rule": self.rule,
+            "source": self.source,
+            "reason": self.reason,
+        }
+
+
+PlannerRule = Callable[[PlanContext, List[ScoredPlan]], List[ScoredPlan]]
+
+
+def rule_seed(ctx: PlanContext, plans: list[ScoredPlan]) -> list[ScoredPlan]:
+    """Seed one unscored candidate per eligible backend."""
+    from ..backends import BACKENDS
+
+    have = {p.backend for p in plans}
+    for name in sorted(BACKENDS):
+        backend = BACKENDS[name]
+        if name in have or not backend.supports(ctx.algorithm):
+            continue
+        if backend.limit is not None and ctx.n >= backend.limit:
+            continue
+        plans.append(ScoredPlan(backend=name, rule="seed"))
+    return plans
+
+
+#: Bucket-distance penalty: a measurement one power-of-two away is
+#: trusted a bit less than an exact-bucket one.
+_DISTANCE_PENALTY = 0.15
+
+
+def rule_history(ctx: PlanContext,
+                 plans: list[ScoredPlan]) -> list[ScoredPlan]:
+    """Score candidates from measured history (nearest-bucket lookup)."""
+    if ctx.model is None:
+        return plans
+    stats, distance = ctx.model.lookup(
+        algorithm=ctx.algorithm, n=ctx.n, layout=ctx.layout,
+        profile=ctx.profile,
+    )
+    if not stats:
+        return plans
+    penalty = 1.0 + _DISTANCE_PENALTY * distance
+    best_per_backend: dict[str, Any] = {}
+    for stat in stats.values():
+        cur = best_per_backend.get(stat.backend)
+        if cur is None or stat.best_wall_s < cur.best_wall_s:
+            best_per_backend[stat.backend] = stat
+    for plan in plans:
+        stat = best_per_backend.get(plan.backend)
+        if stat is None or not math.isfinite(stat.best_wall_s):
+            continue
+        plan.score = stat.best_wall_s * penalty
+        plan.workers = stat.workers if stat.workers else plan.workers
+        plan.rule = "history"
+        plan.source = "history"
+        plan.reason = (
+            f"best of {stat.count} run(s) at bucket distance {distance}"
+        )
+    return plans
+
+
+# Cold-start cost constants (seconds).  Estimated host cost of one
+# Brent-charged operation per backend, plus fixed per-call overheads;
+# coarse on purpose — see the module docstring.
+REF_SECONDS_PER_OP = 2.5e-7
+NUMPY_BASE_S = 3e-4
+NUMPY_SECONDS_PER_OP = 4e-9
+MP_DISPATCH_S = 2e-2
+MP_BYTES_S_PER_NODE = 4e-8
+#: Rough Brent work per node by tier (match1 pays the log factor).
+_WORK_PER_NODE = {"match1": 24.0, "match2": 16.0, "match3": 10.0,
+                  "match4": 8.0}
+
+
+def _prior_wall_s(backend: str, algorithm: str, n: int,
+                  workers: int | None) -> float:
+    """Estimated wall seconds for one run, from the Brent account."""
+    work = n * _WORK_PER_NODE.get(algorithm, 12.0)
+    if backend == "reference":
+        return work * REF_SECONDS_PER_OP
+    numpy_wall = NUMPY_BASE_S + work * NUMPY_SECONDS_PER_OP
+    if backend == "numpy":
+        return numpy_wall
+    if backend == "numpy-mp":
+        w = max(1, workers or 1)
+        # Only the cut-walk phase (~40% of engine time) parallelizes;
+        # buffers are pickled to every worker on each dispatch.
+        walk, rest = 0.4 * numpy_wall, 0.6 * numpy_wall
+        return (rest + walk / w + MP_DISPATCH_S
+                + n * MP_BYTES_S_PER_NODE * w)
+    # Unknown backend: price it like the reference tier so it is
+    # considered but never preferred without history.
+    return work * REF_SECONDS_PER_OP
+
+
+def rule_prior(ctx: PlanContext,
+               plans: list[ScoredPlan]) -> list[ScoredPlan]:
+    """Cold-start: price every still-unscored candidate."""
+    from ..parallel.config import get_default_config
+
+    for plan in plans:
+        if plan.score is not None:
+            continue
+        workers = plan.workers
+        if plan.backend == "numpy-mp" and workers is None:
+            workers = get_default_config().resolve_workers()
+        plan.score = _prior_wall_s(plan.backend, ctx.algorithm, ctx.n,
+                                   workers)
+        plan.workers = workers if plan.backend == "numpy-mp" else plan.workers
+        plan.rule = "prior"
+        plan.source = "prior"
+        plan.reason = "cold-start Brent-cost estimate"
+    return plans
+
+
+def rule_worker_cap(ctx: PlanContext,
+                    plans: list[ScoredPlan]) -> list[ScoredPlan]:
+    """Clamp plan worker counts to the live ParallelConfig resolution."""
+    from ..parallel.config import get_default_config
+
+    policy_workers = ctx.policy.workers if ctx.policy else None
+    cap = (policy_workers if policy_workers is not None
+           else get_default_config().resolve_workers())
+    for plan in plans:
+        if plan.workers is not None and plan.workers > cap:
+            plan.reason = (plan.reason + f"; workers {plan.workers} "
+                           f"capped to {cap}").lstrip("; ")
+            plan.workers = cap
+    return plans
+
+
+#: The default pipeline; mutated only through the helpers below.
+_RULES: list[tuple[str, PlannerRule]] = [
+    ("seed", rule_seed),
+    ("history", rule_history),
+    ("prior", rule_prior),
+    ("worker_cap", rule_worker_cap),
+]
+
+
+def planner_rules() -> list[tuple[str, PlannerRule]]:
+    """The current rule pipeline (copies; mutate via register/unregister)."""
+    return list(_RULES)
+
+
+def register_planner_rule(
+    name: str,
+    rule: PlannerRule,
+    *,
+    before: str | None = None,
+    after: str | None = None,
+) -> None:
+    """Insert a rule into the pipeline (appended by default).
+
+    ``before=``/``after=`` position it relative to an existing rule;
+    duplicate names are rejected so pipelines stay unambiguous.
+    """
+    if before is not None and after is not None:
+        raise InvalidParameterError("give at most one of before=/after=")
+    if any(existing == name for existing, _ in _RULES):
+        raise InvalidParameterError(
+            f"planner rule {name!r} already registered"
+        )
+    anchor = before if before is not None else after
+    if anchor is None:
+        _RULES.append((name, rule))
+        return
+    for i, (existing, _) in enumerate(_RULES):
+        if existing == anchor:
+            _RULES.insert(i if before is not None else i + 1,
+                          (name, rule))
+            return
+    raise InvalidParameterError(
+        f"unknown anchor rule {anchor!r}; registered rules: "
+        f"{[n for n, _ in _RULES]}"
+    )
+
+
+def unregister_planner_rule(name: str) -> None:
+    """Remove a rule by name (:class:`InvalidParameterError` if absent)."""
+    for i, (existing, _) in enumerate(_RULES):
+        if existing == name:
+            del _RULES[i]
+            return
+    raise InvalidParameterError(f"planner rule {name!r} is not registered")

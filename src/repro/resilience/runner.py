@@ -210,19 +210,19 @@ def _serve(
     *,
     served_by: str,
     rung: int,
+    planner: dict[str, Any] | None = None,
 ) -> ResilienceResult:
     """Stamp the winning attempt's provenance and count the rung."""
     METRICS.counter(f"resilience.served_by.{served_by}").inc()
-    final = replace(
-        res,
-        matching=matching,
-        extras={
-            **dict(res.extras),
-            "served_by": served_by,
-            "rung": rung,
-            "attempts": log.total,
-        },
-    )
+    extras: dict[str, Any] = {
+        **dict(res.extras),
+        "served_by": served_by,
+        "rung": rung,
+        "attempts": log.total,
+    }
+    if planner is not None:
+        extras["planner"] = planner
+    final = replace(res, matching=matching, extras=extras)
     return ResilienceResult(matching, log, final)
 
 
@@ -277,8 +277,9 @@ def resilient_matching(
     sleep: Callable[[float], None] | None = None,
     perturb: PerturbHook | None = None,
     p: int = 1,
-    backend: str = "reference",
+    backend: str | None = None,
     algorithm_kwargs: dict[str, dict[str, Any]] | None = None,
+    policy: Any = None,
 ) -> ResilienceResult:
     """Compute a verified maximal matching, surviving faulty attempts.
 
@@ -312,9 +313,19 @@ def resilient_matching(
         try of each rung.  Retries, and rungs whose algorithm the
         backend does not implement, fall back to ``"reference"``, so a
         backend-specific fault cannot exhaust a rung's retry budget.
+        ``"auto"`` resolves through :mod:`repro.planner` once, up
+        front, for the ladder's top rung — the recovery loop then runs
+        on the concrete backend the planner chose (recorded in the
+        result's ``extras["planner"]``); the fallback semantics above
+        are unchanged.  Default ``"reference"``.
     algorithm_kwargs:
         Optional per-algorithm keyword overrides, e.g.
         ``{"match4": {"iterations": 3}}``.
+    policy:
+        An :class:`~repro.planner.ExecutionPolicy` (or mapping), merged
+        with ``backend=`` via
+        :func:`~repro.planner.policy.resolve_policy` — the same unified
+        policy the other entry points take.
 
     Returns
     -------
@@ -329,12 +340,23 @@ def resilient_matching(
         ``len(ladder) * tries_per_rung`` attempts *and* defeats
         repair each time).
     """
-    from ..backends import get_backend
+    from ..backends import AUTO, get_backend
     from ..core.maximal_matching import maximal_matching
+    from ..planner.policy import resolve_policy
     import repro.baselines  # noqa: F401  (registers "sequential" et al.)
 
     if not ladder:
         raise ResilienceExhaustedError("empty degradation ladder")
+    pol = resolve_policy(policy, backend=backend,
+                         defaults={"backend": "reference"})
+    backend = pol.backend
+    planner_extra: dict[str, Any] | None = None
+    if backend == AUTO:
+        from ..planner import decide_for
+
+        decision = decide_for(pol, algorithm=ladder[0], n=lst.n, p=p)
+        planner_extra = decision.to_extra()
+        backend = decision.backend
     requested = get_backend(backend)  # validate the name up front
     kwargs = algorithm_kwargs or {}
     log = AttemptLog()
@@ -368,7 +390,8 @@ def resilient_matching(
                     sp.set(outcome="ok", attempts=log.total, rung=rung,
                            served_by=algorithm)
                     return _serve(res, Matching(lst, tails), log,
-                                  served_by=algorithm, rung=rung)
+                                  served_by=algorithm, rung=rung,
+                                  planner=planner_extra)
                 except (VerificationError, PRAMError) as exc:
                     error = f"{type(exc).__name__}: {exc}"
                     if repair and tails is not None:
@@ -385,7 +408,8 @@ def resilient_matching(
                             sp.set(outcome="repaired", attempts=log.total,
                                    rung=rung, served_by=served)
                             return _serve(res, Matching(lst, fixed), log,
-                                          served_by=served, rung=rung)
+                                          served_by=served, rung=rung,
+                                          planner=planner_extra)
                         except VerificationError:
                             pass
                     delay = _backoff_delay(failures, base_backoff, max_backoff)

@@ -273,6 +273,48 @@ def run_selfcheck(*, n: int = 2048, seed: int = 0) -> SelfCheckReport:
                 "sharded batch diverged from serial"
         return "numpy-mp == reference, sharded batch == serial"
 
+    def check_planner() -> str:
+        import os
+        import tempfile
+
+        from repro.planner import ExecutionPolicy
+        from repro.telemetry.runrecord import RunRecord, write_records
+
+        small = repro.random_list(1024, rng=seed + 9)
+        auto = repro.maximal_matching(
+            small, algorithm="match4", backend="auto", iterations=2)
+        decision = auto.extras.get("planner")
+        assert decision is not None, "auto left no planner decision"
+        explicit = repro.maximal_matching(
+            small, algorithm="match4", backend=decision["backend"],
+            iterations=2)
+        assert np.array_equal(auto.matching.tails,
+                              explicit.matching.tails), \
+            "auto diverged from its chosen backend"
+        assert auto.report == explicit.report, "auto cost report diverges"
+        assert auto.stats == explicit.stats, "auto stats diverge"
+        # history steering: a manifest where reference dominates must
+        # flip the pick, and the decision must say the history rule fired.
+        fast = repro.maximal_matching(
+            small, algorithm="match4", backend="reference", iterations=2)
+        rec = RunRecord.from_result(fast, seed=seed, wall_s=1e-4)
+        fd, path = tempfile.mkstemp(suffix=".jsonl")
+        os.close(fd)
+        try:
+            write_records(path, [rec])
+            steered = repro.maximal_matching(
+                small, algorithm="match4", backend="auto", iterations=2,
+                policy=ExecutionPolicy(history=path))
+            hist = steered.extras["planner"]
+            assert hist["rule"] == "history", \
+                f"history rule did not fire: {hist['rule']}"
+            assert steered.backend == "reference", \
+                f"history pick ignored: {steered.backend}"
+        finally:
+            os.unlink(path)
+        return (f"auto == {decision['backend']} (rule="
+                f"{decision['rule']}), history steers the pick")
+
     _check(report, "matching algorithms (6) maximal", check_algorithms)
     _check(report, "instruction-level tier identical", check_instruction_tier)
     _check(report, "numpy backend equivalence", check_backends)
@@ -287,4 +329,5 @@ def run_selfcheck(*, n: int = 2048, seed: int = 0) -> SelfCheckReport:
     _check(report, "telemetry round-trip", check_telemetry)
     _check(report, "profiler invariants", check_profiling)
     _check(report, "parallel backend equivalence", check_parallel)
+    _check(report, "planner auto equivalence", check_planner)
     return report

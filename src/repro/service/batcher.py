@@ -511,6 +511,9 @@ class MicroBatcher:
             "served_by": served_by,
             "degraded": degraded,
         }
+        if workload.requested_backend is not None:
+            payload["requested_backend"] = workload.requested_backend
+            payload["planner"] = dict(workload.planner or {})
         entry.payload = payload
         if self.cache is not None and entry.cache == "miss":
             self.cache.put(workload.cache_key(), dict(payload))

@@ -73,6 +73,13 @@ class ServiceConfig:
     compute_threads:
         Size of the thread pool the batcher dispatches compute into
         (1 serializes batches, the deterministic default).
+    planner_history:
+        ``runs.jsonl`` manifest seeding the process-default
+        :class:`repro.planner.Planner` at server start, so requests
+        with ``backend="auto"`` (or ``backend: "auto"`` as the server
+        default above) decide from measured history instead of
+        cold-start priors.  Empty string: keep whatever default
+        planner the process has (``$REPRO_PLANNER_HISTORY`` included).
     """
 
     host: str = "127.0.0.1"
@@ -96,6 +103,7 @@ class ServiceConfig:
     manifest_path: str = ""
     seed: int = 0
     compute_threads: int = 1
+    planner_history: str = ""
 
     def __post_init__(self) -> None:
         positive = (

@@ -168,6 +168,13 @@ class MatchingService:
 
     async def start(self) -> None:
         """Bind, start serving, and start the micro-batcher task."""
+        if self.config.planner_history:
+            # Seed the process-default planner so backend="auto"
+            # requests decide from this manifest's measured history.
+            from ..planner import Planner, set_default_planner
+
+            set_default_planner(
+                Planner(history=self.config.planner_history))
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port,
         )

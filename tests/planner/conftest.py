@@ -1,0 +1,14 @@
+"""Planner test fixtures: isolate the process-default planner."""
+
+import pytest
+
+from repro.planner import set_default_planner
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_planner():
+    """Reset the lazily-created default planner around every test, so
+    history one test feeds in (or race observations) cannot leak."""
+    set_default_planner(None)
+    yield
+    set_default_planner(None)

@@ -1,0 +1,76 @@
+"""CLI surfaces: repro match --backend auto, repro algorithms --plan."""
+
+import json
+
+from repro.cli import main
+
+
+class TestMatchAuto:
+    def test_auto_prints_resolved_and_planned(self, capsys):
+        assert main(["match", "--backend", "auto", "--n", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "backend   : " in out
+        assert "backend   : auto" not in out  # always concrete
+        assert "planned   : " in out
+        assert "rule=" in out and "source=" in out
+
+    def test_explicit_backend_prints_no_plan_line(self, capsys):
+        assert main(["match", "--backend", "numpy", "--n", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "planned   :" not in out
+
+    def test_record_carries_planner_extra(self, tmp_path, capsys):
+        manifest = tmp_path / "runs.jsonl"
+        assert main(["match", "--backend", "auto", "--n", "512",
+                     "--record", str(manifest)]) == 0
+        capsys.readouterr()
+        lines = manifest.read_text().strip().splitlines()
+        record = json.loads(lines[-1])
+        assert record["backend"] != "auto"
+        assert record["extra"]["planner"]["rule"] in ("history", "prior")
+
+    def test_history_flag_feeds_the_planner(self, tmp_path, capsys):
+        manifest = tmp_path / "runs.jsonl"
+        # Run once with an explicit backend to measure it (numpy at
+        # this size beats every cold-start prior, so the measurement
+        # is what the next decision must cite)...
+        assert main(["match", "--backend", "numpy", "--n", "4096",
+                     "--record", str(manifest)]) == 0
+        # ...then auto with that history must use the history rule.
+        assert main(["match", "--backend", "auto", "--n", "4096",
+                     "--history", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "rule=history" in out
+
+    def test_race_flag(self, capsys):
+        assert main(["match", "--backend", "auto", "--race",
+                     "--n", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "planned   : " in out
+
+
+class TestAlgorithmsPlan:
+    def test_plan_view_lists_picks_per_algorithm(self, capsys):
+        assert main(["algorithms", "--plan", "--n", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "plan view : " in out
+        # every registered algorithm row gains a plan line
+        assert out.count("plan     : ") >= 6
+        assert "rule=" in out and "source=" in out
+        # reference-only algorithms plan the reference tier
+        assert "match2" in out
+
+    def test_plan_view_with_history(self, tmp_path, capsys):
+        manifest = tmp_path / "runs.jsonl"
+        assert main(["match", "--backend", "numpy", "--n", "4096",
+                     "--record", str(manifest)]) == 0
+        capsys.readouterr()
+        assert main(["algorithms", "--plan", "--n", "4096",
+                     "--history", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "rule=history" in out
+
+    def test_list_mode_unchanged(self, capsys):
+        assert main(["algorithms", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "plan" not in out

@@ -1,0 +1,137 @@
+"""PerformanceModel: buckets, nearest lookup, and corrupt manifests."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.planner import PerformanceModel, n_bucket
+from repro.telemetry.runrecord import RunRecord, write_records
+
+
+def _record(**overrides):
+    base = dict(kind="matching", algorithm="match4", backend="numpy",
+                n=4096, p=1, seed=0, time=100, work=1000, wall_s=0.01)
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+class TestBuckets:
+    def test_bit_length(self):
+        assert n_bucket(4096) == 13
+        assert n_bucket(5000) == n_bucket(7000)  # same power-of-two band
+        assert n_bucket(4000) != n_bucket(40000)
+
+    def test_observe_and_exact_lookup(self):
+        model = PerformanceModel()
+        model.observe(algorithm="match4", backend="numpy", n=4096,
+                      wall_s=0.02)
+        model.observe(algorithm="match4", backend="numpy", n=5000,
+                      wall_s=0.01)  # same bucket, better wall
+        stats, distance = model.lookup(algorithm="match4", n=4500)
+        assert distance == 0
+        assert stats[("numpy", None)].best_wall_s == 0.01
+        assert stats[("numpy", None)].count == 2
+
+    def test_nearest_bucket_distance(self):
+        model = PerformanceModel()
+        model.observe(algorithm="match4", backend="numpy", n=4096,
+                      wall_s=0.01)
+        _, d1 = model.lookup(algorithm="match4", n=4096 * 2)
+        assert d1 == 1
+        _, d3 = model.lookup(algorithm="match4", n=4096 * 8)
+        assert d3 == 3
+        stats, miss = model.lookup(algorithm="match4", n=4096 * 16)
+        assert stats == {} and miss == -1
+
+    def test_layout_exact_then_aggregated(self):
+        model = PerformanceModel()
+        model.observe(algorithm="match4", backend="numpy", n=4096,
+                      wall_s=0.05, layout="ring")
+        model.observe(algorithm="match4", backend="reference", n=4096,
+                      wall_s=0.01, layout="random")
+        # exact-layout lookup sees only its own shape
+        ring, d = model.lookup(algorithm="match4", n=4096, layout="ring")
+        assert d == 0 and set(s.backend for s in ring.values()) == {"numpy"}
+        # layout=None aggregates across shapes
+        both, d = model.lookup(algorithm="match4", n=4096)
+        assert {s.backend for s in both.values()} == {"numpy", "reference"}
+        # an unknown layout falls through to the aggregate
+        agg, d = model.lookup(algorithm="match4", n=4096, layout="sawtooth")
+        assert {s.backend for s in agg.values()} == {"numpy", "reference"}
+
+    def test_workers_split_plans(self):
+        model = PerformanceModel()
+        model.observe(algorithm="match4", backend="numpy-mp", n=4096,
+                      wall_s=0.05, workers=2)
+        model.observe(algorithm="match4", backend="numpy-mp", n=4096,
+                      wall_s=0.03, workers=4)
+        stats, _ = model.lookup(algorithm="match4", n=4096)
+        assert stats[("numpy-mp", 2)].best_wall_s == 0.05
+        assert stats[("numpy-mp", 4)].best_wall_s == 0.03
+
+
+class TestIngest:
+    def test_filters_unusable_records(self):
+        model = PerformanceModel()
+        used = model.ingest([
+            _record(),
+            _record(wall_s=None),          # no measurement
+            _record(kind="service"),       # not a timed matching run
+            _record(kind="bench", n=8192),
+        ])
+        assert used == 2
+        assert model.observations == 2
+
+    def test_extra_fields_feed_the_regime(self):
+        model = PerformanceModel()
+        model.ingest([_record(extra={"layout": "ring", "workers": 2,
+                                     "profile": "batch"})])
+        stats, _ = model.lookup(algorithm="match4", n=4096,
+                                layout="ring", profile="batch")
+        assert stats[("numpy", 2)].count == 1
+
+
+class TestLoadRobustness:
+    def test_missing_file_yields_empty_model(self, tmp_path):
+        model = PerformanceModel()
+        assert model.load(tmp_path / "nope.jsonl") == 0
+        assert model.observations == 0
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert PerformanceModel().load(path) == 0
+
+    def test_corrupted_lines_skipped(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        write_records(path, [_record()])
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("{truncated garbage\n")
+            fh.write("not json at all\n")
+        model = PerformanceModel()
+        with pytest.warns(RuntimeWarning):
+            used = model.load(path)
+        assert used == 1  # the parseable line still contributes
+
+    def test_wholesale_binary_corruption_never_raises(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_bytes(b"\x00\xff" * 64)
+        model = PerformanceModel()
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert model.load(path) == 0
+
+    def test_roundtrip_from_real_result(self, tmp_path):
+        lst = repro.random_list(512, rng=3)
+        res = repro.maximal_matching(lst, algorithm="match4",
+                                     backend="numpy")
+        rec = RunRecord.from_result(res, wall_s=0.004, layout="random")
+        path = tmp_path / "runs.jsonl"
+        write_records(path, [rec])
+        model = PerformanceModel()
+        assert model.load(path) == 1
+        stats, d = model.lookup(algorithm="match4", n=512,
+                                layout="random")
+        assert d == 0
+        assert np.isclose(stats[("numpy", None)].best_wall_s, 0.004)

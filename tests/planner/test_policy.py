@@ -1,0 +1,132 @@
+"""ExecutionPolicy: validation, merging, and the one deprecation path."""
+
+import pytest
+
+import repro
+from repro.errors import InvalidParameterError
+from repro.planner import ExecutionPolicy
+from repro.planner.policy import resolve_policy
+
+
+class TestValidation:
+    def test_defaults_are_unset(self):
+        pol = ExecutionPolicy()
+        assert pol.backend is None and pol.algorithm is None
+        assert pol.workers is None and pol.chunk_size is None
+        assert pol.mode == "rules" and pol.history is None
+
+    @pytest.mark.parametrize("kwargs", [
+        {"workers": 0}, {"workers": -1}, {"workers": 2.5},
+        {"workers": True}, {"chunk_size": 0}, {"chunk_size": "big"},
+        {"mode": "guess"},
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            ExecutionPolicy(**kwargs)
+
+    def test_frozen(self):
+        pol = ExecutionPolicy(backend="numpy")
+        with pytest.raises(AttributeError):
+            pol.backend = "reference"
+
+    def test_merged_revalidates(self):
+        pol = ExecutionPolicy(workers=2)
+        assert pol.merged(workers=4).workers == 4
+        with pytest.raises(InvalidParameterError):
+            pol.merged(workers=0)
+
+    def test_to_dict_only_set_fields(self):
+        assert ExecutionPolicy().to_dict() == {}
+        pol = ExecutionPolicy(backend="auto", workers=2, mode="race")
+        assert pol.to_dict() == {"backend": "auto", "workers": 2,
+                                 "mode": "race"}
+
+
+class TestResolvePolicy:
+    def test_kwargs_fill_unset_fields(self):
+        pol = resolve_policy(None, backend="numpy", workers=2)
+        assert pol.backend == "numpy" and pol.workers == 2
+
+    def test_defaults_fill_last(self):
+        pol = resolve_policy(ExecutionPolicy(backend="auto"),
+                             defaults={"backend": "reference",
+                                       "algorithm": "match4"})
+        assert pol.backend == "auto"  # policy wins over defaults
+        assert pol.algorithm == "match4"
+
+    def test_agreeing_kwarg_and_policy_ok(self):
+        pol = resolve_policy(ExecutionPolicy(backend="numpy"),
+                             backend="numpy")
+        assert pol.backend == "numpy"
+
+    def test_conflict_rejected(self):
+        with pytest.raises(InvalidParameterError, match="conflicting"):
+            resolve_policy(ExecutionPolicy(backend="numpy"),
+                           backend="reference")
+
+    def test_mapping_accepted(self):
+        pol = resolve_policy({"backend": "auto", "workers": 3})
+        assert pol.backend == "auto" and pol.workers == 3
+
+    def test_unknown_mapping_key_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown policy"):
+            resolve_policy({"backend": "numpy", "engine": "x"})
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown policy"):
+            resolve_policy(None, engine="x")
+
+    def test_non_policy_rejected(self):
+        with pytest.raises(InvalidParameterError, match="policy must be"):
+            resolve_policy(42)
+
+    def test_deprecated_planner_mode_alias_warns(self):
+        with pytest.warns(DeprecationWarning, match="planner_mode"):
+            pol = resolve_policy(None, planner_mode="race")
+        assert pol.mode == "race"
+
+    def test_alias_and_canonical_together_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(InvalidParameterError, match="twice"):
+                resolve_policy(None, mode="race", planner_mode="race")
+
+    def test_default_mode_is_overridable_not_a_conflict(self):
+        # mode="rules" is the dataclass default, so a call-level
+        # mode="race" must win, not conflict.
+        pol = resolve_policy(ExecutionPolicy(backend="auto"), mode="race")
+        assert pol.mode == "race"
+
+
+class TestEntryPointsAcceptPolicy:
+    """Every public entry point takes the same policy= object."""
+
+    def test_maximal_matching(self):
+        lst = repro.random_list(256, rng=0)
+        pol = ExecutionPolicy(backend="numpy")
+        got = repro.maximal_matching(lst, algorithm="match4", policy=pol)
+        assert got.backend == "numpy"
+
+    def test_maximal_matching_conflict(self):
+        lst = repro.random_list(64, rng=0)
+        with pytest.raises(InvalidParameterError, match="conflicting"):
+            repro.maximal_matching(
+                lst, backend="reference",
+                policy=ExecutionPolicy(backend="numpy"))
+
+    def test_batch(self):
+        lists = [repro.random_list(64, rng=s) for s in range(3)]
+        got = repro.batch_maximal_matching(
+            lists, policy=ExecutionPolicy(backend="numpy"))
+        assert len(got.matchings) == 3
+
+    def test_resilient(self):
+        lst = repro.random_list(128, rng=1)
+        got = repro.resilient_matching(
+            lst, policy=ExecutionPolicy(backend="reference"))
+        assert got.matching.size > 0
+
+    def test_service_config_planner_history(self, tmp_path):
+        from repro.service import ServiceConfig
+
+        cfg = ServiceConfig(planner_history=str(tmp_path / "runs.jsonl"))
+        assert cfg.to_dict()["planner_history"].endswith("runs.jsonl")

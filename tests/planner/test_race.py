@@ -1,0 +1,133 @@
+"""Race mode: speculative two-backend runs with a seeded loser."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import VerificationError
+from repro.planner import ExecutionPolicy, Planner, run_race
+from repro.planner import race as race_module
+from repro.telemetry.runrecord import read_records
+
+
+class TestRunRace:
+    def test_winner_is_bit_identical_to_both_lanes(self):
+        lst = repro.random_list(512, rng=0)
+        winner, info = run_race(
+            lst, backends=("reference", "numpy"), algorithm="match4")
+        explicit = repro.maximal_matching(lst, algorithm="match4",
+                                          backend="numpy")
+        assert np.array_equal(winner.matching.tails,
+                              explicit.matching.tails)
+        assert winner.report == explicit.report
+        assert info["winner"] in ("reference", "numpy")
+        assert set(info["walls_s"]) == {"reference", "numpy"}
+
+    def test_handicap_seeds_a_deterministic_loser(self):
+        lst = repro.random_list(512, rng=1)
+        # A giant handicap on numpy makes reference win regardless of
+        # actual host timing; and vice versa.
+        for loser, winner in (("numpy", "reference"),
+                              ("reference", "numpy")):
+            got, info = run_race(
+                lst, backends=("reference", "numpy"),
+                algorithm="match4", handicap={loser: 1e6})
+            assert info["winner"] == winner
+            assert got.backend == winner
+            assert info["handicap_s"] == {loser: 1e6}
+
+    def test_losses_recorded_in_the_model(self):
+        lst = repro.random_list(512, rng=2)
+        planner = Planner()
+        run_race(lst, backends=("reference", "numpy"),
+                 algorithm="match4", planner=planner,
+                 handicap={"numpy": 1e6})
+        stats, _ = planner.model.lookup(algorithm="match4", n=512)
+        assert stats[("numpy", None)].losses == 1
+        assert stats[("reference", None)].losses == 0
+        assert planner.model.observations == 2
+
+    def test_race_lanes_persisted_to_history(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        planner = Planner(history=str(path))
+        lst = repro.random_list(512, rng=3)
+        run_race(lst, backends=("reference", "numpy"),
+                 algorithm="match4", planner=planner,
+                 handicap={"numpy": 1e6})
+        records = read_records(path)
+        assert len(records) == 2
+        outcomes = {r.backend: r.extra["planner_race"] for r in records}
+        assert outcomes == {"reference": "winner", "numpy": "loser"}
+        assert all(r.wall_s is not None for r in records)
+
+    def test_single_backend_rejected(self):
+        lst = repro.random_list(64, rng=4)
+        with pytest.raises(VerificationError, match="two backends"):
+            run_race(lst, backends=("numpy",), algorithm="match4")
+
+
+class TestAutoRace:
+    def test_race_fires_only_on_prior_decisions(self, tmp_path):
+        from repro.telemetry.runrecord import RunRecord, write_records
+
+        lst = repro.random_list(1024, rng=5)
+        # Unknown regime: race happens.
+        cold = repro.maximal_matching(
+            lst, backend="auto", policy=ExecutionPolicy(mode="race"))
+        assert cold.extras["planner"]["raced"] is True
+        assert "race" in cold.extras["planner"]
+        # Known regime: history decides, no race.
+        base = repro.maximal_matching(lst, backend="numpy")
+        path = tmp_path / "runs.jsonl"
+        write_records(path, [RunRecord.from_result(base, wall_s=1e-4)])
+        warm = repro.maximal_matching(
+            lst, backend="auto",
+            policy=ExecutionPolicy(mode="race", history=str(path)))
+        assert warm.extras["planner"]["raced"] is False
+
+    def test_seeded_loser_through_public_auto_path(self, monkeypatch):
+        monkeypatch.setattr(race_module, "DEFAULT_HANDICAP",
+                            {"numpy": 1e6})
+        lst = repro.random_list(1024, rng=6)
+        auto = repro.maximal_matching(
+            lst, backend="auto", policy=ExecutionPolicy(mode="race"))
+        decision = auto.extras["planner"]
+        assert decision["raced"] is True
+        assert decision["race"]["winner"] == "reference"
+        assert decision["backend"] == "reference"
+        assert auto.backend == "reference"
+        explicit = repro.maximal_matching(lst, backend="reference")
+        assert np.array_equal(auto.matching.tails,
+                              explicit.matching.tails)
+        assert auto.report == explicit.report
+        assert auto.stats == explicit.stats
+
+    def test_race_observations_warm_the_default_planner(self):
+        from repro.planner import get_default_planner
+
+        lst = repro.random_list(1024, rng=7)
+        repro.maximal_matching(
+            lst, backend="auto", policy=ExecutionPolicy(mode="race"))
+        stats, _ = get_default_planner().model.lookup(
+            algorithm="match4", n=1024)
+        assert len(stats) == 2  # both lanes fed back
+
+    def test_race_counters(self):
+        from repro.telemetry import METRICS, capture
+
+        lst = repro.random_list(1024, rng=8)
+        with capture():
+            repro.maximal_matching(
+                lst, backend="auto", policy=ExecutionPolicy(mode="race"))
+        assert METRICS.counter("planner.race.runs").value == 1
+        assert METRICS.counter("planner.race.losses").value == 1
+
+    def test_deprecated_planner_mode_alias_still_races(self):
+        from repro.planner.policy import resolve_policy
+
+        lst = repro.random_list(1024, rng=9)
+        with pytest.warns(DeprecationWarning, match="planner_mode"):
+            pol = resolve_policy(None, backend="auto",
+                                 planner_mode="race")
+        auto = repro.maximal_matching(lst, policy=pol)
+        assert auto.extras["planner"]["mode"] == "race"

@@ -1,0 +1,234 @@
+"""The rule pipeline: seeding, scoring, capping, and the registry."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.parallel import ParallelConfig, using_config
+from repro.planner import (
+    PerformanceModel,
+    PlanContext,
+    Planner,
+    planner_rules,
+    register_planner_rule,
+    unregister_planner_rule,
+)
+from repro.planner.rules import (
+    rule_history,
+    rule_prior,
+    rule_seed,
+    rule_worker_cap,
+)
+
+
+class TestSeed:
+    def test_one_candidate_per_eligible_backend(self):
+        ctx = PlanContext(algorithm="match4", n=1024)
+        plans = rule_seed(ctx, [])
+        assert {p.backend for p in plans} == {"reference", "numpy",
+                                              "numpy-mp"}
+        assert all(p.score is None for p in plans)
+
+    def test_respects_backend_support(self):
+        # match2 is reference-only.
+        plans = rule_seed(PlanContext(algorithm="match2", n=1024), [])
+        assert {p.backend for p in plans} == {"reference"}
+
+    def test_respects_engine_limit(self):
+        from repro.backends.engine import ENGINE_LIMIT
+
+        plans = rule_seed(
+            PlanContext(algorithm="match4", n=ENGINE_LIMIT), [])
+        assert {p.backend for p in plans} == {"reference"}
+
+
+class TestPriorScoring:
+    def test_everything_gets_a_score(self):
+        ctx = PlanContext(algorithm="match4", n=4096)
+        plans = rule_prior(ctx, rule_seed(ctx, []))
+        assert all(p.score is not None for p in plans)
+        assert all(p.source == "prior" for p in plans)
+
+    def test_crossover_small_prefers_reference(self):
+        planner = Planner()
+        tiny = planner.decide(PlanContext(algorithm="match4", n=64))
+        assert tiny.backend == "reference"
+        big = planner.decide(PlanContext(algorithm="match4", n=1 << 16))
+        assert big.backend == "numpy"
+
+    def test_prior_does_not_overwrite_history_scores(self):
+        model = PerformanceModel()
+        model.observe(algorithm="match4", backend="numpy", n=4096,
+                      wall_s=0.001)
+        ctx = PlanContext(algorithm="match4", n=4096, model=model)
+        plans = rule_prior(ctx, rule_history(ctx, rule_seed(ctx, [])))
+        by_backend = {p.backend: p for p in plans}
+        assert by_backend["numpy"].source == "history"
+        assert by_backend["reference"].source == "prior"
+
+
+class TestHistoryScoring:
+    def test_history_beats_prior(self):
+        # History says reference is absurdly fast here: it must win
+        # even at a size where the prior prefers numpy.
+        model = PerformanceModel()
+        model.observe(algorithm="match4", backend="reference", n=1 << 16,
+                      wall_s=1e-5)
+        planner = Planner(model)
+        decision = planner.decide(PlanContext(algorithm="match4",
+                                              n=1 << 16))
+        assert decision.backend == "reference"
+        assert decision.rule == "history"
+        assert decision.source == "history"
+
+    def test_distance_penalty_scales_scores(self):
+        model = PerformanceModel()
+        model.observe(algorithm="match4", backend="numpy", n=4096,
+                      wall_s=0.01)
+        exact = rule_history(
+            PlanContext(algorithm="match4", n=4096, model=model),
+            rule_seed(PlanContext(algorithm="match4", n=4096), []))
+        near = rule_history(
+            PlanContext(algorithm="match4", n=4096 * 4, model=model),
+            rule_seed(PlanContext(algorithm="match4", n=4096 * 4), []))
+        score_exact = next(p.score for p in exact if p.backend == "numpy")
+        score_near = next(p.score for p in near if p.backend == "numpy")
+        assert score_near == pytest.approx(score_exact * 1.30)
+
+    def test_history_carries_workers(self):
+        model = PerformanceModel()
+        model.observe(algorithm="match4", backend="numpy-mp", n=4096,
+                      wall_s=1e-6, workers=2)
+        planner = Planner(model)
+        with using_config(ParallelConfig(workers=4)):
+            decision = planner.decide(
+                PlanContext(algorithm="match4", n=4096))
+        assert decision.backend == "numpy-mp"
+        assert decision.workers == 2
+
+
+class TestWorkerCap:
+    def test_caps_to_live_config(self):
+        model = PerformanceModel()
+        # learned on a "big host": 64 workers
+        model.observe(algorithm="match4", backend="numpy-mp", n=4096,
+                      wall_s=1e-6, workers=64)
+        planner = Planner(model)
+        with using_config(ParallelConfig(workers=2)):
+            decision = planner.decide(
+                PlanContext(algorithm="match4", n=4096))
+        assert decision.backend == "numpy-mp"
+        assert decision.workers == 2
+        assert "capped" in decision.plan.reason
+
+    def test_policy_workers_cap_wins(self):
+        from repro.planner import ExecutionPolicy
+
+        model = PerformanceModel()
+        model.observe(algorithm="match4", backend="numpy-mp", n=4096,
+                      wall_s=1e-6, workers=64)
+        planner = Planner(model)
+        pol = ExecutionPolicy(workers=3)
+        decision = planner.decide(PlanContext(
+            algorithm="match4", n=4096, policy=pol))
+        assert decision.workers == 3
+
+
+class TestRegistry:
+    def test_default_pipeline_order(self):
+        names = [name for name, _ in planner_rules()]
+        assert names == ["seed", "history", "prior", "worker_cap"]
+
+    def test_register_before_and_unregister(self):
+        seen = []
+
+        def spy(ctx, plans):
+            seen.append(len(plans))
+            return plans
+
+        register_planner_rule("spy", spy, before="prior")
+        try:
+            names = [name for name, _ in planner_rules()]
+            assert names.index("spy") == names.index("prior") - 1
+            Planner().decide(PlanContext(algorithm="match4", n=256))
+            assert seen  # the pipeline actually ran it
+        finally:
+            unregister_planner_rule("spy")
+        assert "spy" not in [name for name, _ in planner_rules()]
+
+    def test_register_after(self):
+        def noop(ctx, plans):
+            return plans
+
+        register_planner_rule("noop", noop, after="seed")
+        try:
+            names = [name for name, _ in planner_rules()]
+            assert names.index("noop") == names.index("seed") + 1
+        finally:
+            unregister_planner_rule("noop")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(InvalidParameterError, match="already"):
+            register_planner_rule("seed", lambda c, p: p)
+
+    def test_unknown_anchor_rejected(self):
+        with pytest.raises(InvalidParameterError, match="anchor"):
+            register_planner_rule("x", lambda c, p: p, before="nothing")
+
+    def test_both_anchors_rejected(self):
+        with pytest.raises(InvalidParameterError, match="at most one"):
+            register_planner_rule("x", lambda c, p: p,
+                                  before="seed", after="prior")
+
+    def test_unregister_unknown_rejected(self):
+        with pytest.raises(InvalidParameterError, match="not registered"):
+            unregister_planner_rule("ghost")
+
+    def test_custom_rule_steers_the_decision(self):
+        def always_reference(ctx, plans):
+            for plan in plans:
+                if plan.backend == "reference":
+                    plan.score = 0.0
+                    plan.rule = "always_reference"
+                    plan.source = "override"
+            return plans
+
+        register_planner_rule("always_reference", always_reference)
+        try:
+            decision = Planner().decide(
+                PlanContext(algorithm="match4", n=1 << 16))
+            assert decision.backend == "reference"
+            assert decision.rule == "always_reference"
+        finally:
+            unregister_planner_rule("always_reference")
+
+
+class TestDecide:
+    def test_no_executable_backend_raises(self):
+        with pytest.raises(InvalidParameterError, match="no executable"):
+            Planner(rules=[("seed", lambda c, p: p)]).decide(
+                PlanContext(algorithm="match4", n=1024))
+
+    def test_decision_extra_is_json_able(self):
+        import json
+
+        decision = Planner().decide(PlanContext(algorithm="match4",
+                                                n=4096))
+        extra = decision.to_extra()
+        json.dumps(extra)  # must not raise
+        assert extra["backend"] == decision.backend
+        assert extra["context"]["n"] == 4096
+        assert len(extra["candidates"]) >= 2
+
+    def test_deterministic_tie_break(self):
+        def flatten(ctx, plans):
+            for plan in plans:
+                plan.score = 1.0
+            return plans
+
+        planner = Planner(rules=[("seed", rule_seed),
+                                 ("flat", flatten),
+                                 ("cap", rule_worker_cap)])
+        picks = {planner.decide(PlanContext(algorithm="match4",
+                                            n=4096)).backend
+                 for _ in range(5)}
+        assert picks == {"reference"}  # preference order breaks ties
