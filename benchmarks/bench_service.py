@@ -24,6 +24,22 @@ SIGTERM it, and check the drain manifest)::
 
     PYTHONPATH=src python benchmarks/bench_service.py --spawn \\
         --requests 200 --rate 100 --seed 0 --json service-bench.json
+
+Observability extensions (all ``--spawn``-only):
+
+- ``--debug-probe`` — while the server is still up, fetch
+  ``/debug/vars`` and one SSE frame from ``/debug/stream`` and check
+  the server's rolling-window rates and SLO burn against what this
+  client measured;
+- ``--server-telemetry PATH`` — run the server under a JSONL span
+  sink (the raw material for trace reconstruction);
+- ``--trace-json PATH`` — after the run, reconstruct the first
+  request's span tree from the server telemetry and write it as a
+  Chrome Trace (``chrome://tracing`` / Perfetto);
+- ``--feedback`` — enable the telemetry→planner loop on the server,
+  then re-load the feedback records it wrote and verify the planner
+  now cites measured history (``rule=history``) for a workload the
+  service actually served.
 """
 
 from __future__ import annotations
@@ -166,8 +182,11 @@ def summarize(results: list[dict], verified: int) -> dict:
 
 
 def spawn_server(args, manifest: Path) -> tuple[subprocess.Popen, int]:
-    cmd = [
-        sys.executable, "-m", "repro", "serve", "--port", "0",
+    cmd = [sys.executable, "-m", "repro"]
+    if args.server_telemetry:
+        cmd += ["--telemetry", f"jsonl:{args.server_telemetry}"]
+    cmd += [
+        "serve", "--port", "0",
         "--max-queue", str(args.max_queue),
         "--max-batch-items", str(args.max_batch_items),
         "--deadline-ms", str(args.deadline_ms),
@@ -176,6 +195,9 @@ def spawn_server(args, manifest: Path) -> tuple[subprocess.Popen, int]:
     ]
     if args.server_workers:
         cmd += ["--workers", str(args.server_workers)]
+    if args.feedback:
+        cmd += ["--feedback", "--feedback-sample", "1",
+                "--feedback-path", str(args.feedback_path)]
     proc = subprocess.Popen(cmd, stdout=subprocess.PIPE, text=True)
     assert proc.stdout is not None
     banner = proc.stdout.readline().strip()
@@ -184,6 +206,129 @@ def spawn_server(args, manifest: Path) -> tuple[subprocess.Popen, int]:
         raise SystemExit(f"server failed to start: {banner!r}")
     port = int(banner.rsplit(":", 1)[1])
     return proc, port
+
+
+def probe_debug(host: str, port: int) -> dict:
+    """Hit ``/debug/vars`` + one SSE frame while the server is up."""
+    from repro.service.client import fetch_json, fetch_sse
+
+    base = f"http://{host}:{port}"
+    status, vars_doc = fetch_json(base + "/debug/vars")
+    if status != 200 or not isinstance(vars_doc, dict):
+        raise AssertionError(f"/debug/vars probe failed: status {status}")
+    sse_status, frames = fetch_sse(base + "/debug/stream?frames=1",
+                                   max_frames=1)
+    if sse_status != 200 or not frames:
+        raise AssertionError(
+            f"/debug/stream yielded no SSE frames (status {sse_status})")
+    live = vars_doc["live"]
+    return {
+        "count": live["count"],
+        "latency_ms": live["latency_ms"],
+        "rates": live["rates"],
+        "slo": live["slo"],
+        "served": vars_doc["totals"]["served"],
+        "sse_frames": len(frames),
+        "sse_count": frames[0]["live"]["count"],
+    }
+
+
+def check_debug_probe(probe: dict, summary: dict) -> list[str]:
+    """The server's rolling window must agree with the client's books.
+
+    Only enforced when the window still covers the whole run (live
+    count == every request the server actually saw); transport errors
+    (status 0) never reach the server so they are excluded.
+    """
+    problems = []
+    reached = summary["offered"] - summary["by_status"].get("0", 0)
+    if probe["count"] != reached:
+        return problems  # window rolled past part of the run: no gate
+    for live_key, bench_key in (("shed", "shed_rate"),
+                                ("timeout", "timeout_rate")):
+        got, want = probe["rates"][live_key], summary[bench_key]
+        if abs(got - want) > 0.02:
+            problems.append(
+                f"live {live_key} rate {got} != measured {want}")
+    # SLO burn: the bad fraction must at least cover every shed and
+    # timeout the client saw (server-side latency can only add badness,
+    # never remove it).
+    floor = (summary["shed_rate"] + summary["timeout_rate"]) * 0.98
+    if probe["slo"]["bad_rate"] + 1e-9 < floor:
+        problems.append(
+            f"SLO bad rate {probe['slo']['bad_rate']} below the "
+            f"shed+timeout floor {round(floor, 4)}")
+    return problems
+
+
+def check_feedback(path: Path) -> dict:
+    """Re-load the server's feedback records and re-plan from them.
+
+    The acceptance bar for the telemetry→planner loop: a fresh planner
+    seeded only from what the service recorded must price a workload
+    regime the service actually served from *measured history*
+    (``rule=history``), not cold-start priors.
+    """
+    from repro.planner import PlanContext, Planner
+    from repro.telemetry import read_records
+
+    records = [r for r in read_records(path)
+               if (r.extra or {}).get("source") == "service-feedback"]
+    if not records:
+        raise AssertionError(f"--feedback wrote no records to {path}")
+    planner = Planner(history=path)
+    # Re-plan every regime the service served, largest lists first: the
+    # measured history must (a) be priced into the candidates
+    # everywhere and (b) win the decision outright somewhere (at small
+    # n the reference tier's cold-start prior legitimately stays ahead
+    # of any measured engine time — that is the planner working, not
+    # the loop failing).
+    regimes = sorted({(r.n, (r.extra or {}).get("layout"), r.algorithm)
+                      for r in records}, reverse=True)
+    winner = None
+    for n, layout, algorithm in regimes:
+        decision = planner.decide(PlanContext(
+            algorithm=algorithm, n=n, p=1, layout=layout,
+            model=planner.model,
+        ))
+        if not any(c.source == "history" for c in decision.candidates):
+            raise AssertionError(
+                f"no history-priced candidate for n={n} layout={layout} "
+                f"despite {len(records)} feedback records")
+        if winner is None and decision.rule == "history":
+            winner = (n, decision)
+    if winner is None:
+        raise AssertionError(
+            f"planner never cited rule=history across {len(regimes)} "
+            f"served regimes ({len(records)} feedback records)")
+    n, decision = winner
+    return {
+        "records": len(records),
+        "n": n,
+        "backend": decision.backend,
+        "rule": decision.rule,
+        "score_s": decision.plan.score,
+    }
+
+
+def write_trace_json(telemetry: Path, out: Path) -> dict:
+    """Reconstruct the first request's span tree as a Chrome Trace."""
+    from repro.telemetry import (
+        request_trace_events,
+        request_trace_ids,
+        spans_from_jsonl,
+    )
+
+    spans = spans_from_jsonl(telemetry)
+    ids = request_trace_ids(spans)
+    if not ids:
+        raise AssertionError(
+            f"no request traces found in {telemetry} — was the server "
+            "running with telemetry enabled?")
+    events = request_trace_events(spans, ids[0])
+    out.write_text(json.dumps({"traceEvents": events}, indent=2) + "\n")
+    return {"traces": len(ids), "trace_id": ids[0], "events": len(events),
+            "path": str(out)}
 
 
 def check_manifest_ledger(manifest: Path, summary: dict) -> dict:
@@ -257,7 +402,32 @@ def main(argv=None) -> int:
                              "(default 0: strict)")
     parser.add_argument("--max-shed-rate", type=float, default=1.0,
                         help="fail beyond this 429/503 rate (default: off)")
+    parser.add_argument("--debug-probe", action="store_true",
+                        help="--spawn: probe /debug/vars + one SSE frame "
+                             "and cross-check the live rates")
+    parser.add_argument("--server-telemetry", default="",
+                        help="--spawn: run the server with a JSONL span "
+                             "sink at this path")
+    parser.add_argument("--trace-json", default="",
+                        help="write the first request's reconstructed "
+                             "span tree here (needs --server-telemetry)")
+    parser.add_argument("--feedback", action="store_true",
+                        help="--spawn: enable the telemetry→planner "
+                             "loop and verify rule=history afterwards")
+    parser.add_argument("--feedback-path", default="service-feedback.jsonl",
+                        help="--feedback: planner history records land "
+                             "here")
     args = parser.parse_args(argv)
+
+    spawn_only = [name for name, on in (
+        ("--debug-probe", args.debug_probe),
+        ("--server-telemetry", bool(args.server_telemetry)),
+        ("--feedback", args.feedback),
+    ) if on and not args.spawn]
+    if spawn_only:
+        raise SystemExit(f"{', '.join(spawn_only)} require --spawn")
+    if args.trace_json and not args.server_telemetry:
+        raise SystemExit("--trace-json needs --server-telemetry")
 
     plan = plan_requests(args)
     proc = None
@@ -271,11 +441,14 @@ def main(argv=None) -> int:
     else:
         raise SystemExit("pass --spawn or --url")
 
+    probe = None
     try:
         # Readiness: the spawned server prints its banner before the
         # first accept, so one probe round-trip suffices.
         asyncio.run(get(host, port, "/readyz"))
         results = asyncio.run(run_load(host, port, plan))
+        if args.debug_probe:
+            probe = probe_debug(host, port)
     finally:
         if proc is not None:
             proc.send_signal(signal.SIGTERM)
@@ -292,12 +465,21 @@ def main(argv=None) -> int:
     if args.spawn:
         summary["manifest"] = check_manifest_ledger(manifest, summary)
 
+    failures = []
+    if probe is not None:
+        summary["debug_probe"] = probe
+        failures += check_debug_probe(probe, summary)
+    if args.feedback:
+        summary["feedback"] = check_feedback(Path(args.feedback_path))
+    if args.trace_json:
+        summary["trace"] = write_trace_json(Path(args.server_telemetry),
+                                            Path(args.trace_json))
+
     print(json.dumps({k: v for k, v in summary.items() if k != "config"},
                      indent=2))
     if args.json:
         Path(args.json).write_text(json.dumps(summary, indent=2) + "\n")
 
-    failures = []
     if summary["error_rate"] > args.max_error_rate:
         failures.append(
             f"error rate {summary['error_rate']} > {args.max_error_rate}")

@@ -30,6 +30,10 @@ Gives the library a shell-usable face:
 - ``serve`` — the matching-as-a-service HTTP server: bounded
   admission, micro-batching, deadlines, response cache, graceful
   drain (see ``docs/service.md``).
+- ``top``    — live terminal dashboard for a running server (polls
+  ``/debug/vars``) or an offline replay of a span JSONL
+  (``--replay``): rolling latency quantiles, shed/error rates, SLO
+  error-budget burn.
 
 Everything prints deterministic output for a fixed ``--seed``.
 """
@@ -475,8 +479,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         manifest_path=args.record,
         seed=args.seed,
         planner_history=args.planner_history,
+        feedback=args.feedback,
+        feedback_sample=args.feedback_sample,
+        feedback_path=args.feedback_path,
+        slo_p95_ms=args.slo_p95_ms,
+        slo_availability=args.slo_availability,
+        live_window_s=args.live_window_s,
     )
     return MatchingService(config).run()
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Terminal dashboard over a live server or a recorded JSONL file."""
+    import json as _json
+    import time as _time
+
+    from .telemetry.live import render_dashboard, replay_jsonl
+
+    if args.replay:
+        live = replay_jsonl(args.replay)
+        print(render_dashboard({"live": live},
+                               title=f"repro top — replay {args.replay}"),
+              end="")
+        return 0
+
+    from .service.client import fetch_json
+
+    def fetch() -> dict:
+        status, doc = fetch_json(args.url.rstrip("/") + "/debug/vars")
+        if status != 200 or not isinstance(doc, dict):
+            raise ConnectionError(f"/debug/vars answered {status}")
+        return doc
+
+    if args.once:
+        print(render_dashboard(fetch(), title=f"repro top — {args.url}"),
+              end="")
+        return 0
+    try:
+        while True:
+            try:
+                doc = fetch()
+            except (ConnectionError, OSError, ValueError,
+                    _json.JSONDecodeError) as exc:
+                print(f"repro top: {exc}", file=sys.stderr)
+                return 1
+            # ANSI clear-screen + home: a stdlib-only poll loop.
+            print("\x1b[2J\x1b[H"
+                  + render_dashboard(doc, title=f"repro top — {args.url}"),
+                  end="", flush=True)
+            if doc.get("service", {}).get("draining"):
+                print("server draining; exiting")
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_fig1(args: argparse.Namespace) -> int:
@@ -727,7 +783,38 @@ def build_parser() -> argparse.ArgumentParser:
                          "backend=\"auto\" requests")
     sv.add_argument("--seed", type=int, default=0,
                     help="seeds the retry-backoff jitter")
+    sv.add_argument("--feedback", action="store_true",
+                    help="feed sampled batch wall-clock back into the "
+                         "planner's history (telemetry→planner loop)")
+    sv.add_argument("--feedback-sample", type=int, default=4,
+                    metavar="N", help="record every Nth batch")
+    sv.add_argument("--feedback-path", default="", metavar="PATH",
+                    help="append feedback records here "
+                         "(default: --planner-history)")
+    sv.add_argument("--slo-p95-ms", type=float, default=500.0,
+                    help="SLO latency objective for /debug/vars burn rate")
+    sv.add_argument("--slo-availability", type=float, default=0.999,
+                    help="SLO availability target (error budget = 1 - this)")
+    sv.add_argument("--live-window-s", type=float, default=60.0,
+                    help="rolling window behind /debug/vars and the "
+                         "SSE stream")
     sv.set_defaults(fn=_cmd_serve)
+
+    tp = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running server's "
+             "/debug/vars (or --replay a telemetry JSONL)",
+    )
+    tp.add_argument("--url", default="http://127.0.0.1:8080",
+                    help="server base URL")
+    tp.add_argument("--interval", type=float, default=1.0,
+                    help="refresh period in seconds")
+    tp.add_argument("--once", action="store_true",
+                    help="print one snapshot and exit (no clear-screen)")
+    tp.add_argument("--replay", default="", metavar="PATH",
+                    help="render aggregates from a recorded telemetry "
+                         "JSONL instead of a live server")
+    tp.set_defaults(fn=_cmd_top)
 
     f = sub.add_parser("fig1", help="render the paper's Fig. 1")
     f.add_argument("--order", default="",

@@ -44,6 +44,7 @@ from ..errors import InvalidParameterError
 from ..lists.linked_list import LinkedList
 from ..core.matching import Matching
 from ..pram.cost import CostModel, CostReport
+from ..telemetry.context import TraceContext, current_trace, using_trace
 from ..telemetry.metrics import METRICS
 from ..telemetry.spans import (
     Span,
@@ -112,7 +113,8 @@ def _run_shard_task(payload: tuple) -> tuple:
     reference).  Returns raw, picklable components only — never
     ``Matching`` objects, which drag the whole list along.
     """
-    shard, algorithm, backend, p, kwargs, raw_lists, want_spans = payload
+    (shard, algorithm, backend, p, kwargs, raw_lists, want_spans,
+     trace_id) = payload
     from ..backends.batch import batch_maximal_matching
     from ..telemetry import capture, disable
 
@@ -122,7 +124,12 @@ def _run_shard_task(payload: tuple) -> tuple:
     ]
     t0 = time.perf_counter()
     if want_spans:
-        with capture(reset_metrics=False) as sink:
+        # The parent's trace context rides in the payload: spans this
+        # worker captures are tagged with the originating request's
+        # trace id at creation time (their parentage is fixed on
+        # replay, once the parent-side shard span exists).
+        ctx = TraceContext(trace_id) if trace_id else None
+        with using_trace(ctx), capture(reset_metrics=False) as sink:
             result = batch_maximal_matching(
                 lls, algorithm=algorithm, backend=backend, p=p, **kwargs
             )
@@ -142,14 +149,17 @@ def _run_shard_task(payload: tuple) -> tuple:
 
 
 def _replay_spans(tracer, span_dicts: list[dict[str, Any]], shard: int,
-                  parent_id: int, base_start: float) -> None:
+                  parent_id: int, base_start: float,
+                  trace_id: str | None = None) -> None:
     """Merge a worker's captured spans into the parent trace.
 
     Ids are remapped through :meth:`Tracer.next_id` so they never
     collide with locally started spans; the worker's root spans are
     re-parented under the ``shard.<i>`` span; start times are rebased
     so the shard's earliest span aligns with the shard span's start.
-    Every replayed span gains a ``shard`` attribute.
+    Every replayed span gains a ``shard`` attribute, and keeps the
+    trace id it was captured under (falling back to the parent-side
+    ``trace_id`` for workers that predate trace propagation).
     """
     if not span_dicts:
         return
@@ -165,6 +175,7 @@ def _replay_spans(tracer, span_dicts: list[dict[str, Any]], shard: int,
             base_start + (d["start"] - t0),
             attrs,
             tracer,
+            d.get("trace_id") or trace_id,
         )
         sp.end = sp.start + d["duration_s"]
         sp.status = d["status"]
@@ -199,6 +210,8 @@ def run_sharded_batch(
     if len(bounds) < 2:
         return None
     want_spans = telemetry_enabled()
+    ctx = current_trace() if want_spans else None
+    trace_id = ctx.trace_id if ctx is not None else None
     payloads = [
         (
             shard,
@@ -208,6 +221,7 @@ def run_sharded_batch(
             dict(kwargs),
             [lst.next.tobytes() for lst in lls[lo:hi]],
             want_spans,
+            trace_id,
         )
         for shard, (lo, hi) in enumerate(bounds)
     ]
@@ -237,7 +251,8 @@ def run_sharded_batch(
                 f"shard.{shard}", shard=shard, lo=lo, hi=hi,
                 num_lists=hi - lo, nodes=nodes, worker_wall_s=wall,
             ) as sp:
-                _replay_spans(tracer, span_dicts, shard, sp.span_id, sp.start)
+                _replay_spans(tracer, span_dicts, shard, sp.span_id,
+                              sp.start, trace_id)
         for j, blob in enumerate(blobs):
             tails = np.frombuffer(blob, dtype=np.int64)
             matchings.append(Matching(lls[lo + j], tails, pre_verified=True))

@@ -42,6 +42,21 @@ __all__ = [
 #: Env var naming a ``runs.jsonl`` manifest the default planner loads.
 HISTORY_ENV = "REPRO_PLANNER_HISTORY"
 
+#: Env var setting the default planner's history decay half-life in
+#: seconds (unset / empty / invalid: no decay).
+HALF_LIFE_ENV = "REPRO_PLANNER_HALF_LIFE_S"
+
+
+def _env_half_life() -> float | None:
+    raw = os.environ.get(HALF_LIFE_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
 #: Deterministic tie-break order when two plans score identically.
 _BACKEND_PREFERENCE = {"reference": 0, "numpy": 1, "numpy-mp": 2}
 
@@ -112,13 +127,17 @@ class Planner:
         history: str | os.PathLike | None = None,
         rules: Sequence[tuple[str, PlannerRule]] | None = None,
         mode: str = "rules",
+        half_life_s: float | None = None,
     ) -> None:
         if mode not in PLANNER_MODES:
             raise InvalidParameterError(
                 f"unknown planner mode {mode!r}; choose from "
                 f"{list(PLANNER_MODES)}"
             )
-        self.model = model if model is not None else PerformanceModel()
+        if half_life_s is None:
+            half_life_s = _env_half_life()
+        self.model = model if model is not None else \
+            PerformanceModel(half_life_s=half_life_s)
         self.history_path = os.fspath(history) if history else None
         if self.history_path:
             self.model.load(self.history_path)
@@ -218,8 +237,9 @@ _DEFAULT_PLANNER: Planner | None = None
 def get_default_planner() -> Planner:
     """The process-default planner (created lazily).
 
-    On first use it loads ``$REPRO_PLANNER_HISTORY`` when that is set;
-    a missing or unreadable manifest leaves the model empty (priors).
+    On first use it loads ``$REPRO_PLANNER_HISTORY`` when that is set
+    (decayed per ``$REPRO_PLANNER_HALF_LIFE_S`` when that is too); a
+    missing or unreadable manifest leaves the model empty (priors).
     """
     global _DEFAULT_PLANNER
     if _DEFAULT_PLANNER is None:

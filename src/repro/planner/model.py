@@ -35,10 +35,15 @@ __all__ = [
     "PlanStat",
     "PerformanceModel",
     "n_bucket",
+    "MIN_WEIGHT",
 ]
 
 #: How far (in powers of two) a nearest-bucket lookup may stray.
 MAX_BUCKET_DISTANCE = 3
+
+#: Records whose decay weight falls below this are aged out entirely —
+#: at the default half-life that is five half-lives of staleness.
+MIN_WEIGHT = 1.0 / 32.0
 
 
 def n_bucket(n: int) -> int:
@@ -55,18 +60,22 @@ class PlanStat:
     best_wall_s: float = float("inf")
     total_wall_s: float = 0.0
     count: int = 0
+    weight: float = 0.0  #: decayed observation mass (== count w/o decay)
     losses: int = 0  #: times this plan lost a race
 
-    def observe(self, wall_s: float, *, lost: bool = False) -> None:
+    def observe(self, wall_s: float, *, lost: bool = False,
+                weight: float = 1.0) -> None:
         self.best_wall_s = min(self.best_wall_s, float(wall_s))
-        self.total_wall_s += float(wall_s)
+        self.total_wall_s += float(wall_s) * weight
         self.count += 1
+        self.weight += weight
         if lost:
             self.losses += 1
 
     @property
     def mean_wall_s(self) -> float:
-        return self.total_wall_s / self.count if self.count else float("inf")
+        return self.total_wall_s / self.weight if self.weight \
+            else float("inf")
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -75,6 +84,7 @@ class PlanStat:
             "best_wall_s": self.best_wall_s,
             "mean_wall_s": self.mean_wall_s,
             "count": self.count,
+            "weight": round(self.weight, 4),
             "losses": self.losses,
         }
 
@@ -100,11 +110,28 @@ def _record_profile(record: RunRecord) -> str:
 
 
 class PerformanceModel:
-    """The planner's memory: measured wall-clock per regime and plan."""
+    """The planner's memory: measured wall-clock per regime and plan.
 
-    def __init__(self) -> None:
+    ``half_life_s`` enables **time decay** of persisted history: a
+    record carrying an ``extra["ts"]`` wall-clock stamp (the service's
+    feedback records do) is weighted ``2^(-(now - ts) / half_life_s)``
+    during :meth:`ingest`, where *now* is the newest stamp in the
+    batch — deterministic, no clock read.  A record older than about
+    five half-lives (weight < :data:`MIN_WEIGHT`) is aged out
+    entirely, so a machine's history tracks its present performance
+    instead of averaging over hardware and code it no longer runs.
+    Unstamped records never decay (hand-curated seeds stay at full
+    weight), and live :meth:`observe` calls always count fully.
+    """
+
+    def __init__(self, *, half_life_s: float | None = None) -> None:
+        if half_life_s is not None and half_life_s <= 0:
+            raise ValueError(
+                f"half_life_s must be > 0, got {half_life_s}")
         self._stats: dict[tuple, dict[tuple, PlanStat]] = {}
+        self.half_life_s = half_life_s
         self.observations = 0
+        self.aged_out = 0
         self.sources: list[str] = []
 
     @staticmethod
@@ -123,6 +150,7 @@ class PerformanceModel:
         layout: str | None = None,
         profile: str = "single",
         lost: bool = False,
+        weight: float = 1.0,
     ) -> None:
         """Record one measurement (also used live by race mode)."""
         if wall_s is None or wall_s < 0:
@@ -134,17 +162,45 @@ class PerformanceModel:
         if stat is None:
             stat = plans[plan_key] = PlanStat(backend=backend,
                                               workers=workers)
-        stat.observe(wall_s, lost=lost)
+        stat.observe(wall_s, lost=lost, weight=weight)
         self.observations += 1
 
+    @staticmethod
+    def _record_ts(record: RunRecord) -> float | None:
+        try:
+            ts = record.extra.get("ts")
+            return float(ts) if ts is not None else None
+        except (TypeError, ValueError):
+            return None
+
     def ingest(self, records: Iterable[RunRecord]) -> int:
-        """Fold records into the model; returns how many were usable."""
+        """Fold records into the model; returns how many were usable.
+
+        With :attr:`half_life_s` set, timestamped records are decayed
+        against the newest timestamp in this batch; those below
+        :data:`MIN_WEIGHT` are dropped (counted in :attr:`aged_out`).
+        """
+        records = list(records)
+        now = 0.0
+        if self.half_life_s is not None:
+            stamps = [ts for r in records
+                      if (ts := self._record_ts(r)) is not None]
+            now = max(stamps) if stamps else 0.0
         used = 0
         for record in records:
             if record.wall_s is None:
                 continue
             if record.kind not in ("matching", "bench"):
                 continue
+            weight = 1.0
+            if self.half_life_s is not None:
+                ts = self._record_ts(record)
+                if ts is not None:
+                    weight = 2.0 ** (-max(0.0, now - ts)
+                                     / self.half_life_s)
+                    if weight < MIN_WEIGHT:
+                        self.aged_out += 1
+                        continue
             self.observe(
                 algorithm=record.algorithm,
                 backend=record.backend,
@@ -153,6 +209,7 @@ class PerformanceModel:
                 workers=_record_workers(record),
                 layout=_record_layout(record),
                 profile=_record_profile(record),
+                weight=weight,
             )
             used += 1
         return used
@@ -218,6 +275,7 @@ class PerformanceModel:
                 agg.best_wall_s = min(agg.best_wall_s, stat.best_wall_s)
                 agg.total_wall_s += stat.total_wall_s
                 agg.count += stat.count
+                agg.weight += stat.weight
                 agg.losses += stat.losses
         return merged
 
@@ -227,4 +285,6 @@ class PerformanceModel:
             "observations": self.observations,
             "regimes": len(self._stats),
             "sources": list(self.sources),
+            "half_life_s": self.half_life_s,
+            "aged_out": self.aged_out,
         }

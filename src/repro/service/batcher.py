@@ -38,23 +38,41 @@ Two cooperating pieces, both owned by the event loop:
 Every decision is counted in ``service.*`` metrics (always on — the
 process's own metrics are its operational surface; span emission
 still honors the global telemetry flag).
+
+Two observability duties ride along with responding.  Every answered
+request feeds the rolling :class:`~repro.telemetry.live
+.LiveAggregator` behind ``/debug/vars`` and — when it carries a
+:class:`~repro.telemetry.context.TraceContext` — emits its
+``service.request`` root span at finish time, the root the fused
+``service.batch`` span's ``links`` attribute lets the exporter hang
+shard work under.  And with :attr:`ServiceConfig.feedback` enabled,
+sampled fused batches are attributed back into the planner's history
+(:meth:`MicroBatcher._record_feedback`), closing the
+telemetry→planner loop.
 """
 
 from __future__ import annotations
 
 import asyncio
 import random
+import time
 from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable
 
 from ..errors import ReproError
 from ..parallel.executor import POOL_ERRORS
+from ..planner.model import n_bucket
 from ..pram.cost import CostModel
+from ..telemetry.context import TraceContext, using_trace
+from ..telemetry.live import LiveAggregator, SloConfig
 from ..telemetry.metrics import METRICS
+from ..telemetry.runrecord import RunRecord, append_record
 from ..telemetry.spans import (
+    Span,
     enabled as telemetry_enabled,
     event as telemetry_event,
+    get_tracer,
     span as telemetry_span,
 )
 from .config import ServiceConfig
@@ -96,6 +114,12 @@ class PendingRequest:
     #: Byte budget charged at admission (snapshotted: entries fill in
     #: as they are served, so ``nbytes`` shrinks over time).
     admitted_bytes: int = 0
+    #: Request trace identity (``None`` when telemetry is disabled).
+    #: Carries the preallocated root span id; the ``service.request``
+    #: span itself is emitted once, at :meth:`MicroBatcher._finish`.
+    trace: TraceContext | None = None
+    #: ``time.perf_counter()`` at HTTP ingress (the root span's start).
+    ingress_at: float = 0.0
 
     @property
     def nbytes(self) -> int:
@@ -175,6 +199,18 @@ class AdmissionQueue:
         return self._queue.empty()
 
 
+def _call_traced(ctx: TraceContext | None, fn: Callable[[], Any]) -> Any:
+    """Run ``fn`` under ``ctx`` in the compute thread.
+
+    ``loop.run_in_executor`` does not propagate contextvars, so the
+    batch's trace context must be re-installed inside the thread —
+    this is what lets the sharded executor's ``current_trace()`` see
+    the request identity and ship it to pool workers.
+    """
+    with using_trace(ctx):
+        return fn()
+
+
 class MicroBatcher:
     """The single consumer task between the queue and the engine.
 
@@ -193,6 +229,7 @@ class MicroBatcher:
         batch_fn: Callable[..., Any] | None = None,
         fallback_fn: Callable[..., Any] | None = None,
         cache=None,
+        live: LiveAggregator | None = None,
     ) -> None:
         from ..backends.batch import batch_maximal_matching
         from ..resilience import resilient_matching
@@ -200,6 +237,13 @@ class MicroBatcher:
         self.admission = admission
         self.config = config
         self.cache = cache
+        #: Rolling-window operational view (always on, like the
+        #: ``service.*`` counters); shared with the server's
+        #: ``/debug/vars`` handler.
+        self.live = live if live is not None else LiveAggregator(
+            slo=SloConfig(config.slo_p95_ms, config.slo_availability),
+            window_s=config.live_window_s,
+        )
         self._batch_fn = batch_fn or batch_maximal_matching
         self._fallback_fn = fallback_fn or resilient_matching
         self._stopping = asyncio.Event()
@@ -219,6 +263,8 @@ class MicroBatcher:
         self.engine_faults = 0
         self.degraded = 0
         self.deadline_shed = 0
+        self.feedback_records = 0
+        self._feedback_path = config.feedback_path or config.planner_history
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -314,6 +360,8 @@ class MicroBatcher:
         loop = asyncio.get_running_loop()
         latency_ms = (loop.time() - request.enqueued_at) * 1000.0
         payload = {**payload, "latency_ms": round(latency_ms, 3)}
+        if request.trace is not None:
+            payload["trace_id"] = request.trace.trace_id
         METRICS.histogram("service.latency_ms").observe(latency_ms)
         if status == 200:
             self.served += 1
@@ -324,8 +372,51 @@ class MicroBatcher:
         else:
             self.errors += 1
             METRICS.counter("service.errors").inc()
+        hits = sum(1 for e in request.entries if e.cache == "hit")
+        lookups = sum(1 for e in request.entries if e.cache != "off")
+        self.live.observe_request(
+            latency_ms=latency_ms, status=status,
+            cache_hits=hits, cache_lookups=lookups,
+        )
+        if request.trace is not None and telemetry_enabled():
+            self._emit_request_span(request, status, latency_ms,
+                                    hits, lookups)
         self.admission.release(request.admitted_bytes)
         request.future.set_result((status, payload))
+
+    def _emit_request_span(self, request: PendingRequest, status: int,
+                           latency_ms: float, hits: int,
+                           lookups: int) -> None:
+        """Emit the per-request root span (the trace's tree root).
+
+        Built foreign rather than via the span stack: the request
+        lived across awaits, threads, and possibly worker processes,
+        so its span exists only now — with the id that every child
+        already parented under via the ambient context.
+        """
+        tracer = get_tracer()
+        end = time.perf_counter()
+        span_id = request.trace.span_id
+        sp = Span(
+            "service.request",
+            span_id if span_id is not None else tracer.next_id(),
+            None,
+            request.ingress_at or end,
+            {
+                "status": status,
+                "latency_ms": round(latency_ms, 3),
+                "entries": len(request.entries),
+                "single": request.single,
+                "n_total": request.total_nodes,
+                "cache_hits": hits,
+                "cache_lookups": lookups,
+            },
+            tracer,
+            request.trace.trace_id,
+        )
+        sp.end = end
+        sp.status = "ok" if status == 200 else "error"
+        tracer.emit_foreign(sp)
 
     def _respond(self, request: PendingRequest) -> None:
         """Shape the final response from the request's filled entries."""
@@ -404,14 +495,35 @@ class MicroBatcher:
                 self._batch_fn, lists, algorithm=algorithm, backend=backend,
                 workers=self.config.workers, p=1,
             )
+            t0 = time.perf_counter()
             try:
                 if telemetry_enabled():
+                    # One fused span serves every member request: simple
+                    # parentage cannot express that, so the span carries
+                    # each member's trace id in ``links`` (the key
+                    # request_trace_spans re-cuts the tree with), is
+                    # tagged with the first member's trace id, and hands
+                    # the compute thread an ambient context parenting
+                    # thread-root spans under it.
+                    links = tuple(sorted({
+                        req.trace.trace_id for req, _ in pairs
+                        if req.trace is not None
+                    }))
                     with telemetry_span(
                         "service.batch", algorithm=algorithm,
                         backend=backend, lists=len(lists), attempt=attempt,
-                    ):
+                        links=links,
+                    ) as batch_span:
+                        ctx = None
+                        if links:
+                            batch_span.trace_id = links[0]
+                            ctx = TraceContext(links[0],
+                                               batch_span.span_id)
                         result = await asyncio.wait_for(
-                            loop.run_in_executor(self._pool(), fn), remaining)
+                            loop.run_in_executor(
+                                self._pool(),
+                                partial(_call_traced, ctx, fn)),
+                            remaining)
                 else:
                     result = await asyncio.wait_for(
                         loop.run_in_executor(self._pool(), fn), remaining)
@@ -453,10 +565,79 @@ class MicroBatcher:
                 await self._fallback(pairs, f"{type(exc).__name__}: {exc}")
                 return
             break
+        wall_s = time.perf_counter() - t0
         self.cost.absorb(result.report)
         for (request, entry), matching in zip(pairs, result.matchings):
             self.nodes_served += entry.workload.n
             self._fill(entry, matching, served_by=algorithm, degraded=False)
+        if self.config.feedback and \
+                self.batches % max(1, self.config.feedback_sample) == 0:
+            self._record_feedback(
+                algorithm, backend, [entry for _, entry in pairs], wall_s)
+
+    def _record_feedback(self, algorithm: str, backend: str,
+                         entries: list[Entry], wall_s: float) -> None:
+        """Close the telemetry→planner loop for one fused batch.
+
+        The batch's wall-clock is attributed back to its workloads by
+        node share, then folded per (n-bucket, layout) into one
+        observation each — the mean per-list wall in that bucket, the
+        regime (``profile="single"``, the workload's layout) the
+        planner's parse-time ``backend="auto"`` decision actually
+        looks up.  Each observation is fed live into the
+        process-default planner's model and appended (rotated) to the
+        feedback manifest so the next process starts warm.
+        """
+        from ..planner import get_default_planner
+
+        total = sum(e.workload.n for e in entries) or 1
+        groups: dict[tuple[int, str | None], list[Entry]] = {}
+        for entry in entries:
+            identity = entry.workload.identity
+            layout = identity[2] if identity[0] == "spec" else None
+            key = (n_bucket(entry.workload.n), layout)
+            groups.setdefault(key, []).append(entry)
+        planner = get_default_planner()
+        workers = (self.config.workers if backend == "numpy-mp" else None)
+        now = time.time()
+        for (bucket, layout) in sorted(groups,
+                                       key=lambda k: (k[0], k[1] or "")):
+            group = groups[(bucket, layout)]
+            share = sum(e.workload.n for e in group) / total
+            per_list_wall = wall_s * share / len(group)
+            n_rep = max(e.workload.n for e in group)
+            planner.observe_result(
+                algorithm=algorithm, backend=backend, n=n_rep,
+                wall_s=per_list_wall, workers=workers, layout=layout,
+            )
+            self.feedback_records += 1
+            METRICS.counter("service.feedback").inc()
+            if telemetry_enabled():
+                telemetry_event(
+                    "service.feedback", algorithm=algorithm,
+                    backend=backend, n=n_rep, bucket=bucket,
+                    layout=layout, wall_s=per_list_wall,
+                    lists=len(group),
+                )
+            if self._feedback_path:
+                extra: dict[str, Any] = {
+                    "source": "service-feedback",
+                    "ts": round(now, 3),
+                    "batch_lists": len(group),
+                }
+                if layout is not None:
+                    extra["layout"] = layout
+                if workers is not None:
+                    extra["workers"] = workers
+                append_record(
+                    self._feedback_path,
+                    RunRecord(
+                        kind="matching", algorithm=algorithm,
+                        backend=backend, n=n_rep, p=1, time=0, work=0,
+                        wall_s=per_list_wall, extra=extra,
+                    ),
+                    max_bytes=self.config.feedback_max_bytes,
+                )
 
     async def _fallback(self, pairs, error: str) -> None:
         """Per-request degradation: reference-tier resilience ladder."""

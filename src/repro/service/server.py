@@ -11,7 +11,19 @@ Endpoints:
 ``GET /metrics``      Prometheus text exposition of the live registry
 ``GET /healthz``      liveness (200 while the process runs)
 ``GET /readyz``       readiness (503 once draining)
+``GET /debug/vars``   JSON operational snapshot: rolling-window rates,
+                      latency quantiles, SLO burn, lifetime totals
+``GET /debug/stream`` the same document as Server-Sent Events
+                      (``?interval=``/``?frames=``); ``repro top`` tails it
 ====================  =====================================================
+
+With telemetry enabled, every request is assigned a deterministic
+:class:`~repro.telemetry.context.TraceContext` at ingress (trace id
+hashed from the first workload's canonical cache key plus an ingress
+sequence number, root span id preallocated) and carries it through
+admission, batching, and the sharded executor — the exporter's
+``request_trace_events`` then reconstructs one span tree per request
+from the shared JSONL soup.  Responses echo the id as ``trace_id``.
 
 The response contract the robustness machinery guarantees: an
 *accepted* request is answered 200 (possibly ``"degraded": true``) or
@@ -33,10 +45,18 @@ import asyncio
 import json
 import signal
 import time
+import urllib.parse
 from typing import Any, Callable
 
+from ..telemetry.context import TraceContext, derive_trace_id
+from ..telemetry.live import LiveAggregator, SloConfig
 from ..telemetry.metrics import METRICS
 from ..telemetry.runrecord import RunRecord, append_record
+from ..telemetry.spans import (
+    Span,
+    enabled as telemetry_enabled,
+    get_tracer,
+)
 from .batcher import AdmissionQueue, Entry, MicroBatcher, PendingRequest
 from .cache import ResponseCache
 from .config import ServiceConfig
@@ -148,10 +168,16 @@ class MatchingService:
         self.config = config or ServiceConfig()
         self.admission = AdmissionQueue(self.config)
         self.cache = ResponseCache(self.config.cache_size)
+        self.live = LiveAggregator(
+            slo=SloConfig(self.config.slo_p95_ms,
+                          self.config.slo_availability),
+            window_s=self.config.live_window_s,
+        )
         self.batcher = MicroBatcher(
             self.admission, self.config,
             batch_fn=batch_fn, fallback_fn=fallback_fn,
             cache=self.cache if self.config.cache_size else None,
+            live=self.live,
         )
         self.port: int | None = None
         self.started_at: float | None = None
@@ -163,6 +189,7 @@ class MatchingService:
         self._stopped = asyncio.Event()
         self._outstanding: set[PendingRequest] = set()
         self._direct_served = 0
+        self._ingress_seq = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -337,6 +364,12 @@ class MatchingService:
                     break
                 method, target, headers, body = parsed
                 METRICS.counter("service.requests").inc()
+                if (method == "GET"
+                        and target.split("?", 1)[0] == "/debug/stream"):
+                    # SSE: an open-ended chunked-by-frame response that
+                    # never fits the one-shot request/response loop.
+                    await self._stream_debug(writer, target)
+                    break
                 status, payload = await self._route(method, target, body)
                 close = headers.get("connection", "").lower() == "close"
                 if isinstance(payload, bytes):
@@ -390,6 +423,8 @@ class MatchingService:
                     from ..telemetry.export import prometheus_exposition
 
                     return 200, prometheus_exposition(METRICS).encode()
+                if path == "/debug/vars":
+                    return 200, self._debug_vars()
                 return 404, {"error": f"no such path: {path}"}
             if method == "POST":
                 if path == "/v1/match":
@@ -402,9 +437,139 @@ class MatchingService:
             METRICS.counter("service.errors").inc()
             return 500, {"error": f"{type(exc).__name__}: {exc}"}
 
+    # -- live view -----------------------------------------------------------
+
+    def _debug_vars(self) -> dict[str, Any]:
+        """The ``/debug/vars`` document: window aggregates + lifetime
+        totals, one JSON object (also each SSE frame)."""
+        uptime = (time.monotonic() - self.started_at
+                  if self.started_at is not None else 0.0)
+        cfg = self.config
+        return {
+            "uptime_s": round(uptime, 3),
+            "live": self.live.snapshot(),
+            "service": {
+                "draining": self.admission.draining,
+                "queue_depth": self.admission.depth,
+                "inflight_bytes": self.admission.inflight_bytes,
+                "admitted": self.admission.admitted,
+                "shed": dict(self.admission.shed_counts),
+            },
+            "totals": {
+                "served": self.batcher.served + self._direct_served,
+                "batches": self.batcher.batches,
+                "timeouts": self.batcher.timeouts,
+                "errors": self.batcher.errors,
+                "retries": self.batcher.retries,
+                "degraded": self.batcher.degraded,
+                "deadline_shed": self.batcher.deadline_shed,
+                "engine_faults": self.batcher.engine_faults,
+                "nodes_served": self.batcher.nodes_served,
+                "feedback_records": self.batcher.feedback_records,
+                "cache": self.cache.stats(),
+            },
+            "config": {
+                "algorithm": cfg.algorithm,
+                "backend": cfg.backend,
+                "workers": cfg.workers,
+                "feedback": cfg.feedback,
+                "slo_p95_ms": cfg.slo_p95_ms,
+                "slo_availability": cfg.slo_availability,
+                "live_window_s": cfg.live_window_s,
+            },
+        }
+
+    async def _stream_debug(
+        self, writer: asyncio.StreamWriter, target: str,
+    ) -> None:
+        """Serve ``/debug/stream``: the vars document as SSE frames.
+
+        ``?interval=`` overrides the frame period,  ``?frames=N``
+        closes after N frames (0: stream until drain/disconnect).
+        The first frame is written immediately so a probe with
+        ``frames=1`` never waits an interval.
+        """
+        params = urllib.parse.parse_qs(target.partition("?")[2])
+        try:
+            interval = float(params.get(
+                "interval", [self.config.stream_interval_s])[0])
+            frames = int(params.get("frames", ["0"])[0])
+        except (TypeError, ValueError):
+            writer.write(_encode_response(
+                400,
+                b'{"error": "interval/frames must be numeric"}\n',
+                close=True,
+            ))
+            await writer.drain()
+            return
+        interval = min(max(interval, 0.05), 60.0)
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        sent = 0
+        while True:
+            frame = json.dumps(self._debug_vars())
+            writer.write(b"data: " + frame.encode("utf-8") + b"\n\n")
+            await writer.drain()
+            sent += 1
+            if frames and sent >= frames:
+                return
+            if self.admission.draining or self._stopped.is_set():
+                return
+            try:
+                await asyncio.wait_for(self._stopped.wait(), interval)
+                return  # stopped while waiting: no further frames
+            except (asyncio.TimeoutError, TimeoutError):
+                continue
+
+    def _observe_unqueued(
+        self,
+        trace: TraceContext | None,
+        ingress_at: float,
+        entries: list[Entry],
+        status: int,
+        *,
+        hits: int,
+        lookups: int,
+    ) -> None:
+        """Live + trace accounting for requests answered without ever
+        entering the queue (full cache hits, sheds) — the batcher does
+        the same for everything it resolves."""
+        latency_ms = (time.perf_counter() - ingress_at) * 1000.0
+        self.live.observe_request(
+            latency_ms=latency_ms, status=status,
+            cache_hits=hits, cache_lookups=lookups,
+        )
+        if trace is not None and telemetry_enabled():
+            tracer = get_tracer()
+            span_id = trace.span_id
+            sp = Span(
+                "service.request",
+                span_id if span_id is not None else tracer.next_id(),
+                None,
+                ingress_at,
+                {
+                    "status": status,
+                    "latency_ms": round(latency_ms, 3),
+                    "entries": len(entries),
+                    "n_total": sum(e.workload.n for e in entries),
+                    "cache_hits": hits,
+                    "cache_lookups": lookups,
+                },
+                tracer,
+                trace.trace_id,
+            )
+            sp.end = time.perf_counter()
+            sp.status = "ok" if status == 200 else "error"
+            tracer.emit_foreign(sp)
+
     async def _handle_match(
         self, body: bytes, *, single: bool,
     ) -> tuple[int, dict[str, Any]]:
+        ingress_at = time.perf_counter()
         try:
             data = json.loads(body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
@@ -438,6 +603,19 @@ class MatchingService:
         except WorkloadError as exc:
             return 400, {"error": str(exc)}
 
+        trace: TraceContext | None = None
+        if telemetry_enabled():
+            # Deterministic request identity: the first workload's
+            # canonical cache key plus this process's ingress sequence
+            # number, with the root span id preallocated so children
+            # can parent under a span that is emitted only at finish.
+            self._ingress_seq += 1
+            trace = TraceContext(
+                derive_trace_id(workloads[0].cache_key(),
+                                self._ingress_seq),
+                get_tracer().next_id(),
+            )
+
         try:
             deadline_ms = float(data.get(
                 "deadline_ms", self.config.default_deadline_ms))
@@ -465,10 +643,15 @@ class MatchingService:
             self._direct_served += 1
             METRICS.counter("service.served").inc()
             METRICS.histogram("service.latency_ms").observe(0.0)
+            self._observe_unqueued(trace, ingress_at, entries, 200,
+                                   hits=len(entries),
+                                   lookups=len(entries))
             payloads = [{**e.payload, "cache": e.cache} for e in entries]
+            extra = ({"trace_id": trace.trace_id}
+                     if trace is not None else {})
             if single:
-                return 200, {**payloads[0], "latency_ms": 0.0}
-            return 200, {"results": payloads, "latency_ms": 0.0}
+                return 200, {**payloads[0], "latency_ms": 0.0, **extra}
+            return 200, {"results": payloads, "latency_ms": 0.0, **extra}
 
         request = PendingRequest(
             entries=entries,
@@ -477,10 +660,16 @@ class MatchingService:
             future=loop.create_future(),
             single=single,
             use_cache=use_cache,
+            trace=trace,
+            ingress_at=ingress_at,
         )
         reason = self.admission.try_admit(request)
         if reason is not None:
             status = 503 if reason == "draining" else 429
+            hits = sum(1 for e in entries if e.cache == "hit")
+            self._observe_unqueued(
+                trace, ingress_at, entries, status,
+                hits=hits, lookups=len(entries) if use_cache else 0)
             return status, {
                 "error": f"request shed: {reason}",
                 "retry_after_s": self.config.retry_after_s,

@@ -27,12 +27,21 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
+from .context import (
+    TraceContext,
+    current_trace,
+    derive_trace_id,
+    set_trace,
+    using_trace,
+)
+from .live import LiveAggregator, SloConfig, render_dashboard, replay_jsonl
 from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
 from .runrecord import (
     SCHEMA_VERSION,
     RunRecord,
     append_record,
     read_records,
+    rotate_if_over,
     write_records,
 )
 from .sinks import InMemorySink, JsonlSink, LogSink, NullSink, Sink, TeeSink
@@ -55,6 +64,10 @@ from .export import (  # noqa: E402
     chrome_trace_events,
     machine_trace_events,
     prometheus_exposition,
+    request_trace_events,
+    request_trace_ids,
+    request_trace_spans,
+    spans_from_jsonl,
     write_chrome_trace,
     write_prometheus,
 )
@@ -72,19 +85,25 @@ __all__ = [
     # spans
     "Span", "Tracer", "span", "event", "enabled", "configure", "disable",
     "configure_from_env", "current_span", "get_tracer", "capture",
+    # trace context
+    "TraceContext", "derive_trace_id", "current_trace", "set_trace",
+    "using_trace",
+    # live view
+    "LiveAggregator", "SloConfig", "render_dashboard", "replay_jsonl",
     # metrics
     "METRICS", "Counter", "Gauge", "Histogram", "MetricsRegistry",
     # sinks
     "Sink", "NullSink", "InMemorySink", "JsonlSink", "LogSink", "TeeSink",
     # run records
     "SCHEMA_VERSION", "RunRecord", "append_record", "write_records",
-    "read_records",
+    "read_records", "rotate_if_over",
     # profiler
     "PhaseProfile", "ProfileReport", "ProfiledRun", "build_profile",
     "occupancy_grid", "profile_matching",
     # exporters
     "chrome_trace_events", "machine_trace_events", "write_chrome_trace",
-    "prometheus_exposition", "write_prometheus",
+    "prometheus_exposition", "write_prometheus", "spans_from_jsonl",
+    "request_trace_ids", "request_trace_spans", "request_trace_events",
     # HTML report
     "render_report", "write_report", "diff_records",
 ]

@@ -1,0 +1,108 @@
+"""Request-scoped trace context: one identity per request, anywhere.
+
+A :class:`TraceContext` names the *request* a piece of work belongs to
+(``trace_id``) and, optionally, the span it should parent under
+(``span_id``).  It exists so a request admitted by the service keeps
+its identity across the boundaries the span stack cannot cross:
+
+- the **asyncio boundary** — dozens of requests are in flight on one
+  event loop, so a process-local span stack cannot attribute work to
+  any one of them;
+- the **thread boundary** — the micro-batcher computes fused batches
+  in a worker thread;
+- the **process boundary** — the sharded executor ships work to pool
+  workers, whose captured spans are replayed into the parent trace.
+
+The ambient context travels in a :class:`contextvars.ContextVar`, so
+``async`` tasks inherit it naturally; threads and processes get it
+handed to them explicitly (:func:`using_trace` around the work).
+Spans started while a context is active inherit its ``trace_id`` (and,
+when the span stack is empty, parent under its ``span_id``), which is
+what lets an exported span soup be re-cut into one tree per request —
+see :func:`repro.telemetry.export.request_trace_events`.
+
+**Deterministic ids.**  :func:`derive_trace_id` hashes whatever
+identifies the request — for the service, the workload's canonical
+cache key plus an ingress sequence number — so the same seeded
+workload replayed against a fresh process yields the *same* trace ids,
+and two traces of one benchmark run can be diffed span-for-span.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import hashlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = [
+    "TraceContext",
+    "derive_trace_id",
+    "current_trace",
+    "set_trace",
+    "using_trace",
+]
+
+#: Hex digits of the SHA-256 kept as a trace id (64 bits: collision-free
+#: for any realistic number of requests, short enough to read in a UI).
+TRACE_ID_HEX = 16
+
+
+def derive_trace_id(*parts: Any) -> str:
+    """A deterministic trace id from anything ``repr``-stable.
+
+    Same parts, same id — across processes, runs, and hosts.  Callers
+    include a per-stream sequence number when identical workloads may
+    repeat within one trace sink.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(repr(part).encode("utf-8", "surrogatepass"))
+        h.update(b"\x1f")
+    return h.hexdigest()[:TRACE_ID_HEX]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity a span inherits: which trace, and which parent.
+
+    ``span_id`` is the id of the span new root-level work should
+    parent under (``None``: tag spans with the trace id but leave
+    their parentage to the span stack — the worker-process form, where
+    the parent-side shard span does not exist yet).
+    """
+
+    trace_id: str
+    span_id: int | None = None
+
+    def child(self, span_id: int | None) -> "TraceContext":
+        """The same trace, parented under ``span_id``."""
+        return TraceContext(self.trace_id, span_id)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+
+_CURRENT: contextvars.ContextVar[TraceContext | None] = \
+    contextvars.ContextVar("repro_trace_context", default=None)
+
+
+def current_trace() -> TraceContext | None:
+    """The ambient trace context (``None`` outside any request)."""
+    return _CURRENT.get()
+
+
+def set_trace(ctx: TraceContext | None) -> contextvars.Token:
+    """Install ``ctx`` as the ambient context; returns the reset token."""
+    return _CURRENT.set(ctx)
+
+
+@contextmanager
+def using_trace(ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Scope the ambient trace context for one block (thread-safe)."""
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)

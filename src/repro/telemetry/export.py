@@ -43,6 +43,10 @@ __all__ = [
     "write_chrome_trace",
     "prometheus_exposition",
     "write_prometheus",
+    "spans_from_jsonl",
+    "request_trace_ids",
+    "request_trace_spans",
+    "request_trace_events",
 ]
 
 
@@ -103,6 +107,8 @@ def chrome_trace_events(
             "parent_id": s.parent_id,
             "status": s.status,
         }
+        if getattr(s, "trace_id", None) is not None:
+            args["trace_id"] = s.trace_id
         args.update({k: _jsonable(v) for k, v in s.attributes.items()})
         base = {
             "name": s.name,
@@ -233,16 +239,193 @@ def write_chrome_trace(
     return p
 
 
+# -- Per-request trace reconstruction ---------------------------------------
+#
+# The service emits, per request, one root ``service.request`` span
+# tagged with the request's trace id; the micro-batcher's fused
+# ``service.batch`` span carries the trace ids of every member request
+# in a ``links`` attribute (one batch serves many requests, so simple
+# parentage cannot express the relation); and the sharded executor's
+# ``shard.<i>`` spans (plus the worker spans replayed under them) hang
+# off the batch span through ordinary parent ids.  These helpers re-cut
+# that shared span soup into one renderable tree per request.
+
+
+def spans_from_jsonl(path) -> list[Span]:
+    """Load ``{"type": "span", ...}`` lines from a JsonlSink file.
+
+    Lines of other types (run records sharing the file) and malformed
+    lines (a truncated tail from a killed writer) are skipped.
+    """
+    spans: list[Span] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if data.get("type") != "span":
+                continue
+            sp = Span(
+                data["name"], int(data["span_id"]),
+                data.get("parent_id"), float(data["start"]),
+                dict(data.get("attributes", {})), tracer=None,
+                trace_id=data.get("trace_id"),
+            )
+            sp.end = sp.start + float(data.get("duration_s", 0.0))
+            sp.status = data.get("status", "ok")
+            spans.append(sp)
+    return spans
+
+
+def _span_links(span: Span) -> tuple[str, ...]:
+    links = span.attributes.get("links")
+    if isinstance(links, (list, tuple)):
+        return tuple(str(l) for l in links)
+    return ()
+
+
+def request_trace_ids(spans: Sequence[Span]) -> list[str]:
+    """Trace ids that have a root span, in first-seen (ingress) order."""
+    seen: list[str] = []
+    for s in spans:
+        tid = getattr(s, "trace_id", None)
+        if tid and s.parent_id is None and tid not in seen:
+            seen.append(tid)
+    return seen
+
+
+def request_trace_spans(
+    spans: Sequence[Span], trace_id: str,
+) -> list[Span]:
+    """One request's span tree, re-parented and ready to export.
+
+    Selects the request's own spans (``trace_id`` match), every span
+    that *links* to the request (the fused batch span), and all their
+    descendants (shard spans, replayed worker spans).  Linked spans are
+    re-parented under the request's root span, so the result renders as
+    a single tree; spans shared with co-batched requests appear in each
+    linked request's tree.  Returns copies — the originals keep their
+    shared parentage.
+    """
+    by_id = {s.span_id: s for s in spans}
+    # A span that *links* to the request (the fused batch span, tagged
+    # with its first member's trace id) is shared work, never the root.
+    roots = [s for s in spans
+             if getattr(s, "trace_id", None) == trace_id
+             and trace_id not in _span_links(s)
+             and (s.parent_id is None or s.parent_id not in by_id)]
+    own = [s for s in spans if getattr(s, "trace_id", None) == trace_id]
+    linked = [s for s in spans if trace_id in _span_links(s)]
+    children: dict[int | None, list[Span]] = {}
+    for s in spans:
+        children.setdefault(s.parent_id, []).append(s)
+
+    picked: dict[int, Span] = {}
+
+    def take(s: Span) -> None:
+        if s.span_id in picked:
+            return
+        picked[s.span_id] = s
+        for child in children.get(s.span_id, ()):
+            take(child)
+
+    for s in own + linked:
+        take(s)
+    if not picked:
+        return []
+    root_id = roots[0].span_id if roots else None
+    out: list[Span] = []
+    for s in sorted(picked.values(), key=lambda s: (s.start, s.span_id)):
+        copy = Span(s.name, s.span_id, s.parent_id, s.start,
+                    dict(s.attributes), tracer=None,
+                    trace_id=getattr(s, "trace_id", None))
+        copy.end = s.end
+        copy.status = s.status
+        # Re-parent: linked spans (and any picked span whose parent was
+        # not picked) hang off the request root.
+        if copy.span_id != root_id and (
+                trace_id in _span_links(s)
+                or copy.parent_id not in picked):
+            copy.parent_id = root_id
+        out.append(copy)
+    return out
+
+
+def request_trace_events(
+    spans: Sequence[Span], trace_id: str, *, pid: int = SPAN_PID,
+) -> list[dict[str, Any]]:
+    """Chrome Trace events for one request's reconstructed tree."""
+    tree = request_trace_spans(spans, trace_id)
+    events = chrome_trace_events(tree, pid=pid)
+    # Rename the track: this is one request, not the whole process.
+    for e in events:
+        if e.get("ph") == "M" and e["name"] == "process_name":
+            e["args"]["name"] = f"request {trace_id}"
+    return events
+
+
 # -- Prometheus text exposition ---------------------------------------------
+#
+# The 0.0.4 text format has a real grammar: metric names match
+# ``[a-zA-Z_:][a-zA-Z0-9_:]*``, label names ``[a-zA-Z_][a-zA-Z0-9_]*``,
+# label values are double-quoted with ``\\``, ``\"``, and ``\n``
+# escapes, and HELP text escapes ``\\`` and newlines.  Metric and span
+# names here come from arbitrary code (span names become
+# ``span.<name>.seconds`` histograms), so everything is sanitized —
+# a hostile span name must never produce an unparseable exposition.
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 
 
 def _prom_name(name: str, prefix: str) -> str:
     out = prefix + _NAME_RE.sub("_", name)
+    if not out:
+        return "_"
     if out[0].isdigit():
         out = "_" + out
     return out
+
+
+def _prom_label_name(name: str) -> str:
+    """Sanitize a label name (no colons, cannot start ``__``)."""
+    out = _LABEL_NAME_RE.sub("_", name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    while out.startswith("__"):  # reserved for internal use
+        out = out[1:]
+    return out or "_"
+
+
+def _prom_label_value(value: Any) -> str:
+    """Escape a label value per the 0.0.4 grammar."""
+    return (str(value)
+            .replace("\\", r"\\")
+            .replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
+def _prom_help(text: str) -> str:
+    """Escape HELP text (backslash and newline only, per the spec)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _prom_labels(labels: Mapping[str, Any] | None,
+                 extra: tuple[tuple[str, Any], ...] = ()) -> str:
+    """Render a ``{name="value",...}`` block (empty string if none)."""
+    pairs = [(k, v) for k, v in (labels or {}).items()]
+    pairs += list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{_prom_label_name(k)}="{_prom_label_value(v)}"'
+        for k, v in pairs
+    )
+    return "{" + body + "}"
 
 
 def _prom_value(value: Any) -> str:
@@ -258,6 +441,7 @@ def prometheus_exposition(
     registry: MetricsRegistry = METRICS,
     *,
     prefix: str = "repro_",
+    labels: Mapping[str, Any] | None = None,
 ) -> str:
     """The registry in Prometheus text exposition format (version 0.0.4).
 
@@ -265,33 +449,37 @@ def prometheus_exposition(
     gauges are skipped — Prometheus has no "never written" value),
     histograms as summaries: ``quantile`` labels for p50/p95/p99 plus
     ``_sum`` and ``_count`` children.  Metric names are sanitized to
-    the ``[a-zA-Z0-9_:]`` alphabet and prefixed.
+    the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` grammar, HELP text and label
+    values are escaped, and ``labels`` (e.g. an instance tag) are
+    attached — escaped — to every sample line.
     """
     lines: list[str] = []
+    lbl = lambda *extra: _prom_labels(labels, tuple(extra))  # noqa: E731
     for name, metric in registry.items():
         if isinstance(metric, Counter):
             base = _prom_name(name, prefix) + "_total"
-            lines.append(f"# HELP {base} repro counter {name}")
+            lines.append(f"# HELP {base} repro counter {_prom_help(name)}")
             lines.append(f"# TYPE {base} counter")
-            lines.append(f"{base} {_prom_value(metric.value)}")
+            lines.append(f"{base}{lbl()} {_prom_value(metric.value)}")
         elif isinstance(metric, Gauge):
             if metric.value is None:
                 continue
             base = _prom_name(name, prefix)
-            lines.append(f"# HELP {base} repro gauge {name}")
+            lines.append(f"# HELP {base} repro gauge {_prom_help(name)}")
             lines.append(f"# TYPE {base} gauge")
-            lines.append(f"{base} {_prom_value(metric.value)}")
+            lines.append(f"{base}{lbl()} {_prom_value(metric.value)}")
         elif isinstance(metric, Histogram):
             base = _prom_name(name, prefix)
-            lines.append(f"# HELP {base} repro summary {name}")
+            lines.append(f"# HELP {base} repro summary {_prom_help(name)}")
             lines.append(f"# TYPE {base} summary")
             for label, q in (("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)):
                 value = metric.quantile(q)
                 if value is not None:
                     lines.append(
-                        f'{base}{{quantile="{label}"}} {_prom_value(value)}')
-            lines.append(f"{base}_sum {_prom_value(metric.total)}")
-            lines.append(f"{base}_count {_prom_value(metric.count)}")
+                        f"{base}{lbl(('quantile', label))} "
+                        f"{_prom_value(value)}")
+            lines.append(f"{base}_sum{lbl()} {_prom_value(metric.total)}")
+            lines.append(f"{base}_count{lbl()} {_prom_value(metric.count)}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -300,11 +488,13 @@ def write_prometheus(
     registry: MetricsRegistry = METRICS,
     *,
     prefix: str = "repro_",
+    labels: Mapping[str, Any] | None = None,
 ) -> Path:
     """Write the exposition to ``path`` (e.g. for node_exporter's
     textfile collector)."""
     p = Path(path)
     p.parent.mkdir(parents=True, exist_ok=True)
-    p.write_text(prometheus_exposition(registry, prefix=prefix),
+    p.write_text(prometheus_exposition(registry, prefix=prefix,
+                                       labels=labels),
                  encoding="utf-8")
     return p

@@ -96,10 +96,18 @@ class JsonlSink(Sink):
     line* from a writer killed mid-``write``, which
     :func:`repro.telemetry.runrecord.read_records` skips with a
     warning.
+
+    ``max_bytes`` adds single-roll size rotation: before a write
+    would push the file past the bound, the file is renamed to
+    ``<path>.1`` (replacing any previous roll) and a fresh one
+    started — a long-running traced service caps its telemetry at
+    ``2 * max_bytes`` on disk.  Rotation assumes this sink is the
+    file's only writer (multi-process appenders should leave it off).
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path, *, max_bytes: int | None = None) -> None:
         self.path = str(path)
+        self.max_bytes = max_bytes
         self._fd: int | None = None
 
     def _file(self) -> int:
@@ -112,8 +120,16 @@ class JsonlSink(Sink):
         return self._fd
 
     def _write(self, obj: dict[str, Any]) -> None:
-        line = json.dumps(obj, default=json_default) + "\n"
-        os.write(self._file(), line.encode("utf-8"))
+        data = (json.dumps(obj, default=json_default) + "\n").encode("utf-8")
+        fd = self._file()
+        if self.max_bytes is not None:
+            size = os.fstat(fd).st_size
+            if size and size + len(data) > self.max_bytes:
+                os.close(fd)
+                self._fd = None
+                os.replace(self.path, self.path + ".1")
+                fd = self._file()
+        os.write(fd, data)
 
     def emit_span(self, span: "Span") -> None:
         self._write({"type": "span", **span.to_dict()})

@@ -16,6 +16,14 @@ a handful per run, never one per pointer or per lockstep step.
 Every finished span also feeds the ``span.<name>.seconds`` summary
 histogram in :data:`repro.telemetry.metrics.METRICS`, which is how
 "wall-clock per phase" exists as a metric without separate plumbing.
+
+Spans may additionally carry a **trace id** — the request identity
+from :mod:`repro.telemetry.context`.  A span inherits it from its
+parent on the stack, or (at stack roots) from the ambient
+:class:`~repro.telemetry.context.TraceContext`, which also supplies
+the parent id across async/thread/process boundaries the stack cannot
+see.  Untraced runs pay nothing: ``trace_id`` stays ``None`` and the
+ambient lookup happens only while telemetry is enabled.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ import os
 import time
 from typing import Any
 
+from .context import current_trace
 from .metrics import METRICS
 from .sinks import JsonlSink, LogSink, NullSink, Sink
 
@@ -46,11 +55,11 @@ class Span:
     """One timed, attributed region; also its own context manager."""
 
     __slots__ = ("name", "span_id", "parent_id", "start", "end",
-                 "attributes", "status", "_tracer")
+                 "attributes", "status", "trace_id", "_tracer")
 
     def __init__(self, name: str, span_id: int, parent_id: int | None,
                  start: float, attributes: dict[str, Any],
-                 tracer: "Tracer") -> None:
+                 tracer: "Tracer", trace_id: str | None = None) -> None:
         self.name = name
         self.span_id = span_id
         self.parent_id = parent_id
@@ -58,6 +67,7 @@ class Span:
         self.end: float | None = None
         self.attributes = attributes
         self.status = "ok"
+        self.trace_id = trace_id
         self._tracer = tracer
 
     def set(self, **attributes: Any) -> "Span":
@@ -75,6 +85,7 @@ class Span:
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
             "start": self.start,
             "duration_s": self.duration,
             "status": self.status,
@@ -123,18 +134,30 @@ class Tracer:
         self._stack: list[Span] = []
         self._ids = itertools.count(1)
 
+    def _inherit(self) -> tuple[int | None, str | None]:
+        """Parent id and trace id for a new span: stack first, then the
+        ambient :class:`~repro.telemetry.context.TraceContext`."""
+        if self._stack:
+            top = self._stack[-1]
+            return top.span_id, top.trace_id
+        ctx = current_trace()
+        if ctx is not None:
+            return ctx.span_id, ctx.trace_id
+        return None, None
+
     def start_span(self, name: str, attributes: dict[str, Any]) -> Span:
-        parent = self._stack[-1].span_id if self._stack else None
+        parent, trace_id = self._inherit()
         sp = Span(name, next(self._ids), parent, time.perf_counter(),
-                  attributes, self)
+                  attributes, self, trace_id)
         self._stack.append(sp)
         return sp
 
     def event(self, name: str, attributes: dict[str, Any]) -> Span:
         """Emit an instantaneous (zero-duration) span."""
-        parent = self._stack[-1].span_id if self._stack else None
+        parent, trace_id = self._inherit()
         now = time.perf_counter()
-        sp = Span(name, next(self._ids), parent, now, attributes, self)
+        sp = Span(name, next(self._ids), parent, now, attributes, self,
+                  trace_id)
         sp.end = now
         self.sink.emit_span(sp)
         return sp

@@ -1,0 +1,146 @@
+"""Time decay of planner history: half-life weighting and aging out."""
+
+import pytest
+
+from repro.planner import Planner, PerformanceModel
+from repro.planner.core import HALF_LIFE_ENV
+from repro.planner.model import MIN_WEIGHT, PlanStat
+from repro.telemetry import RunRecord, write_records
+
+
+def record(wall_s, ts=None, n=4096, backend="numpy", **extra):
+    if ts is not None:
+        extra["ts"] = ts
+    return RunRecord(kind="matching", algorithm="match4", backend=backend,
+                     n=n, p=1, time=0, work=0, wall_s=wall_s, extra=extra)
+
+
+def stat_for(model, n=4096, backend="numpy"):
+    stats, _distance = model.lookup(algorithm="match4", n=n)
+    return stats.get((backend, None))
+
+
+class TestPlanStatWeight:
+    def test_unweighted_observe_counts_fully(self):
+        st = PlanStat(backend="numpy")
+        st.observe(1.0)
+        st.observe(3.0)
+        assert st.weight == 2.0
+        assert st.mean_wall_s == 2.0
+
+    def test_weighted_mean(self):
+        st = PlanStat(backend="numpy")
+        st.observe(1.0, weight=1.0)
+        st.observe(3.0, weight=0.5)  # stale: half voice
+        assert st.count == 2
+        assert st.weight == 1.5
+        assert st.mean_wall_s == pytest.approx((1.0 + 1.5) / 1.5)
+
+    def test_zero_weight_mean_is_inf(self):
+        assert PlanStat(backend="numpy").mean_wall_s == float("inf")
+
+
+class TestHalfLifeIngest:
+    def test_no_half_life_no_decay(self):
+        model = PerformanceModel()
+        model.ingest([record(1.0, ts=0.0), record(1.0, ts=1e9)])
+        assert stat_for(model).weight == 2.0
+        assert model.aged_out == 0
+
+    def test_one_half_life_halves_the_weight(self):
+        model = PerformanceModel(half_life_s=100.0)
+        model.ingest([record(1.0, ts=0.0), record(1.0, ts=100.0)])
+        st = stat_for(model)
+        # newest record (ts=100) anchors "now": weight 1.0 + 0.5
+        assert st.weight == pytest.approx(1.5)
+        assert st.count == 2
+
+    def test_stale_records_age_out_entirely(self):
+        model = PerformanceModel(half_life_s=100.0)
+        model.ingest([record(9.0, ts=0.0), record(1.0, ts=1000.0)])
+        st = stat_for(model)
+        assert st.count == 1  # ten half-lives stale: dropped
+        assert model.aged_out == 1
+        assert st.mean_wall_s == 1.0
+
+    def test_min_weight_is_the_cut(self):
+        model = PerformanceModel(half_life_s=1.0)
+        # exactly five half-lives => weight 1/32 == MIN_WEIGHT: kept
+        model.ingest([record(1.0, ts=0.0), record(1.0, ts=5.0)])
+        assert stat_for(model).weight == pytest.approx(1.0 + MIN_WEIGHT)
+        assert model.aged_out == 0
+
+    def test_unstamped_records_never_decay(self):
+        model = PerformanceModel(half_life_s=1.0)
+        model.ingest([record(1.0), record(1.0, ts=1e9)])
+        assert stat_for(model).weight == pytest.approx(2.0)
+
+    def test_now_is_batch_relative_not_wall_clock(self):
+        # Both records ancient in absolute terms; decay is measured
+        # against the newest stamp in the batch, so neither ages out.
+        model = PerformanceModel(half_life_s=10.0)
+        model.ingest([record(1.0, ts=5.0), record(1.0, ts=10.0)])
+        assert stat_for(model).count == 2
+
+    def test_live_observe_counts_fully(self):
+        model = PerformanceModel(half_life_s=1.0)
+        model.observe(algorithm="match4", backend="numpy", n=4096,
+                      wall_s=1.0)
+        assert stat_for(model).weight == 1.0
+
+    def test_summary_reports_decay(self):
+        model = PerformanceModel(half_life_s=100.0)
+        model.ingest([record(1.0, ts=0.0), record(1.0, ts=1000.0)])
+        summary = model.summary()
+        assert summary["half_life_s"] == 100.0
+        assert summary["aged_out"] == 1
+
+    def test_invalid_half_life_raises(self):
+        with pytest.raises(ValueError):
+            PerformanceModel(half_life_s=0)
+        with pytest.raises(ValueError):
+            PerformanceModel(half_life_s=-5)
+
+
+class TestDecayChangesDecisions:
+    def test_stale_fast_history_stops_winning(self, tmp_path):
+        """An old blazing-fast record must not outvote fresh reality."""
+        path = tmp_path / "runs.jsonl"
+        write_records(path, [
+            record(0.0001, ts=0.0),           # ancient, implausibly fast
+            record(0.5, ts=10_000.0),         # fresh, slow
+            record(0.01, ts=10_000.0, backend="reference"),
+        ])
+        fresh = PerformanceModel(half_life_s=100.0)
+        fresh.load(path)
+        st = stat_for(fresh)
+        assert st.count == 1  # the ancient record aged out
+        assert st.best_wall_s == 0.5
+
+        forever = PerformanceModel()
+        forever.load(path)
+        assert stat_for(forever).best_wall_s == 0.0001
+
+
+class TestEnvWiring:
+    def test_env_half_life_applies_to_default_model(self, monkeypatch,
+                                                    tmp_path):
+        monkeypatch.setenv(HALF_LIFE_ENV, "100")
+        path = tmp_path / "runs.jsonl"
+        write_records(path, [record(1.0, ts=0.0), record(1.0, ts=1000.0)])
+        planner = Planner(history=path)
+        assert planner.model.half_life_s == 100.0
+        assert planner.model.aged_out == 1
+
+    def test_env_unset_means_no_decay(self, monkeypatch):
+        monkeypatch.delenv(HALF_LIFE_ENV, raising=False)
+        assert Planner().model.half_life_s is None
+
+    def test_env_garbage_ignored(self, monkeypatch):
+        for bad in ("nan-ish", "", "-3", "0"):
+            monkeypatch.setenv(HALF_LIFE_ENV, bad)
+            assert Planner().model.half_life_s is None
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(HALF_LIFE_ENV, "100")
+        assert Planner(half_life_s=7.0).model.half_life_s == 7.0

@@ -1,0 +1,290 @@
+"""End-to-end request tracing and the live debug surface.
+
+The tentpole acceptance tests: a traced request admitted over HTTP,
+fused into a batch, and (with ``workers=2``) sharded across worker
+processes must come back out of the span soup as **one** reconstructed
+tree — deterministically, across fresh processes — and the live
+``/debug/vars`` + SSE surface must agree with what the client did.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+import repro.telemetry as telemetry
+from repro.service import ServiceConfig
+from repro.service.client import get
+from repro.telemetry import (
+    request_trace_events,
+    request_trace_ids,
+    request_trace_spans,
+)
+
+from .conftest import HOST, match, run_service
+
+CFG = dict(port=0, max_batch_delay_ms=1.0, cache_size=16)
+
+
+def traced_requests(specs, config=None, **service_kwargs):
+    """Serve ``specs`` under telemetry capture; return (responses, sink)."""
+
+    async def scenario(service):
+        out = []
+        for spec in specs:
+            out.append(await match(service, spec))
+        return out
+
+    with telemetry.capture() as sink:
+        responses = run_service(
+            ServiceConfig(**(config or CFG)), scenario, **service_kwargs)
+    return responses, sink
+
+
+class TestTraceIds:
+    def test_response_carries_trace_id(self):
+        [resp], sink = traced_requests([{"n": 64, "seed": 3}])
+        assert resp.status == 200
+        tid = resp.json()["trace_id"]
+        assert isinstance(tid, str) and len(tid) == 16
+        assert tid in request_trace_ids(sink.spans)
+
+    def test_untraced_response_has_no_trace_id(self):
+        async def scenario(service):
+            return await match(service, {"n": 64, "seed": 3})
+
+        resp = run_service(ServiceConfig(**CFG), scenario)
+        assert "trace_id" not in resp.json()
+
+    def test_trace_ids_deterministic_across_fresh_services(self):
+        specs = [{"n": 64, "seed": 3}, {"n": 128, "layout": "sawtooth",
+                                        "seed": 5, "cache": False}]
+        first, _ = traced_requests(specs)
+        second, _ = traced_requests(specs)
+        assert [r.json()["trace_id"] for r in first] == \
+            [r.json()["trace_id"] for r in second]
+
+    def test_distinct_requests_distinct_traces(self):
+        # Identical workload twice: the ingress sequence number keeps
+        # the two requests' traces apart (the second is a cache hit).
+        responses, sink = traced_requests(
+            [{"n": 64, "seed": 3}, {"n": 64, "seed": 3}])
+        tids = [r.json()["trace_id"] for r in responses]
+        assert len(set(tids)) == 2
+        assert set(tids) <= set(request_trace_ids(sink.spans))
+
+
+class TestReconstructedTree:
+    def test_request_tree_has_ingress_batch_and_compute(self):
+        [resp], sink = traced_requests([{"n": 128, "seed": 1}])
+        tid = resp.json()["trace_id"]
+        tree = request_trace_spans(sink.spans, tid)
+        names = {s.name for s in tree}
+        assert "service.request" in names
+        assert "service.batch" in names
+        assert "batch.maximal_matching" in names
+
+        roots = [s for s in tree if s.parent_id is None]
+        assert len(roots) == 1, "one tree, one root"
+        assert roots[0].name == "service.request"
+        by_id = {s.span_id: s for s in tree}
+        for s in tree:  # fully connected: every parent is in the tree
+            if s.parent_id is not None:
+                assert s.parent_id in by_id
+
+    def test_request_root_attributes(self):
+        [resp], sink = traced_requests([{"n": 128, "seed": 1}])
+        tid = resp.json()["trace_id"]
+        root = [s for s in request_trace_spans(sink.spans, tid)
+                if s.parent_id is None][0]
+        assert root.attributes["status"] == 200
+        assert root.attributes["latency_ms"] > 0
+        assert root.status == "ok"
+
+    def test_fused_batch_links_every_member(self):
+        specs = [{"n": 64, "seed": s, "cache": False} for s in range(3)]
+
+        async def scenario(service):
+            return await asyncio.gather(
+                *(match(service, spec) for spec in specs))
+
+        cfg = dict(CFG, max_batch_delay_ms=50.0, max_batch_items=8)
+        with telemetry.capture() as sink:
+            responses = run_service(ServiceConfig(**cfg), scenario)
+        tids = {r.json()["trace_id"] for r in responses}
+        batch_spans = [s for s in sink.spans if s.name == "service.batch"]
+        linked = {tid for s in batch_spans
+                  for tid in s.attributes.get("links", ())}
+        assert tids <= linked
+        # every member's reconstruction reaches the shared batch span
+        for tid in tids:
+            names = {s.name for s in request_trace_spans(sink.spans, tid)}
+            assert "service.batch" in names
+
+    def test_workers2_shard_spans_reparent_into_request(self):
+        cfg = dict(CFG, workers=2)
+        specs = [{"n": 256, "seed": s, "cache": False} for s in range(4)]
+
+        async def scenario(service):
+            return await asyncio.gather(
+                *(match(service, spec) for spec in specs))
+
+        with telemetry.capture() as sink:
+            responses = run_service(
+                ServiceConfig(**dict(cfg, max_batch_delay_ms=50.0,
+                                     max_batch_items=8)), scenario)
+        assert all(r.status == 200 for r in responses)
+        shard_spans = [s for s in sink.spans
+                       if s.name.startswith("shard.")]
+        assert shard_spans, "batch never sharded — config did not bite"
+
+        tid = responses[0].json()["trace_id"]
+        tree = request_trace_spans(sink.spans, tid)
+        names = {s.name for s in tree}
+        assert {"service.request", "service.batch",
+                "batch.maximal_matching"} <= names
+        assert any(n.startswith("shard.") for n in names)
+        by_id = {s.span_id: s for s in tree}
+        for s in tree:
+            if s.name.startswith("shard."):
+                assert by_id[s.parent_id].name == "batch.maximal_matching"
+
+    def test_chrome_trace_events_exportable(self):
+        [resp], sink = traced_requests([{"n": 64, "seed": 9}])
+        tid = resp.json()["trace_id"]
+        events = request_trace_events(sink.spans, tid)
+        assert events
+        json.dumps(events)  # JSON-clean
+        meta = [e for e in events if e.get("ph") == "M"]
+        assert any(tid in str(e.get("args", {})) for e in meta)
+
+
+class TestDebugSurface:
+    def test_debug_vars_counts_requests(self):
+        async def scenario(service):
+            for s in range(3):
+                await match(service, {"n": 64, "seed": s})
+            return await get(HOST, service.port, "/debug/vars")
+
+        resp = run_service(ServiceConfig(**CFG), scenario)
+        assert resp.status == 200
+        doc = resp.json()
+        live = doc["live"]
+        assert live["count"] == 3
+        assert live["by_status"] == {"200": 3}
+        assert live["slo"]["healthy"]
+        assert doc["totals"]["served"] == 3
+        assert doc["service"]["draining"] is False
+
+    def test_debug_vars_sees_sheds(self):
+        cfg = dict(CFG, max_queue_depth=1, max_batch_delay_ms=200.0)
+
+        async def scenario(service):
+            await asyncio.gather(
+                *(match(service, {"n": 64, "seed": s, "cache": False})
+                  for s in range(8)))
+            return await get(HOST, service.port, "/debug/vars")
+
+        resp = run_service(ServiceConfig(**cfg), scenario)
+        live = resp.json()["live"]
+        assert live["count"] == 8
+        shed = (live["by_status"].get("429", 0)
+                + live["by_status"].get("503", 0))
+        assert shed > 0
+        assert live["rates"]["shed"] > 0
+        assert live["slo"]["bad"] >= shed
+
+    def test_sse_stream_yields_frames(self):
+        async def scenario(service):
+            await match(service, {"n": 64, "seed": 1})
+            reader, writer = await asyncio.open_connection(
+                HOST, service.port)
+            writer.write(
+                b"GET /debug/stream?frames=2&interval=0.05 HTTP/1.1\r\n"
+                b"Host: x\r\nConnection: close\r\n\r\n")
+            await writer.drain()
+            status_line = await reader.readline()
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            frames = []
+            while len(frames) < 2:
+                line = await reader.readline()
+                if not line:
+                    break
+                if line.startswith(b"data:"):
+                    frames.append(json.loads(line[5:].strip()))
+            writer.close()
+            return status_line, frames
+
+        status_line, frames = run_service(ServiceConfig(**CFG), scenario)
+        assert b"200" in status_line
+        assert len(frames) == 2
+        assert frames[0]["live"]["count"] == 1
+
+    def test_sse_rejects_bad_query(self):
+        async def scenario(service):
+            return await get(HOST, service.port,
+                             "/debug/stream?interval=bogus")
+
+        resp = run_service(ServiceConfig(**CFG), scenario)
+        assert resp.status == 400
+
+
+class TestFeedbackLoop:
+    def test_feedback_records_written_and_cited(self, tmp_path):
+        from repro.planner import PlanContext, Planner
+        from repro.telemetry import read_records
+
+        path = tmp_path / "feedback.jsonl"
+        cfg = dict(CFG, feedback=True, feedback_sample=1,
+                   feedback_path=str(path))
+
+        async def scenario(service):
+            # n large enough that measured history beats the reference
+            # tier's cold-start prior (at small n reference genuinely
+            # wins and the planner rightly keeps citing the prior).
+            for s in range(3):
+                await match(service, {"n": 4096, "seed": s, "cache": False})
+            return service.batcher.feedback_records
+
+        wrote = run_service(ServiceConfig(**cfg), scenario)
+        assert wrote > 0
+        records = read_records(path)
+        assert records
+        for r in records:
+            assert r.extra["source"] == "service-feedback"
+            assert r.extra["ts"] > 0
+            assert r.wall_s > 0
+
+        planner = Planner(history=path)
+        rec = records[0]
+        decision = planner.decide(PlanContext(
+            algorithm=rec.algorithm, n=rec.n,
+            layout=rec.extra.get("layout"), model=planner.model))
+        assert decision.rule == "history"
+
+    def test_feedback_off_by_default(self, tmp_path):
+        path = tmp_path / "feedback.jsonl"
+        cfg = dict(CFG, feedback_path=str(path))
+
+        async def scenario(service):
+            await match(service, {"n": 64, "seed": 0})
+            return service.batcher.feedback_records
+
+        assert run_service(ServiceConfig(**cfg), scenario) == 0
+        assert not path.exists()
+
+    def test_feedback_sampling(self, tmp_path):
+        path = tmp_path / "feedback.jsonl"
+        cfg = dict(CFG, feedback=True, feedback_sample=2,
+                   feedback_path=str(path))
+
+        async def scenario(service):
+            for s in range(4):
+                await match(service, {"n": 64, "seed": s, "cache": False})
+            return service.batcher.batches, service.batcher.feedback_records
+
+        batches, wrote = run_service(ServiceConfig(**cfg), scenario)
+        assert wrote <= (batches // 2) + 1

@@ -1,0 +1,117 @@
+"""Tests for the request-scoped trace context (telemetry.context)."""
+
+import pytest
+
+from repro.telemetry import (
+    TraceContext,
+    capture,
+    current_trace,
+    derive_trace_id,
+    set_trace,
+    span,
+    using_trace,
+)
+from repro.telemetry.context import TRACE_ID_HEX, _CURRENT
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_trace():
+    """Every test starts and ends without an ambient context."""
+    token = _CURRENT.set(None)
+    yield
+    _CURRENT.reset(token)
+
+
+class TestDeriveTraceId:
+    def test_deterministic(self):
+        assert derive_trace_id("key", 1) == derive_trace_id("key", 1)
+
+    def test_length_and_charset(self):
+        tid = derive_trace_id(("spec", 128, "random", 0), 7)
+        assert len(tid) == TRACE_ID_HEX
+        assert set(tid) <= set("0123456789abcdef")
+
+    def test_distinct_parts_distinct_ids(self):
+        assert derive_trace_id("key", 1) != derive_trace_id("key", 2)
+        assert derive_trace_id("a", 1) != derive_trace_id("b", 1)
+
+    def test_part_boundaries_matter(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert derive_trace_id("ab", "c") != derive_trace_id("a", "bc")
+
+
+class TestAmbientContext:
+    def test_default_is_none(self):
+        assert current_trace() is None
+
+    def test_using_trace_scopes_and_restores(self):
+        ctx = TraceContext("aa" * 8, 5)
+        with using_trace(ctx) as got:
+            assert got is ctx
+            assert current_trace() is ctx
+        assert current_trace() is None
+
+    def test_using_trace_nests(self):
+        outer, inner = TraceContext("aa" * 8), TraceContext("bb" * 8)
+        with using_trace(outer):
+            with using_trace(inner):
+                assert current_trace() is inner
+            assert current_trace() is outer
+
+    def test_using_none_masks_outer(self):
+        with using_trace(TraceContext("aa" * 8)):
+            with using_trace(None):
+                assert current_trace() is None
+
+    def test_set_trace_token_resets(self):
+        token = set_trace(TraceContext("cc" * 8))
+        assert current_trace().trace_id == "cc" * 8
+        _CURRENT.reset(token)
+        assert current_trace() is None
+
+    def test_child_keeps_trace_changes_parent(self):
+        ctx = TraceContext("dd" * 8, 1)
+        child = ctx.child(42)
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id == 42
+        assert ctx.span_id == 1  # frozen: original untouched
+
+
+class TestSpanInheritance:
+    def test_root_span_adopts_ambient_trace(self):
+        ctx = TraceContext("ee" * 8, span_id=99)
+        with capture() as sink:
+            with using_trace(ctx):
+                with span("work"):
+                    pass
+        [sp] = sink.spans
+        assert sp.trace_id == ctx.trace_id
+        assert sp.parent_id == 99
+
+    def test_stack_top_beats_ambient(self):
+        # A nested span parents under the open span and carries *its*
+        # trace id — the ambient context only applies at stack roots.
+        ctx = TraceContext("ff" * 8, span_id=7)
+        with capture() as sink:
+            with using_trace(ctx):
+                with span("outer"):
+                    with span("inner"):
+                        pass
+        by_name = {s.name: s for s in sink.spans}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["inner"].trace_id == ctx.trace_id
+
+    def test_untraced_spans_have_no_trace_id(self):
+        with capture() as sink:
+            with span("plain"):
+                pass
+        assert sink.spans[0].trace_id is None
+        assert sink.spans[0].parent_id is None
+
+    def test_trace_id_survives_serialization(self):
+        with capture() as sink:
+            with using_trace(TraceContext("ab" * 8)):
+                with span("work"):
+                    pass
+        doc = sink.spans[0].to_dict()
+        assert doc["trace_id"] == "ab" * 8

@@ -192,3 +192,83 @@ class TestPrometheusExposition:
         reg.counter("span.pram run.count").inc()
         text = prometheus_exposition(reg)
         assert "repro_span_pram_run_count_total 1" in text
+
+
+class TestPrometheusHostileStrings:
+    """Regression battery: the 0.0.4 grammar must survive any input."""
+
+    NAME_OK = __import__("re").compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+    def exposition(self, **metrics):
+        reg = MetricsRegistry()
+        for name, value in metrics.items():
+            reg.counter(name).inc(value)
+        return prometheus_exposition(reg)
+
+    def test_metric_name_with_quotes_and_braces(self):
+        reg = MetricsRegistry()
+        reg.counter('evil"name{with}stuff').inc()
+        text = prometheus_exposition(reg)
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            assert self.NAME_OK.match(name), line
+
+    def test_metric_name_leading_digit(self):
+        reg = MetricsRegistry()
+        reg.counter("3rd.phase").inc()
+        text = prometheus_exposition(reg)
+        sample = [l for l in text.splitlines() if not l.startswith("#")][0]
+        assert self.NAME_OK.match(sample.split(" ")[0])
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        hostile = 'a"b\\c\nnewline'
+        text = prometheus_exposition(reg, labels={"instance": hostile})
+        sample = [l for l in text.splitlines() if not l.startswith("#")][0]
+        assert "\n" not in sample  # one sample stays one line
+        assert 'instance="a\\"b\\\\c\\nnewline"' in sample
+
+    def test_label_name_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        text = prometheus_exposition(
+            reg, labels={"bad label!": "v", "__reserved": "w", "9lives": "u"})
+        sample = [l for l in text.splitlines() if not l.startswith("#")][0]
+        block = sample[sample.index("{") + 1:sample.index("}")]
+        for pair in block.split(","):
+            name = pair.split("=")[0]
+            assert self.NAME_OK.match(name), pair
+            assert ":" not in name
+            assert not name.startswith("__"), pair
+
+    def test_help_line_newline_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x\ny").inc()
+        text = prometheus_exposition(reg)
+        help_lines = [l for l in text.splitlines()
+                      if l.startswith("# HELP")]
+        assert help_lines  # present and single-line by construction
+
+    def test_nan_and_float_values(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(float("nan"))
+        text = prometheus_exposition(reg)
+        assert "repro_g NaN" in text
+
+    def test_every_line_parses_shape(self):
+        """Whole-document shape check over a hostile registry."""
+        reg = MetricsRegistry()
+        reg.counter('a"b').inc()
+        reg.gauge("c{d}").set(1.5)
+        reg.histogram("e f").observe(2.0)
+        text = prometheus_exposition(reg, labels={"host": 'x"y\\z'})
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            head, _, value = line.rpartition(" ")
+            name = head.split("{")[0]
+            assert self.NAME_OK.match(name), line
+            float(value)  # every sample value must parse

@@ -110,3 +110,39 @@ class TestBuildInfo:
         s = version_string()
         assert s.startswith("repro ")
         assert info["version"] in s
+
+
+class TestAppendRecordRotation:
+    def record(self, i):
+        return RunRecord(algorithm="match4", backend="reference",
+                         n=64, p=8, time=10, work=100,
+                         extra={"i": i, "pad": "x" * 100})
+
+    def test_rotation_keeps_every_record_readable(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        for i in range(20):
+            append_record(path, self.record(i), max_bytes=600)
+        rolled = path.with_name(path.name + ".1")
+        assert rolled.exists()
+        tail = [r.extra["i"] for r in read_records(path)]
+        prev = [r.extra["i"] for r in read_records(rolled)]
+        assert tail == sorted(tail) and prev == sorted(prev)
+        assert tail[-1] == 19  # newest record in the live file
+        assert prev[-1] + 1 == tail[0]  # contiguous across the roll
+
+    def test_no_max_bytes_never_rotates(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        for i in range(20):
+            append_record(path, self.record(i))
+        assert not path.with_name(path.name + ".1").exists()
+        assert len(read_records(path)) == 20
+
+    def test_rotate_if_over_direct(self, tmp_path):
+        from repro.telemetry import rotate_if_over
+        path = tmp_path / "f.jsonl"
+        assert not rotate_if_over(path, 100, 50)  # missing file: no-op
+        path.write_text("a" * 40 + "\n")
+        assert not rotate_if_over(path, 5, 50)  # fits: no roll
+        assert rotate_if_over(path, 20, 50)  # would overflow: rolls
+        assert not path.exists()
+        assert path.with_name("f.jsonl.1").read_text().startswith("a")

@@ -98,3 +98,64 @@ class TestTruncatedManifests:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert len(read_records(path)) == 1
+
+
+class TestJsonlSinkRotation:
+    def emit_n(self, sink, n, payload_bytes=80):
+        filler = "x" * payload_bytes
+        for i in range(n):
+            sink.emit_record({"type": "run", "i": i, "pad": filler})
+
+    def test_no_rotation_by_default(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        self.emit_n(sink, 50)
+        sink.close()
+        assert not (tmp_path / "t.jsonl.1").exists()
+        assert len(path.read_text().splitlines()) == 50
+
+    def test_rotates_at_max_bytes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, max_bytes=500)
+        self.emit_n(sink, 20)
+        sink.close()
+        rolled = tmp_path / "t.jsonl.1"
+        assert rolled.exists()
+        # Single .1 roll: total on disk bounded by ~2x max_bytes.
+        assert path.stat().st_size <= 500 + 200
+        assert rolled.stat().st_size <= 500 + 200
+
+    def test_no_line_is_split_across_files(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, max_bytes=300)
+        self.emit_n(sink, 30)
+        sink.close()
+        seen = []
+        for p in (tmp_path / "t.jsonl.1", path):
+            for line in p.read_text().splitlines():
+                seen.append(json.loads(line)["i"])  # every line parses
+        # ...and the rolled+current files preserve a contiguous tail.
+        assert seen == sorted(seen)
+        assert seen[-1] == 29
+
+    def test_oversized_single_record_still_lands(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, max_bytes=64)
+        sink.emit_record({"type": "run", "pad": "y" * 500})
+        sink.close()
+        assert json.loads(path.read_text())["pad"] == "y" * 500
+
+    def test_spans_rotate_too(self, tmp_path):
+        from repro.telemetry import capture, configure, span
+        path = tmp_path / "s.jsonl"
+        sink = JsonlSink(path, max_bytes=400)
+        configure(sink)
+        try:
+            for i in range(20):
+                with span("work", i=i, pad="z" * 60):
+                    pass
+        finally:
+            from repro.telemetry import disable
+            disable()
+            sink.close()
+        assert (tmp_path / "s.jsonl.1").exists()
