@@ -162,6 +162,11 @@ def main(argv=None) -> int:
                              "RunRecord) into DIR")
     args = parser.parse_args(argv)
 
+    # Honor REPRO_RESOURCES like the CLI does, so the CI disabled-vs-
+    # ledger overhead A/B measures the accounting actually switched on.
+    from repro.telemetry import configure_resources_from_env
+    configure_resources_from_env()
+
     out = measure(args.n, args.reps)
     print(f"n = {out['n']}, best of {out['reps']}")
     for algorithm, r in out["results"].items():

@@ -60,7 +60,10 @@ def _canon(value: Any) -> str:
 
 
 def _record_key(rec: dict[str, Any]) -> Key:
-    extra = rec.get("extra") or {}
+    # Measurement payloads riding in extra (the resource account)
+    # differ run to run; including them would unpair every workload.
+    extra = {k: v for k, v in (rec.get("extra") or {}).items()
+             if k != "resources"}
     return (
         rec.get("kind", "matching"), rec["algorithm"], rec["backend"],
         rec.get("n"), rec.get("p"), rec.get("seed"),
@@ -83,6 +86,10 @@ def _metrics_from_record(rec: dict[str, Any]) -> dict[str, Any]:
     floats: dict[str, float] = {}
     if rec.get("wall_s") is not None:
         floats["wall_s"] = float(rec["wall_s"])
+    resources = (rec.get("extra") or {}).get("resources") or {}
+    if isinstance(resources, dict) and \
+            resources.get("peak_alloc_b") is not None:
+        floats["peak_alloc_b"] = float(resources["peak_alloc_b"])
     return {"ints": ints, "floats": floats}
 
 
@@ -129,9 +136,17 @@ def compare(
     *,
     step_tol: float = 0.0,
     wallclock_tol: float = 0.10,
+    peak_alloc_tol: float = 0.25,
     ignore_wallclock: bool = False,
 ) -> list[dict[str, Any]]:
-    """Diff two metric sets; returns one finding dict per difference."""
+    """Diff two metric sets; returns one finding dict per difference.
+
+    ``peak_alloc_b`` (from a record's embedded resource account) is
+    noisy like wall-clock — allocator and interpreter version move it —
+    so it gets its own, more generous, ``peak_alloc_tol``.
+    ``ignore_wallclock`` drops only ``wall_s``; peak-alloc stays gated
+    (it does not depend on machine speed).
+    """
     findings: list[dict[str, Any]] = []
 
     def note(kind: str, key: Key, metric: str = "",
@@ -152,15 +167,17 @@ def compare(
                 note("regression", key, metric, b, c)
             elif c < b:
                 note("improvement", key, metric, b, c)
-        if ignore_wallclock:
-            continue
         for metric, b in sorted(base["floats"].items()):
+            if metric == "wall_s" and ignore_wallclock:
+                continue
             c = cur["floats"].get(metric)
             if c is None:
                 continue
-            if c > b * (1.0 + wallclock_tol):
+            tol = (peak_alloc_tol if metric == "peak_alloc_b"
+                   else wallclock_tol)
+            if c > b * (1.0 + tol):
                 note("regression", key, metric, b, c)
-            elif c < b * (1.0 - wallclock_tol):
+            elif c < b * (1.0 - tol):
                 note("improvement", key, metric, b, c)
     for key in sorted(current, key=repr):
         if key not in baseline:
@@ -192,8 +209,13 @@ def main(argv=None) -> int:
     parser.add_argument("--wallclock-tol", type=float, default=0.10,
                         help="fractional wall-clock allowance "
                              "(default 0.10)")
+    parser.add_argument("--peak-alloc-tol", type=float, default=0.25,
+                        help="fractional allowance on the peak_alloc_b "
+                             "column of records carrying a resource "
+                             "account (default 0.25)")
     parser.add_argument("--ignore-wallclock", action="store_true",
-                        help="skip wall-clock comparisons entirely")
+                        help="skip wall-clock comparisons entirely "
+                             "(peak-alloc stays gated)")
     parser.add_argument("--allow-missing", action="store_true",
                         help="do not fail when a baseline workload is "
                              "absent from the current set")
@@ -206,6 +228,7 @@ def main(argv=None) -> int:
     findings = compare(
         baseline, current, step_tol=args.step_tol,
         wallclock_tol=args.wallclock_tol,
+        peak_alloc_tol=args.peak_alloc_tol,
         ignore_wallclock=args.ignore_wallclock,
     )
 

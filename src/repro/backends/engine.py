@@ -45,6 +45,7 @@ from ..core.functions import max_label_after
 from ..core.match1 import CONSTANT_LABEL_BOUND
 from ..core.match4 import Match4Stats
 from ..core.matching import Matching
+from ..telemetry import resources as _resources
 from ..telemetry.metrics import METRICS
 from ..telemetry.spans import enabled as telemetry_enabled, span as telemetry_span
 
@@ -675,7 +676,13 @@ def match4(lst: LinkedList, *, p: int = 1, iterations: int = 2,
     num_inter = (n - 1) - num_intra
 
     with telemetry_span("engine.sweep", n=n, x=x, y=y) as sp:
-        l6e, max_inter, max_intra = _sweep_labels6(prep, labels, row, intra, x)
+        rt = _resources.phase_begin("engine.sweep")
+        try:
+            l6e, max_inter, max_intra = _sweep_labels6(prep, labels, row,
+                                                       intra, x)
+        finally:
+            if rt is not None:
+                _resources.phase_end(rt, None, sp)
         sp.set(max_inter=max_inter, max_intra=max_intra)
     with cost.phase("walkdown1"):
         if num_inter:

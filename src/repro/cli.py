@@ -132,10 +132,14 @@ def _cmd_match(args: argparse.Namespace) -> int:
             print(f"  {ph.name:<12} {ph.time:>8}")
     if args.record:
         from .telemetry.runrecord import RunRecord, append_record
+        from .telemetry import resources as _resources
 
         extra = {"workers": workers} if workers is not None else {}
         if planner_extra is not None:
             extra["planner"] = planner_extra
+        if _resources.enabled():
+            extra["resources"] = _resources.build_report(
+                backend=result.backend).to_dict()
         record = RunRecord.from_result(
             result, seed=args.seed, wall_s=wall_s, layout=args.layout,
             **extra,
@@ -300,6 +304,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         chrome_trace_events,
         machine_trace_events,
         profile_matching,
+        resource_counter_events,
         write_chrome_trace,
         write_prometheus,
     )
@@ -319,15 +324,20 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     run = profile_matching(
         lst, algorithm=args.algorithm, backend=args.backend, p=args.p,
-        machine_trace=machine_trace, machine_list=machine_list, **kwargs,
+        machine_trace=machine_trace, machine_list=machine_list,
+        resources=args.memory, **kwargs,
     )
     profile = run.profile.validate()
     print(profile.summary())
+    if run.resources is not None:
+        print(run.resources.summary())
 
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
 
     events = chrome_trace_events(run.spans)
+    if run.resources is not None:
+        events += resource_counter_events(run.spans)
     if run.machine_report is not None:
         events += machine_trace_events(run.machine_report)
     trace_path = write_chrome_trace(
@@ -340,16 +350,28 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         json.dumps(profile.to_dict(), indent=2, default=json_default) + "\n",
         encoding="utf-8")
     prom_path = write_prometheus(out / "metrics.prom")
+    extra = {}
+    if run.resources is not None:
+        extra["resources"] = run.resources.to_dict()
+        memory_path = out / "memory-profile.json"
+        memory_path.write_text(
+            json.dumps(extra["resources"], indent=2,
+                       default=json_default) + "\n",
+            encoding="utf-8")
     record = RunRecord.from_result(
         run.result, seed=args.seed, wall_s=profile.wall_s,
         layout=args.layout,
         utilization=profile.utilization,
         occupancy=[list(row) for row in profile.occupancy]
         if profile.occupancy is not None else None,
+        **extra,
     )
     manifest_path = append_record(out / "runs.jsonl", record)
     print("written   :")
-    for p in (trace_path, profile_path, prom_path, manifest_path):
+    written = [trace_path, profile_path, prom_path, manifest_path]
+    if run.resources is not None:
+        written.insert(3, memory_path)
+    for p in written:
         print(f"  {p}")
     return 0
 
@@ -691,6 +713,11 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--machine-n", type=int, default=96, metavar="N",
                     help="size of the traced instruction-level twin "
                          "(0 disables; only match1/match4 have one)")
+    pf.add_argument("--memory", action="store_true",
+                    help="resource accounting: per-phase tracemalloc "
+                         "peaks, byte ledger, bandwidth estimates "
+                         "(adds memory-profile.json and Chrome Trace "
+                         "counter tracks)")
     pf.add_argument("--out", default="prof", metavar="DIR",
                     help="output directory (default prof/)")
     pf.set_defaults(fn=_cmd_profile)
@@ -828,11 +855,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    from .telemetry import configure_from_env
+    from .telemetry import configure_from_env, configure_resources_from_env
 
     parser = build_parser()
     args = parser.parse_args(argv)
     configure_from_env(spec=args.telemetry)
+    configure_resources_from_env()
     return int(args.fn(args))
 
 

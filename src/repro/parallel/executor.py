@@ -44,6 +44,7 @@ from ..errors import InvalidParameterError
 from ..lists.linked_list import LinkedList
 from ..core.matching import Matching
 from ..pram.cost import CostModel, CostReport
+from ..telemetry import resources as _resources
 from ..telemetry.context import TraceContext, current_trace, using_trace
 from ..telemetry.metrics import METRICS
 from ..telemetry.spans import (
@@ -242,15 +243,32 @@ def run_sharded_batch(
     cost = CostModel(p)
     matchings: list[Matching] = []
     tracer = get_tracer()
+    track_bytes = _resources.enabled()
     for shard, (lo, hi) in enumerate(bounds):
         _, blobs, report, span_dicts, wall = by_shard[shard]
         cost.absorb(report)
+        out_b = in_b = replay_b = 0
+        if track_bytes:
+            # The exact serialized payload of this hop: the raw NEXT
+            # buffers shipped out, the raw tail buffers shipped back,
+            # and the pickled span dicts riding the result.
+            out_b = sum(len(buf) for buf in payloads[shard][5])
+            in_b = sum(len(blob) for blob in blobs)
+            if span_dicts:
+                replay_b = len(pickle.dumps(span_dicts))
+            _resources.account_shard(
+                bytes_out=out_b, bytes_in=in_b,
+                span_replay_bytes=replay_b,
+            )
         if want_spans and telemetry_enabled():
             nodes = int(sum(l.n for l in lls[lo:hi]))
             with telemetry_span(
                 f"shard.{shard}", shard=shard, lo=lo, hi=hi,
                 num_lists=hi - lo, nodes=nodes, worker_wall_s=wall,
             ) as sp:
+                if track_bytes:
+                    sp.set(bytes_out=out_b, bytes_in=in_b,
+                           span_replay_b=replay_b)
                 _replay_spans(tracer, span_dicts, shard, sp.span_id,
                               sp.start, trace_id)
         for j, blob in enumerate(blobs):

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from .._util import ceil_div, require
+from ..telemetry import resources as _resources
 from ..telemetry.spans import span as _telemetry_span
 
 __all__ = ["CostModel", "CostReport", "PhaseCost"]
@@ -171,16 +172,24 @@ class CostModel:
         span carrying the accumulated time/work/steps — this is the one
         place the whole algorithm tier (reference and numpy backends
         alike) reports its phase structure and per-phase wall-clock.
+        When resource accounting is enabled
+        (:mod:`repro.telemetry.resources`), the same hook also records
+        the phase's wall-clock and tracemalloc net/peak allocation
+        (attached to the span as ``alloc_net_b`` / ``alloc_peak_b``);
+        disabled, both layers cost one flag check each.
         """
         ph = PhaseCost(name)
         self._phases.append(ph)
         self._stack.append(ph)
         with _telemetry_span("phase." + name) as sp:
+            rt = _resources.phase_begin(name)
             try:
                 yield ph
             finally:
                 self._stack.pop()
                 sp.set(time=ph.time, work=ph.work, steps=ph.steps)
+                if rt is not None:
+                    _resources.phase_end(rt, ph, sp)
 
     def absorb(self, report: CostReport) -> None:
         """Fold a finished sub-run's report into this model.

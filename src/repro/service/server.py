@@ -48,6 +48,7 @@ import time
 import urllib.parse
 from typing import Any, Callable
 
+from ..telemetry import resources as _resources
 from ..telemetry.context import TraceContext, derive_trace_id
 from ..telemetry.live import LiveAggregator, SloConfig
 from ..telemetry.metrics import METRICS
@@ -319,6 +320,10 @@ class MatchingService:
                 "workers": cfg.workers,
                 "max_queue_depth": cfg.max_queue_depth,
                 "max_batch_items": cfg.max_batch_items,
+                # The serialization byte ledger (REPRO_RESOURCES): the
+                # exact bytes this server pushed over the pool boundary.
+                **({"resources": _resources.ledger_snapshot()}
+                   if _resources.enabled() else {}),
             },
         )
         self.manifest_record = record

@@ -36,6 +36,16 @@ from .context import (
 )
 from .live import LiveAggregator, SloConfig, render_dashboard, replay_jsonl
 from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .resources import (
+    PhaseResource,
+    ResourceLedger,
+    ResourceReport,
+    build_report as build_resource_report,
+    configure_resources_from_env,
+    ledger_snapshot,
+    tracking as track_resources,
+)
+from .resources import enabled as resources_enabled
 from .runrecord import (
     SCHEMA_VERSION,
     RunRecord,
@@ -64,6 +74,7 @@ from .export import (  # noqa: E402
     chrome_trace_events,
     machine_trace_events,
     prometheus_exposition,
+    resource_counter_events,
     request_trace_events,
     request_trace_ids,
     request_trace_spans,
@@ -92,6 +103,10 @@ __all__ = [
     "LiveAggregator", "SloConfig", "render_dashboard", "replay_jsonl",
     # metrics
     "METRICS", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    # resources
+    "PhaseResource", "ResourceLedger", "ResourceReport",
+    "build_resource_report", "configure_resources_from_env",
+    "ledger_snapshot", "track_resources", "resources_enabled",
     # sinks
     "Sink", "NullSink", "InMemorySink", "JsonlSink", "LogSink", "TeeSink",
     # run records
@@ -101,7 +116,8 @@ __all__ = [
     "PhaseProfile", "ProfileReport", "ProfiledRun", "build_profile",
     "occupancy_grid", "profile_matching",
     # exporters
-    "chrome_trace_events", "machine_trace_events", "write_chrome_trace",
+    "chrome_trace_events", "machine_trace_events",
+    "resource_counter_events", "write_chrome_trace",
     "prometheus_exposition", "write_prometheus", "spans_from_jsonl",
     "request_trace_ids", "request_trace_spans", "request_trace_events",
     # HTML report

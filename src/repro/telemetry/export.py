@@ -31,7 +31,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
-from .sinks import json_default
+from .sinks import json_default, rotated_chain
 from .spans import Span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
 __all__ = [
     "chrome_trace_events",
     "machine_trace_events",
+    "resource_counter_events",
     "write_chrome_trace",
     "prometheus_exposition",
     "write_prometheus",
@@ -213,6 +214,59 @@ def _meta(event_name: str, pid: int, tid: int, **args: Any) -> dict[str, Any]:
             "args": args}
 
 
+def resource_counter_events(
+    spans: Sequence[Span],
+    *,
+    pid: int = SPAN_PID,
+    origin: float | None = None,
+) -> list[dict[str, Any]]:
+    """Counter tracks (``"ph": "C"``) from resource span attributes.
+
+    Two tracks ride alongside the flame chart when resource accounting
+    was on (:mod:`repro.telemetry.resources`):
+
+    - ``phase alloc (B)`` — each span carrying ``alloc_net_b`` /
+      ``alloc_peak_b`` plots its net and peak allocation at the span's
+      end time;
+    - ``shard bytes (cumulative)`` — running submit / result /
+      span-replay byte totals over the ``shard.<i>`` spans, stepping up
+      as each hop completes.
+
+    Returns ``[]`` when no span carries resource attributes, so the
+    tracks appear only in traces recorded with accounting enabled.
+    Use the same ``origin`` as :func:`chrome_trace_events` to align
+    the counter samples with the span timeline.
+    """
+    spans = [s for s in spans if s.end is not None]
+    if not spans:
+        return []
+    if origin is None:
+        origin = min(s.start for s in spans)
+    events: list[dict[str, Any]] = []
+    cum_out = cum_in = cum_replay = 0
+    for s in sorted(spans, key=lambda s: (s.end, s.span_id)):
+        ts = round((s.end - origin) * 1e6, 3)
+        attrs = s.attributes
+        if "alloc_net_b" in attrs or "alloc_peak_b" in attrs:
+            events.append({
+                "name": "phase alloc (B)", "cat": "resource", "ph": "C",
+                "ts": ts, "pid": pid, "tid": 0,
+                "args": {"net": int(attrs.get("alloc_net_b") or 0),
+                         "peak": int(attrs.get("alloc_peak_b") or 0)},
+            })
+        if "bytes_out" in attrs or "bytes_in" in attrs:
+            cum_out += int(attrs.get("bytes_out") or 0)
+            cum_in += int(attrs.get("bytes_in") or 0)
+            cum_replay += int(attrs.get("span_replay_b") or 0)
+            events.append({
+                "name": "shard bytes (cumulative)", "cat": "resource",
+                "ph": "C", "ts": ts, "pid": pid, "tid": 0,
+                "args": {"out": cum_out, "in": cum_in,
+                         "span_replay": cum_replay},
+            })
+    return events
+
+
 def write_chrome_trace(
     path,
     events: Iterable[dict[str, Any]],
@@ -251,33 +305,45 @@ def write_chrome_trace(
 # that shared span soup into one renderable tree per request.
 
 
-def spans_from_jsonl(path) -> list[Span]:
+def spans_from_jsonl(path, *, rotated: bool = True) -> list[Span]:
     """Load ``{"type": "span", ...}`` lines from a JsonlSink file.
 
     Lines of other types (run records sharing the file) and malformed
-    lines (a truncated tail from a killed writer) are skipped.
+    lines (a truncated tail from a killed writer) are skipped.  With
+    ``rotated`` (the default), rolled generations (``<path>.1``,
+    ``<path>.2``, ... — higher suffix = older) left by ``max_bytes``
+    rotation are read first, oldest to newest, so replay sees the full
+    history.
     """
+    paths = rotated_chain(path) if rotated else [str(path)]
     spans: list[Span] = []
-    with open(path, encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                data = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if data.get("type") != "span":
-                continue
-            sp = Span(
-                data["name"], int(data["span_id"]),
-                data.get("parent_id"), float(data["start"]),
-                dict(data.get("attributes", {})), tracer=None,
-                trace_id=data.get("trace_id"),
-            )
-            sp.end = sp.start + float(data.get("duration_s", 0.0))
-            sp.status = data.get("status", "ok")
-            spans.append(sp)
+    for p in paths:
+        try:
+            fh = open(p, encoding="utf-8")
+        except FileNotFoundError:
+            if len(paths) == 1:
+                raise
+            continue
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if data.get("type") != "span":
+                    continue
+                sp = Span(
+                    data["name"], int(data["span_id"]),
+                    data.get("parent_id"), float(data["start"]),
+                    dict(data.get("attributes", {})), tracer=None,
+                    trace_id=data.get("trace_id"),
+                )
+                sp.end = sp.start + float(data.get("duration_s", 0.0))
+                sp.status = data.get("status", "ok")
+                spans.append(sp)
     return spans
 
 
@@ -414,6 +480,25 @@ def _prom_help(text: str) -> str:
     return text.replace("\\", r"\\").replace("\n", r"\n")
 
 
+def _prom_counter_name(name: str, prefix: str, unit: str) -> str:
+    """Counter name under the ``<base>[_<unit>]_total`` convention.
+
+    The unit token is appended only when the sanitized name does not
+    already contain it (``parallel.bytes_out`` keeps its shape, while
+    ``requests`` + unit ``bytes`` becomes ``requests_bytes``), and
+    ``_total`` is never doubled — a hostile counter literally named
+    ``x_total`` exports as ``..._x_total``, not ``..._x_total_total``.
+    """
+    base = _prom_name(name, prefix)
+    if base.endswith("_total"):
+        base = base[:-len("_total")]
+    if unit:
+        unit = _NAME_RE.sub("_", unit)
+        if unit and not re.search(rf"(^|_){re.escape(unit)}(_|$)", base):
+            base += "_" + unit
+    return base + "_total"
+
+
 def _prom_labels(labels: Mapping[str, Any] | None,
                  extra: tuple[tuple[str, Any], ...] = ()) -> str:
     """Render a ``{name="value",...}`` block (empty string if none)."""
@@ -457,8 +542,12 @@ def prometheus_exposition(
     lbl = lambda *extra: _prom_labels(labels, tuple(extra))  # noqa: E731
     for name, metric in registry.items():
         if isinstance(metric, Counter):
-            base = _prom_name(name, prefix) + "_total"
-            lines.append(f"# HELP {base} repro counter {_prom_help(name)}")
+            unit = getattr(metric, "unit", "")
+            base = _prom_counter_name(name, prefix, unit)
+            help_text = f"repro counter {_prom_help(name)}"
+            if unit:
+                help_text += f" (unit: {_prom_help(unit)})"
+            lines.append(f"# HELP {base} {help_text}")
             lines.append(f"# TYPE {base} counter")
             lines.append(f"{base}{lbl()} {_prom_value(metric.value)}")
         elif isinstance(metric, Gauge):

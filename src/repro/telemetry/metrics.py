@@ -26,13 +26,20 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS"]
 
 
 class Counter:
-    """Monotonically increasing count (runs, steps, faults, ...)."""
+    """Monotonically increasing count (runs, steps, faults, ...).
 
-    __slots__ = ("name", "value")
+    ``unit`` is an optional measurement unit ("bytes", "seconds");
+    the Prometheus exporter uses it to enforce the
+    ``<name>_<unit>_total`` naming convention and to annotate the
+    ``# HELP`` line.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "value", "unit")
+
+    def __init__(self, name: str, unit: str = "") -> None:
         self.name = name
         self.value = 0
+        self.unit = unit
 
     def inc(self, amount: int | float = 1) -> None:
         if amount < 0:
@@ -40,7 +47,10 @@ class Counter:
         self.value += amount
 
     def to_dict(self) -> dict[str, Any]:
-        return {"type": "counter", "value": self.value}
+        d: dict[str, Any] = {"type": "counter", "value": self.value}
+        if self.unit:
+            d["unit"] = self.unit
+        return d
 
 
 class Gauge:
@@ -157,8 +167,11 @@ class MetricsRegistry:
             )
         return metric
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, "counter")
+    def counter(self, name: str, unit: str = "") -> Counter:
+        c = self._get(name, "counter")
+        if unit and not c.unit:
+            c.unit = unit
+        return c
 
     def gauge(self, name: str) -> Gauge:
         return self._get(name, "gauge")

@@ -355,13 +355,20 @@ def build_profile(
 
 @dataclass(frozen=True)
 class ProfiledRun:
-    """Everything one :func:`profile_matching` call produced."""
+    """Everything one :func:`profile_matching` call produced.
+
+    ``resources`` is the run's
+    :class:`~repro.telemetry.resources.ResourceReport` when the
+    profiler ran with ``resources=True`` (``repro profile --memory``),
+    else ``None``.
+    """
 
     profile: ProfileReport
     result: "MatchResult"
     spans: tuple[Span, ...]
     metrics: Mapping[str, Mapping[str, Any]]
     machine_report: "MachineReport | None" = None
+    resources: Any = None
 
 
 def profile_matching(
@@ -372,6 +379,7 @@ def profile_matching(
     p: int = 256,
     machine_trace: bool = False,
     machine_list=None,
+    resources: bool = False,
     **kwargs: Any,
 ) -> ProfiledRun:
     """Profile one maximal-matching run end-to-end.
@@ -384,18 +392,29 @@ def profile_matching(
     smaller list for the machine run (the lockstep simulator is
     orders of magnitude slower than the vectorized tiers, so profiling
     a large ``lst`` with a small machine twin is the normal mode).
+    ``resources`` additionally runs the matching under scoped resource
+    accounting (:mod:`repro.telemetry.resources`, tracemalloc on) and
+    attaches the frozen :class:`ResourceReport`.
 
     Returns a :class:`ProfiledRun`; its ``profile`` has been built but
     **not** validated — call ``profile.validate()`` to assert the
     invariants.
     """
     from . import capture
+    from . import resources as _resources
     from ..core.maximal_matching import maximal_matching
+    from contextlib import nullcontext
 
     machine_report = None
-    with capture() as sink:
+    resource_report = None
+    scope = (_resources.tracking(memory=True) if resources
+             else nullcontext())
+    with capture() as sink, scope:
         result = maximal_matching(
             lst, algorithm=algorithm, backend=backend, p=p, **kwargs)
+        if resources:
+            resource_report = _resources.build_report(
+                backend=result.backend)
         if machine_trace:
             machine_report = _run_machine_twin(
                 machine_list if machine_list is not None else lst,
@@ -410,6 +429,7 @@ def profile_matching(
         spans=spans,
         metrics=metrics,
         machine_report=machine_report,
+        resources=resource_report,
     )
 
 

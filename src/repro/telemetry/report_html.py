@@ -19,6 +19,10 @@ Sections:
 - a phase-share heatmap (runs × phases), plus per-processor occupancy
   heatmaps for records produced by ``repro profile`` (which stashes
   the machine occupancy grid in ``extra``);
+- a memory & data-movement panel for records carrying a
+  ``ResourceReport`` in ``extra["resources"]`` (stacked per-phase
+  allocation bars, the bytes-touched bandwidth table, and the
+  bytes-per-shard-hop serialization ledger);
 - run-over-run deltas, pairing records by workload identity with the
   same semantics as ``benchmarks/compare.py``: deterministic integer
   metrics (time / work / per-phase) regress on **any** increase,
@@ -465,6 +469,132 @@ def _occupancy_heatmaps(records: Sequence[RunRecord]) -> str:
             + "".join(sections))
 
 
+def _fmt_bytes(v: float | int | None) -> str:
+    if v is None:
+        return "-"
+    v = float(v)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(v) < 1024 or unit == "GiB":
+            return (f"{v:,.0f} {unit}" if unit == "B"
+                    else f"{v:,.1f} {unit}")
+        v /= 1024
+    return f"{v:,.1f} GiB"  # pragma: no cover - loop always returns
+
+
+def _memory_panel(records: Sequence[RunRecord]) -> str:
+    """Memory & data movement: per-phase alloc bars + shard byte table.
+
+    Reads the :class:`~repro.telemetry.resources.ResourceReport` dict
+    records carry in ``extra["resources"]`` (``repro profile --memory``
+    / ``repro match`` under ``REPRO_RESOURCES``); returns ``""`` when
+    no record has one, so reports without resource accounting are
+    unchanged.
+    """
+    with_res = [(rec, rec.extra["resources"]) for rec in records
+                if isinstance(rec.extra.get("resources"), Mapping)]
+    if not with_res:
+        return ""
+    sections: list[str] = []
+
+    # Stacked per-phase peak-allocation bars (one row per record, each
+    # segment one phase's share of the summed per-phase peaks).
+    order: list[str] = []
+    for _, res in with_res:
+        for ph in res.get("phases", ()):
+            if ph.get("name") not in order:
+                order.append(ph["name"])
+    index = {name: i for i, name in enumerate(order)}
+    rows = []
+    for rec, res in with_res:
+        phases = [ph for ph in res.get("phases", ())
+                  if ph.get("alloc_peak_b")]
+        if not phases:
+            continue
+        total = sum(ph["alloc_peak_b"] for ph in phases) or 1
+        segs = []
+        for ph in phases:
+            share = ph["alloc_peak_b"] / total
+            if share <= 0:
+                continue
+            segs.append(
+                f'<div class="seg" title="{_e(ph["name"])}: peak '
+                f'{_fmt_bytes(ph["alloc_peak_b"])} '
+                f'(net {_fmt_bytes(ph.get("alloc_net_b"))})" '
+                f'style="flex:{share:.5f};'
+                f'background:{_series_color(index[ph["name"]])}"></div>'
+            )
+        rows.append(
+            f'<div class="bar-row"><div class="bar-label">'
+            f'{_e(_label(rec))}</div><div class="bar">{"".join(segs)}'
+            f'</div></div>'
+        )
+    if rows:
+        legend = "".join(
+            f'<span><span class="sw" style="background:'
+            f'{_series_color(i)}"></span>{_e(name)}</span>'
+            for i, name in enumerate(order)
+        )
+        sections.append(
+            f'<div class="card">{"".join(rows)}'
+            f'<div class="legend">{legend}</div>'
+            f'<p class="note">segment width = the phase&#39;s share of '
+            f'the summed per-phase tracemalloc peaks</p></div>')
+
+    # Bandwidth table: per phase, the bytes-touched estimate over the
+    # measured wall-clock.
+    bw_rows = []
+    for rec, res in with_res:
+        model = res.get("model", {})
+        for ph in res.get("phases", ()):
+            bw = ph.get("bandwidth_bps")
+            bw_rows.append(
+                f'<tr><td>{_e(_label(rec))}</td><td>{_e(ph["name"])}</td>'
+                f'<td>{_fmt_bytes(ph.get("bytes_touched"))}</td>'
+                f'<td>{_fmt_bytes(ph.get("alloc_peak_b"))}</td>'
+                f'<td>{"-" if not bw else f"{bw / 1e9:.2f}"}</td></tr>')
+    if bw_rows:
+        models = sorted({
+            f'{res.get("model", {}).get("name", "?")} '
+            f'({res.get("model", {}).get("bytes_per_work", "?")} B/work, '
+            f'{res.get("backend")})'
+            for _, res in with_res})
+        head = ("<tr><th>workload</th><th>phase</th><th>bytes touched</th>"
+                "<th>peak alloc</th><th>GB/s</th></tr>")
+        sections.append(
+            f'<div class="card"><table>{head}{"".join(bw_rows)}</table>'
+            f'<p class="note">bytes-touched model: '
+            f'{_e("; ".join(models))} — an estimate for ranking phases, '
+            f'not a measurement</p></div>')
+
+    # The serialization ledger: bytes per shard hop.
+    led_rows = []
+    for rec, res in with_res:
+        led = res.get("ledger", {})
+        hops = led.get("shard_hops", 0)
+        if not hops:
+            continue
+        per_hop = (led.get("bytes_out", 0) + led.get("bytes_in", 0)) / hops
+        led_rows.append(
+            f'<tr><td>{_e(_label(rec))}</td><td>{hops:,}</td>'
+            f'<td>{_fmt_bytes(led.get("bytes_out"))}</td>'
+            f'<td>{_fmt_bytes(led.get("bytes_in"))}</td>'
+            f'<td>{_fmt_bytes(led.get("span_replay_bytes"))}</td>'
+            f'<td>{_fmt_bytes(per_hop)}</td></tr>')
+    if led_rows:
+        head = ("<tr><th>workload</th><th>shard hops</th>"
+                "<th>bytes out</th><th>bytes in</th><th>span replay</th>"
+                "<th>payload / hop</th></tr>")
+        sections.append(
+            f'<div class="card"><table>{head}{"".join(led_rows)}</table>'
+            f'<p class="note">exact serialized payload bytes over the '
+            f'process-pool boundary — the traffic a zero-copy rewrite '
+            f'must drive to ~0</p></div>')
+
+    if not sections:
+        return ""
+    return "<h2>Memory &amp; data movement</h2>" + "".join(sections)
+
+
 def _delta_section(
     baseline: Sequence[RunRecord],
     current: Sequence[RunRecord],
@@ -552,6 +682,7 @@ def render_report(
         body.append(_phase_bars(records, field="work"))
         body.append(_phase_heatmap(records))
         body.append(_occupancy_heatmaps(records))
+        body.append(_memory_panel(records))
         if baseline:
             body.append(_delta_section(baseline, delta_current))
     footer = "; ".join(builds) if builds else "unknown build"

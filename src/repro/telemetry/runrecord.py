@@ -23,7 +23,7 @@ from pathlib import Path
 from typing import Any, Mapping, TYPE_CHECKING
 
 from .._buildinfo import build_info
-from .sinks import json_default
+from .sinks import json_default, rotated_chain
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
     from ..core.result import MatchResult
@@ -171,10 +171,16 @@ class RunRecord:
         )
 
     def key(self) -> tuple:
-        """Identity used to pair records across manifests."""
+        """Identity used to pair records across manifests.
+
+        Measurement payloads riding in ``extra`` (the ``resources``
+        account) are excluded — they differ run to run and would break
+        pairing of otherwise identical workloads.
+        """
         return (self.kind, self.algorithm, self.backend, self.n, self.p,
                 self.seed, tuple(sorted(
-                    (k, str(v)) for k, v in self.extra.items())))
+                    (k, str(v)) for k, v in self.extra.items()
+                    if k != "resources")))
 
 
 def rotate_if_over(path, incoming_bytes: int, max_bytes: int) -> bool:
@@ -231,11 +237,18 @@ def write_records(path, records, *, append: bool = False) -> Path:
     return p
 
 
-def read_records(path, *, strict: bool = False) -> list[RunRecord]:
+def read_records(path, *, strict: bool = False,
+                 rotated: bool = True) -> list[RunRecord]:
     """Load every run record from a JSONL file.
 
     Lines of other types (spans from a :class:`JsonlSink` writing to
     the same file) are skipped, so one telemetry file can hold both.
+
+    With ``rotated`` (the default), rolled generations left by
+    ``max_bytes`` rotation (``<path>.1``, ``<path>.2``, ... — higher
+    suffix = older) are read first, oldest to newest, so replay tools
+    see the full history instead of silently dropping everything
+    before the last roll.  ``rotated=False`` reads only ``path``.
 
     Malformed lines — the truncated trailing line a killed writer
     leaves behind — are *skipped with a* :class:`RuntimeWarning`
@@ -243,25 +256,36 @@ def read_records(path, *, strict: bool = False) -> list[RunRecord]:
     readable.  Pass ``strict=True`` to get the old raising behavior
     (tests that must notice corruption).
     """
+    paths = rotated_chain(path) if rotated else [str(path)]
     records: list[RunRecord] = []
-    with open(path, encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                data = json.loads(line)
-            except json.JSONDecodeError as exc:
-                if strict:
-                    raise
-                warnings.warn(
-                    f"{path}:{lineno}: skipping malformed/truncated "
-                    f"JSONL line ({exc})",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                continue
-            if data.get("type", "run") != "run":
-                continue
-            records.append(RunRecord.from_dict(data))
+    for p in paths:
+        try:
+            fh = open(p, encoding="utf-8")
+        except FileNotFoundError:
+            # A rolled generation can outlive the live file (nothing
+            # appended since the roll); only a chain with no file at
+            # all is an error.
+            if len(paths) == 1:
+                raise
+            continue
+        with fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    if strict:
+                        raise
+                    warnings.warn(
+                        f"{p}:{lineno}: skipping malformed/truncated "
+                        f"JSONL line ({exc})",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    continue
+                if data.get("type", "run") != "run":
+                    continue
+                records.append(RunRecord.from_dict(data))
     return records

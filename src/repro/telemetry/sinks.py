@@ -34,6 +34,7 @@ __all__ = [
     "LogSink",
     "TeeSink",
     "json_default",
+    "rotated_chain",
 ]
 
 
@@ -45,6 +46,36 @@ def json_default(obj: Any):
         except (TypeError, ValueError):
             continue
     return str(obj)
+
+
+def rotated_chain(path) -> list[str]:
+    """All generations of a rotated JSONL file, oldest first.
+
+    Size rotation (:class:`JsonlSink` ``max_bytes``,
+    :func:`~repro.telemetry.runrecord.rotate_if_over`) renames the live
+    file to ``<path>.1``; external rotators may stack deeper
+    (``<path>.2`` and up, higher suffix = older, logrotate-style).
+    Returns ``[<path>.N, ..., <path>.1, <path>]`` filtered to the
+    generations that exist — except the live path, which is always
+    included, so a missing file still raises the usual ``FileNotFound``
+    at ``open`` time rather than silently reading nothing.
+    """
+    base = str(path)
+    gens: list[tuple[int, str]] = []
+    directory = os.path.dirname(base) or "."
+    name = os.path.basename(base)
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        entries = []
+    for entry in entries:
+        if entry.startswith(name + "."):
+            suffix = entry[len(name) + 1:]
+            if suffix.isdigit():
+                gens.append((int(suffix), os.path.join(directory, entry)))
+    chain = [p for _, p in sorted(gens, reverse=True)]
+    chain.append(base)
+    return chain
 
 
 class Sink:

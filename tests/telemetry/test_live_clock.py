@@ -1,0 +1,101 @@
+"""LiveAggregator under a hostile, non-monotonic injected clock.
+
+The ring indexes buckets by epoch modulo its length.  A clock that
+jumps backwards (VM suspend, NTP step under ``time.monotonic``-free
+test doubles) must never *resurrect* a stale bucket: a snapshot may
+only ever sum slots whose recorded epoch actually falls inside the
+current window.
+"""
+
+from repro.telemetry.live import LiveAggregator, SloConfig
+
+
+def agg(**kw):
+    kw.setdefault("window_s", 60.0)
+    kw.setdefault("bucket_s", 1.0)
+    return LiveAggregator(slo=SloConfig(), **kw)
+
+
+class TestInjectedClock:
+    def test_clock_callable_drives_defaults(self):
+        t = [100.0]
+        a = agg(clock=lambda: t[0])
+        a.observe_request(latency_ms=5, status=200)
+        t[0] = 130.0
+        snap = a.snapshot()
+        assert snap["count"] == 1  # t=100 is inside [71, 130]
+        t[0] = 200.0
+        assert a.snapshot()["count"] == 0  # window moved past it
+        assert a.snapshot()["total"] == 1  # lifetime total remains
+
+    def test_explicit_now_overrides_clock(self):
+        a = agg(clock=lambda: 0.0)
+        a.observe_request(latency_ms=5, status=200, now=100.0)
+        assert a.snapshot(now=100.0)["count"] == 1
+
+
+class TestBackwardsClock:
+    def test_small_backwards_step_still_counts(self):
+        a = agg()
+        a.observe_request(latency_ms=5, status=200, now=50.0)
+        a.observe_request(latency_ms=5, status=200, now=48.0)  # step back
+        snap = a.snapshot(now=50.0)
+        assert snap["count"] == 2
+
+    def test_no_phantom_bucket_from_the_future(self):
+        """A bucket written at a *later* epoch than ``now`` must not
+        leak into an earlier-window snapshot (epoch 200 and epoch 20
+        share ring slot 20 in a 60-slot ring — only the recorded epoch
+        distinguishes them)."""
+        a = agg()
+        a.observe_request(latency_ms=5, status=200, now=200.0)
+        snap = a.snapshot(now=100.0)  # clock stepped back 100 s
+        assert snap["count"] == 0
+        assert snap["per_bucket"] == []
+
+    def test_backwards_write_evicts_the_aliased_slot(self):
+        """Writing at an earlier epoch that aliases a newer slot resets
+        that slot — and the newer observation is gone, not doubled,
+        when the clock recovers."""
+        a = agg()
+        a.observe_request(latency_ms=5, status=200, now=100.0)  # slot 40
+        a.observe_request(latency_ms=5, status=200, now=40.0)   # same slot
+        snap = a.snapshot(now=100.0)
+        # Epoch 40 is outside [41, 100]; epoch 100's bucket was evicted.
+        assert snap["count"] == 0
+        # Observing again at now=100 starts a fresh, correct bucket.
+        a.observe_request(latency_ms=5, status=200, now=100.0)
+        assert a.snapshot(now=100.0)["count"] == 1
+        assert a.snapshot(now=100.0)["per_bucket"] == [1]
+
+    def test_zigzag_clock_never_inflates_counts(self):
+        a = agg()
+        times = [10.0, 70.0, 10.0, 70.0, 40.0, 70.0]
+        for t in times:
+            a.observe_request(latency_ms=5, status=200, now=t)
+        snap = a.snapshot(now=70.0)
+        # Window is [11, 70]: only epochs 70 (2 live writes after the
+        # last zigzag reset... exactly the slots whose epoch survived)
+        # and 40 qualify; count can never exceed the writes made.
+        assert snap["count"] <= len(times)
+        assert sum(snap["per_bucket"]) == snap["count"]
+        assert snap["total"] == len(times)
+
+    def test_status_and_slo_follow_the_window(self):
+        a = agg()
+        a.observe_request(latency_ms=5, status=500, now=200.0)
+        snap = a.snapshot(now=100.0)  # bad request is outside window
+        assert snap["by_status"] == {}
+        assert snap["slo"]["bad"] == 0
+        assert snap["slo"]["healthy"]
+
+
+class TestNearZeroClock:
+    def test_window_reaching_below_zero_is_fine(self):
+        """Fresh slots use a ``None`` epoch sentinel, so a window whose
+        oldest epoch is negative cannot match untouched slots."""
+        a = agg()
+        a.observe_request(latency_ms=5, status=200, now=2.0)
+        snap = a.snapshot(now=2.0)  # window spans epochs [-57, 2]
+        assert snap["count"] == 1
+        assert snap["per_bucket"] == [1]

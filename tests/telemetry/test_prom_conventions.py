@@ -1,0 +1,97 @@
+"""Prometheus exposition naming conventions — hostile names included.
+
+Counters must export as ``<base>[_<unit>]_total``: the unit token is
+inserted only when the sanitized name doesn't already carry it, and
+``_total`` is never doubled no matter what the counter is called.
+The exposition must stay parseable for arbitrary metric names.
+"""
+
+import re
+
+import pytest
+
+from repro.telemetry.export import _prom_counter_name, prometheus_exposition
+from repro.telemetry.metrics import MetricsRegistry
+
+VALID_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+class TestCounterNameResolution:
+    @pytest.mark.parametrize("name,unit,expect", [
+        # The real parallel-tier counters: unit token already present.
+        ("parallel.bytes_out", "bytes", "repro_parallel_bytes_out_total"),
+        ("parallel.bytes_in", "bytes", "repro_parallel_bytes_in_total"),
+        ("parallel.span_replay_bytes", "bytes",
+         "repro_parallel_span_replay_bytes_total"),
+        # Unit absent from the name: appended before _total.
+        ("requests", "bytes", "repro_requests_bytes_total"),
+        # No unit at all: plain _total.
+        ("runs.completed", "", "repro_runs_completed_total"),
+    ])
+    def test_convention(self, name, unit, expect):
+        assert _prom_counter_name(name, "repro_", unit) == expect
+
+    @pytest.mark.parametrize("name,unit,expect", [
+        # _total is stripped before suffixing — never doubled.
+        ("x_total", "", "repro_x_total"),
+        ("x_total", "bytes", "repro_x_bytes_total"),
+        ("bytes_total", "bytes", "repro_bytes_total"),
+        # Unit matching a *substring* (not a full token) still appends.
+        ("bytesish", "bytes", "repro_bytesish_bytes_total"),
+        # Unit as leading token is recognized.
+        ("bytes.sent", "bytes", "repro_bytes_sent_total"),
+    ])
+    def test_hostile_suffixes(self, name, unit, expect):
+        assert _prom_counter_name(name, "repro_", unit) == expect
+
+    def test_hostile_characters_sanitized(self):
+        got = _prom_counter_name('evil{x="1"}\n# TYPE', "repro_", "by tes")
+        assert VALID_NAME.match(got)
+        assert got.endswith("_total")
+
+    def test_idempotent_under_resuffixing(self):
+        # Feeding a conventional name back through changes nothing.
+        once = _prom_counter_name("parallel.bytes_out", "", "bytes")
+        again = _prom_counter_name(once, "", "bytes")
+        assert once == again == "parallel_bytes_out_total"
+
+
+class TestExposition:
+    def test_byte_counter_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("parallel.bytes_out", unit="bytes").inc(2832)
+        text = prometheus_exposition(reg)
+        assert ("# HELP repro_parallel_bytes_out_total repro counter "
+                "parallel.bytes_out (unit: bytes)") in text
+        assert "# TYPE repro_parallel_bytes_out_total counter" in text
+        assert "repro_parallel_bytes_out_total 2832" in text
+
+    def test_unitless_counter_has_no_unit_note(self):
+        reg = MetricsRegistry()
+        reg.counter("runs").inc()
+        text = prometheus_exposition(reg)
+        assert "repro_runs_total 1" in text
+        assert "(unit:" not in text
+
+    def test_every_line_parses(self):
+        reg = MetricsRegistry()
+        reg.counter('evil name\nwith="stuff"', unit="bytes").inc(3)
+        reg.counter("x_total", unit="bytes").inc(1)
+        reg.gauge("9starts.with.digit").set(7)
+        text = prometheus_exposition(reg)
+        for line in text.splitlines():
+            if line.startswith("#"):
+                kind, metric_name = line.split()[1:3]
+                assert kind in ("HELP", "TYPE")
+                assert VALID_NAME.match(metric_name)
+                assert "\n" not in line
+            else:
+                metric_name = line.split("{")[0].split()[0]
+                assert VALID_NAME.match(metric_name)
+
+    def test_total_never_doubled_in_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", unit="bytes").inc(1)
+        text = prometheus_exposition(reg)
+        assert "repro_x_bytes_total 1" in text
+        assert "_total_total" not in text

@@ -135,3 +135,65 @@ class TestDiffRecords:
         cur = [rec(seed=1)]
         kinds = {f["kind"] for f in diff_records(base, cur)}
         assert kinds == {"missing", "new"}
+
+
+class TestMemoryPanel:
+    """The Memory & data movement section from extra["resources"]."""
+
+    @staticmethod
+    def res(peak=4096, hops=2, bytes_out=2832, bytes_in=1224):
+        phases = [
+            {"name": "partition", "time": 25, "work": 2000, "steps": 2,
+             "wall_s": 0.002, "alloc_net_b": 128, "alloc_peak_b": peak,
+             "bytes_touched": 32000, "bandwidth_bps": 1.6e10},
+            {"name": "cutwalk", "time": 25, "work": 2000, "steps": 1,
+             "wall_s": 0.001, "alloc_net_b": -64, "alloc_peak_b": 1024,
+             "bytes_touched": 32000, "bandwidth_bps": 3.2e10},
+        ]
+        return {
+            "backend": "reference",
+            "model": {"name": "array-sweep-rw-v1", "bytes_per_work": 16},
+            "phases": phases,
+            "ledger": {"bytes_out": bytes_out, "bytes_in": bytes_in,
+                       "span_replay_bytes": 512, "shard_hops": hops},
+            "peak_alloc_b": peak,
+        }
+
+    def test_absent_without_resources(self):
+        html = render_report(FIXTURE)
+        assert "Memory &amp; data movement" not in html
+
+    def test_panel_renders_all_three_cards(self):
+        html = render_report([rec(resources=self.res())])
+        assert "Memory &amp; data movement" in html
+        assert "tracemalloc peaks" in html            # stacked bars
+        assert "bytes-touched model" in html          # bandwidth table
+        assert "array-sweep-rw-v1" in html
+        assert "zero-copy" in html                    # ledger table
+        assert "span replay" in html
+
+    def test_byte_quantities_formatted(self):
+        html = render_report([rec(resources=self.res(
+            peak=3 * 1024 * 1024, bytes_out=2832))])
+        assert "3.0 MiB" in html
+        assert "2.8 KiB" in html
+
+    def test_no_ledger_without_shard_hops(self):
+        html = render_report([rec(resources=self.res(hops=0))])
+        assert "Memory &amp; data movement" in html
+        assert "shard hops" not in html
+
+    def test_tags_stay_balanced(self):
+        html = render_report([rec(resources=self.res())])
+        for tag in ("div", "table", "tr", "td"):
+            assert html.count(f"<{tag}") == html.count(f"</{tag}>"), tag
+
+    def test_hostile_phase_name_escaped(self):
+        res = self.res()
+        res["phases"][0]["name"] = "<script>alert(1)</script>"
+        html = render_report([rec(resources=res)])
+        assert "<script>alert" not in html
+
+    def test_deterministic(self):
+        records = [rec(resources=self.res())]
+        assert render_report(records) == render_report(records)

@@ -124,11 +124,22 @@ class TestAppendRecordRotation:
             append_record(path, self.record(i), max_bytes=600)
         rolled = path.with_name(path.name + ".1")
         assert rolled.exists()
-        tail = [r.extra["i"] for r in read_records(path)]
-        prev = [r.extra["i"] for r in read_records(rolled)]
+        tail = [r.extra["i"] for r in read_records(path, rotated=False)]
+        prev = [r.extra["i"] for r in read_records(rolled, rotated=False)]
         assert tail == sorted(tail) and prev == sorted(prev)
         assert tail[-1] == 19  # newest record in the live file
         assert prev[-1] + 1 == tail[0]  # contiguous across the roll
+
+    def test_default_read_spans_the_roll(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        for i in range(20):
+            append_record(path, self.record(i), max_bytes=600)
+        assert path.with_name(path.name + ".1").exists()
+        # The default read stitches rolled generations (oldest first)
+        # onto the live file — no record silently dropped at the roll.
+        seen = [r.extra["i"] for r in read_records(path)]
+        assert seen == sorted(seen)
+        assert seen[-1] == 19
 
     def test_no_max_bytes_never_rotates(self, tmp_path):
         path = tmp_path / "runs.jsonl"

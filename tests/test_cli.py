@@ -313,3 +313,86 @@ class TestFoldAndTraceCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "maximal   : True" in out
+
+
+class TestProfileMemory:
+    """repro profile --memory: the resource account's CLI surface."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_resources(self):
+        from repro.telemetry import resources
+        yield
+        resources.disable()
+        resources.reset()
+
+    def test_memory_flag_writes_profile_and_summary(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "prof"
+        rc = main(["profile", "match4", "--n", "512", "--memory",
+                   "--out", str(out)])
+        text = capsys.readouterr().out
+        assert rc == 0
+        assert "memory    :" in text
+        assert "peak alloc:" in text
+        data = json.loads((out / "memory-profile.json").read_text())
+        assert data["model"]["name"] == "array-sweep-rw-v1"
+        assert data["peak_alloc_b"] > 0
+        assert any(ph["alloc_peak_b"] is not None
+                   for ph in data["phases"])
+        assert str(out / "memory-profile.json") in text
+
+    def test_record_carries_resources(self, capsys, tmp_path):
+        out = tmp_path / "prof"
+        main(["profile", "match4", "--n", "512", "--memory",
+              "--out", str(out)])
+        capsys.readouterr()
+        from repro.telemetry import read_records
+
+        (record,) = read_records(out / "runs.jsonl")
+        res = record.extra["resources"]
+        assert res["peak_alloc_b"] > 0
+        assert res["backend"] == record.backend
+
+    def test_trace_gains_counter_tracks(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "prof"
+        main(["profile", "match4", "--n", "512", "--memory",
+              "--out", str(out)])
+        capsys.readouterr()
+        data = json.loads((out / "trace.json").read_text())
+        names = {e["name"] for e in data["traceEvents"]}
+        assert "phase alloc (B)" in names
+
+    def test_without_flag_no_memory_artifacts(self, capsys, tmp_path):
+        out = tmp_path / "prof"
+        main(["profile", "match4", "--n", "256", "--out", str(out)])
+        text = capsys.readouterr().out
+        assert not (out / "memory-profile.json").exists()
+        assert "memory    :" not in text
+
+    def test_env_var_attaches_resources_to_match_record(
+            self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESOURCES", "full")
+        path = tmp_path / "runs.jsonl"
+        rc = main(["match", "--n", "256", "--record", str(path)])
+        capsys.readouterr()
+        assert rc == 0
+        from repro.telemetry import read_records
+
+        (record,) = read_records(path)
+        assert record.extra["resources"]["peak_alloc_b"] > 0
+
+    def test_report_renders_memory_panel(self, capsys, tmp_path):
+        out = tmp_path / "prof"
+        main(["profile", "match4", "--n", "512", "--memory",
+              "--out", str(out)])
+        capsys.readouterr()
+        html_path = tmp_path / "report.html"
+        rc = main(["report", str(out / "runs.jsonl"),
+                   "--out", str(html_path)])
+        assert rc == 0
+        html = html_path.read_text(encoding="utf-8")
+        assert "Memory &amp; data movement" in html
+        assert "bytes-touched model" in html

@@ -228,3 +228,58 @@ class TestServiceRecords:
         cur = _manifest(tmp_path, "cur.jsonl",
                         [_record(time=282), self._service_record()])
         assert compare_mod.main([base, cur, "--ignore-wallclock"]) == 1
+
+
+class TestPeakAlloc:
+    """The peak_alloc_b column from embedded resource accounts."""
+
+    def _rec(self, peak, **kw):
+        resources = {"peak_alloc_b": peak,
+                     "ledger": {"bytes_out": 0, "bytes_in": 0}}
+        return _record(extra={"resources": resources}, **kw)
+
+    def test_resources_excluded_from_identity(self, compare_mod, tmp_path):
+        """Two runs of the same workload pair up even though their
+        measured resource payloads differ."""
+        base = _manifest(tmp_path, "base.jsonl", [self._rec(1000)])
+        cur = _manifest(tmp_path, "cur.jsonl", [self._rec(1010)])
+        assert compare_mod.main([base, cur, "--ignore-wallclock"]) == 0
+
+    def test_regression_beyond_tolerance_fails(self, compare_mod, tmp_path):
+        base = _manifest(tmp_path, "base.jsonl", [self._rec(1000)])
+        cur = _manifest(tmp_path, "cur.jsonl", [self._rec(2000)])
+        assert compare_mod.main([base, cur, "--ignore-wallclock"]) == 1
+
+    def test_within_default_tolerance_passes(self, compare_mod, tmp_path):
+        base = _manifest(tmp_path, "base.jsonl", [self._rec(1000)])
+        cur = _manifest(tmp_path, "cur.jsonl", [self._rec(1200)])
+        assert compare_mod.main([base, cur, "--ignore-wallclock"]) == 0
+
+    def test_custom_tolerance_flag(self, compare_mod, tmp_path):
+        base = _manifest(tmp_path, "base.jsonl", [self._rec(1000)])
+        cur = _manifest(tmp_path, "cur.jsonl", [self._rec(2000)])
+        assert compare_mod.main(
+            [base, cur, "--ignore-wallclock",
+             "--peak-alloc-tol", "1.5"]) == 0
+
+    def test_ignore_wallclock_keeps_peak_alloc_gated(
+            self, compare_mod, tmp_path):
+        """--ignore-wallclock is about machine speed; allocation volume
+        does not depend on it and must stay gated."""
+        base = _manifest(tmp_path, "base.jsonl",
+                         [self._rec(1000, wall_s=0.001)])
+        cur = _manifest(tmp_path, "cur.jsonl",
+                        [self._rec(5000, wall_s=9.0)])
+        assert compare_mod.main([base, cur, "--ignore-wallclock"]) == 1
+
+    def test_baseline_without_resources_tolerates_current_with(
+            self, compare_mod, tmp_path):
+        base = _manifest(tmp_path, "base.jsonl", [_record()])
+        cur = _manifest(tmp_path, "cur.jsonl", [self._rec(1000)])
+        assert compare_mod.main([base, cur, "--ignore-wallclock"]) == 0
+
+    def test_metrics_expose_the_column(self, compare_mod, tmp_path):
+        path = _manifest(tmp_path, "m.jsonl", [self._rec(4096)])
+        metrics = compare_mod.load_metrics(path)
+        (key,) = metrics
+        assert metrics[key]["floats"]["peak_alloc_b"] == 4096.0
