@@ -1,0 +1,182 @@
+"""Churn scaling: amortized local repair vs from-scratch recompute.
+
+Drives the same seeded edit stream (``repro.dynamic.churn``) through a
+maintained :class:`~repro.dynamic.DynamicList` and through an
+unmaintained twin that recomputes every component's matching from
+scratch after each edit, at several list sizes.  Checks first that the
+two arms apply bit-identical edit traces and both end maximal, then
+reports wall time per edit, amortized matching moves per edit, and the
+worst single-edit move count — the dynamic tier's acceptance number:
+``max_moves_per_edit`` must stay below a size-independent constant
+(:data:`MOVE_BOUND`) while the recompute arm's per-edit moves grow
+with ``n``.
+
+Run standalone (prints the scaling table, writes the JSON twin)::
+
+    PYTHONPATH=src python benchmarks/bench_churn.py \\
+        [--sizes 256,1024,4096] [--rate 0.5] [--seed 7] \\
+        [--json churn-scaling.json]
+
+or under pytest-benchmark::
+
+    pytest benchmarks/bench_churn.py --benchmark-json=out.json
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import verify_maximal_matching
+from repro.dynamic import ChurnConfig, ChurnSession
+
+# Empirically the worklist repair never exceeds 4 moves / 6 touched
+# per edit (see docs/dynamic.md); 8 leaves slack without letting a
+# linear regression hide.
+MOVE_BOUND = 8
+
+SIZES = tuple(int(s) for s in os.environ.get(
+    "REPRO_BENCH_CHURN_SIZES", "256,1024,4096").split(","))
+RATE = float(os.environ.get("REPRO_BENCH_CHURN_RATE", 0.5))
+SEED = 7
+LAYOUT = "random"
+
+
+def _config(n: int, rate: float, seed: int) -> ChurnConfig:
+    return ChurnConfig(
+        steps=max(1, int(n * rate)), seed=seed, n_initial=n,
+        layout=LAYOUT, burstiness=0.2, burst_len=8, hotspot=0.5)
+
+
+def _run_repair(cfg: ChurnConfig) -> tuple[ChurnSession, float]:
+    sess = ChurnSession(cfg)
+    t0 = time.perf_counter()
+    sess.run()
+    return sess, time.perf_counter() - t0
+
+
+def _run_recompute(cfg: ChurnConfig) -> tuple[ChurnSession, float]:
+    sess = ChurnSession(cfg, maintain=False)
+    t0 = time.perf_counter()
+    sess.run(on_edit=lambda s, k, op: s.dyn.recompute())
+    return sess, time.perf_counter() - t0
+
+
+def _verify_maximal(sess: ChurnSession) -> None:
+    sess.dyn.verify()
+    for snap in sess.dyn.components():
+        verify_maximal_matching(snap.lst, snap.tails)
+
+
+def measure(n: int, rate: float, seed: int) -> dict:
+    """One scaling point: both arms on the identical edit stream."""
+    cfg = _config(n, rate, seed)
+    repair, repair_s = _run_repair(cfg)
+    recomp, recomp_s = _run_recompute(cfg)
+    if repair.trace != recomp.trace:
+        raise AssertionError(
+            f"n={n}: repair and recompute arms diverged on the edit "
+            f"trace — the stream is no longer maintenance-independent")
+    _verify_maximal(repair)
+    _verify_maximal(recomp)
+
+    led_rep = repair.dyn.ledger
+    led_rec = recomp.dyn.ledger
+    edits = led_rep.edits
+    if led_rep.max_moves_per_edit > MOVE_BOUND:
+        raise AssertionError(
+            f"n={n}: repair made {led_rep.max_moves_per_edit} moves in "
+            f"one edit, over the O(1) bound {MOVE_BOUND}")
+    return {
+        "n": n,
+        "steps": cfg.steps,
+        "edits": edits,
+        "repair": {
+            "wall_s": repair_s,
+            "per_edit_us": repair_s / edits * 1e6,
+            "moves": led_rep.moves,
+            "amortized_moves": led_rep.amortized_moves(),
+            "max_moves_per_edit": led_rep.max_moves_per_edit,
+            "max_touched_per_edit": led_rep.max_touched_per_edit,
+        },
+        "recompute": {
+            "wall_s": recomp_s,
+            "per_edit_us": recomp_s / edits * 1e6,
+            "moves": led_rec.maintenance_moves,
+            "amortized_moves": led_rec.maintenance_moves / edits,
+            "recomputes": led_rec.recomputes,
+        },
+        "speedup": recomp_s / repair_s,
+    }
+
+
+def sweep(sizes, rate: float, seed: int) -> dict:
+    rows = [measure(n, rate, seed) for n in sizes]
+    return {"bench": "bench_churn", "layout": LAYOUT, "rate": rate,
+            "seed": seed, "move_bound": MOVE_BOUND, "rows": rows}
+
+
+# -- pytest-benchmark hooks ----------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def small_cfg():
+    return _config(min(SIZES), RATE, SEED)
+
+
+def test_churn_repair_wallclock(benchmark, small_cfg):
+    sess = benchmark(lambda: _run_repair(small_cfg)[0])
+    _verify_maximal(sess)
+    assert sess.dyn.ledger.max_moves_per_edit <= MOVE_BOUND
+
+
+def test_churn_recompute_wallclock(benchmark, small_cfg):
+    sess = benchmark(lambda: _run_recompute(small_cfg)[0])
+    _verify_maximal(sess)
+
+
+# -- CLI -----------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", default=",".join(map(str, SIZES)),
+                        help="comma-separated initial list sizes")
+    parser.add_argument("--rate", type=float, default=RATE,
+                        help="edits per initial node (churn rate)")
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--json", default="",
+                        help="also write the measurement to this file")
+    args = parser.parse_args(argv)
+    sizes = tuple(int(s) for s in args.sizes.split(","))
+
+    out = sweep(sizes, args.rate, args.seed)
+    print(f"churn rate {args.rate} edits/node, layout={LAYOUT}, "
+          f"seed={args.seed}")
+    print(f"{'n':>7} {'edits':>6} {'repair us/edit':>14} "
+          f"{'recomp us/edit':>14} {'speedup':>8} {'amort mv':>8} "
+          f"{'max mv':>6}")
+    for row in out["rows"]:
+        rep, rec = row["repair"], row["recompute"]
+        print(f"{row['n']:>7} {row['edits']:>6} "
+              f"{rep['per_edit_us']:>14.1f} {rec['per_edit_us']:>14.1f} "
+              f"{row['speedup']:>8.1f} {rep['amortized_moves']:>8.2f} "
+              f"{rep['max_moves_per_edit']:>6}")
+    worst = max(r["repair"]["max_moves_per_edit"] for r in out["rows"])
+    print(f"worst single-edit repair: {worst} moves "
+          f"(bound {MOVE_BOUND}); recompute cost grows with n, "
+          f"repair cost does not")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(out, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

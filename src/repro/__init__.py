@@ -92,6 +92,8 @@ from .parallel import ParallelConfig, using_config
 from . import planner
 from .planner import ExecutionPolicy, Planner
 from .resilience import resilient_matching
+from . import dynamic
+from .dynamic import ChurnConfig, ChurnSession, DynamicList, RepairLedger
 from ._buildinfo import build_info, version_string
 from .telemetry import METRICS, RunRecord
 
@@ -99,8 +101,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     # subpackages
-    "analysis", "apps", "backends", "baselines", "bits", "core", "lists",
-    "parallel", "planner", "pram", "telemetry",
+    "analysis", "apps", "backends", "baselines", "bits", "core",
+    "dynamic", "lists", "parallel", "planner", "pram", "telemetry",
     # errors
     "ReproError", "InvalidListError", "InvalidParameterError",
     "PRAMError", "MemoryConflictError", "VerificationError",
@@ -121,6 +123,8 @@ __all__ = [
     "ParallelConfig", "using_config",
     # planner
     "ExecutionPolicy", "Planner", "resilient_matching",
+    # dynamic
+    "ChurnConfig", "ChurnSession", "DynamicList", "RepairLedger",
     # apps
     "three_coloring", "mis_from_coloring", "mis_from_matching",
     "contraction_ranks", "list_ranks", "list_prefix_sums",

@@ -16,6 +16,10 @@ all three on the core library:
   Wyllie's ``Theta(n log n)``-work pointer jumping.
 - :mod:`repro.apps.prefix` — data-dependent prefix sums over the list
   via ranking.
+- :mod:`repro.apps.contraction` — Han's uniform linked-list
+  contraction (arXiv:2002.05034): contract to a single node in
+  ``O(log n)`` matching-driven rounds, optionally seeded by a dynamic
+  session's maintained matching.
 """
 
 from .coloring import (
@@ -29,6 +33,13 @@ from .mis import (
     mis_from_matching,
     verify_independent_set,
 )
+from .contraction import (
+    UniformContractionStats,
+    contract_dynamic,
+    contraction_representatives,
+    uniform_contraction,
+    verify_contraction,
+)
 from .ranking import contraction_ranks, list_ranks, sequential_ranks
 from .prefix import list_prefix_sums
 from .fold import OPERATORS, list_prefix_fold, list_suffix_fold
@@ -41,6 +52,11 @@ __all__ = [
     "mis_from_coloring",
     "mis_from_matching",
     "verify_independent_set",
+    "UniformContractionStats",
+    "contract_dynamic",
+    "contraction_representatives",
+    "uniform_contraction",
+    "verify_contraction",
     "contraction_ranks",
     "list_ranks",
     "sequential_ranks",

@@ -15,6 +15,10 @@ Gives the library a shell-usable face:
 - ``fold``   — data-dependent prefix/suffix folds (sum/max/min).
 - ``trace``  — space-time diagram of the instruction-level Match4.
 - ``selfcheck`` — the installation check battery.
+- ``dynamic`` — churn a live list through a seeded edit stream while
+  the matching is repaired locally (or recomputed per batch; ``auto``
+  asks the planner), with optional fault injection and a final
+  uniform-contraction pass (see ``docs/dynamic.md``).
 - ``profile`` — one-shot profiler: run an algorithm under telemetry
   capture (plus an instruction-level machine twin), write a Perfetto
   trace, a ProfileReport JSON, a Prometheus exposition, and a
@@ -293,6 +297,94 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     report = run_selfcheck(n=args.n, seed=args.seed)
     print(report.summary)
     return 0 if report.passed else 1
+
+
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.matching import verify_maximal_matching
+    from .dynamic import ChurnConfig, ChurnSession, decide_maintenance
+    from .pram.faults import FaultPlan
+
+    cfg = ChurnConfig(
+        steps=args.steps, seed=args.seed, n_initial=args.n,
+        layout=args.layout, burstiness=args.burstiness,
+        burst_len=args.burst_len, hotspot=args.hotspot)
+
+    strategy = args.maintain
+    decision = None
+    if strategy == "auto":
+        decision = decide_maintenance(
+            n=max(args.n, 1), batch_size=max(args.batch, 1))
+        strategy = decision.strategy
+        print(f"planner: {decision.strategy} "
+              f"(batch={args.batch}, rule={decision.decision.rule}, "
+              f"candidates={len(decision.decision.candidates)})")
+
+    plan = None
+    if args.flips or args.drops:
+        plan = FaultPlan.random(
+            seed=args.seed, nprocs=1, memory_size=max(args.n * 2, 8),
+            max_step=max(args.steps, 1), crashes=0,
+            flips=args.flips, drops=args.drops)
+
+    sess = ChurnSession(cfg, fault_plan=plan,
+                        maintain=(strategy == "repair"))
+    if strategy == "recompute":
+        batch = max(args.batch, 1)
+
+        def on_edit(s: ChurnSession, k: int, op: str) -> None:
+            if k % batch == 0:
+                s.dyn.recompute(backend=args.backend)
+
+        result = sess.run(on_edit=on_edit)
+        if sess.dyn.ledger.edits % batch:
+            sess.dyn.recompute(backend=args.backend)
+    else:
+        result = sess.run()
+
+    if plan is not None:
+        rep = sess.dyn.stabilize()
+        print(f"faults: {result.faults_injected} injected "
+              f"({result.writes_suppressed} writes dropped), "
+              f"stabilize: {rep.moves} moves over {rep.components} "
+              f"components, {rep.dead_bits_cleared} dead bits cleared")
+
+    sess.dyn.verify()
+    for snap in sess.dyn.components():
+        verify_maximal_matching(snap.lst, snap.tails)
+    led = sess.dyn.ledger
+    print(f"churn: {result.steps_run} edits on layout={cfg.layout} "
+          f"(seed={cfg.seed}, burstiness={cfg.burstiness}, "
+          f"hotspot={cfg.hotspot})")
+    ops = ", ".join(f"{k}={v}" for k, v in sorted(result.applied.items()))
+    print(f"ops: {ops}")
+    print(f"repair: {led.moves} moves / {led.edits} edits "
+          f"(amortized {led.amortized_moves():.2f}, "
+          f"max {led.max_moves_per_edit}/edit, "
+          f"touched max {led.max_touched_per_edit}), "
+          f"recomputes={led.recomputes}")
+    print(f"arena: {sess.dyn.n_live} live nodes, "
+          f"{sess.dyn.heads().size} components, "
+          f"{sess.dyn.tails().size} matched pointers — "
+          f"all components verified maximal")
+
+    if args.contract:
+        from .apps import contract_dynamic
+        rounds = [stats.rounds
+                  for _, _, _, stats in contract_dynamic(sess.dyn)]
+        print(f"contraction: {len(rounds)} components contracted to "
+              f"one node in {max(rounds) if rounds else 0} rounds "
+              f"(max), round 0 seeded by the maintained matching")
+
+    if args.json:
+        out = result.to_dict()
+        if decision is not None:
+            out["planner"] = decision.to_dict()
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(out, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -692,6 +784,41 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--n", type=int, default=2048)
     sc.add_argument("--seed", type=int, default=0)
     sc.set_defaults(fn=_cmd_selfcheck)
+
+    dy = sub.add_parser(
+        "dynamic",
+        help="churn a dynamic list, maintaining its matching")
+    dy.add_argument("--n", type=int, default=256,
+                    help="initial list size (0 = empty arena)")
+    dy.add_argument("--layout", default="random",
+                    choices=["rings", "runs", "gray", "bitrev", "random"],
+                    help="initial layout (gray/bitrev need power-of-2 n)")
+    dy.add_argument("--seed", type=int, default=0)
+    dy.add_argument("--steps", type=int, default=500,
+                    help="number of edits (default 500)")
+    dy.add_argument("--burstiness", type=float, default=0.0,
+                    help="probability an op starts a burst (default 0)")
+    dy.add_argument("--burst-len", type=int, default=8)
+    dy.add_argument("--hotspot", type=float, default=0.0,
+                    help="operand skew toward low addresses (default 0)")
+    dy.add_argument("--maintain", default="repair",
+                    choices=["repair", "recompute", "auto"],
+                    help="maintenance strategy; auto asks the planner "
+                         "(priced by --batch)")
+    dy.add_argument("--batch", type=int, default=1,
+                    help="edits per maintenance decision/recompute")
+    dy.add_argument("--backend", default="reference",
+                    choices=["reference", "numpy"],
+                    help="engine for recompute passes")
+    dy.add_argument("--flips", type=int, default=0,
+                    help="random bit-flip faults on the matching array")
+    dy.add_argument("--drops", type=int, default=0,
+                    help="random dropped-write faults (lost repairs)")
+    dy.add_argument("--contract", action="store_true",
+                    help="finish with uniform contraction per component")
+    dy.add_argument("--json", default="", metavar="PATH",
+                    help="write the churn result as JSON to PATH")
+    dy.set_defaults(fn=_cmd_dynamic)
 
     pf = sub.add_parser(
         "profile",

@@ -1,0 +1,43 @@
+"""Dynamic lists: matchings maintained under churn, repaired locally.
+
+The static tier answers "what is a maximal matching of this list";
+this package keeps the answer current while the list mutates.  See
+:mod:`repro.dynamic.session` for the arena and the O(1)-radius repair,
+:mod:`repro.dynamic.churn` for seeded edit-stream workloads, and
+:mod:`repro.dynamic.policy` for the planner-priced repair-vs-recompute
+maintenance knob.
+"""
+
+from .churn import (
+    CHURN_LAYOUTS,
+    ChurnConfig,
+    ChurnResult,
+    ChurnSession,
+    make_churn_list,
+)
+from .policy import (
+    MaintenanceDecision,
+    decide_maintenance,
+    install_maintenance_rule,
+)
+from .session import (
+    ComponentSnapshot,
+    DynamicList,
+    RepairLedger,
+    StabilizeReport,
+)
+
+__all__ = [
+    "CHURN_LAYOUTS",
+    "ChurnConfig",
+    "ChurnResult",
+    "ChurnSession",
+    "ComponentSnapshot",
+    "DynamicList",
+    "MaintenanceDecision",
+    "RepairLedger",
+    "StabilizeReport",
+    "decide_maintenance",
+    "install_maintenance_rule",
+    "make_churn_list",
+]

@@ -1,0 +1,338 @@
+"""Seeded churn workloads for dynamic-list sessions.
+
+A :class:`ChurnSession` drives a :class:`~repro.dynamic.DynamicList`
+through a deterministic stream of edits drawn from a configurable op
+mix, with two knobs real traffic has and uniform sampling does not:
+
+- **burstiness** — with probability ``burstiness`` an op starts a
+  burst: the same op kind repeats for the next ``burst_len`` steps
+  (bulk loads, mass deletes);
+- **hotspot skew** — operand choice concentrates on low arena
+  addresses as ``hotspot`` grows (a power-law transform of the
+  uniform draw), modeling keys that are edited far more than others.
+
+Everything is derived from ``ChurnConfig.seed``: the same config
+replays the same edit stream, byte for byte — the property the
+differential suite and the seeded-determinism CI checks rely on.
+
+Fault injection reuses the PRAM tier's :class:`~repro.pram.faults
+.FaultPlan` vocabulary against the matching array: a ``BitFlip``
+scheduled for step ``k`` flips a ``chosen`` bit before edit ``k``, and
+a ``DroppedWrite`` / ``ProcessorCrash`` suppresses edit ``k``'s
+matching writes (the structural edit lands, its repair is lost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..lists import generators as _gen
+from ..lists.linked_list import NIL, LinkedList
+from ..pram.faults import BitFlip, DroppedWrite, FaultPlan, ProcessorCrash
+from .session import DynamicList
+
+__all__ = [
+    "CHURN_LAYOUTS",
+    "ChurnConfig",
+    "ChurnResult",
+    "ChurnSession",
+    "make_churn_list",
+]
+
+#: Default op mix: inserts slightly outnumber deletes so sessions grow
+#: slowly; structural ops are the seasoning, not the diet.
+DEFAULT_OP_WEIGHTS: tuple[tuple[str, float], ...] = (
+    ("insert_after", 4.0),
+    ("delete", 3.0),
+    ("split", 1.0),
+    ("concat", 1.0),
+    ("splice_out", 0.5),
+    ("splice_in", 0.5),
+    ("add_node", 0.5),
+)
+
+
+def _rings(n: int, seed: int) -> LinkedList:
+    """A rotated-sequential layout: the ring ``0→1→…→n-1→0`` cut open
+    at a seed-chosen node, so the path wraps around the address space
+    once instead of starting at 0."""
+    cut = int(np.random.default_rng(seed).integers(0, n))
+    return LinkedList.from_order(np.roll(np.arange(n, dtype=np.int64), -cut))
+
+
+def _runs(n: int, seed: int) -> LinkedList:
+    """Sequential runs of 8 shuffled within blocks (blocked layout)."""
+    return _gen.blocked_list(n, block=min(8, n), rng=seed)
+
+
+#: Layout vocabulary of the churn harness (the ISSUE's five), keyed by
+#: name; each maps ``(n, seed) -> LinkedList``.  ``gray``/``bitrev``
+#: inherit the generators' power-of-two requirement.
+CHURN_LAYOUTS: dict[str, Callable[[int, int], LinkedList]] = {
+    "rings": _rings,
+    "runs": _runs,
+    "gray": lambda n, seed: _gen.gray_code_list(n),
+    "bitrev": lambda n, seed: _gen.bit_reversal_list(n),
+    "random": lambda n, seed: _gen.random_list(n, seed),
+}
+
+
+def make_churn_list(layout: str, n: int, seed: int) -> LinkedList:
+    """Build the initial list for a churn session (``n >= 1``)."""
+    try:
+        maker = CHURN_LAYOUTS[layout]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown churn layout {layout!r}; choose from "
+            f"{sorted(CHURN_LAYOUTS)}") from None
+    return maker(n, seed)
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """One reproducible churn workload, fully described."""
+
+    steps: int = 100
+    seed: int = 0
+    n_initial: int = 64
+    layout: str = "random"
+    op_weights: tuple[tuple[str, float], ...] = DEFAULT_OP_WEIGHTS
+    burstiness: float = 0.0
+    burst_len: int = 8
+    hotspot: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.steps < 0:
+            raise InvalidParameterError(f"steps must be >= 0: {self.steps}")
+        if self.n_initial < 0:
+            raise InvalidParameterError(
+                f"n_initial must be >= 0: {self.n_initial}")
+        if not 0.0 <= self.burstiness <= 1.0:
+            raise InvalidParameterError(
+                f"burstiness must be in [0, 1]: {self.burstiness}")
+        if self.burst_len < 1:
+            raise InvalidParameterError(
+                f"burst_len must be >= 1: {self.burst_len}")
+        if self.hotspot < 0.0:
+            raise InvalidParameterError(
+                f"hotspot must be >= 0: {self.hotspot}")
+        names = [name for name, _ in self.op_weights]
+        if len(set(names)) != len(names) or not names:
+            raise InvalidParameterError("op_weights must name distinct ops")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "steps": self.steps,
+            "seed": self.seed,
+            "n_initial": self.n_initial,
+            "layout": self.layout,
+            "op_weights": [list(w) for w in self.op_weights],
+            "burstiness": self.burstiness,
+            "burst_len": self.burst_len,
+            "hotspot": self.hotspot,
+        }
+
+
+@dataclass
+class ChurnResult:
+    """What one churn run did: applied ops, faults, final shape."""
+
+    config: ChurnConfig
+    applied: dict[str, int] = field(default_factory=dict)
+    steps_run: int = 0
+    faults_injected: int = 0
+    writes_suppressed: int = 0
+    final_n_live: int = 0
+    final_components: int = 0
+    ledger: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "config": self.config.to_dict(),
+            "applied": dict(sorted(self.applied.items())),
+            "steps_run": self.steps_run,
+            "faults_injected": self.faults_injected,
+            "writes_suppressed": self.writes_suppressed,
+            "final_n_live": self.final_n_live,
+            "final_components": self.final_components,
+            "ledger": self.ledger,
+        }
+
+
+class ChurnSession:
+    """Drives a dynamic list through a seeded edit stream.
+
+    Parameters
+    ----------
+    config:
+        The workload description; all randomness flows from its seed.
+    dyn:
+        An existing session to churn; built from the config's layout
+        when omitted (``n_initial == 0`` starts from an empty arena).
+    fault_plan:
+        Optional :class:`FaultPlan` whose step numbers (1-based) index
+        edit steps.
+    """
+
+    def __init__(
+        self,
+        config: ChurnConfig,
+        *,
+        dyn: DynamicList | None = None,
+        fault_plan: FaultPlan | None = None,
+        backend: str = "reference",
+        maintain: bool = True,
+    ) -> None:
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        if dyn is None:
+            if config.n_initial == 0:
+                dyn = DynamicList(maintain=maintain)
+            else:
+                lst = make_churn_list(
+                    config.layout, config.n_initial, config.seed)
+                dyn = DynamicList.from_list(
+                    lst, backend=backend, maintain=maintain)
+        self.dyn = dyn
+        self.fault_plan = fault_plan
+        self.trace: list[tuple[int, str, tuple[int, ...]]] = []
+        self.applied: dict[str, int] = {}
+        self.faults_injected = 0
+        self._burst_op: str | None = None
+        self._burst_left = 0
+        self._op_names = [name for name, _ in config.op_weights]
+        weights = np.array([w for _, w in config.op_weights], dtype=float)
+        self._op_probs = weights / weights.sum()
+
+    # -- operand selection -------------------------------------------------
+
+    def _skew(self) -> float:
+        u = float(self.rng.random())
+        if self.config.hotspot > 0.0:
+            u = u ** (1.0 + 4.0 * self.config.hotspot)
+        return u
+
+    def _pick(self, arr: np.ndarray) -> int:
+        """Pick one entry, skewed toward low addresses by ``hotspot``."""
+        return int(arr[min(int(self._skew() * arr.size), arr.size - 1)])
+
+    def _choose_op(self) -> str:
+        if self._burst_left > 0:
+            self._burst_left -= 1
+            assert self._burst_op is not None
+            return self._burst_op
+        op = self._op_names[int(
+            self.rng.choice(len(self._op_names), p=self._op_probs))]
+        if self.config.burstiness > 0.0 \
+                and float(self.rng.random()) < self.config.burstiness:
+            self._burst_op = op
+            self._burst_left = self.config.burst_len - 1
+        return op
+
+    # -- the edit stream ---------------------------------------------------
+
+    def _apply(self, op: str) -> tuple[str, tuple[int, ...]]:
+        """Apply ``op`` if feasible, falling back deterministically.
+
+        Returns the op actually applied and its operands, so the trace
+        is an exact replay script.
+        """
+        dyn = self.dyn
+        nodes = dyn.nodes()
+        if op == "insert_after" and nodes.size:
+            v = self._pick(nodes)
+            u = dyn.insert_after(v)
+            return "insert_after", (v, u)
+        if op == "delete" and nodes.size:
+            v = self._pick(nodes)
+            dyn.delete(v)
+            return "delete", (v,)
+        if op == "split" and nodes.size:
+            splittable = nodes[dyn._next[nodes] != NIL]
+            if splittable.size:
+                v = self._pick(splittable)
+                w = dyn.split(v)
+                return "split", (v, w)
+        if op == "concat":
+            tails = dyn.component_tails()
+            heads = dyn.heads()
+            if tails.size and heads.size >= 2:
+                t = self._pick(tails)
+                start = min(int(self._skew() * heads.size), heads.size - 1)
+                for k in range(heads.size):
+                    h = int(heads[(start + k) % heads.size])
+                    try:
+                        dyn.concat(t, h)
+                        return "concat", (t, h)
+                    except InvalidParameterError:
+                        continue  # same component (or t itself): next head
+        if op == "splice_out" and nodes.size:
+            a = self._pick(nodes)
+            b = a
+            for _ in range(int(self.rng.integers(0, 3))):
+                nb = dyn.next_of(b)
+                if nb == NIL:
+                    break
+                b = nb
+            dyn.splice_out(a, b)
+            return "splice_out", (a, b)
+        if op == "splice_in":
+            heads = dyn.heads()
+            if heads.size >= 2:
+                h = self._pick(heads)
+                members = set(dyn.walk(h))
+                others = np.array(
+                    [x for x in dyn.nodes() if int(x) not in members],
+                    dtype=np.int64)
+                if others.size:
+                    v = self._pick(others)
+                    dyn.splice_in(v, h)
+                    return "splice_in", (v, h)
+        # Fallback keeps every step productive (and the stream aligned
+        # with its seed): an arena can always grow.
+        u = dyn.add_node()
+        return "add_node", (u,)
+
+    def _inject_faults(self, step: int) -> None:
+        if self.fault_plan is None:
+            return
+        for ev in self.fault_plan.faults_at(step):
+            self.faults_injected += 1
+            if isinstance(ev, BitFlip):
+                self.dyn.corrupt_bit(ev.addr)
+            elif isinstance(ev, (DroppedWrite, ProcessorCrash)):
+                self.dyn.suppress_next_maintenance()
+
+    def step(self, k: int) -> tuple[str, tuple[int, ...]]:
+        """Run edit step ``k`` (1-based, to match ``FaultPlan``)."""
+        self._inject_faults(k)
+        op, args = self._apply(self._choose_op())
+        self.applied[op] = self.applied.get(op, 0) + 1
+        self.trace.append((k, op, args))
+        return op, args
+
+    def run(
+        self,
+        *,
+        on_edit: Callable[["ChurnSession", int, str], None] | None = None,
+    ) -> ChurnResult:
+        """Run the whole configured stream; ``on_edit`` fires after
+        every edit (the differential suite's hook)."""
+        for k in range(1, self.config.steps + 1):
+            op, _ = self.step(k)
+            if on_edit is not None:
+                on_edit(self, k, op)
+        return ChurnResult(
+            config=self.config,
+            applied=dict(self.applied),
+            steps_run=len(self.trace),
+            faults_injected=self.faults_injected,
+            writes_suppressed=self.dyn.ledger.suppressed,
+            final_n_live=self.dyn.n_live,
+            final_components=int(self.dyn.heads().size),
+            ledger=self.dyn.ledger.to_dict(),
+        )

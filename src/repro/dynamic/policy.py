@@ -1,0 +1,131 @@
+"""The maintenance knob: local repair vs from-scratch recompute.
+
+A dynamic session absorbing a batch of ``k`` edits on an ``n``-node
+arena has two ways to keep its matching maximal: repair each edit
+locally (O(1) moves per edit, pure-Python worklist) or let the batch
+invalidate the matching and recompute from scratch with a static
+engine.  Which wins is a planner question — the same
+price-the-candidates-and-pick shape as ``backend="auto"`` — so it is
+asked through the planner: a registered rule adds a synthetic
+``repair`` plan priced at ``k × `` :data:`REPAIR_SECONDS_PER_EDIT`
+next to the recompute backends the stock rules already price, under
+``profile="dynamic"`` with the batch size in ``num_lists``.
+
+Small batches pick ``repair`` (k edits cost less than one engine
+launch); batches comparable to ``n`` pick a recompute backend.  The
+decision carries full provenance (every candidate, the pricing rule)
+exactly like any other planner decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List
+
+from ..planner.core import PlannerDecision, decide_for
+from ..planner.policy import ExecutionPolicy
+from ..planner.rules import (
+    PlanContext,
+    ScoredPlan,
+    register_planner_rule,
+    planner_rules,
+)
+
+__all__ = [
+    "DYNAMIC_PROFILE",
+    "MaintenanceDecision",
+    "REPAIR_SECONDS_PER_EDIT",
+    "decide_maintenance",
+    "install_maintenance_rule",
+    "maintenance_rule",
+]
+
+#: The planner profile under which the repair plan competes.
+DYNAMIC_PROFILE = "dynamic"
+
+#: Cold-start prior for one locally-repaired edit: a handful of
+#: worklist pops and bit flips in pure Python.  Same order of
+#: magnitude as ~100 interpreted operations; deliberately pessimistic
+#: so tiny recomputes still win for large batches.
+REPAIR_SECONDS_PER_EDIT = 2.5e-5
+
+#: Name the rule registers under (visible in decision provenance).
+RULE_NAME = "dynamic_repair"
+
+
+def maintenance_rule(
+    ctx: PlanContext, plans: List[ScoredPlan]
+) -> List[ScoredPlan]:
+    """Add the ``repair`` candidate for dynamic-profile decisions.
+
+    Inert for every other profile, so ``backend="auto"`` matching
+    calls never see a phantom backend.
+    """
+    if ctx.profile != DYNAMIC_PROFILE:
+        return plans
+    batch = max(1, int(ctx.num_lists))
+    score = batch * REPAIR_SECONDS_PER_EDIT
+    out = list(plans)
+    out.append(ScoredPlan(
+        backend="repair",
+        score=score,
+        rule=RULE_NAME,
+        source="prior",
+        reason=(f"local repair: {batch} edit(s) x "
+                f"{REPAIR_SECONDS_PER_EDIT:.1e}s/edit"),
+    ))
+    return out
+
+
+def install_maintenance_rule() -> None:
+    """Register :func:`maintenance_rule` once (idempotent)."""
+    if any(name == RULE_NAME for name, _ in planner_rules()):
+        return
+    # After "prior" so recompute candidates are already priced when
+    # the repair plan joins; before "worker_cap" like any scorer.
+    register_planner_rule(RULE_NAME, maintenance_rule, after="prior")
+
+
+@dataclass(frozen=True)
+class MaintenanceDecision:
+    """How to keep the matching maximal across one edit batch."""
+
+    strategy: str                 # "repair" | "recompute"
+    backend: str | None           # engine for recompute, None for repair
+    batch_size: int
+    decision: PlannerDecision
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "strategy": self.strategy,
+            "backend": self.backend,
+            "batch_size": self.batch_size,
+            "planner": self.decision.to_extra(),
+        }
+
+
+def decide_maintenance(
+    *,
+    n: int,
+    batch_size: int,
+    algorithm: str = "match4",
+    p: int = 1,
+    policy: ExecutionPolicy | None = None,
+) -> MaintenanceDecision:
+    """Pick repair vs recompute for ``batch_size`` edits on ``n`` nodes.
+
+    Routes through the planner rule pipeline (installing the dynamic
+    rule on first use) so history, priors, and policy overrides all
+    apply to the recompute candidates.
+    """
+    install_maintenance_rule()
+    decision = decide_for(
+        policy, algorithm=algorithm, n=max(1, int(n)), p=p,
+        profile=DYNAMIC_PROFILE, num_lists=max(1, int(batch_size)))
+    if decision.backend == "repair":
+        return MaintenanceDecision(
+            strategy="repair", backend=None,
+            batch_size=int(batch_size), decision=decision)
+    return MaintenanceDecision(
+        strategy="recompute", backend=decision.backend,
+        batch_size=int(batch_size), decision=decision)

@@ -79,6 +79,13 @@ def _sanitize(lst: LinkedList, tails: np.ndarray) -> tuple[np.ndarray, int]:
     arr = np.asarray(tails)
     if arr.size == 0:
         arr = arr.astype(np.int64)
+    if arr.dtype.kind == "b":
+        # A full-length boolean array is unambiguously a chosen *mask*
+        # (the dynamic tier's native representation), not addresses.
+        require(arr.ndim == 1 and arr.size == lst.n,
+                f"boolean tails must be a length-{lst.n} chosen mask, "
+                f"got shape {arr.shape}")
+        arr = np.flatnonzero(arr)
     require(arr.dtype.kind in "iu",
             f"tails must be integers, got dtype {arr.dtype}")
     arr = arr.astype(np.int64, copy=False).ravel()

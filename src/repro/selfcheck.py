@@ -315,6 +315,39 @@ def run_selfcheck(*, n: int = 2048, seed: int = 0) -> SelfCheckReport:
         return (f"auto == {decision['backend']} (rule="
                 f"{decision['rule']}), history steers the pick")
 
+    def check_dynamic() -> str:
+        from repro.apps import uniform_contraction, verify_contraction
+        from repro.dynamic import ChurnConfig, ChurnSession, \
+            decide_maintenance
+
+        cfg = ChurnConfig(steps=128, seed=seed, n_initial=min(n, 256),
+                          burstiness=0.2, hotspot=0.5)
+        sess = ChurnSession(cfg)
+        sess.run(on_edit=lambda s, k, op: s.dyn.verify())
+        ledger = sess.dyn.ledger
+        assert ledger.edits == cfg.steps, \
+            f"ledger saw {ledger.edits} of {cfg.steps} edits"
+        assert ledger.max_moves_per_edit <= 8, \
+            f"per-edit repair moved {ledger.max_moves_per_edit} bits " \
+            f"— the O(1)-neighborhood bound is broken"
+        # Each component contracts to one node off the *maintained*
+        # matching (round 0 seeded, later rounds via match4).
+        for snap in sess.dyn.components():
+            parent, _, stats = uniform_contraction(
+                snap.lst, first_tails=snap.tails)
+            verify_contraction(snap.lst, parent)
+            assert stats.seeded_round, "seed matching was not used"
+            assert stats.uniform_rate_held, \
+                f"contraction rate broke: {stats.level_sizes}"
+        small = decide_maintenance(n=max(n, 1024), batch_size=2)
+        big = decide_maintenance(n=64, batch_size=100_000)
+        assert small.strategy == "repair", small.strategy
+        assert big.strategy == "recompute", big.strategy
+        return (f"{cfg.steps} edits repaired "
+                f"(max {ledger.max_moves_per_edit} moves/edit, "
+                f"{sess.dyn.heads().size} components), "
+                f"planner splits repair/recompute")
+
     _check(report, "matching algorithms (6) maximal", check_algorithms)
     _check(report, "instruction-level tier identical", check_instruction_tier)
     _check(report, "numpy backend equivalence", check_backends)
@@ -330,4 +363,5 @@ def run_selfcheck(*, n: int = 2048, seed: int = 0) -> SelfCheckReport:
     _check(report, "profiler invariants", check_profiling)
     _check(report, "parallel backend equivalence", check_parallel)
     _check(report, "planner auto equivalence", check_planner)
+    _check(report, "dynamic churn + contraction", check_dynamic)
     return report

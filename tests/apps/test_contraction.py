@@ -1,0 +1,149 @@
+"""Uniform linked-list contraction (Han 2020) on the matching engine."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    contract_dynamic,
+    contraction_representatives,
+    uniform_contraction,
+    verify_contraction,
+)
+from repro.errors import InvalidParameterError, VerificationError
+from repro.lists import NIL, LinkedList, random_list, sequential_list
+
+
+class TestUniformContraction:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 100, 1024])
+    def test_contracts_to_head(self, n):
+        lst = random_list(n, rng=n) if n > 1 else sequential_list(n)
+        parent, report, stats = uniform_contraction(lst)
+        verify_contraction(lst, parent)
+        assert stats.total_merges == n - 1
+        assert stats.level_sizes[0] == n
+        assert stats.level_sizes[-1] == 1
+
+    @pytest.mark.parametrize("n", [64, 512, 4096])
+    def test_logarithmic_rounds(self, n):
+        lst = random_list(n, rng=1)
+        _, _, stats = uniform_contraction(lst)
+        # Each round retires >= (m-1)/3 nodes => rounds <= log_{3/2} n.
+        bound = int(np.ceil(np.log(n) / np.log(1.5))) + 1
+        assert stats.rounds <= bound
+        assert stats.uniform_rate_held
+
+    @pytest.mark.parametrize("matcher", ["match1", "match2", "match4"])
+    def test_all_matchers_drive_it(self, matcher):
+        lst = random_list(200, rng=2)
+        parent, _, stats = uniform_contraction(lst, matcher=matcher)
+        verify_contraction(lst, parent)
+        assert stats.matcher == matcher
+
+    def test_unknown_matcher_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_contraction(random_list(8, rng=0), matcher="bogus")
+
+    def test_p_validated(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_contraction(random_list(8, rng=0), p=0)
+
+    def test_payload_conservation_via_values(self):
+        lst = random_list(50, rng=3)
+        # uniform_contraction checks conservation internally; reaching
+        # the return proves the survivor accumulated every payload.
+        parent, _, _ = uniform_contraction(lst)
+        verify_contraction(lst, parent)
+
+    def test_brent_report_charged(self):
+        lst = random_list(256, rng=4)
+        _, report, stats = uniform_contraction(lst, p=16)
+        assert report.work > 0
+        [phase] = [ph for ph in report.phases if ph.name == "contract"]
+        assert phase.work > 0
+
+
+class TestSeededFirstRound:
+    def test_seed_skips_round_zero_matcher(self):
+        import repro
+
+        lst = random_list(128, rng=5)
+        res = repro.maximal_matching(lst, algorithm="match4")
+        parent, _, stats = uniform_contraction(
+            lst, first_tails=res.matching.tails)
+        verify_contraction(lst, parent)
+        assert stats.seeded_round
+        assert stats.uniform_rate_held
+
+    def test_bad_seed_rejected(self):
+        lst = random_list(64, rng=6)
+        with pytest.raises(VerificationError):
+            uniform_contraction(lst, first_tails=np.array([0, 1]))
+
+
+class TestRepresentativesAndVerify:
+    def test_representatives_resolve(self):
+        parent = np.array([NIL, 0, 1, 0], dtype=np.int64)
+        rep = contraction_representatives(parent)
+        assert rep.tolist() == [0, 0, 0, 0]
+
+    def test_cycle_detected(self):
+        parent = np.array([1, 0], dtype=np.int64)
+        with pytest.raises(VerificationError):
+            contraction_representatives(parent)
+
+    def test_verify_rejects_two_roots(self):
+        lst = sequential_list(3)
+        parent = np.array([NIL, NIL, 1], dtype=np.int64)
+        with pytest.raises(VerificationError):
+            verify_contraction(lst, parent)
+
+    def test_verify_rejects_wrong_size(self):
+        lst = sequential_list(3)
+        with pytest.raises(VerificationError):
+            verify_contraction(lst, np.array([NIL], dtype=np.int64))
+
+    def test_verify_rejects_non_head_root(self):
+        lst = sequential_list(3)  # head is 0
+        parent = np.array([1, NIL, 1], dtype=np.int64)
+        with pytest.raises(VerificationError):
+            verify_contraction(lst, parent)
+
+
+class TestContractDynamic:
+    def test_every_component_contracts_seeded(self):
+        from repro.dynamic import DynamicList
+
+        dyn = DynamicList.from_list(random_list(96, rng=7))
+        order = list(dyn.walk(int(dyn.heads()[0])))
+        dyn.split(order[30])
+        dyn.split(order[70])
+        results = contract_dynamic(dyn)
+        assert len(results) == 3
+        for snap, parent, _, stats in results:
+            assert stats.seeded_round
+            verify_contraction(snap.lst, parent)
+
+    def test_parent_maps_back_to_arena(self):
+        from repro.dynamic import DynamicList
+
+        dyn = DynamicList.from_list(random_list(40, rng=8))
+        dyn.delete(int(dyn.nodes()[10]))  # punch a hole in addresses
+        [(snap, parent, _, _)] = contract_dynamic(dyn)
+        live = {int(v) for v in dyn.nodes()}
+        # snap.nodes translates every local id to a live arena address.
+        assert {int(a) for a in snap.nodes} == live
+        root_local = int(np.flatnonzero(parent == NIL)[0])
+        root_arena = int(snap.nodes[root_local])
+        assert root_arena == int(dyn.heads()[0])
+
+    def test_arena_churn_then_contract(self):
+        from repro.dynamic import ChurnConfig, ChurnSession
+
+        cfg = ChurnConfig(steps=80, seed=9, n_initial=64,
+                          layout="rings", burstiness=0.2, hotspot=0.4)
+        sess = ChurnSession(cfg)
+        sess.run()
+        for snap, parent, _, stats in contract_dynamic(sess.dyn):
+            verify_contraction(snap.lst, parent)
+            assert stats.seeded_round
+            assert stats.uniform_rate_held

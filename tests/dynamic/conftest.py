@@ -1,0 +1,24 @@
+"""Shared fixtures for the dynamic-tier suite."""
+
+import pytest
+
+from repro.dynamic.policy import RULE_NAME
+from repro.errors import InvalidParameterError
+from repro.planner.rules import unregister_planner_rule
+
+
+@pytest.fixture(autouse=True)
+def _clean_planner_registry():
+    """Remove the dynamic_repair rule installed by decide_maintenance().
+
+    install_maintenance_rule() mutates the process-global planner rule
+    registry; without this teardown, any dynamic test that consults the
+    maintenance knob (policy tests, CLI --maintain auto) would leak the
+    rule into later suites and break tests/planner's default-pipeline
+    assertions.
+    """
+    yield
+    try:
+        unregister_planner_rule(RULE_NAME)
+    except InvalidParameterError:
+        pass

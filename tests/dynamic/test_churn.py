@@ -1,0 +1,146 @@
+"""The seeded churn generator: layouts, op mix, burstiness, hotspots."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import (
+    CHURN_LAYOUTS,
+    ChurnConfig,
+    ChurnResult,
+    ChurnSession,
+    make_churn_list,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestLayouts:
+    @pytest.mark.parametrize("layout", sorted(CHURN_LAYOUTS))
+    def test_layouts_build_valid_lists(self, layout):
+        n = 16
+        lst = make_churn_list(layout, n, seed=3)
+        assert lst.n == n
+        assert len(lst.order) == n
+
+    def test_rings_layout_wraps_address_space(self):
+        # Seed-chosen cut: some seed must start the path off address 0.
+        heads = {make_churn_list("rings", 32, seed=s).head
+                 for s in range(8)}
+        assert heads - {0}
+
+    def test_unknown_layout_raises(self):
+        with pytest.raises(InvalidParameterError):
+            make_churn_list("spiral", 8, seed=0)
+
+    def test_layouts_seeded(self):
+        a = make_churn_list("random", 64, seed=5)
+        b = make_churn_list("random", 64, seed=5)
+        c = make_churn_list("random", 64, seed=6)
+        assert np.array_equal(a.next, b.next)
+        assert not np.array_equal(a.next, c.next)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kw", [
+        {"steps": -1},
+        {"n_initial": -2},
+        {"burstiness": 1.5},
+        {"burstiness": -0.1},
+        {"burst_len": 0},
+        {"hotspot": -1.0},
+        {"op_weights": ()},
+        {"op_weights": (("delete", 1.0), ("delete", 2.0))},
+    ])
+    def test_bad_config_rejected(self, kw):
+        with pytest.raises(InvalidParameterError):
+            ChurnConfig(**kw)
+
+    def test_to_dict_roundtrips(self):
+        cfg = ChurnConfig(steps=5, seed=9, n_initial=10, layout="gray",
+                          burstiness=0.5, burst_len=3, hotspot=1.0)
+        d = cfg.to_dict()
+        again = ChurnConfig(
+            steps=d["steps"], seed=d["seed"], n_initial=d["n_initial"],
+            layout=d["layout"],
+            op_weights=tuple((nm, w) for nm, w in d["op_weights"]),
+            burstiness=d["burstiness"], burst_len=d["burst_len"],
+            hotspot=d["hotspot"])
+        assert again == cfg
+
+
+class TestStreamShape:
+    def test_result_accounting(self):
+        cfg = ChurnConfig(steps=50, seed=1, n_initial=32, layout="random")
+        sess = ChurnSession(cfg)
+        result = sess.run()
+        assert isinstance(result, ChurnResult)
+        assert result.steps_run == 50
+        assert sum(result.applied.values()) == 50
+        assert result.final_n_live == sess.dyn.n_live
+        assert result.final_components == sess.dyn.heads().size
+        assert result.ledger["edits"] == 50
+        d = result.to_dict()
+        assert d["config"]["steps"] == 50
+        assert sum(d["applied"].values()) == 50
+
+    def test_restricted_op_mix_respected(self):
+        cfg = ChurnConfig(steps=40, seed=2, n_initial=64,
+                          op_weights=(("insert_after", 1.0),))
+        sess = ChurnSession(cfg)
+        result = sess.run()
+        assert set(result.applied) == {"insert_after"}
+
+    def test_burstiness_creates_runs(self):
+        """With full burstiness, op choices repeat in blocks."""
+        cfg = ChurnConfig(steps=120, seed=3, n_initial=64,
+                          burstiness=1.0, burst_len=8)
+        sess = ChurnSession(cfg)
+        sess.run()
+        requested = [op for _, op, _ in sess.trace]
+        longest = run = 1
+        for prev, cur in zip(requested, requested[1:]):
+            run = run + 1 if cur == prev else 1
+            longest = max(longest, run)
+        assert longest >= 4  # fallback can break a block, not all
+
+    def test_hotspot_skews_low_addresses(self):
+        def mean_target(hotspot):
+            cfg = ChurnConfig(
+                steps=300, seed=4, n_initial=256, hotspot=hotspot,
+                op_weights=(("insert_after", 1.0),))
+            sess = ChurnSession(cfg)
+            sess.run()
+            return float(np.mean(
+                [args[0] for _, op, args in sess.trace
+                 if op == "insert_after"]))
+
+        assert mean_target(1.0) < mean_target(0.0)
+
+    def test_fallback_keeps_stream_productive(self):
+        # Infeasible op on an empty arena: every step must still edit.
+        cfg = ChurnConfig(steps=10, seed=5, n_initial=0,
+                          op_weights=(("delete", 1.0),))
+        sess = ChurnSession(cfg)
+        result = sess.run()
+        # Empty arena: delete is infeasible, the fallback adds a node;
+        # then delete and the fallback alternate — every step edits.
+        assert sum(result.applied.values()) == 10
+        assert result.applied["add_node"] >= 5
+        assert sess.dyn.ledger.edits == 10
+
+    def test_on_edit_callback_sees_every_step(self):
+        seen = []
+        cfg = ChurnConfig(steps=25, seed=6, n_initial=16)
+        ChurnSession(cfg).run(
+            on_edit=lambda s, k, op: seen.append((k, op)))
+        assert [k for k, _ in seen] == list(range(1, 26))
+
+    def test_existing_session_adopted(self):
+        from repro.dynamic import DynamicList
+        from repro.lists import random_list
+
+        dyn = DynamicList.from_list(random_list(20, rng=7))
+        cfg = ChurnConfig(steps=15, seed=8, n_initial=999)  # ignored
+        sess = ChurnSession(cfg, dyn=dyn)
+        assert sess.dyn is dyn
+        sess.run()
+        dyn.verify()

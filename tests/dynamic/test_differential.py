@@ -1,0 +1,196 @@
+"""Differential churn harness: maintained matching vs from-scratch.
+
+The dynamic tier's core claim is that local repair keeps exactly the
+invariant the static engine establishes: after *every* edit the
+maintained ``chosen`` bits form a maximal matching of every component.
+These tests drive seeded churn streams over the full layout x size
+matrix and check, after each individual edit,
+
+- the arena's own invariants (:meth:`DynamicList.verify`),
+- the maintained tails verify as a maximal matching, and
+- a from-scratch :func:`repro.maximal_matching` run on the same
+  component also verifies — i.e. the maintained matching satisfies the
+  same maximality predicate as the static engine's answer.
+
+Maximal matchings of the same path can legitimately differ in *size*
+(maximal, not maximum), so the differential assertion is
+"both maximal", never tails- or size-equality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import maximal_matching, verify_maximal_matching
+from repro.dynamic import CHURN_LAYOUTS, ChurnConfig, ChurnSession
+from repro.dynamic.session import EDIT_OPS
+
+SIZES = (0, 1, 2, 3, 7, 8, 1023, 1024)
+POW2_LAYOUTS = frozenset({"gray", "bitrev"})
+BACKENDS = ("reference", "numpy")
+
+
+def _is_pow2(n: int) -> bool:
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def _skip_unless_supported(layout: str, n: int) -> None:
+    if layout in POW2_LAYOUTS and not _is_pow2(n):
+        pytest.skip(f"{layout} layout requires a power-of-two n")
+
+
+def assert_matches_scratch(dyn, backend: str) -> None:
+    """The per-edit differential oracle."""
+    dyn.verify()
+    for snap in dyn.components():
+        verify_maximal_matching(snap.lst, snap.tails)
+        scratch = maximal_matching(
+            snap.lst, algorithm="match4", backend=backend)
+        verify_maximal_matching(snap.lst, scratch.matching.tails)
+
+
+def churn_config(layout: str, n: int, *, steps: int, seed: int = 0,
+                 **kw) -> ChurnConfig:
+    return ChurnConfig(
+        steps=steps, seed=seed * 1009 + 13 * n + 1, n_initial=n,
+        layout=layout, burstiness=0.25, burst_len=4, hotspot=0.5, **kw)
+
+
+class TestEveryEditDifferential:
+    """The full matrix: layouts x sizes x backends, checked per edit."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("layout", sorted(CHURN_LAYOUTS))
+    @pytest.mark.parametrize("n", SIZES)
+    def test_maximal_after_every_edit(self, layout, n, backend):
+        _skip_unless_supported(layout, n)
+        steps = 16 if n >= 1023 else 40
+        cfg = churn_config(layout, max(n, 0), steps=steps)
+        sess = ChurnSession(cfg, backend=backend)
+        result = sess.run(
+            on_edit=lambda s, k, op: assert_matches_scratch(s.dyn, backend))
+        assert result.steps_run == steps
+        assert sess.dyn.ledger.edits == steps
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_empty_and_tiny_arenas_stay_consistent(self, n):
+        _ = n  # sizes are the parametrization; n=0 is the payoff case
+        cfg = ChurnConfig(steps=30, seed=n + 5, n_initial=0,
+                          layout="random")
+        sess = ChurnSession(cfg)
+        sess.run(on_edit=lambda s, k, op: s.dyn.verify())
+        assert_matches_scratch(sess.dyn, "reference")
+
+
+class TestDirectedOps:
+    """Each op type individually, with the differential check after."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("op", EDIT_OPS)
+    def test_single_op_preserves_maximality(self, op, backend):
+        from repro.dynamic import DynamicList
+        from repro.lists import random_list
+
+        for seed in range(6):
+            dyn = DynamicList.from_list(
+                random_list(32, rng=seed), backend=backend)
+            nodes = dyn.nodes()
+            rng = np.random.default_rng(seed)
+            v = int(nodes[rng.integers(nodes.size)])
+            if op == "insert_after":
+                dyn.insert_after(v)
+            elif op == "delete":
+                dyn.delete(v)
+            elif op == "add_node":
+                dyn.add_node()
+            elif op == "split":
+                if dyn.next_of(v) == -1:
+                    v = int(dyn.heads()[0])
+                dyn.split(v)
+            elif op == "concat":
+                # After the split (or a fresh singleton), v is a tail
+                # and h heads a different component: concat rejoins.
+                h = dyn.split(v) if dyn.next_of(v) != -1 \
+                    else dyn.add_node()
+                dyn.concat(v, h)
+            elif op == "splice_out":
+                b = v
+                for _ in range(int(rng.integers(0, 3))):
+                    nb = dyn.next_of(b)
+                    if nb == -1:
+                        break
+                    b = nb
+                dyn.splice_out(v, b)
+            elif op == "splice_in":
+                h = dyn.add_node()
+                dyn.splice_in(v, h)
+            assert_matches_scratch(dyn, backend)
+
+    def test_every_op_reachable_under_churn(self):
+        """The default stream exercises the whole edit vocabulary."""
+        cfg = ChurnConfig(steps=600, seed=11, n_initial=96,
+                          layout="random", burstiness=0.3, hotspot=0.3)
+        sess = ChurnSession(cfg)
+        sess.run()
+        assert set(sess.applied) >= set(EDIT_OPS)
+
+
+class TestSeededDeterminism:
+    """Same config => identical trace, applied ops, and matching."""
+
+    @pytest.mark.parametrize("layout", sorted(CHURN_LAYOUTS))
+    def test_trace_and_matching_replay(self, layout):
+        n = 64
+        cfg = churn_config(layout, n, steps=80, seed=3)
+        a = ChurnSession(cfg)
+        ra = a.run()
+        b = ChurnSession(cfg)
+        rb = b.run()
+        assert a.trace == b.trace
+        assert ra.applied == rb.applied
+        assert np.array_equal(a.dyn.tails(), b.dyn.tails())
+        assert ra.ledger == rb.ledger
+
+    def test_trace_is_maintenance_independent(self):
+        """Repair vs no-maintenance arms see the same edit stream —
+        the precondition for every repair-vs-recompute comparison."""
+        cfg = churn_config("random", 64, steps=120, seed=9)
+        a = ChurnSession(cfg)
+        a.run()
+        b = ChurnSession(cfg, maintain=False)
+        b.run()
+        assert a.trace == b.trace
+
+    def test_different_seeds_diverge(self):
+        n = 64
+        a = ChurnSession(churn_config("random", n, steps=60, seed=1))
+        b = ChurnSession(churn_config("random", n, steps=60, seed=2))
+        a.run()
+        b.run()
+        assert a.trace != b.trace
+
+
+class TestMoveBound:
+    """Acceptance: per-edit move counts bounded by a constant."""
+
+    MOVE_BOUND = 8
+
+    @pytest.mark.parametrize("layout", sorted(CHURN_LAYOUTS))
+    def test_constant_moves_per_edit(self, layout):
+        cfg = churn_config(layout, 256, steps=256, seed=17)
+        sess = ChurnSession(cfg)
+        sess.run()
+        led = sess.dyn.ledger
+        assert led.max_moves_per_edit <= self.MOVE_BOUND
+        assert led.max_touched_per_edit <= 2 * self.MOVE_BOUND
+        assert led.moves <= self.MOVE_BOUND * led.edits
+
+    def test_bound_is_size_independent(self):
+        """The worst per-edit move count must not grow with n."""
+        worst = {}
+        for n in (64, 1024):
+            cfg = churn_config("random", n, steps=128, seed=23)
+            sess = ChurnSession(cfg)
+            sess.run()
+            worst[n] = sess.dyn.ledger.max_moves_per_edit
+        assert worst[1024] <= self.MOVE_BOUND
+        assert worst[64] <= self.MOVE_BOUND

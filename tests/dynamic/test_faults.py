@@ -1,0 +1,194 @@
+"""Fault injection against the maintained matching (satellite of the
+dynamic tier): :class:`~repro.pram.faults.FaultPlan` events corrupt the
+matching array mid-churn, and :meth:`DynamicList.stabilize` must
+converge back to a verified maximal matching while emitting the
+``resilience.*`` telemetry the static repair tier uses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import verify_maximal_matching
+from repro.dynamic import ChurnConfig, ChurnSession, DynamicList
+from repro.errors import VerificationError
+from repro.lists import random_list
+from repro.pram.faults import BitFlip, DroppedWrite, FaultPlan, ProcessorCrash
+from repro.telemetry import METRICS, capture, disable
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    disable()
+    yield
+    disable()
+
+
+def _assert_recovered(dyn: DynamicList) -> None:
+    dyn.verify()
+    for snap in dyn.components():
+        verify_maximal_matching(snap.lst, snap.tails)
+
+
+class TestBitFlips:
+    def test_flip_then_stabilize(self):
+        dyn = DynamicList.from_list(random_list(64, rng=0))
+        dyn.corrupt_bit(11)
+        with pytest.raises(VerificationError):
+            dyn.verify()
+        report = dyn.stabilize()
+        assert report.moves >= 1
+        _assert_recovered(dyn)
+
+    def test_flip_on_dead_slot_cleared(self):
+        dyn = DynamicList.from_list(random_list(8, rng=1))
+        dyn.add_node()  # grow: guarantees a dead slot exists
+        dead = int(np.flatnonzero(~dyn._live)[0])
+        dyn.corrupt_bit(dead)
+        report = dyn.stabilize()
+        assert report.dead_bits_cleared == 1
+        _assert_recovered(dyn)
+
+    def test_flip_address_wraps(self):
+        dyn = DynamicList.from_list(random_list(8, rng=2))
+        cap = dyn.capacity
+        a = dyn.chosen_mask()
+        dyn.corrupt_bit(3 + cap)
+        b = dyn.chosen_mask()
+        assert int(np.sum(a != b)) == 1 and a[3] != b[3]
+
+    def test_stabilize_is_idempotent(self):
+        dyn = DynamicList.from_list(random_list(64, rng=3))
+        for addr in (5, 17, 40):
+            dyn.corrupt_bit(addr)
+        dyn.stabilize()
+        tails = dyn.tails()
+        second = dyn.stabilize()
+        assert second.moves == 0
+        assert np.array_equal(dyn.tails(), tails)
+
+
+class TestDroppedWrites:
+    def test_suppressed_edit_skips_maintenance(self):
+        dyn = DynamicList.from_list(random_list(32, rng=4))
+        dyn.suppress_next_maintenance()
+        dyn.delete(int(dyn.nodes()[10]))
+        assert dyn.ledger.suppressed == 1
+        # The structural edit landed; the matching may now be corrupt
+        # (stale or dead bits), which stabilize repairs.
+        dyn.stabilize()
+        _assert_recovered(dyn)
+
+    def test_suppression_is_one_shot(self):
+        dyn = DynamicList.from_list(random_list(32, rng=5))
+        dyn.suppress_next_maintenance()
+        dyn.add_node()
+        dyn.stabilize()
+        dyn.delete(int(dyn.nodes()[3]))  # maintained again
+        assert dyn.ledger.suppressed == 1
+        _assert_recovered(dyn)
+
+
+class TestChurnUnderFaultPlan:
+    """The integration path: faults fire mid-stream via FaultPlan."""
+
+    def _plan(self, steps: int, seed: int, flips: int, drops: int):
+        return FaultPlan.random(
+            seed=seed, nprocs=1, memory_size=256, max_step=steps,
+            crashes=0, flips=flips, drops=drops)
+
+    @pytest.mark.parametrize("flips,drops", [(4, 0), (0, 4), (3, 3)])
+    def test_stream_survives_and_stabilizes(self, flips, drops):
+        cfg = ChurnConfig(steps=120, seed=6, n_initial=64,
+                          layout="random", burstiness=0.2, hotspot=0.4)
+        sess = ChurnSession(
+            cfg, fault_plan=self._plan(120, 7, flips, drops))
+        result = sess.run()
+        assert result.faults_injected == flips + drops
+        assert result.writes_suppressed == \
+            sess.dyn.ledger.suppressed <= drops
+        report = sess.dyn.stabilize()
+        assert report.components == sess.dyn.heads().size
+        _assert_recovered(sess.dyn)
+
+    def test_crash_faults_map_to_suppression(self):
+        plan = FaultPlan([ProcessorCrash(step=2, pid=0),
+                          BitFlip(step=3, addr=9, bit=0),
+                          DroppedWrite(step=5, pid=0)])
+        cfg = ChurnConfig(steps=8, seed=8, n_initial=32, layout="rings")
+        sess = ChurnSession(cfg, fault_plan=plan)
+        result = sess.run()
+        assert result.faults_injected == 3
+        assert sess.dyn.ledger.suppressed == 2  # crash + dropped write
+        sess.dyn.stabilize()
+        _assert_recovered(sess.dyn)
+
+    def test_fault_plan_determinism(self):
+        cfg = ChurnConfig(steps=60, seed=9, n_initial=48, layout="runs")
+        runs = []
+        for _ in range(2):
+            sess = ChurnSession(cfg, fault_plan=self._plan(60, 10, 3, 2))
+            sess.run()
+            sess.dyn.stabilize()
+            runs.append((sess.trace, sess.dyn.tails().tolist()))
+        assert runs[0] == runs[1]
+
+
+class TestTelemetryCounters:
+    def test_fault_and_stabilize_counters(self):
+        dyn = DynamicList.from_list(random_list(64, rng=11))
+        with capture():
+            dyn.corrupt_bit(9)
+            dyn.corrupt_bit(21)
+            report = dyn.stabilize()
+            snap = METRICS.snapshot()
+        assert snap["dynamic.faults.bit_flips"]["value"] == 2
+        assert snap["resilience.stabilize.runs"]["value"] == 1
+        assert snap["resilience.stabilize.moves"]["value"] == report.moves
+        assert report.moves >= 1
+
+    def test_repair_events_emitted_per_edit(self):
+        dyn = DynamicList.from_list(random_list(32, rng=12))
+        with capture() as sink:
+            dyn.delete(int(dyn.nodes()[5]))
+            snap = METRICS.snapshot()
+        assert snap["dynamic.edits"]["value"] == 1
+        assert snap["dynamic.op.delete"]["value"] == 1
+        events = [s for s in sink.spans if s.name == "dynamic.repair"]
+        assert len(events) == 1
+        assert events[0].attributes["op"] == "delete"
+
+    def test_disabled_telemetry_records_nothing(self):
+        METRICS.reset()
+        dyn = DynamicList.from_list(random_list(32, rng=13))
+        dyn.corrupt_bit(2)
+        dyn.stabilize()
+        assert METRICS.snapshot() == {}
+
+
+class TestStabilizeConvergence:
+    """Stabilization from arbitrary corruption, bounded moves."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_corruption_converges(self, seed):
+        rng = np.random.default_rng(seed)
+        dyn = DynamicList.from_list(random_list(128, rng=seed))
+        flips = rng.integers(0, dyn.capacity, size=12)
+        for addr in flips:
+            dyn.corrupt_bit(int(addr))
+        report = dyn.stabilize()
+        # Each flip perturbs an O(1) neighborhood: total stabilization
+        # moves stay proportional to the corruption, not to n.
+        assert report.moves <= 4 * flips.size
+        _assert_recovered(dyn)
+
+    def test_all_bits_set_converges(self):
+        dyn = DynamicList.from_list(random_list(96, rng=20))
+        dyn._chosen[:] = True
+        dyn.stabilize()
+        _assert_recovered(dyn)
+
+    def test_all_bits_cleared_converges(self):
+        dyn = DynamicList.from_list(random_list(96, rng=21))
+        dyn._chosen[:] = False
+        dyn.stabilize()
+        _assert_recovered(dyn)

@@ -1,0 +1,91 @@
+"""The maintenance knob: planner-routed repair-vs-recompute decisions."""
+
+import pytest
+
+from repro.dynamic import MaintenanceDecision, decide_maintenance
+from repro.dynamic.policy import (
+    DYNAMIC_PROFILE,
+    REPAIR_SECONDS_PER_EDIT,
+    RULE_NAME,
+    install_maintenance_rule,
+    maintenance_rule,
+)
+from repro.planner.rules import PlanContext, ScoredPlan, planner_rules
+
+
+class TestRule:
+    def test_install_is_idempotent(self):
+        install_maintenance_rule()
+        install_maintenance_rule()
+        names = [name for name, _ in planner_rules()]
+        assert names.count(RULE_NAME) == 1
+        # Registered after the prior scorer, as documented.
+        assert names.index("prior") < names.index(RULE_NAME)
+
+    def test_inert_outside_dynamic_profile(self):
+        ctx = PlanContext(algorithm="match4", n=1024, p=1,
+                          profile="default", num_lists=4)
+        plans = [ScoredPlan(backend="reference", score=1.0,
+                            rule="prior", source="prior")]
+        assert maintenance_rule(ctx, plans) == plans
+
+    def test_adds_priced_repair_plan(self):
+        ctx = PlanContext(algorithm="match4", n=1024, p=1,
+                          profile=DYNAMIC_PROFILE, num_lists=10)
+        out = maintenance_rule(ctx, [])
+        [plan] = out
+        assert plan.backend == "repair"
+        assert plan.rule == RULE_NAME
+        assert plan.score == pytest.approx(10 * REPAIR_SECONDS_PER_EDIT)
+
+    def test_batch_floor_is_one(self):
+        ctx = PlanContext(algorithm="match4", n=16, p=1,
+                          profile=DYNAMIC_PROFILE, num_lists=0)
+        [plan] = maintenance_rule(ctx, [])
+        assert plan.score == pytest.approx(REPAIR_SECONDS_PER_EDIT)
+
+
+class TestDecision:
+    def test_small_batch_prefers_repair(self):
+        d = decide_maintenance(n=4096, batch_size=4)
+        assert isinstance(d, MaintenanceDecision)
+        assert d.strategy == "repair"
+        assert d.backend is None
+        assert d.decision.plan.rule == RULE_NAME
+
+    def test_huge_batch_prefers_recompute(self):
+        d = decide_maintenance(n=64, batch_size=50_000)
+        assert d.strategy == "recompute"
+        assert d.backend in {"reference", "numpy", "numpy-mp"}
+
+    def test_threshold_moves_with_n(self):
+        """A fixed batch flips from recompute to repair as n grows:
+        recompute cost scales with n, repair cost does not."""
+        batch = 40
+        small = decide_maintenance(n=16, batch_size=batch)
+        large = decide_maintenance(n=1 << 16, batch_size=batch)
+        assert large.strategy == "repair"
+        # At tiny n a recompute is nearly free, so it may win; either
+        # way the ordering must be monotone in n.
+        if small.strategy == "repair":
+            assert large.strategy == "repair"
+
+    def test_decision_carries_provenance(self):
+        d = decide_maintenance(n=256, batch_size=2)
+        extra = d.to_dict()
+        assert extra["strategy"] == d.strategy
+        assert extra["batch_size"] == 2
+        backends = {c["backend"] for c in extra["planner"]["candidates"]}
+        assert "repair" in backends
+        assert backends - {"repair"}  # recompute engines were priced
+
+    def test_matching_auto_unaffected(self):
+        """The phantom 'repair' backend never leaks into backend=auto
+        matching decisions."""
+        import repro
+        from repro.lists import random_list
+
+        install_maintenance_rule()
+        res = repro.maximal_matching(
+            random_list(512, rng=0), algorithm="match4", backend="auto")
+        assert res.backend in {"reference", "numpy", "numpy-mp"}

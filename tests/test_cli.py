@@ -249,7 +249,7 @@ class TestSelfCheck:
         rc = main(["selfcheck", "--n", "512"])
         out = capsys.readouterr().out
         assert rc == 0
-        assert "15/15 checks passed" in out
+        assert "16/16 checks passed" in out
         assert "FAIL" not in out
         # the header states the producing build
         assert out.startswith("repro ")
@@ -259,7 +259,7 @@ class TestSelfCheck:
 
         report = run_selfcheck(n=256, seed=1)
         assert report.passed
-        assert len(report.results) == 15
+        assert len(report.results) == 16
         names = [r.name for r in report.results]
         assert "PRAM memory discipline" in names
         assert "telemetry round-trip" in names
